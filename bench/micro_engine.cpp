@@ -1,0 +1,91 @@
+// Microbenchmark: full transactions through the real engine (storage +
+// OCC validation + deferred writes + log emission), wall-clock throughput
+// of the passive core on this machine.
+#include <benchmark/benchmark.h>
+
+#include "rodain/engine/engine.hpp"
+#include "rodain/workload/calibration.hpp"
+
+using namespace rodain;
+
+namespace {
+
+struct Fixture {
+  storage::ObjectStore store{30000};
+  storage::BPlusTree index;
+  log::MemoryLogStorage disk;
+  log::LogWriter writer{LogMode::kOff, &disk, nullptr};
+  std::unique_ptr<engine::Engine> eng;
+
+  explicit Fixture(cc::Protocol protocol) {
+    workload::DatabaseConfig db;
+    db.num_objects = 30000;
+    workload::load_database(db, store, index);
+    engine::EngineConfig config;
+    config.protocol = protocol;
+    config.costs = engine::CostModel::zero();
+    eng = std::make_unique<engine::Engine>(config, store, &index, writer,
+                                           engine::Engine::Hooks{});
+  }
+
+  TxnOutcome run(const txn::TxnProgram& program, TxnId id) {
+    txn::Transaction t(id, id, program, TimePoint::origin(), TimePoint::max());
+    eng->begin(t);
+    while (true) {
+      auto r = eng->step(t);
+      switch (r.action) {
+        case engine::StepAction::kContinue:
+        case engine::StepAction::kRestarted:
+        case engine::StepAction::kWaitLogAck:  // kOff acks inline
+          continue;
+        case engine::StepAction::kCommitted:
+          return TxnOutcome::kCommitted;
+        case engine::StepAction::kAborted:
+          return t.outcome();
+        case engine::StepAction::kBlocked:
+          return TxnOutcome::kSystemAborted;  // cannot happen single-threaded
+      }
+    }
+  }
+};
+
+void BM_EngineReadTxn(benchmark::State& state) {
+  Fixture fixture(cc::Protocol::kOccDati);
+  workload::DatabaseConfig db;
+  db.num_objects = 30000;
+  workload::TxnGenerator generator(db, workload::PaperSetup::workload(0.0), Rng(1));
+  TxnId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.run(generator.next(), id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineReadTxn);
+
+void BM_EngineUpdateTxn(benchmark::State& state) {
+  Fixture fixture(cc::Protocol::kOccDati);
+  workload::DatabaseConfig db;
+  db.num_objects = 30000;
+  workload::TxnGenerator generator(db, workload::PaperSetup::workload(1.0), Rng(2));
+  TxnId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.run(generator.next(), id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineUpdateTxn);
+
+void BM_EngineUpdateTxn2PL(benchmark::State& state) {
+  Fixture fixture(cc::Protocol::kTwoPlHp);
+  workload::DatabaseConfig db;
+  db.num_objects = 30000;
+  workload::TxnGenerator generator(db, workload::PaperSetup::workload(1.0), Rng(3));
+  TxnId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.run(generator.next(), id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineUpdateTxn2PL);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Ablation 3: the overload manager (paper §2).
+//
+// Under sustained overload (400 txn/s against a ~230 txn/s CPU) we sweep
+// the active-transaction cap and toggle the miss-window feedback. Without a
+// cap every admitted transaction queues until its deadline and almost
+// nothing finishes; with the cap the node sheds arrivals cheaply at
+// admission and the admitted ones commit on time — which is exactly why the
+// paper observes "most of the unsuccessfully executed (=missed)
+// transactions are due to abortions by overload manager" past the knee.
+#include <cstdio>
+
+#include "rodain/exp/args.hpp"
+#include "rodain/exp/session.hpp"
+
+using namespace rodain;
+
+namespace {
+
+void run_point(std::size_t cap, bool feedback, const exp::BenchArgs& args) {
+  exp::SessionConfig config;
+  config.cluster = workload::PaperSetup::no_logging();
+  config.cluster.node.overload.max_active = cap;
+  config.cluster.node.overload.miss_feedback = feedback;
+  config.database = workload::PaperSetup::database();
+  config.workload = workload::PaperSetup::workload(0.5);
+  config.arrival_rate_tps = 400.0;
+  config.txn_count = args.txns;
+  config.seed = args.seed;
+  auto result = exp::run_repeated(config, args.reps);
+  const auto& t = result.totals;
+  const double committed_share =
+      static_cast<double>(t.committed) / static_cast<double>(t.submitted);
+  std::printf("%-8zu  %-9s  %-10.4f  %-11.4f  %-10.4f  %-10.4f  %-12.3f\n", cap,
+              feedback ? "on" : "off", result.miss_ratio.mean(),
+              committed_share,
+              static_cast<double>(t.overload_rejected) /
+                  static_cast<double>(t.submitted),
+              static_cast<double>(t.missed_deadline) /
+                  static_cast<double>(t.submitted),
+              result.commit_latency_ms.mean());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  std::printf("=== Ablation 3: overload manager at 400 txn/s (~1.7x the knee) ===\n");
+  std::printf("(%zu reps x %zu txns per point)\n\n", args.reps, args.txns);
+  std::printf("%-8s  %-9s  %-10s  %-11s  %-10s  %-10s  %-12s\n", "cap",
+              "feedback", "miss", "committed", "overload", "deadline",
+              "commit[ms]");
+  for (std::size_t cap : {5uz, 10uz, 25uz, 50uz, 100uz, 200uz, 100000uz}) {
+    run_point(cap, false, args);
+  }
+  std::printf("\nwith miss-window feedback (cap shrinks under sustained misses):\n");
+  for (std::size_t cap : {50uz, 100uz, 200uz, 100000uz}) {
+    run_point(cap, true, args);
+  }
+  std::printf("\n=> a moderate cap (the paper uses 50) converts hopeless "
+              "deadline misses into cheap admission-time shedding while "
+              "keeping commit latency of admitted work bounded.\n");
+  return 0;
+}

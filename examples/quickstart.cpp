@@ -1,0 +1,87 @@
+// Quickstart: the embedded rodain database in ~60 lines.
+//
+//   build/examples/quickstart
+//
+// Creates an in-memory database with redo logging to a file, runs a few
+// transactions through the public API, and reads the results back.
+#include <cstdio>
+#include <filesystem>
+
+#include "rodain/rodain.hpp"
+
+using namespace rodain;
+
+int main() {
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() / "rodain_quickstart.log").string();
+  std::filesystem::remove(log_path);
+
+  db::DatabaseOptions options;
+  options.log_path = log_path;  // durable redo log (empty = memory only)
+  db::Database database(options);
+
+  // ---- load two subscriber records and index them by dialled number ----
+  storage::Value alice{std::string_view{"routing=+358401111111"}};
+  storage::Value bob{std::string_view{"routing=+358402222222"}};
+  database.put_raw(1, alice);
+  database.put_raw(2, bob);
+  database.index_raw(storage::IndexKey::from_string("0800123001"), 1);
+  database.index_raw(storage::IndexKey::from_string("0800123002"), 2);
+
+  // ---- a read transaction through the index ----------------------------
+  auto looked_up = database.get_by_key(storage::IndexKey::from_string("0800123001"));
+  if (looked_up.is_ok()) {
+    std::printf("0800123001 -> %.*s\n",
+                static_cast<int>(looked_up.value().size()),
+                reinterpret_cast<const char*>(looked_up.value().data()));
+  }
+
+  // ---- an update transaction with a firm deadline -----------------------
+  txn::TxnProgram update;
+  update.read(1);
+  update.set_value(1, storage::Value{std::string_view{"routing=+358409999999"}});
+  update.with_deadline(Duration::millis(50));
+  auto info = database.execute(std::move(update));
+  std::printf("update: %s in %.3f ms\n",
+              std::string(to_string(info.outcome)).c_str(),
+              info.latency.to_ms());
+
+  // ---- a transactional counter ------------------------------------------
+  database.put_raw(100, storage::Value{std::string_view{"\0\0\0\0\0\0\0\0", 8}});
+  for (int i = 0; i < 5; ++i) database.add_to_field(100, 0, 10);
+  std::printf("counter after 5 x +10: %llu\n",
+              static_cast<unsigned long long>(
+                  database.get(100).value().read_u64(0)));
+
+  // ---- provisioning: transactional insert/delete with index upkeep -------
+  txn::TxnProgram provision;
+  provision.insert(3, storage::IndexKey::from_string("0800123003"),
+                   storage::Value{std::string_view{"routing=+358403333333"}});
+  provision.with_deadline(Duration::millis(150));
+  std::printf("provision subscriber 3: %s\n",
+              std::string(to_string(database.execute(std::move(provision)).outcome))
+                  .c_str());
+  std::printf("lookup 0800123003 works: %s\n",
+              database.get_by_key(storage::IndexKey::from_string("0800123003"))
+                      .is_ok()
+                  ? "yes"
+                  : "no");
+  txn::TxnProgram deprovision;
+  deprovision.erase(3, storage::IndexKey::from_string("0800123003"));
+  deprovision.with_deadline(Duration::millis(150));
+  (void)database.execute(std::move(deprovision));
+  std::printf("after deprovisioning, lookup fails cleanly: %s\n",
+              database.get_by_key(storage::IndexKey::from_string("0800123003"))
+                      .is_ok()
+                  ? "no (!)"
+                  : "yes");
+
+  // ---- telemetry ---------------------------------------------------------
+  const TxnCounters counters = database.counters();
+  std::printf("committed=%llu aborted=%llu, commit latency: %s\n",
+              static_cast<unsigned long long>(counters.committed),
+              static_cast<unsigned long long>(counters.missed_total()),
+              database.commit_latency().summary().c_str());
+  std::printf("redo log written to %s\n", log_path.c_str());
+  return 0;
+}

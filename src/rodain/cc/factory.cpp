@@ -1,0 +1,47 @@
+#include "rodain/cc/controller.hpp"
+#include "rodain/cc/occ.hpp"
+#include "rodain/cc/two_pl.hpp"
+
+namespace rodain::cc {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kOccBc: return "occ-bc";
+    case Protocol::kOccDa: return "occ-da";
+    case Protocol::kOccTi: return "occ-ti";
+    case Protocol::kOccDati: return "occ-dati";
+    case Protocol::kTwoPlHp: return "2pl-hp";
+  }
+  return "?";
+}
+
+std::unique_ptr<ConcurrencyController> make_controller(Protocol p) {
+  switch (p) {
+    case Protocol::kOccBc: {
+      OccPolicy policy;
+      policy.broadcast = true;
+      policy.fixed_final_ts = true;
+      return std::make_unique<OccController>("occ-bc", policy);
+    }
+    case Protocol::kOccDa: {
+      OccPolicy policy;
+      policy.fixed_final_ts = true;
+      return std::make_unique<OccController>("occ-da", policy);
+    }
+    case Protocol::kOccTi: {
+      OccPolicy policy;
+      policy.eager_self_adjust = true;
+      return std::make_unique<OccController>("occ-ti", policy);
+    }
+    case Protocol::kOccDati: {
+      OccPolicy policy;
+      policy.midpoint_final_ts = true;
+      return std::make_unique<OccController>("occ-dati", policy);
+    }
+    case Protocol::kTwoPlHp:
+      return std::make_unique<TwoPlController>();
+  }
+  return nullptr;
+}
+
+}  // namespace rodain::cc

@@ -1,0 +1,21 @@
+#include "rodain/common/clock.hpp"
+
+#include <chrono>
+
+namespace rodain {
+
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : origin_ns_(steady_ns()) {}
+
+TimePoint RealClock::now() const {
+  return TimePoint{(steady_ns() - origin_ns_) / 1000};
+}
+
+}  // namespace rodain

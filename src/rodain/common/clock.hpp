@@ -1,0 +1,37 @@
+// Clock abstraction: the engine asks "what time is it" through this
+// interface so the simulator can supply virtual time and the real-time
+// runtime a monotonic clock.
+#pragma once
+
+#include "rodain/common/time.hpp"
+
+namespace rodain {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Monotonic wall-clock (std::chrono::steady_clock), origin at construction.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  [[nodiscard]] TimePoint now() const override;
+
+ private:
+  std::int64_t origin_ns_;
+};
+
+/// Manually advanced clock, useful in unit tests of time-dependent logic.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_{TimePoint::origin()};
+};
+
+}  // namespace rodain

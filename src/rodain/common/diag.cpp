@@ -1,0 +1,40 @@
+#include "rodain/common/diag.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace rodain::diag {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+constexpr const char* level_tag(Level l) {
+  switch (l) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level l) { g_level.store(l, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void logf(Level l, const char* fmt, ...) {
+  if (l < level()) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[rodain %s] %s\n", level_tag(l), buf);
+}
+
+}  // namespace rodain::diag

@@ -1,0 +1,26 @@
+// Diagnostic logging (node events, failover decisions). Distinct from the
+// database redo log in rodain/log — this is operator-facing text output.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace rodain::diag {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold. Defaults to kWarn so tests and benches stay quiet;
+/// examples raise it to kInfo.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// printf-style emit; no-op when below the threshold.
+void logf(Level level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace rodain::diag
+
+#define RODAIN_TRACE(...) ::rodain::diag::logf(::rodain::diag::Level::kTrace, __VA_ARGS__)
+#define RODAIN_DEBUG(...) ::rodain::diag::logf(::rodain::diag::Level::kDebug, __VA_ARGS__)
+#define RODAIN_INFO(...) ::rodain::diag::logf(::rodain::diag::Level::kInfo, __VA_ARGS__)
+#define RODAIN_WARN(...) ::rodain::diag::logf(::rodain::diag::Level::kWarn, __VA_ARGS__)
+#define RODAIN_ERROR(...) ::rodain::diag::logf(::rodain::diag::Level::kError, __VA_ARGS__)

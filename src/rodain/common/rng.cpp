@@ -1,0 +1,114 @@
+#include "rodain/common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rodain {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Avoid the all-zero state (xoshiro fixed point).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return next_below(n);
+  // Rejection-inversion would be overkill for our workload sizes; use the
+  // classical inverse-CDF approximation over harmonic sums cached per call
+  // is too slow, so use the standard "quick zipf" (Gray et al.).
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = [&] {
+    double z = 0;
+    for (std::uint64_t i = 1; i <= (n < 10000 ? n : 10000); ++i)
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > 10000) {
+      // Integral tail approximation.
+      z += (std::pow(static_cast<double>(n), 1 - theta) - std::pow(10000.0, 1 - theta)) /
+           (1 - theta);
+    }
+    return z;
+  }();
+  const double eta =
+      (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) / (1 - std::pow(0.5, theta) * 2 / zetan);
+  const double u = next_double();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return rank >= n ? n - 1 : rank;
+}
+
+Rng Rng::split() {
+  return Rng{next_u64() ^ 0xd2b74407b1ce6e93ULL};
+}
+
+}  // namespace rodain

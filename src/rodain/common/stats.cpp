@@ -1,0 +1,132 @@
+#include "rodain/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rodain {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+// 16 sub-buckets per power of two over [1us, ~2^40us]: 16*40 = 640 buckets.
+constexpr std::size_t kSubBuckets = 16;
+constexpr std::size_t kMaxExp = 40;
+constexpr std::size_t kNumBuckets = kSubBuckets * kMaxExp + 1;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(std::int64_t us) {
+  if (us <= 0) return 0;
+  const auto v = static_cast<std::uint64_t>(us);
+  const int msb = 63 - __builtin_clzll(v);
+  if (static_cast<std::size_t>(msb) >= kMaxExp) return kNumBuckets - 1;
+  // Sub-bucket index from the bits just below the MSB.
+  const std::uint64_t frac =
+      msb >= 4 ? (v >> (msb - 4)) & 0xf : (v << (4 - msb)) & 0xf;
+  return static_cast<std::size_t>(msb) * kSubBuckets + frac;
+}
+
+std::int64_t LatencyHistogram::bucket_lower(std::size_t b) {
+  if (b == 0) return 0;
+  const std::size_t msb = b / kSubBuckets;
+  const std::size_t frac = b % kSubBuckets;
+  const auto base = std::uint64_t{1} << msb;
+  return static_cast<std::int64_t>(base + (base >> 4) * frac);
+}
+
+void LatencyHistogram::add(Duration d) {
+  ++buckets_[bucket_for(d.us)];
+  ++count_;
+  sum_us_ += static_cast<double>(d.us);
+  max_ = std::max(max_, d);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  max_ = std::max(max_, other.max_);
+}
+
+Duration LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return Duration::zero();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      return Duration::micros(bucket_lower(b));
+    }
+  }
+  return max_;
+}
+
+Duration LatencyHistogram::mean() const {
+  if (count_ == 0) return Duration::zero();
+  return Duration::micros(
+      static_cast<std::int64_t>(sum_us_ / static_cast<double>(count_)));
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+                count_, mean().to_ms(), quantile(0.50).to_ms(),
+                quantile(0.95).to_ms(), quantile(0.99).to_ms(), max_.to_ms());
+  return buf;
+}
+
+void TxnCounters::merge(const TxnCounters& o) {
+  submitted += o.submitted;
+  committed += o.committed;
+  missed_deadline += o.missed_deadline;
+  overload_rejected += o.overload_rejected;
+  conflict_aborted += o.conflict_aborted;
+  system_aborted += o.system_aborted;
+  restarts += o.restarts;
+}
+
+double TxnCounters::miss_ratio() const {
+  if (submitted == 0) return 0.0;
+  return static_cast<double>(missed_total()) / static_cast<double>(submitted);
+}
+
+}  // namespace rodain

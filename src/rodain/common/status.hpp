@@ -1,0 +1,103 @@
+// Lightweight Status / Result error handling (no exceptions on hot paths).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rodain {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kAborted,           // transaction aborted (conflict / deadline / overload)
+  kDeadlineMissed,
+  kOverload,
+  kUnavailable,       // peer down, connection lost
+  kCorruption,        // CRC mismatch, malformed record
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kAlreadyExists: return "already-exists";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kDeadlineMissed: return "deadline-missed";
+    case ErrorCode::kOverload: return "overload";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kCorruption: return "corruption";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kOutOfRange: return "out-of-range";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Success-or-error result with an optional human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status error(ErrorCode code, std::string msg = {}) {
+    return Status{code, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{rodain::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_{ErrorCode::kOk};
+  std::string message_;
+};
+
+/// A value or a Status error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from ok Status has no value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] T& value() & { assert(is_ok()); return *value_; }
+  [[nodiscard]] const T& value() const& { assert(is_ok()); return *value_; }
+  [[nodiscard]] T&& value() && { assert(is_ok()); return std::move(*value_); }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace rodain

@@ -1,0 +1,25 @@
+#include "rodain/common/time.hpp"
+
+#include <cstdio>
+
+namespace rodain {
+
+std::string to_string(Duration d) {
+  char buf[48];
+  if (d.us % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(d.us / 1'000'000));
+  } else if (d.us % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(d.us / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d.us));
+  }
+  return buf;
+}
+
+std::string to_string(TimePoint t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t+%.6fs", static_cast<double>(t.us) / 1e6);
+  return buf;
+}
+
+}  // namespace rodain

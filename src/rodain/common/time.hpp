@@ -1,0 +1,79 @@
+// Virtual-time-friendly time types.
+//
+// The whole engine is written against these strong types rather than
+// std::chrono so that the same code runs under the discrete-event simulator
+// (virtual microseconds) and the real-time runtime (steady_clock microseconds)
+// without conversion ambiguity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rodain {
+
+/// A span of time with microsecond resolution. May be negative.
+struct Duration {
+  std::int64_t us{0};
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) { return Duration{v * 1000}; }
+  [[nodiscard]] static constexpr Duration millis_f(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1000.0)};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds_f(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1'000'000.0)};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(us) / 1000.0; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{us + o.us}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us - o.us}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us / k}; }
+  constexpr Duration& operator+=(Duration o) { us += o.us; return *this; }
+  constexpr Duration& operator-=(Duration o) { us -= o.us; return *this; }
+  [[nodiscard]] constexpr bool is_zero() const { return us == 0; }
+  [[nodiscard]] constexpr bool is_positive() const { return us > 0; }
+};
+
+/// An absolute instant on the driving clock (simulated or steady).
+struct TimePoint {
+  std::int64_t us{0};
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us + d.us}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us - d.us}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{us - o.us}; }
+  constexpr TimePoint& operator+=(Duration d) { us += d.us; return *this; }
+};
+
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace rodain

@@ -1,0 +1,120 @@
+// Core identifier and classification types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "rodain/common/time.hpp"
+
+namespace rodain {
+
+/// Identifies one data object in the main-memory database.
+using ObjectId = std::uint64_t;
+inline constexpr ObjectId kInvalidObject = ~ObjectId{0};
+
+/// Identifies one transaction. Unique per node incarnation.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// Dense validation timestamp: assigned at successful validation in a
+/// strictly increasing sequence. The mirror releases transactions in this
+/// order, which makes log reordering and single-pass recovery possible.
+using ValidationTs = std::uint64_t;
+inline constexpr ValidationTs kInvalidValidationTs = 0;
+
+/// Log sequence number within one log stream.
+using Lsn = std::uint64_t;
+
+/// Node identifier within a RODAIN pair (or cluster).
+using NodeId = std::uint32_t;
+
+/// Transaction criticality classes, ordered by importance.
+/// The paper supports firm- and soft-deadline real-time transactions plus
+/// transactions with no deadline at all (served from a reserved fraction).
+enum class Criticality : std::uint8_t {
+  kNonRealTime = 0,  ///< no deadline; runs in the reserved fraction
+  kSoft = 1,         ///< soft deadline; late completion still has value
+  kFirm = 2,         ///< firm deadline; aborted the moment it expires
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Criticality c) {
+  switch (c) {
+    case Criticality::kNonRealTime: return "non-rt";
+    case Criticality::kSoft: return "soft";
+    case Criticality::kFirm: return "firm";
+  }
+  return "?";
+}
+
+/// EDF scheduling key. Higher criticality always wins; within a class the
+/// earlier (absolute) deadline wins; the sequence number breaks ties FIFO.
+struct PriorityKey {
+  Criticality crit{Criticality::kFirm};
+  TimePoint deadline{TimePoint::max()};
+  std::uint64_t seq{0};
+
+  /// Returns true when *this* has strictly higher scheduling priority.
+  [[nodiscard]] constexpr bool higher_than(const PriorityKey& o) const {
+    if (crit != o.crit) return crit > o.crit;
+    if (deadline != o.deadline) return deadline < o.deadline;
+    return seq < o.seq;
+  }
+};
+
+/// Why a transaction finished the way it did.
+enum class TxnOutcome : std::uint8_t {
+  kCommitted = 0,
+  kMissedDeadline,     ///< firm deadline expired before commit
+  kOverloadRejected,   ///< shed by the overload manager at admission
+  kConflictAborted,    ///< concurrency-control conflict, restart budget spent
+  kSystemAborted,      ///< node failure / shutdown while in flight
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TxnOutcome o) {
+  switch (o) {
+    case TxnOutcome::kCommitted: return "committed";
+    case TxnOutcome::kMissedDeadline: return "missed-deadline";
+    case TxnOutcome::kOverloadRejected: return "overload-rejected";
+    case TxnOutcome::kConflictAborted: return "conflict-aborted";
+    case TxnOutcome::kSystemAborted: return "system-aborted";
+  }
+  return "?";
+}
+
+/// Where the Log Writer sends the redo stream (paper §3).
+enum class LogMode : std::uint8_t {
+  kMirror = 0,   ///< normal mode: ship to Mirror Node, commit on its ack
+  kDirectDisk,   ///< transient/single-node mode: synchronous local disk write
+  kOff,          ///< logging disabled (the paper's "No logs" optimal series)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(LogMode m) {
+  switch (m) {
+    case LogMode::kMirror: return "mirror";
+    case LogMode::kDirectDisk: return "direct-disk";
+    case LogMode::kOff: return "off";
+  }
+  return "?";
+}
+
+/// Role of a node inside the RODAIN pair (paper §2).
+enum class NodeRole : std::uint8_t {
+  kPrimaryWithMirror = 0,  ///< serving transactions, shipping logs to mirror
+  kPrimaryAlone,           ///< serving transactions, logging straight to disk
+  kMirror,                 ///< maintaining the copy, acking commit records
+  kRecovering,             ///< rebuilding state before rejoining as mirror
+  kDown,                   ///< crashed
+};
+
+[[nodiscard]] constexpr std::string_view to_string(NodeRole r) {
+  switch (r) {
+    case NodeRole::kPrimaryWithMirror: return "primary+mirror";
+    case NodeRole::kPrimaryAlone: return "primary-alone";
+    case NodeRole::kMirror: return "mirror";
+    case NodeRole::kRecovering: return "recovering";
+    case NodeRole::kDown: return "down";
+  }
+  return "?";
+}
+
+}  // namespace rodain

@@ -1,0 +1,65 @@
+#include "rodain/db/database.hpp"
+
+namespace rodain::db {
+
+Database::Database(DatabaseOptions options) {
+  rt::NodeConfig config;
+  config.engine.protocol = options.protocol;
+  config.overload.max_active = options.max_active_txns;
+  config.worker_threads = options.worker_threads;
+  config.log_path = options.log_path;
+  config.fsync_log = options.fsync_log;
+  config.store_capacity_hint = options.expected_objects;
+  node_ = std::make_unique<rt::Node>(config, "embedded");
+  node_->start_primary(options.log_path.empty() ? LogMode::kOff
+                                                : LogMode::kDirectDisk);
+}
+
+Database::~Database() = default;
+
+Status Database::put_raw(ObjectId oid, storage::Value value) {
+  node_->store().upsert(oid, std::move(value), 0);
+  return Status::ok();
+}
+
+Status Database::index_raw(const storage::IndexKey& key, ObjectId oid) {
+  if (!node_->index().insert(key, oid)) {
+    return Status::error(ErrorCode::kAlreadyExists, "index key taken");
+  }
+  return Status::ok();
+}
+
+rt::CommitInfo Database::execute(txn::TxnProgram program) {
+  return node_->execute(std::move(program));
+}
+
+Result<storage::Value> Database::get(ObjectId oid) { return node_->get(oid); }
+
+Result<storage::Value> Database::get_by_key(const storage::IndexKey& key) {
+  const auto oid = node_->index().find(key);
+  if (!oid) return Status::error(ErrorCode::kNotFound, "key not indexed");
+  return node_->get(*oid);
+}
+
+rt::CommitInfo Database::put(ObjectId oid, storage::Value value) {
+  txn::TxnProgram program;
+  program.set_value(oid, std::move(value));
+  program.relative_deadline = Duration::seconds(5);
+  return execute(std::move(program));
+}
+
+rt::CommitInfo Database::add_to_field(ObjectId oid, std::uint32_t offset,
+                                      std::uint64_t delta) {
+  txn::TxnProgram program;
+  program.add_to_field(oid, offset, delta);
+  program.relative_deadline = Duration::seconds(5);
+  return execute(std::move(program));
+}
+
+TxnCounters Database::counters() const { return node_->counters(); }
+
+LatencyHistogram Database::commit_latency() const {
+  return node_->commit_latency();
+}
+
+}  // namespace rodain::db

@@ -1,0 +1,66 @@
+// The embedded public API: a single-process RODAIN database.
+//
+// Wraps the real-time runtime in the smallest possible surface for
+// applications that want a fast, predictable in-memory store with redo
+// logging — the quickstart entry point. Pair two Database instances over
+// TCP with `rodain::rt::Node` directly (see examples/failover_demo.cpp)
+// when you need the hot-standby configuration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rodain/rt/node.hpp"
+#include "rodain/workload/number_translation.hpp"
+
+namespace rodain::db {
+
+struct DatabaseOptions {
+  /// Redo log file; empty disables durable logging (pure main-memory mode).
+  std::string log_path{};
+  bool fsync_log{false};
+  /// Concurrency-control protocol (the paper's default is OCC-DATI).
+  cc::Protocol protocol{cc::Protocol::kOccDati};
+  /// Cap on concurrently active transactions (paper: 50).
+  std::size_t max_active_txns{50};
+  std::size_t worker_threads{1};
+  std::size_t expected_objects{1024};
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- schema / loading (before or between transactions) ---------------
+  /// Insert an object directly (bulk load; not logged).
+  Status put_raw(ObjectId oid, storage::Value value);
+  /// Register a secondary-index entry for an object.
+  Status index_raw(const storage::IndexKey& key, ObjectId oid);
+
+  // ---- transactions -----------------------------------------------------
+  /// Run a transaction program to completion (blocking).
+  rt::CommitInfo execute(txn::TxnProgram program);
+  /// Committed read of one object.
+  [[nodiscard]] Result<storage::Value> get(ObjectId oid);
+  /// Committed read through the secondary index.
+  [[nodiscard]] Result<storage::Value> get_by_key(const storage::IndexKey& key);
+  /// Convenience: transactional overwrite of one object.
+  rt::CommitInfo put(ObjectId oid, storage::Value value);
+  /// Convenience: transactional 64-bit add at a byte offset.
+  rt::CommitInfo add_to_field(ObjectId oid, std::uint32_t offset,
+                              std::uint64_t delta);
+
+  // ---- introspection -----------------------------------------------------
+  [[nodiscard]] TxnCounters counters() const;
+  [[nodiscard]] LatencyHistogram commit_latency() const;
+  [[nodiscard]] rt::Node& node() { return *node_; }
+
+ private:
+  std::unique_ptr<rt::Node> node_;
+};
+
+}  // namespace rodain::db

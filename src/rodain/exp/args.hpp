@@ -1,0 +1,45 @@
+// Tiny command-line handling shared by the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rodain::exp {
+
+struct BenchArgs {
+  /// Repetitions per sweep point. The paper uses >= 20; the default keeps
+  /// every bench binary under ~30 s. Pass --paper for the full 20.
+  std::size_t reps{5};
+  /// Transactions per session (paper: 10 000).
+  std::size_t txns{10000};
+  std::uint64_t seed{1};
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        args.reps = static_cast<std::size_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--txns") == 0 && i + 1 < argc) {
+        args.txns = static_cast<std::size_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--paper") == 0) {
+        args.reps = 20;
+        args.txns = 10000;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.reps = 2;
+        args.txns = 3000;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "options: --reps N (default 5)  --txns N (default 10000)\n"
+            "         --seed N  --paper (20 reps, paper setup)  --quick\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+}  // namespace rodain::exp

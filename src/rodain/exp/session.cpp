@@ -1,0 +1,87 @@
+#include "rodain/exp/session.hpp"
+
+namespace rodain::exp {
+
+SessionResult run_session(const SessionConfig& config) {
+  sim::Simulation sim;
+  simdb::SimCluster cluster(sim, config.cluster);
+  cluster.populate([&](storage::ObjectStore& store, storage::BPlusTree& index) {
+    workload::load_database(config.database, store, index);
+  });
+  cluster.start();
+
+  const workload::Trace trace = workload::Trace::generate(
+      config.database, config.workload, config.arrival_rate_tps,
+      config.txn_count, config.seed);
+
+  std::size_t completed = 0;
+  for (const workload::TraceEntry& entry : trace.entries()) {
+    sim.schedule_after(entry.offset, [&cluster, &entry, &completed] {
+      cluster.submit(entry.program,
+                     [&completed](const simdb::TxnResult&) { ++completed; });
+    });
+  }
+
+  const TimePoint horizon =
+      TimePoint::origin() + trace.duration() + config.grace;
+  sim.run_until(horizon);
+
+  SessionResult result;
+  result.counters = cluster.counters();
+  result.virtual_time = sim.now() - TimePoint::origin();
+  result.commit_latency.merge(cluster.node_a().commit_latency());
+  result.cpu_utilization =
+      trace.duration().is_positive()
+          ? cluster.node_a().cpu().busy_time().to_seconds() /
+                (sim.now() - TimePoint::origin()).to_seconds()
+          : 0.0;
+  if (auto* eng = cluster.node_a().engine()) {
+    result.cc_restarts += eng->restarts();
+  }
+  if (config.cluster.two_nodes) {
+    result.commit_latency.merge(cluster.node_b().commit_latency());
+    if (auto* eng = cluster.node_b().engine()) result.cc_restarts += eng->restarts();
+    if (auto* disk =
+            dynamic_cast<log::SimDiskLogStorage*>(cluster.node_b().disk())) {
+      result.mirror_disk_backlog = disk->backlog();
+    }
+  }
+  return result;
+}
+
+RepeatedResult run_repeated(SessionConfig config, std::size_t repetitions) {
+  RepeatedResult result;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    SessionConfig c = config;
+    c.seed = config.seed * 1000003 + rep * 7919 + 17;
+    SessionResult r = run_session(c);
+    result.miss_ratio.add(r.miss_ratio());
+    result.commit_latency_ms.add(r.commit_latency.mean().to_ms());
+    result.totals.merge(r.counters);
+    result.cc_restarts += r.cc_restarts;
+  }
+  return result;
+}
+
+SeriesPrinter::SeriesPrinter(std::string x_label,
+                             std::vector<std::string> series_labels)
+    : x_label_(std::move(x_label)), labels_(std::move(series_labels)) {}
+
+void SeriesPrinter::add_row(double x, const std::vector<double>& values) {
+  rows_.push_back(Row{x, values});
+}
+
+void SeriesPrinter::print(std::FILE* out) const {
+  std::fprintf(out, "%-14s", x_label_.c_str());
+  for (const std::string& label : labels_) {
+    std::fprintf(out, "  %-18s", label.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const Row& row : rows_) {
+    std::fprintf(out, "%-14.4g", row.x);
+    for (double v : row.values) std::fprintf(out, "  %-18.4f", v);
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace rodain::exp

@@ -1,0 +1,73 @@
+// Experiment harness: one measurement session = one off-line generated
+// trace replayed against a freshly built cluster (paper §4: 10 000
+// transactions per session, repeated, means reported).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rodain/common/stats.hpp"
+#include "rodain/simdb/sim_cluster.hpp"
+#include "rodain/workload/calibration.hpp"
+#include "rodain/workload/trace.hpp"
+
+namespace rodain::exp {
+
+struct SessionConfig {
+  simdb::SimClusterConfig cluster{};
+  workload::DatabaseConfig database{};
+  workload::WorkloadConfig workload{};
+  double arrival_rate_tps{200.0};
+  std::size_t txn_count{10000};
+  std::uint64_t seed{1};
+  /// Extra virtual time after the last arrival for stragglers to finish.
+  Duration grace{Duration::seconds(5)};
+};
+
+struct SessionResult {
+  TxnCounters counters{};
+  LatencyHistogram commit_latency{};
+  Duration virtual_time{Duration::zero()};
+  std::uint64_t cc_restarts{0};
+  /// Mirror-disk backlog at session end (records appended, not durable) —
+  /// the data-loss window of claim C5.
+  std::uint64_t mirror_disk_backlog{0};
+  double cpu_utilization{0.0};
+
+  [[nodiscard]] double miss_ratio() const { return counters.miss_ratio(); }
+};
+
+/// Run one session (deterministic in `config.seed`).
+[[nodiscard]] SessionResult run_session(const SessionConfig& config);
+
+/// Run `repetitions` sessions with derived seeds; aggregates per-repetition
+/// miss ratios (the paper reports their mean).
+struct RepeatedResult {
+  OnlineStats miss_ratio{};
+  OnlineStats commit_latency_ms{};
+  TxnCounters totals{};
+  std::uint64_t cc_restarts{0};
+};
+[[nodiscard]] RepeatedResult run_repeated(SessionConfig config,
+                                          std::size_t repetitions);
+
+/// Paper-style series printer: one row per x value, one column per
+/// configuration.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string x_label, std::vector<std::string> series_labels);
+  void add_row(double x, const std::vector<double>& values);
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> labels_;
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace rodain::exp

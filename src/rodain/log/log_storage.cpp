@@ -1,0 +1,130 @@
+#include "rodain/log/log_storage.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <unistd.h>
+
+namespace rodain::log {
+
+// ---------------------------------------------------------------- memory
+
+void MemoryLogStorage::append(const Record& r) { records_.push_back(r); }
+
+void MemoryLogStorage::flush(std::function<void(Status)> done) {
+  durable_ = records_.size();
+  if (done) done(Status::ok());
+}
+
+// ------------------------------------------------------------------ file
+
+Result<std::unique_ptr<FileLogStorage>> FileLogStorage::open(
+    const std::string& path, bool fsync_on_flush) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) {
+    return Status::error(ErrorCode::kIoError, "cannot open log " + path);
+  }
+  return std::unique_ptr<FileLogStorage>(
+      new FileLogStorage(f, fsync_on_flush));
+}
+
+FileLogStorage::~FileLogStorage() {
+  if (file_) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void FileLogStorage::append(const Record& r) {
+  encode_record(r, pending_);
+  ++appended_;
+  ++buffered_;
+}
+
+void FileLogStorage::flush(std::function<void(Status)> done) {
+  Status status = Status::ok();
+  if (pending_.size() > 0) {
+    const auto view = pending_.view();
+    if (std::fwrite(view.data(), 1, view.size(), file_) != view.size() ||
+        std::fflush(file_) != 0) {
+      status = Status::error(ErrorCode::kIoError, "log write failed");
+    } else if (fsync_ && ::fsync(::fileno(file_)) != 0) {
+      status = Status::error(ErrorCode::kIoError, "log fsync failed");
+    }
+    pending_.clear();
+  }
+  if (status) {
+    durable_ += buffered_;
+    buffered_ = 0;
+  }
+  if (done) done(status);
+}
+
+Result<std::vector<Record>> FileLogStorage::read_all(const std::string& path,
+                                                     bool* torn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> buf(static_cast<std::size_t>(len < 0 ? 0 : len));
+  const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kIoError, "short log read");
+  return decode_records(buf, torn);
+}
+
+// ------------------------------------------------------------------ sim
+
+void SimDiskLogStorage::append(const Record& r) {
+  records_.push_back(r);
+  ++appended_;
+  unflushed_bytes_ += r.encoded_size();
+}
+
+void SimDiskLogStorage::flush(std::function<void(Status)> done) {
+  if (appended_ == durable_ && queue_.empty()) {
+    // Nothing pending and the device is idle for this range.
+    if (done) done(Status::ok());
+    return;
+  }
+  // Group commit: fold into the last *pending* operation. The queue front
+  // is already on the platter when the device is busy — only later entries
+  // can still absorb work.
+  const bool back_is_pending =
+      !queue_.empty() && !(device_busy_ && queue_.size() == 1);
+  if (options_.coalesce_flushes && back_is_pending) {
+    FlushReq& back = queue_.back();
+    back.upto = appended_;
+    back.bytes += unflushed_bytes_;
+    unflushed_bytes_ = 0;
+    if (done) back.callbacks.push_back(std::move(done));
+    return;
+  }
+  FlushReq req;
+  req.upto = appended_;
+  req.bytes = unflushed_bytes_;
+  unflushed_bytes_ = 0;
+  if (done) req.callbacks.push_back(std::move(done));
+  queue_.push_back(std::move(req));
+  start_next();
+}
+
+void SimDiskLogStorage::start_next() {
+  if (device_busy_ || queue_.empty()) return;
+  device_busy_ = true;
+  const FlushReq& req = queue_.front();
+  const auto transfer_us = static_cast<std::int64_t>(
+      static_cast<double>(req.bytes) / options_.throughput_bytes_per_sec * 1e6);
+  const Duration op_time = options_.seek_time + Duration::micros(transfer_us);
+  busy_ += op_time;
+  sim_.schedule_after(op_time, [this] {
+    FlushReq req2 = std::move(queue_.front());
+    queue_.pop_front();
+    durable_ = std::max(durable_, req2.upto);
+    device_busy_ = false;
+    for (auto& cb : req2.callbacks) cb(Status::ok());
+    start_next();
+  });
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,211 @@
+#include "rodain/log/record.hpp"
+
+namespace rodain::log {
+
+Record Record::write_image(TxnId txn, ObjectId oid, storage::Value after) {
+  Record r;
+  r.type = RecordType::kWriteImage;
+  r.txn = txn;
+  r.oid = oid;
+  r.after = std::move(after);
+  return r;
+}
+
+Record Record::insert_image(TxnId txn, ObjectId oid, storage::Value after,
+                            const storage::IndexKey& key) {
+  Record r = write_image(txn, oid, std::move(after));
+  r.has_key = true;
+  r.key = key;
+  return r;
+}
+
+Record Record::tombstone(TxnId txn, ObjectId oid) {
+  Record r;
+  r.type = RecordType::kDelete;
+  r.txn = txn;
+  r.oid = oid;
+  return r;
+}
+
+Record Record::tombstone(TxnId txn, ObjectId oid,
+                         const storage::IndexKey& key) {
+  Record r = tombstone(txn, oid);
+  r.has_key = true;
+  r.key = key;
+  return r;
+}
+
+Record Record::commit(TxnId txn, ValidationTs seq, ValidationTs serial_ts,
+                      std::uint32_t write_count) {
+  Record r;
+  r.type = RecordType::kCommit;
+  r.txn = txn;
+  r.seq = seq;
+  r.serial_ts = serial_ts;
+  r.write_count = write_count;
+  return r;
+}
+
+std::size_t Record::encoded_size() const {
+  // frame len + crc + payload estimate
+  std::size_t base = 8 + 1 + 9;
+  switch (type) {
+    case RecordType::kWriteImage:
+      return base + 9 + 2 + after.size() + 1 + (has_key ? 16 : 0);
+    case RecordType::kDelete:
+      return base + 9 + 1 + (has_key ? 16 : 0);
+    case RecordType::kCommit:
+      return base + 9 + 9 + 4;
+  }
+  return base;
+}
+
+bool operator==(const Record& a, const Record& b) {
+  if (a.type != b.type || a.txn != b.txn) return false;
+  switch (a.type) {
+    case RecordType::kWriteImage:
+      return a.oid == b.oid && a.after == b.after && a.has_key == b.has_key &&
+             (!a.has_key || a.key == b.key);
+    case RecordType::kDelete:
+      return a.oid == b.oid && a.has_key == b.has_key &&
+             (!a.has_key || a.key == b.key);
+    case RecordType::kCommit:
+      return a.seq == b.seq && a.serial_ts == b.serial_ts &&
+             a.write_count == b.write_count;
+  }
+  return false;
+}
+
+namespace {
+void put_optional_key(const Record& r, ByteWriter& out) {
+  out.put_u8(r.has_key ? 1 : 0);
+  if (r.has_key) out.put_raw(std::as_bytes(std::span{r.key.bytes}));
+}
+
+Status get_optional_key(ByteReader& in, Record& out) {
+  std::uint8_t has = 0;
+  if (auto s = in.get_u8(has); !s) return s;
+  if (has > 1) return Status::error(ErrorCode::kCorruption, "bad key flag");
+  out.has_key = has == 1;
+  if (out.has_key) {
+    std::span<const std::byte> raw;
+    if (auto s = in.get_raw(out.key.bytes.size(), raw); !s) return s;
+    std::memcpy(out.key.bytes.data(), raw.data(), raw.size());
+  }
+  return Status::ok();
+}
+}  // namespace
+
+void encode_record(const Record& r, ByteWriter& out) {
+  ByteWriter payload;
+  payload.put_u8(static_cast<std::uint8_t>(r.type));
+  payload.put_varint(r.txn);
+  switch (r.type) {
+    case RecordType::kWriteImage:
+      payload.put_varint(r.oid);
+      payload.put_bytes(r.after.view());
+      put_optional_key(r, payload);
+      break;
+    case RecordType::kDelete:
+      payload.put_varint(r.oid);
+      put_optional_key(r, payload);
+      break;
+    case RecordType::kCommit:
+      payload.put_varint(r.seq);
+      payload.put_varint(r.serial_ts);
+      payload.put_u32(r.write_count);
+      break;
+  }
+  out.put_u32(static_cast<std::uint32_t>(payload.size()));
+  out.put_raw(payload.view());
+  out.put_u32(crc32c(payload.view()));
+}
+
+DecodeResult decode_record(ByteReader& in, Record& out) {
+  if (in.at_end()) return {Status::ok(), true};
+  std::uint32_t len = 0;
+  if (auto s = in.get_u32(len); !s) {
+    return {Status::error(ErrorCode::kOutOfRange, "torn frame length"), true};
+  }
+  std::span<const std::byte> payload;
+  if (auto s = in.get_raw(len, payload); !s) {
+    return {Status::error(ErrorCode::kOutOfRange, "torn frame payload"), true};
+  }
+  std::uint32_t crc = 0;
+  if (auto s = in.get_u32(crc); !s) {
+    return {Status::error(ErrorCode::kOutOfRange, "torn frame crc"), true};
+  }
+  if (crc32c(payload) != crc) {
+    return {Status::error(ErrorCode::kCorruption, "log record crc mismatch"),
+            false};
+  }
+
+  ByteReader pr(payload);
+  std::uint8_t type = 0;
+  std::uint64_t txn = 0;
+  if (auto s = pr.get_u8(type); !s) return {s, false};
+  if (auto s = pr.get_varint(txn); !s) return {s, false};
+  out = Record{};
+  out.txn = txn;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kWriteImage: {
+      out.type = RecordType::kWriteImage;
+      std::uint64_t oid = 0;
+      std::vector<std::byte> bytes;
+      if (auto s = pr.get_varint(oid); !s) return {s, false};
+      if (auto s = pr.get_bytes(bytes); !s) return {s, false};
+      out.oid = oid;
+      out.after = storage::Value{std::span<const std::byte>{bytes}};
+      if (auto s = get_optional_key(pr, out); !s) return {s, false};
+      break;
+    }
+    case RecordType::kDelete: {
+      out.type = RecordType::kDelete;
+      std::uint64_t oid = 0;
+      if (auto s = pr.get_varint(oid); !s) return {s, false};
+      out.oid = oid;
+      if (auto s = get_optional_key(pr, out); !s) return {s, false};
+      break;
+    }
+    case RecordType::kCommit: {
+      out.type = RecordType::kCommit;
+      if (auto s = pr.get_varint(out.seq); !s) return {s, false};
+      if (auto s = pr.get_varint(out.serial_ts); !s) return {s, false};
+      if (auto s = pr.get_u32(out.write_count); !s) return {s, false};
+      break;
+    }
+    default:
+      return {Status::error(ErrorCode::kCorruption, "unknown record type"),
+              false};
+  }
+  if (!pr.at_end()) {
+    return {Status::error(ErrorCode::kCorruption, "trailing record bytes"),
+            false};
+  }
+  return {Status::ok(), false};
+}
+
+std::vector<std::byte> encode_records(std::span<const Record> records) {
+  ByteWriter w;
+  for (const Record& r : records) encode_record(r, w);
+  return w.take();
+}
+
+Result<std::vector<Record>> decode_records(std::span<const std::byte> data,
+                                           bool* torn) {
+  if (torn) *torn = false;
+  std::vector<Record> out;
+  ByteReader in(data);
+  while (true) {
+    Record r;
+    DecodeResult d = decode_record(in, r);
+    if (d.end) {
+      if (!d.status && torn) *torn = true;
+      return out;
+    }
+    if (!d.status) return d.status;  // corruption mid-stream
+    out.push_back(std::move(r));
+  }
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,116 @@
+#include "rodain/log/recovery.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "rodain/log/log_storage.hpp"
+#include "rodain/storage/checkpoint.hpp"
+
+namespace rodain::log {
+
+Result<RecoveryStats> replay_records(std::span<const Record> records,
+                                     storage::ObjectStore& store,
+                                     ValidationTs already_applied,
+                                     storage::BPlusTree* index) {
+  RecoveryStats stats;
+  stats.records_read = records.size();
+  stats.last_seq = already_applied;
+
+  // Single forward pass: writes buffer per transaction; a commit record
+  // stages the transaction under its validation sequence.
+  std::unordered_map<TxnId, std::vector<const Record*>> open;
+  struct Committed {
+    ValidationTs serial_ts;
+    std::vector<const Record*> writes;
+  };
+  std::map<ValidationTs, Committed> committed;  // ordered by seq
+
+  for (const Record& r : records) {
+    if (r.type != RecordType::kCommit) {
+      open[r.txn].push_back(&r);
+      continue;
+    }
+    std::vector<const Record*> writes;
+    if (auto it = open.find(r.txn); it != open.end()) {
+      writes = std::move(it->second);
+      open.erase(it);
+    }
+    if (writes.size() != r.write_count) {
+      return Status::error(ErrorCode::kCorruption,
+                           "recovery: commit write-count mismatch");
+    }
+    if (r.seq <= already_applied) continue;  // covered by the checkpoint
+    committed.emplace(r.seq, Committed{r.serial_ts, std::move(writes)});
+  }
+
+  for (auto& [seq, c] : committed) {
+    for (const Record* w : c.writes) {
+      if (w->type == RecordType::kDelete) {
+        store.tombstone(w->oid, c.serial_ts);
+        if (w->has_key && index) index->erase(w->key);
+      } else {
+        store.upsert(w->oid, w->after, c.serial_ts);
+        if (w->has_key && index) {
+          if (!index->insert(w->key, w->oid)) index->update(w->key, w->oid);
+        }
+      }
+      ++stats.writes_applied;
+    }
+    ++stats.committed_applied;
+    stats.last_seq = seq;
+  }
+  stats.incomplete_dropped = open.size();
+  return stats;
+}
+
+Result<RecoveryStats> recover_from_buffer(std::span<const std::byte> data,
+                                          storage::ObjectStore& store,
+                                          ValidationTs already_applied,
+                                          storage::BPlusTree* index) {
+  bool torn = false;
+  auto records = decode_records(data, &torn);
+  if (!records.is_ok()) return records.status();
+  auto stats = replay_records(records.value(), store, already_applied, index);
+  if (stats.is_ok()) stats.value().torn_tail = torn;
+  return stats;
+}
+
+Result<RecoveryStats> recover_from_file(const std::string& path,
+                                        storage::ObjectStore& store,
+                                        ValidationTs already_applied,
+                                        storage::BPlusTree* index) {
+  bool torn = false;
+  auto records = FileLogStorage::read_all(path, &torn);
+  if (!records.is_ok()) return records.status();
+  auto stats = replay_records(records.value(), store, already_applied, index);
+  if (stats.is_ok()) stats.value().torn_tail = torn;
+  return stats;
+}
+
+Result<RecoveryStats> recover_checkpoint_and_log(
+    const std::string& checkpoint_path, const std::string& log_path,
+    storage::ObjectStore& store, storage::BPlusTree* index) {
+  ValidationTs boundary = 0;
+  if (!checkpoint_path.empty()) {
+    auto meta = storage::read_checkpoint_file(checkpoint_path, store, index);
+    if (meta.is_ok()) {
+      boundary = meta.value().last_applied;
+    } else if (meta.status().code() != ErrorCode::kNotFound) {
+      return meta.status();  // corrupt checkpoint is an error, absence is not
+    }
+  }
+  auto stats = recover_from_file(log_path, store, boundary, index);
+  if (!stats.is_ok()) {
+    if (stats.status().code() == ErrorCode::kNotFound) {
+      // Checkpoint-only recovery.
+      RecoveryStats only;
+      only.last_seq = boundary;
+      return only;
+    }
+    return stats.status();
+  }
+  if (stats.value().last_seq < boundary) stats.value().last_seq = boundary;
+  return stats;
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,60 @@
+// Crash recovery from the on-disk redo log (paper §3–4).
+//
+// The mirror stores the log already in validation order, so recovery is a
+// single forward pass that applies each transaction when its commit record
+// is seen and skips transactions without one. A log written by a lone node
+// can be mildly out of order (write phases overlap), so committed
+// transactions are applied in validation-sequence order regardless; torn
+// tails are tolerated (they are the un-flushed end of the stream).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rodain/common/status.hpp"
+#include "rodain/log/record.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::log {
+
+struct RecoveryStats {
+  std::uint64_t committed_applied{0};   ///< transactions replayed
+  std::uint64_t writes_applied{0};      ///< after-images installed
+  std::uint64_t incomplete_dropped{0};  ///< txns without a commit record
+  std::uint64_t records_read{0};
+  ValidationTs last_seq{0};  ///< highest applied validation sequence
+  bool torn_tail{false};     ///< log ended mid-record (expected after crash)
+};
+
+/// Replay decoded records into `store` (which is NOT cleared — load a
+/// checkpoint first if one exists, then replay the tail).
+/// Records with seq <= `already_applied` are skipped (checkpoint overlap).
+Result<RecoveryStats> replay_records(std::span<const Record> records,
+                                     storage::ObjectStore& store,
+                                     ValidationTs already_applied = 0,
+                                     storage::BPlusTree* index = nullptr);
+
+/// Decode + replay a raw log buffer.
+Result<RecoveryStats> recover_from_buffer(std::span<const std::byte> data,
+                                          storage::ObjectStore& store,
+                                          ValidationTs already_applied = 0,
+                                          storage::BPlusTree* index = nullptr);
+
+/// Read the log file and replay it.
+Result<RecoveryStats> recover_from_file(const std::string& path,
+                                        storage::ObjectStore& store,
+                                        ValidationTs already_applied = 0,
+                                        storage::BPlusTree* index = nullptr);
+
+/// Full cold-start recovery: load the checkpoint if one exists (the store
+/// is cleared by it), then replay the log tail past the checkpoint
+/// boundary. A missing checkpoint means replay-from-empty; a missing log
+/// means checkpoint-only. Returns the replay stats (last_seq covers both
+/// sources, so the node can continue its validation sequence from
+/// last_seq + 1).
+Result<RecoveryStats> recover_checkpoint_and_log(
+    const std::string& checkpoint_path, const std::string& log_path,
+    storage::ObjectStore& store, storage::BPlusTree* index = nullptr);
+
+}  // namespace rodain::log

@@ -1,0 +1,64 @@
+#include "rodain/log/reorder.hpp"
+
+namespace rodain::log {
+
+Status Reorderer::add(Record r) {
+  if (!r.is_commit()) {  // write images and tombstones buffer per txn
+    open_[r.txn].push_back(std::move(r));
+    return Status::ok();
+  }
+  // Commit record: close the transaction and stage it at its seq.
+  std::vector<Record> records;
+  if (auto it = open_.find(r.txn); it != open_.end()) {
+    records = std::move(it->second);
+    open_.erase(it);
+  }
+  if (r.seq < expected_ || staged_.contains(r.seq)) {
+    // Stale duplicate (catch-up overlap after a rejoin): already covered by
+    // the snapshot or an earlier delivery; drop it and its buffered writes.
+    return Status::ok();
+  }
+  if (records.size() != r.write_count) {
+    return Status::error(ErrorCode::kCorruption,
+                         "commit record write count mismatch");
+  }
+  const ValidationTs seq = r.seq;
+  const TxnId txn = r.txn;
+  records.push_back(std::move(r));
+  staged_.emplace(seq, Staged{txn, std::move(records)});
+  release_ready();
+  return Status::ok();
+}
+
+void Reorderer::release_ready() {
+  while (!staged_.empty()) {
+    auto it = staged_.begin();
+    if (it->first != expected_) break;
+    Staged staged = std::move(it->second);
+    staged_.erase(it);
+    ++expected_;
+    release_(expected_ - 1, staged.txn, std::move(staged.records));
+  }
+}
+
+std::size_t Reorderer::drop_open_txns() {
+  const std::size_t n = open_.size();
+  open_.clear();
+  return n;
+}
+
+std::size_t Reorderer::force_release_staged() {
+  std::size_t released = 0;
+  while (!staged_.empty()) {
+    auto it = staged_.begin();
+    Staged staged = std::move(it->second);
+    const ValidationTs seq = it->first;
+    staged_.erase(it);
+    expected_ = seq + 1;
+    release_(seq, staged.txn, std::move(staged.records));
+    ++released;
+  }
+  return released;
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,68 @@
+// Mirror-side log reordering (paper §3).
+//
+// The primary ships a transaction's records when its write phase runs, and
+// write phases complete in an order that need not match validation order.
+// The mirror buffers per-transaction records, and releases complete
+// transactions strictly in validation-sequence order. Because of this, the
+// log it stores is totally ordered, the database copy is updated only with
+// committed transactions ("it never needs to undo any changes"), and
+// recovery is a single forward pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rodain/common/types.hpp"
+#include "rodain/log/record.hpp"
+
+namespace rodain::log {
+
+class Reorderer {
+ public:
+  /// `release` receives complete transactions in dense seq order:
+  /// the after-images followed by the commit record itself.
+  using ReleaseFn =
+      std::function<void(ValidationTs seq, TxnId txn, std::vector<Record> records)>;
+
+  explicit Reorderer(ReleaseFn release, ValidationTs expected_next = 1)
+      : release_(std::move(release)), expected_(expected_next) {}
+
+  /// Feed one record from the wire. Returns kCorruption if a commit record
+  /// disagrees with the buffered write count (lost or duplicated records).
+  Status add(Record r);
+
+  /// Transactions whose commit record arrived but that wait for an earlier
+  /// sequence number.
+  [[nodiscard]] std::size_t staged_commits() const { return staged_.size(); }
+  /// Transactions with buffered writes but no commit record yet.
+  [[nodiscard]] std::size_t open_txns() const { return open_.size(); }
+  [[nodiscard]] ValidationTs expected_next() const { return expected_; }
+  void set_expected_next(ValidationTs seq) { expected_ = seq; }
+
+  /// Drop transactions that never received a commit record — on primary
+  /// failure they are "considered aborted, and their modifications ... are
+  /// not performed on the database copy" (paper §3). Returns how many.
+  std::size_t drop_open_txns();
+
+  /// Release staged transactions even if there is a sequence gap (used by
+  /// takeover: everything that can apply, applies). Returns released count.
+  std::size_t force_release_staged();
+
+ private:
+  struct Staged {
+    TxnId txn;
+    std::vector<Record> records;
+  };
+
+  void release_ready();
+
+  ReleaseFn release_;
+  ValidationTs expected_;
+  std::unordered_map<TxnId, std::vector<Record>> open_;
+  std::map<ValidationTs, Staged> staged_;
+};
+
+}  // namespace rodain::log

@@ -1,0 +1,81 @@
+#include "rodain/log/writer.hpp"
+
+#include <cassert>
+
+#include "rodain/common/diag.hpp"
+
+namespace rodain::log {
+
+LogWriter::LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper)
+    : mode_(mode), disk_(disk), shipper_(shipper) {
+  assert(mode != LogMode::kDirectDisk || disk != nullptr);
+  assert(mode != LogMode::kMirror || shipper != nullptr);
+}
+
+void LogWriter::set_mode(LogMode mode) {
+  assert(mode != LogMode::kDirectDisk || disk_ != nullptr);
+  assert(mode != LogMode::kMirror || shipper_ != nullptr);
+  mode_ = mode;
+}
+
+void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
+                       std::function<void()> on_durable) {
+  tail_[seq] = records;
+  while (tail_.size() > kTailRetention) tail_.erase(tail_.begin());
+  switch (mode_) {
+    case LogMode::kOff:
+      ++counters_.via_none;
+      if (on_durable) on_durable();
+      return;
+    case LogMode::kMirror: {
+      ++counters_.via_mirror;
+      shipper_->ship(records);
+      pending_.emplace(seq, Pending{std::move(records), std::move(on_durable)});
+      return;
+    }
+    case LogMode::kDirectDisk:
+      ++counters_.via_disk;
+      submit_to_disk(std::move(records), std::move(on_durable));
+      return;
+  }
+}
+
+void LogWriter::submit_to_disk(std::vector<Record> records,
+                               std::function<void()> on_durable) {
+  for (const Record& r : records) disk_->append(r);
+  disk_->flush([cb = std::move(on_durable)](Status s) {
+    if (!s) RODAIN_ERROR("log flush failed: %s", s.to_string().c_str());
+    if (cb) cb();
+  });
+}
+
+void LogWriter::on_mirror_ack(ValidationTs seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // late/duplicate ack after reroute
+  auto cb = std::move(it->second.on_durable);
+  pending_.erase(it);
+  if (cb) cb();
+}
+
+std::vector<Record> LogWriter::tail_since(ValidationTs seq) const {
+  std::vector<Record> out;
+  for (auto it = tail_.upper_bound(seq); it != tail_.end(); ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+void LogWriter::on_mirror_lost() {
+  RODAIN_INFO("log writer: mirror lost, rerouting %zu pending txns to disk",
+              pending_.size());
+  set_mode(LogMode::kDirectDisk);
+  // Re-log in validation order so the local log stays ordered.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [seq, p] : pending) {
+    ++counters_.rerouted;
+    submit_to_disk(std::move(p.records), std::move(p.on_durable));
+  }
+}
+
+}  // namespace rodain::log

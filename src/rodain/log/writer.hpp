@@ -1,0 +1,96 @@
+// Primary-side Log Writer (paper §3).
+//
+// Normal mode (kMirror): records are shipped to the Mirror Node the moment
+// the write phase generates them; the transaction proceeds to its final
+// commit step when the mirror's acknowledgment of the *commit record*
+// arrives — one message round-trip, no disk write on the commit path.
+//
+// Transient mode (kDirectDisk): no mirror exists, so the records go to the
+// local log device and the transaction commits only once the flush is
+// durable.
+//
+// kOff: logging disabled (the paper's "No logs" optimal comparison).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "rodain/common/types.hpp"
+#include "rodain/log/log_storage.hpp"
+#include "rodain/log/record.hpp"
+
+namespace rodain::log {
+
+/// Transport hook: ships records toward the mirror. Acks flow back through
+/// LogWriter::on_mirror_ack.
+class Shipper {
+ public:
+  virtual ~Shipper() = default;
+  virtual void ship(std::span<const Record> records) = 0;
+};
+
+class LogWriter {
+ public:
+  /// `disk` may be null only if the writer is never switched to
+  /// kDirectDisk; `shipper` may be null only if never switched to kMirror.
+  LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper);
+
+  [[nodiscard]] LogMode mode() const { return mode_; }
+  void set_mode(LogMode mode);
+
+  /// Late wiring for the replication layer (the replicator needs the writer
+  /// and vice versa; the writer is constructed first with a null shipper).
+  void set_shipper(Shipper* shipper) { shipper_ = shipper; }
+
+  /// Submit one validated transaction's records (after-images then the
+  /// commit record, already in that order). `on_durable` fires when the
+  /// commit rule of the current mode is satisfied.
+  void submit(ValidationTs seq, std::vector<Record> records,
+              std::function<void()> on_durable);
+
+  /// Mirror acknowledged the commit record of `seq`.
+  void on_mirror_ack(ValidationTs seq);
+
+  /// The mirror is gone: switch to direct-disk logging and re-route every
+  /// not-yet-acknowledged transaction to the local device so that no
+  /// committing transaction is stranded.
+  void on_mirror_lost();
+
+  [[nodiscard]] std::size_t pending_acks() const { return pending_.size(); }
+
+  /// Records of every submitted transaction with validation seq > `seq`,
+  /// in seq order — the catch-up stream a rejoining mirror needs between
+  /// its snapshot boundary and the live stream. Retention is bounded
+  /// (`kTailRetention` transactions); older history requires a snapshot.
+  [[nodiscard]] std::vector<Record> tail_since(ValidationTs seq) const;
+  static constexpr std::size_t kTailRetention = 4096;
+
+  /// Telemetry: transactions that commuted through each path.
+  struct Counters {
+    std::uint64_t via_mirror{0};
+    std::uint64_t via_disk{0};
+    std::uint64_t via_none{0};
+    std::uint64_t rerouted{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct Pending {
+    std::vector<Record> records;
+    std::function<void()> on_durable;
+  };
+
+  void submit_to_disk(std::vector<Record> records,
+                      std::function<void()> on_durable);
+
+  LogMode mode_;
+  LogStorage* disk_;
+  Shipper* shipper_;
+  std::map<ValidationTs, Pending> pending_;  // unacked, in seq order
+  std::map<ValidationTs, std::vector<Record>> tail_;  // recent submissions
+  Counters counters_;
+};
+
+}  // namespace rodain::log

@@ -1,0 +1,35 @@
+// Message channel abstraction.
+//
+// The replication layer (log shipping, acks, heartbeats, snapshots) is
+// written against this interface; the simulator supplies a latency/bandwidth
+// modelled SimLink and the real-time runtime supplies TCP connections.
+// Channels are duplex, ordered and reliable while connected; disconnection
+// is surfaced, not hidden.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rodain/common/status.hpp"
+
+namespace rodain::net {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  using MessageHandler = std::function<void(std::vector<std::byte>)>;
+  using DisconnectHandler = std::function<void()>;
+
+  virtual void set_message_handler(MessageHandler handler) = 0;
+  virtual void set_disconnect_handler(DisconnectHandler handler) = 0;
+
+  /// Queue one frame for delivery. Fails with kUnavailable when closed.
+  virtual Status send(std::vector<std::byte> frame) = 0;
+
+  [[nodiscard]] virtual bool connected() const = 0;
+  virtual void close() = 0;
+};
+
+}  // namespace rodain::net

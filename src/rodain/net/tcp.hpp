@@ -1,0 +1,89 @@
+// Real TCP transport: length-prefixed, CRC-protected frames over a socket.
+//
+// One reader thread per connection delivers frames to the message handler;
+// sends are thread-safe. Used by the real-time runtime for log shipping
+// between actual RODAIN nodes (loopback or LAN).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "rodain/common/time.hpp"
+#include "rodain/net/channel.hpp"
+
+namespace rodain::net {
+
+class TcpChannel final : public Channel {
+ public:
+  /// Adopt an already-connected socket.
+  static std::unique_ptr<TcpChannel> adopt(int fd);
+
+  /// Connect to host:port (blocking, with timeout).
+  static Result<std::unique_ptr<TcpChannel>> connect(const std::string& host,
+                                                     std::uint16_t port,
+                                                     Duration timeout);
+
+  ~TcpChannel() override;
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  void set_message_handler(MessageHandler handler) override;
+  void set_disconnect_handler(DisconnectHandler handler) override;
+  Status send(std::vector<std::byte> frame) override;
+  [[nodiscard]] bool connected() const override {
+    return connected_.load(std::memory_order_acquire);
+  }
+  void close() override;
+
+  /// Start delivering frames (call after handlers are installed).
+  void start();
+
+ private:
+  explicit TcpChannel(int fd);
+  void reader_loop();
+  bool read_exact(std::byte* dst, std::size_t n);
+  void mark_disconnected();
+
+  int fd_;
+  std::atomic<bool> connected_{true};
+  std::atomic<bool> stopping_{false};
+  /// The disconnect handler fires exactly once, from the reader thread.
+  std::atomic<bool> disconnect_notified_{false};
+  std::thread reader_;
+  std::mutex write_mutex_;
+  std::mutex handler_mutex_;
+  MessageHandler on_message_;
+  DisconnectHandler on_disconnect_;
+};
+
+/// Accepting endpoint: one accept thread, a callback per new connection.
+class TcpServer {
+ public:
+  using AcceptHandler = std::function<void(std::unique_ptr<TcpChannel>)>;
+
+  /// Listen on 127.0.0.1:`port` (0 picks a free port).
+  static Result<std::unique_ptr<TcpServer>> listen(std::uint16_t port,
+                                                   AcceptHandler on_accept);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  TcpServer(int fd, std::uint16_t port, AcceptHandler on_accept);
+  void accept_loop();
+
+  int listen_fd_;
+  std::uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  AcceptHandler on_accept_;
+  std::thread acceptor_;
+};
+
+}  // namespace rodain::net

@@ -1,0 +1,52 @@
+#include "rodain/repl/endpoint.hpp"
+
+#include "rodain/common/diag.hpp"
+
+namespace rodain::repl {
+
+Endpoint::Endpoint(net::Channel& channel, const Clock& clock, Handlers handlers)
+    : channel_(channel), clock_(clock), handlers_(std::move(handlers)),
+      last_heard_(clock.now()) {
+  channel_.set_message_handler(
+      [this](std::vector<std::byte> frame) { on_frame(std::move(frame)); });
+  channel_.set_disconnect_handler([this] {
+    if (handlers_.on_disconnect) handlers_.on_disconnect();
+  });
+}
+
+void Endpoint::on_frame(std::vector<std::byte> frame) {
+  auto decoded = decode(frame);
+  if (!decoded.is_ok()) {
+    RODAIN_WARN("replication frame rejected: %s",
+                decoded.status().to_string().c_str());
+    if (handlers_.on_protocol_error) handlers_.on_protocol_error(decoded.status());
+    return;
+  }
+  last_heard_ = clock_.now();
+  Message m = std::move(decoded).value();
+  switch (m.type) {
+    case MsgType::kLogBatch:
+      if (handlers_.on_log_batch) handlers_.on_log_batch(std::move(m.records));
+      break;
+    case MsgType::kCommitAck:
+      if (handlers_.on_commit_ack) handlers_.on_commit_ack(m.seq);
+      break;
+    case MsgType::kHeartbeat:
+      if (handlers_.on_heartbeat) handlers_.on_heartbeat(m.role, m.seq);
+      break;
+    case MsgType::kJoinRequest:
+      if (handlers_.on_join_request) handlers_.on_join_request(m.have);
+      break;
+    case MsgType::kSnapshotChunk:
+      if (handlers_.on_snapshot_chunk) {
+        handlers_.on_snapshot_chunk(m.chunk_index, m.chunk_total,
+                                    std::move(m.blob));
+      }
+      break;
+    case MsgType::kSnapshotDone:
+      if (handlers_.on_snapshot_done) handlers_.on_snapshot_done(m.seq);
+      break;
+  }
+}
+
+}  // namespace rodain::repl

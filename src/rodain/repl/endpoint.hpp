@@ -1,0 +1,59 @@
+// Typed message pump over a Channel: decodes frames, dispatches to
+// handlers, stamps liveness for the watchdog. Both node roles own one.
+#pragma once
+
+#include "rodain/common/clock.hpp"
+#include "rodain/net/channel.hpp"
+#include "rodain/repl/protocol.hpp"
+
+namespace rodain::repl {
+
+class Endpoint {
+ public:
+  struct Handlers {
+    std::function<void(std::vector<log::Record>)> on_log_batch;
+    std::function<void(ValidationTs)> on_commit_ack;
+    std::function<void(NodeRole, ValidationTs)> on_heartbeat;
+    std::function<void(ValidationTs)> on_join_request;
+    std::function<void(std::uint32_t, std::uint32_t, std::vector<std::byte>)>
+        on_snapshot_chunk;
+    std::function<void(ValidationTs)> on_snapshot_done;
+    std::function<void()> on_disconnect;
+    std::function<void(Status)> on_protocol_error;
+  };
+
+  Endpoint(net::Channel& channel, const Clock& clock, Handlers handlers);
+
+  Status send(const Message& m) { return channel_.send(encode(m)); }
+
+  /// When any frame (or heartbeat) was last received — watchdog input.
+  [[nodiscard]] TimePoint last_heard() const { return last_heard_; }
+  void touch() { last_heard_ = clock_.now(); }
+
+  [[nodiscard]] bool connected() const { return channel_.connected(); }
+
+ private:
+  void on_frame(std::vector<std::byte> frame);
+
+  net::Channel& channel_;
+  const Clock& clock_;
+  Handlers handlers_;
+  TimePoint last_heard_;
+};
+
+/// Failure detector: a peer that has not been heard from within `timeout`
+/// is declared failed (paper §2's Watchdog subsystem).
+class Watchdog {
+ public:
+  explicit Watchdog(Duration timeout) : timeout_(timeout) {}
+
+  [[nodiscard]] bool expired(TimePoint now, TimePoint last_heard) const {
+    return now - last_heard > timeout_;
+  }
+  [[nodiscard]] Duration timeout() const { return timeout_; }
+
+ private:
+  Duration timeout_;
+};
+
+}  // namespace rodain::repl

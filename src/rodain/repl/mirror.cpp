@@ -1,0 +1,167 @@
+#include "rodain/repl/mirror.hpp"
+
+#include "rodain/common/diag.hpp"
+
+namespace rodain::repl {
+
+MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
+                             net::Channel& channel, const Clock& clock,
+                             Options options, storage::BPlusTree* index)
+    : store_(copy),
+      disk_(disk),
+      index_(index),
+      options_(options),
+      endpoint_(channel, clock,
+                Endpoint::Handlers{
+                    .on_log_batch =
+                        [this](std::vector<log::Record> r) {
+                          on_log_batch(std::move(r));
+                        },
+                    .on_commit_ack = {},
+                    .on_heartbeat = [](NodeRole, ValidationTs) {},
+                    .on_join_request = {},
+                    .on_snapshot_chunk =
+                        [this](std::uint32_t i, std::uint32_t n,
+                               std::vector<std::byte> b) {
+                          on_snapshot_chunk(i, n, std::move(b));
+                        },
+                    .on_snapshot_done =
+                        [this](ValidationTs boundary) {
+                          on_snapshot_done(boundary);
+                        },
+                    .on_disconnect = {},
+                    .on_protocol_error = {},
+                }),
+      reorderer_(
+          [this](ValidationTs seq, TxnId txn, std::vector<log::Record> recs) {
+            release(seq, txn, std::move(recs));
+          }) {}
+
+void MirrorService::attach_synced(ValidationTs expected_next) {
+  reorderer_.set_expected_next(expected_next);
+  applied_seq_ = expected_next == 0 ? 0 : expected_next - 1;
+  awaiting_snapshot_ = false;
+}
+
+void MirrorService::request_join(ValidationTs have) {
+  awaiting_snapshot_ = true;
+  snapshot_buffer_.clear();
+  stashed_.clear();
+  (void)endpoint_.send(Message::join_request(have));
+}
+
+void MirrorService::send_heartbeat() {
+  (void)endpoint_.send(Message::heartbeat(NodeRole::kMirror, applied_seq_));
+}
+
+void MirrorService::on_log_batch(std::vector<log::Record> records) {
+  for (log::Record& r : records) {
+    ++stats_.records_received;
+    // "When the Mirror Node receives a commit record, it immediately sends
+    // an acknowledgment back" (paper §3) — before reordering or disk.
+    if (r.is_commit()) {
+      (void)endpoint_.send(Message::commit_ack(r.seq));
+      ++stats_.acks_sent;
+    }
+    if (awaiting_snapshot_) {
+      stashed_.push_back(std::move(r));
+    } else {
+      feed(std::move(r));
+    }
+  }
+}
+
+void MirrorService::feed(log::Record r) {
+  const bool was_commit = r.is_commit();
+  const std::size_t staged_before = reorderer_.staged_commits();
+  if (Status s = reorderer_.add(std::move(r)); !s) {
+    RODAIN_ERROR("mirror reorderer: %s", s.to_string().c_str());
+    return;
+  }
+  if (was_commit && reorderer_.staged_commits() == staged_before &&
+      reorderer_.expected_next() == applied_seq_ + 1) {
+    // Commit neither staged nor released: stale duplicate.
+    ++stats_.stale_duplicates;
+  }
+}
+
+void MirrorService::release(ValidationTs seq, TxnId txn,
+                            std::vector<log::Record> records) {
+  (void)txn;
+  // The commit record is last; its serialization timestamp stamps the
+  // writes (keeps the copy's OCC metadata usable after takeover).
+  const ValidationTs serial_ts =
+      records.empty() ? 0 : records.back().serial_ts;
+  for (const log::Record& r : records) {
+    switch (r.type) {
+      case log::RecordType::kWriteImage:
+        store_.upsert(r.oid, r.after, serial_ts);
+        if (r.has_key && index_) {
+          if (!index_->insert(r.key, r.oid)) index_->update(r.key, r.oid);
+        }
+        ++stats_.writes_applied;
+        break;
+      case log::RecordType::kDelete:
+        store_.tombstone(r.oid, serial_ts);
+        if (r.has_key && index_) index_->erase(r.key);
+        ++stats_.writes_applied;
+        break;
+      case log::RecordType::kCommit:
+        break;
+    }
+  }
+  applied_seq_ = seq;
+  ++stats_.txns_applied;
+  if (options_.store_to_disk && disk_) {
+    for (const log::Record& r : records) disk_->append(r);
+    // Asynchronous, off the commit path; SimDiskLogStorage coalesces
+    // concurrent requests into group flushes.
+    disk_->flush({});
+  }
+}
+
+void MirrorService::on_snapshot_chunk(std::uint32_t index, std::uint32_t total,
+                                      std::vector<std::byte> blob) {
+  (void)index;
+  (void)total;
+  if (!awaiting_snapshot_) return;
+  snapshot_buffer_.insert(snapshot_buffer_.end(), blob.begin(), blob.end());
+}
+
+void MirrorService::on_snapshot_done(ValidationTs boundary) {
+  if (!awaiting_snapshot_) return;
+  auto meta = storage::decode_checkpoint(snapshot_buffer_, store_, index_);
+  snapshot_buffer_.clear();
+  if (!meta.is_ok()) {
+    RODAIN_ERROR("snapshot decode failed: %s",
+                 meta.status().to_string().c_str());
+    // Retry the join from scratch.
+    request_join(0);
+    return;
+  }
+  RODAIN_INFO("mirror: snapshot installed (%llu objects, boundary seq %llu)",
+              static_cast<unsigned long long>(meta.value().object_count),
+              static_cast<unsigned long long>(boundary));
+  awaiting_snapshot_ = false;
+  reorderer_.set_expected_next(boundary + 1);
+  applied_seq_ = boundary;
+  auto stashed = std::move(stashed_);
+  stashed_.clear();
+  for (log::Record& r : stashed) feed(std::move(r));
+  if (options_.on_synced) options_.on_synced();
+}
+
+MirrorService::TakeoverResult MirrorService::take_over() {
+  TakeoverResult result;
+  result.dropped_open = reorderer_.drop_open_txns();
+  result.applied_staged = reorderer_.force_release_staged();
+  result.next_seq = reorderer_.expected_next();
+  if (disk_) disk_->flush({});
+  RODAIN_INFO("mirror takeover: %zu staged applied, %zu open txns dropped, "
+              "continuing at seq %llu",
+              result.applied_staged, result.dropped_open,
+              static_cast<unsigned long long>(result.next_seq));
+  return result;
+}
+
+}  // namespace rodain::repl

@@ -1,0 +1,95 @@
+// The Mirror Node's replication service (paper §3).
+//
+// Receives the redo stream, immediately acknowledges each *commit record*
+// (that ack is what unblocks the committing transaction on the primary),
+// reorders transactions into true validation order, applies committed
+// transactions to the database copy — never undoing anything — and stores
+// the ordered log to disk asynchronously, off the commit path.
+#pragma once
+
+#include <optional>
+
+#include "rodain/common/clock.hpp"
+#include "rodain/log/log_storage.hpp"
+#include "rodain/log/reorder.hpp"
+#include "rodain/repl/endpoint.hpp"
+#include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::repl {
+
+class MirrorService {
+ public:
+  struct Options {
+    /// Store the ordered log to `disk` (false reproduces the paper's
+    /// Fig. 3 no-disk configurations).
+    bool store_to_disk{true};
+    /// Invoked when a requested join finishes (snapshot installed and the
+    /// stashed live stream replayed) — the node is now a proper Mirror.
+    std::function<void()> on_synced;
+  };
+
+  struct Stats {
+    std::uint64_t records_received{0};
+    std::uint64_t acks_sent{0};
+    std::uint64_t txns_applied{0};
+    std::uint64_t writes_applied{0};
+    std::uint64_t stale_duplicates{0};
+  };
+
+  /// `disk` may be null when store_to_disk is false; `index` (optional)
+  /// is maintained alongside the copy from the keys carried in the redo
+  /// stream, so the mirror can serve index lookups after a takeover.
+  MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
+                net::Channel& channel, const Clock& clock, Options options,
+                storage::BPlusTree* index = nullptr);
+
+  /// Start as an in-sync mirror (fresh cluster start: both nodes hold the
+  /// same initial database; the stream begins at `expected_next`).
+  void attach_synced(ValidationTs expected_next);
+
+  /// Start as a recovering node: request a snapshot from the serving node;
+  /// live records received meanwhile are buffered.
+  void request_join(ValidationTs have);
+
+  void send_heartbeat();
+
+  /// Take over as the lone server (paper §2: the failed node's peer becomes
+  /// the server; transactions without a commit record are aborted).
+  struct TakeoverResult {
+    ValidationTs next_seq{1};       ///< where the new primary continues
+    std::size_t applied_staged{0};  ///< commit-complete txns force-applied
+    std::size_t dropped_open{0};    ///< uncommitted txns discarded
+  };
+  TakeoverResult take_over();
+
+  [[nodiscard]] ValidationTs applied_seq() const { return applied_seq_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool snapshot_in_progress() const { return awaiting_snapshot_; }
+  [[nodiscard]] TimePoint last_heard() const { return endpoint_.last_heard(); }
+  [[nodiscard]] std::size_t reorder_staged() const { return reorderer_.staged_commits(); }
+  [[nodiscard]] std::size_t reorder_open() const { return reorderer_.open_txns(); }
+
+ private:
+  void on_log_batch(std::vector<log::Record> records);
+  void feed(log::Record r);
+  void release(ValidationTs seq, TxnId txn, std::vector<log::Record> records);
+  void on_snapshot_chunk(std::uint32_t index, std::uint32_t total,
+                         std::vector<std::byte> blob);
+  void on_snapshot_done(ValidationTs boundary);
+
+  storage::ObjectStore& store_;
+  log::LogStorage* disk_;
+  storage::BPlusTree* index_;
+  Options options_;
+  Endpoint endpoint_;
+  log::Reorderer reorderer_;
+  ValidationTs applied_seq_{0};
+  Stats stats_;
+
+  bool awaiting_snapshot_{false};
+  std::vector<std::byte> snapshot_buffer_;
+  std::vector<log::Record> stashed_;  ///< live records held during snapshot
+};
+
+}  // namespace rodain::repl

@@ -1,0 +1,87 @@
+#include "rodain/repl/primary.hpp"
+
+#include "rodain/common/diag.hpp"
+
+namespace rodain::repl {
+
+PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
+                                     storage::ObjectStore& store,
+                                     log::LogWriter& writer, Hooks hooks)
+    : PrimaryReplicator(channel, clock, store, writer, std::move(hooks),
+                        Options{}) {}
+
+PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
+                                     storage::ObjectStore& store,
+                                     log::LogWriter& writer, Hooks hooks,
+                                     Options options)
+    : endpoint_(channel, clock,
+                Endpoint::Handlers{
+                    .on_log_batch = {},
+                    .on_commit_ack =
+                        [this](ValidationTs seq) { writer_.on_mirror_ack(seq); },
+                    .on_heartbeat =
+                        [this](NodeRole, ValidationTs applied) {
+                          mirror_applied_ = std::max(mirror_applied_, applied);
+                        },
+                    .on_join_request =
+                        [this](ValidationTs have) { on_join_request(have); },
+                    .on_snapshot_chunk = {},
+                    .on_snapshot_done = {},
+                    .on_disconnect =
+                        [this] {
+                          if (hooks_.on_disconnect) hooks_.on_disconnect();
+                        },
+                    .on_protocol_error = {},
+                }),
+      store_(store),
+      writer_(writer),
+      hooks_(std::move(hooks)),
+      options_(options) {}
+
+void PrimaryReplicator::ship(std::span<const log::Record> records) {
+  (void)endpoint_.send(
+      Message::log_batch(std::vector<log::Record>(records.begin(), records.end())));
+}
+
+void PrimaryReplicator::send_heartbeat(NodeRole role) {
+  (void)endpoint_.send(Message::heartbeat(role, 0));
+}
+
+void PrimaryReplicator::on_join_request(ValidationTs have) {
+  (void)have;  // a full snapshot is always shipped; `have` is advisory
+  const ValidationTs boundary =
+      hooks_.snapshot_boundary ? hooks_.snapshot_boundary() : 0;
+
+  // Encode a consistent snapshot of the database copy at the boundary.
+  ByteWriter w(store_.size() * 80 + 64);
+  storage::encode_checkpoint(store_, boundary, w, index_);
+  auto bytes = w.take();
+
+  const std::size_t chunk = options_.snapshot_chunk_bytes;
+  const auto total =
+      static_cast<std::uint32_t>((bytes.size() + chunk - 1) / chunk);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::size_t begin = static_cast<std::size_t>(i) * chunk;
+    const std::size_t len = std::min(chunk, bytes.size() - begin);
+    (void)endpoint_.send(Message::snapshot_chunk(
+        i, total,
+        std::vector<std::byte>(bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(begin + len))));
+  }
+
+  // Catch-up: committed transactions past the boundary that were logged
+  // before the mode switch (the joiner drops any overlap as stale).
+  auto tail = writer_.tail_since(boundary);
+  // Switch to mirror mode *before* SnapshotDone so no commit can slip
+  // between the tail and the live stream.
+  if (hooks_.on_mirror_joined) hooks_.on_mirror_joined();
+  if (!tail.empty()) {
+    (void)endpoint_.send(Message::log_batch(std::move(tail)));
+  }
+  (void)endpoint_.send(Message::snapshot_done(boundary));
+  ++snapshots_served_;
+  RODAIN_INFO("primary: served snapshot at boundary %llu (%zu bytes, %u chunks)",
+              static_cast<unsigned long long>(boundary), bytes.size(), total);
+}
+
+}  // namespace rodain::repl

@@ -1,0 +1,64 @@
+// The Primary Node's replication half: ships the redo stream (it is the
+// LogWriter's Shipper), routes commit acks back, serves join requests with
+// a snapshot + catch-up tail, and exposes peer liveness for the watchdog.
+#pragma once
+
+#include "rodain/common/clock.hpp"
+#include "rodain/log/writer.hpp"
+#include "rodain/repl/endpoint.hpp"
+#include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::repl {
+
+class PrimaryReplicator final : public log::Shipper {
+ public:
+  struct Hooks {
+    /// Snapshot boundary: the highest validation seq v such that every
+    /// transaction with seq <= v has installed its writes (the engine's
+    /// installed low-water mark).
+    std::function<ValidationTs()> snapshot_boundary;
+    /// A mirror finished joining (snapshot + catch-up shipped): the node
+    /// should switch the LogWriter to kMirror mode and update its role.
+    std::function<void()> on_mirror_joined;
+    /// The link dropped.
+    std::function<void()> on_disconnect;
+  };
+
+  struct Options {
+    std::size_t snapshot_chunk_bytes{256 * 1024};
+  };
+
+  PrimaryReplicator(net::Channel& channel, const Clock& clock,
+                    storage::ObjectStore& store, log::LogWriter& writer,
+                    Hooks hooks);
+  PrimaryReplicator(net::Channel& channel, const Clock& clock,
+                    storage::ObjectStore& store, log::LogWriter& writer,
+                    Hooks hooks, Options options);
+
+  /// Include the secondary index in served snapshots (optional).
+  void set_index(const storage::BPlusTree* index) { index_ = index; }
+
+  // log::Shipper
+  void ship(std::span<const log::Record> records) override;
+
+  void send_heartbeat(NodeRole role);
+
+  [[nodiscard]] TimePoint last_heard() const { return endpoint_.last_heard(); }
+  [[nodiscard]] ValidationTs mirror_applied_seq() const { return mirror_applied_; }
+  [[nodiscard]] std::uint64_t snapshots_served() const { return snapshots_served_; }
+
+ private:
+  void on_join_request(ValidationTs have);
+
+  Endpoint endpoint_;
+  storage::ObjectStore& store_;
+  const storage::BPlusTree* index_{nullptr};
+  log::LogWriter& writer_;
+  Hooks hooks_;
+  Options options_;
+  ValidationTs mirror_applied_{0};
+  std::uint64_t snapshots_served_{0};
+};
+
+}  // namespace rodain::repl

@@ -1,0 +1,141 @@
+#include "rodain/repl/protocol.hpp"
+
+namespace rodain::repl {
+
+Message Message::log_batch(std::vector<log::Record> records) {
+  Message m;
+  m.type = MsgType::kLogBatch;
+  m.records = std::move(records);
+  return m;
+}
+
+Message Message::commit_ack(ValidationTs seq) {
+  Message m;
+  m.type = MsgType::kCommitAck;
+  m.seq = seq;
+  return m;
+}
+
+Message Message::heartbeat(NodeRole role, ValidationTs applied) {
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.role = role;
+  m.seq = applied;
+  return m;
+}
+
+Message Message::join_request(ValidationTs have) {
+  Message m;
+  m.type = MsgType::kJoinRequest;
+  m.have = have;
+  return m;
+}
+
+Message Message::snapshot_chunk(std::uint32_t index, std::uint32_t total,
+                                std::vector<std::byte> blob) {
+  Message m;
+  m.type = MsgType::kSnapshotChunk;
+  m.chunk_index = index;
+  m.chunk_total = total;
+  m.blob = std::move(blob);
+  return m;
+}
+
+Message Message::snapshot_done(ValidationTs boundary) {
+  Message m;
+  m.type = MsgType::kSnapshotDone;
+  m.seq = boundary;
+  return m;
+}
+
+std::vector<std::byte> encode(const Message& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(m.type));
+  switch (m.type) {
+    case MsgType::kLogBatch: {
+      w.put_varint(m.records.size());
+      for (const log::Record& r : m.records) log::encode_record(r, w);
+      break;
+    }
+    case MsgType::kCommitAck:
+      w.put_varint(m.seq);
+      break;
+    case MsgType::kHeartbeat:
+      w.put_u8(static_cast<std::uint8_t>(m.role));
+      w.put_varint(m.seq);
+      break;
+    case MsgType::kJoinRequest:
+      w.put_varint(m.have);
+      break;
+    case MsgType::kSnapshotChunk:
+      w.put_u32(m.chunk_index);
+      w.put_u32(m.chunk_total);
+      w.put_bytes(m.blob);
+      break;
+    case MsgType::kSnapshotDone:
+      w.put_varint(m.seq);
+      break;
+  }
+  return w.take();
+}
+
+Result<Message> decode(std::span<const std::byte> frame) {
+  ByteReader r(frame);
+  std::uint8_t type = 0;
+  if (auto s = r.get_u8(type); !s) return s;
+  Message m;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kLogBatch: {
+      m.type = MsgType::kLogBatch;
+      std::uint64_t n = 0;
+      if (auto s = r.get_varint(n); !s) return s;
+      m.records.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        log::Record rec;
+        log::DecodeResult d = log::decode_record(r, rec);
+        if (d.end || !d.status) {
+          return Status::error(ErrorCode::kCorruption, "bad batch record");
+        }
+        m.records.push_back(std::move(rec));
+      }
+      break;
+    }
+    case MsgType::kCommitAck:
+      m.type = MsgType::kCommitAck;
+      if (auto s = r.get_varint(m.seq); !s) return s;
+      break;
+    case MsgType::kHeartbeat: {
+      m.type = MsgType::kHeartbeat;
+      std::uint8_t role = 0;
+      if (auto s = r.get_u8(role); !s) return s;
+      if (role > static_cast<std::uint8_t>(NodeRole::kDown)) {
+        return Status::error(ErrorCode::kCorruption, "bad role");
+      }
+      m.role = static_cast<NodeRole>(role);
+      if (auto s = r.get_varint(m.seq); !s) return s;
+      break;
+    }
+    case MsgType::kJoinRequest:
+      m.type = MsgType::kJoinRequest;
+      if (auto s = r.get_varint(m.have); !s) return s;
+      break;
+    case MsgType::kSnapshotChunk:
+      m.type = MsgType::kSnapshotChunk;
+      if (auto s = r.get_u32(m.chunk_index); !s) return s;
+      if (auto s = r.get_u32(m.chunk_total); !s) return s;
+      if (auto s = r.get_bytes(m.blob); !s) return s;
+      break;
+    case MsgType::kSnapshotDone:
+      m.type = MsgType::kSnapshotDone;
+      if (auto s = r.get_varint(m.seq); !s) return s;
+      break;
+    default:
+      return Status::error(ErrorCode::kCorruption, "unknown message type");
+  }
+  if (!r.at_end()) {
+    return Status::error(ErrorCode::kCorruption, "trailing message bytes");
+  }
+  return m;
+}
+
+}  // namespace rodain::repl

@@ -1,0 +1,56 @@
+// Wire protocol between the Primary and Mirror Nodes (paper §2–3).
+//
+//   kLogBatch      primary -> mirror: redo records as generated
+//   kCommitAck     mirror -> primary: a commit record arrived (the primary
+//                  may let that transaction perform its final commit step)
+//   kHeartbeat     both directions, watchdog liveness + applied high-water
+//   kJoinRequest   recovering node -> serving node: "make me your mirror"
+//   kSnapshotChunk serving node -> joiner: checkpoint bytes
+//   kSnapshotDone  serving node -> joiner: snapshot boundary seq; live
+//                  records with greater seq follow
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rodain/common/serialization.hpp"
+#include "rodain/common/status.hpp"
+#include "rodain/common/types.hpp"
+#include "rodain/log/record.hpp"
+
+namespace rodain::repl {
+
+enum class MsgType : std::uint8_t {
+  kLogBatch = 1,
+  kCommitAck = 2,
+  kHeartbeat = 3,
+  kJoinRequest = 4,
+  kSnapshotChunk = 5,
+  kSnapshotDone = 6,
+};
+
+struct Message {
+  MsgType type{MsgType::kHeartbeat};
+
+  std::vector<log::Record> records;  ///< kLogBatch
+  ValidationTs seq{0};               ///< ack seq / snapshot boundary / applied
+  NodeRole role{NodeRole::kDown};    ///< kHeartbeat: sender's role
+  ValidationTs have{0};              ///< kJoinRequest: seq already recovered
+  std::vector<std::byte> blob;       ///< kSnapshotChunk payload
+  std::uint32_t chunk_index{0};      ///< kSnapshotChunk ordinal
+  std::uint32_t chunk_total{0};      ///< kSnapshotChunk count
+
+  [[nodiscard]] static Message log_batch(std::vector<log::Record> records);
+  [[nodiscard]] static Message commit_ack(ValidationTs seq);
+  [[nodiscard]] static Message heartbeat(NodeRole role, ValidationTs applied);
+  [[nodiscard]] static Message join_request(ValidationTs have);
+  [[nodiscard]] static Message snapshot_chunk(std::uint32_t index,
+                                              std::uint32_t total,
+                                              std::vector<std::byte> blob);
+  [[nodiscard]] static Message snapshot_done(ValidationTs boundary);
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const Message& m);
+[[nodiscard]] Result<Message> decode(std::span<const std::byte> frame);
+
+}  // namespace rodain::repl

@@ -1,0 +1,17 @@
+// Umbrella header for the rodain library.
+//
+//   db::Database       embedded single-node database (quickstart)
+//   rt::Node           real-time node with roles (primary / mirror) over TCP
+//   simdb::SimCluster  deterministic simulated pair (experiments)
+//   txn::TxnProgram    transactions as replayable programs
+//
+// See README.md for the architecture overview and examples/ for usage.
+#pragma once
+
+#include "rodain/db/database.hpp"
+#include "rodain/exp/session.hpp"
+#include "rodain/net/tcp.hpp"
+#include "rodain/rt/node.hpp"
+#include "rodain/simdb/sim_cluster.hpp"
+#include "rodain/workload/calibration.hpp"
+#include "rodain/workload/trace.hpp"

@@ -1,0 +1,553 @@
+#include "rodain/rt/node.hpp"
+
+#include <cassert>
+
+#include "rodain/common/diag.hpp"
+#include "rodain/storage/checkpoint.hpp"
+
+namespace rodain::rt {
+
+// ----------------------------------------------------- guarded channel ---
+
+void Node::GuardedChannel::set_message_handler(MessageHandler handler) {
+  // Do not capture `this`: the wrapper outlives the GuardedChannel inside
+  // the socket's handler slot. The epoch check (under the node mutex) makes
+  // sure `h` is only invoked while the objects it points into still exist.
+  Node* node = &node_;
+  const std::uint64_t epoch = node_.channel_epoch_;
+  inner_.set_message_handler(
+      [node, epoch, h = std::move(handler)](std::vector<std::byte> frame) {
+        std::unique_lock lock(node->mu_);
+        if (node->channel_epoch_ != epoch) return;  // role torn down
+        if (h) h(std::move(frame));
+        // Frames can complete transactions (commit acks): wake workers.
+        node->ready_cv_.notify_all();
+      });
+}
+
+void Node::GuardedChannel::set_disconnect_handler(DisconnectHandler handler) {
+  Node* node = &node_;
+  const std::uint64_t epoch = node_.channel_epoch_;
+  inner_.set_disconnect_handler([node, epoch, h = std::move(handler)] {
+    std::unique_lock lock(node->mu_);
+    if (node->channel_epoch_ != epoch) return;
+    if (h) h();
+  });
+}
+
+// ----------------------------------------------------------------- node ---
+
+Node::Node(NodeConfig config, std::string name)
+    : config_(config),
+      name_(std::move(name)),
+      store_(config.store_capacity_hint),
+      overload_(config.overload) {
+  if (config_.log_path.empty()) {
+    disk_ = std::make_unique<log::MemoryLogStorage>();
+  } else {
+    auto file = log::FileLogStorage::open(config_.log_path, config_.fsync_log);
+    if (!file.is_ok()) {
+      RODAIN_ERROR("%s: cannot open log %s (%s); using memory log",
+                   name_.c_str(), config_.log_path.c_str(),
+                   file.status().to_string().c_str());
+      disk_ = std::make_unique<log::MemoryLogStorage>();
+    } else {
+      disk_ = std::move(file).value();
+    }
+  }
+}
+
+Node::~Node() { stop(); }
+
+NodeRole Node::role() const {
+  std::lock_guard lock(mu_);
+  return role_;
+}
+
+bool Node::serving() const {
+  std::lock_guard lock(mu_);
+  return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
+}
+
+void Node::become_locked(NodeRole role) {
+  if (role_ == role) return;
+  RODAIN_INFO("%s: role %s -> %s", name_.c_str(),
+              std::string(to_string(role_)).c_str(),
+              std::string(to_string(role)).c_str());
+  role_ = role;
+}
+
+void Node::build_primary_locked(LogMode mode) {
+  ++channel_epoch_;  // invalidate callbacks into the old role's objects
+  mirror_.reset();
+  replicator_.reset();
+  log_writer_ = std::make_unique<log::LogWriter>(LogMode::kOff, disk_.get(), nullptr);
+  if (peer_) {
+    guarded_channel_ = std::make_unique<GuardedChannel>(*this, *peer_);
+    repl::PrimaryReplicator::Hooks hooks;
+    hooks.snapshot_boundary = [this] {
+      return engine_ ? engine_->installed_low_water() : ValidationTs{0};
+    };
+    hooks.on_mirror_joined = [this] {
+      log_writer_->set_mode(LogMode::kMirror);
+      become_locked(NodeRole::kPrimaryWithMirror);
+    };
+    hooks.on_disconnect = [this] {
+      if (role_ == NodeRole::kPrimaryWithMirror) {
+        RODAIN_INFO("%s: mirror link lost", name_.c_str());
+        log_writer_->on_mirror_lost();
+        become_locked(NodeRole::kPrimaryAlone);
+        ready_cv_.notify_all();
+      }
+    };
+    replicator_ = std::make_unique<repl::PrimaryReplicator>(
+        *guarded_channel_, clock_, store_, *log_writer_, std::move(hooks));
+    replicator_->set_index(&index_);
+    log_writer_->set_shipper(replicator_.get());
+  }
+  log_writer_->set_mode(mode);
+
+  engine::Engine::Hooks hooks;
+  hooks.on_victim_restart = [this](TxnId id) { push_ready_locked(id); };
+  hooks.on_lock_granted = [this](TxnId id) { push_ready_locked(id); };
+  hooks.on_log_durable = [this](TxnId id) { push_ready_locked(id); };
+  engine_ = std::make_unique<engine::Engine>(config_.engine, store_, &index_,
+                                             *log_writer_, std::move(hooks));
+}
+
+void Node::start_primary(LogMode mode, net::Channel* peer) {
+  std::unique_lock lock(mu_);
+  assert(role_ == NodeRole::kDown);
+  peer_ = peer;
+  stopping_ = false;
+  build_primary_locked(mode);
+  engine_->set_next_validation_seq(recovered_next_seq_);
+  become_locked(mode == LogMode::kMirror ? NodeRole::kPrimaryWithMirror
+                                         : NodeRole::kPrimaryAlone);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  timer_ = std::thread([this] { timer_loop(); });
+  if (peer_) heartbeater_ = std::thread([this] { heartbeat_loop(); });
+  if (!config_.checkpoint_path.empty() &&
+      config_.checkpoint_interval.is_positive()) {
+    checkpointer_ = std::thread([this] {
+      std::unique_lock ckpt_lock(mu_);
+      while (!stopping_) {
+        timer_cv_.wait_for(
+            ckpt_lock, std::chrono::microseconds(config_.checkpoint_interval.us));
+        if (stopping_ || !serving_locked()) continue;
+        if (Status s = write_checkpoint_locked(); !s) {
+          RODAIN_WARN("%s: periodic checkpoint failed: %s", name_.c_str(),
+                      s.to_string().c_str());
+        }
+      }
+    });
+  }
+}
+
+bool Node::serving_locked() const {
+  return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
+}
+
+Status Node::write_checkpoint_locked() {
+  // Consistent boundary: every transaction up to the installed low-water
+  // mark has its after-images in the store (validation+install is atomic).
+  const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
+  return storage::write_checkpoint_file(store_, boundary,
+                                        config_.checkpoint_path, &index_);
+}
+
+Status Node::write_checkpoint() {
+  std::lock_guard lock(mu_);
+  if (config_.checkpoint_path.empty()) {
+    return Status::error(ErrorCode::kFailedPrecondition, "no checkpoint path");
+  }
+  return write_checkpoint_locked();
+}
+
+Result<log::RecoveryStats> Node::recover_from_local_state() {
+  std::lock_guard lock(mu_);
+  if (role_ != NodeRole::kDown) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "recover before starting a role");
+  }
+  auto stats = log::recover_checkpoint_and_log(config_.checkpoint_path,
+                                               config_.log_path, store_,
+                                               &index_);
+  if (stats.is_ok()) recovered_next_seq_ = stats.value().last_seq + 1;
+  return stats;
+}
+
+void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
+  std::unique_lock lock(mu_);
+  assert(role_ == NodeRole::kDown);
+  peer_ = &peer;
+  stopping_ = false;
+  guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
+  repl::MirrorService::Options options;
+  options.store_to_disk = true;
+  mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
+                                                  *guarded_channel_, clock_,
+                                                  options, &index_);
+  mirror_->attach_synced(expected_next);
+  become_locked(NodeRole::kMirror);
+  heartbeater_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void Node::start_rejoin(net::Channel& peer) {
+  std::unique_lock lock(mu_);
+  assert(role_ == NodeRole::kDown);
+  peer_ = &peer;
+  stopping_ = false;
+  guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
+  repl::MirrorService::Options options;
+  options.store_to_disk = true;
+  options.on_synced = [this] { become_locked(NodeRole::kMirror); };
+  mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
+                                                  *guarded_channel_, clock_,
+                                                  options, &index_);
+  become_locked(NodeRole::kRecovering);
+  mirror_->request_join(0);
+  heartbeater_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void Node::take_over_locked() {
+  if (role_ != NodeRole::kMirror || !mirror_) return;
+  auto takeover = mirror_->take_over();
+  ++channel_epoch_;
+  mirror_.reset();
+  peer_ = nullptr;  // the old primary is gone; a rejoin brings a new channel
+  guarded_channel_.reset();
+  build_primary_locked(LogMode::kDirectDisk);
+  engine_->set_next_validation_seq(takeover.next_seq);
+  become_locked(NodeRole::kPrimaryAlone);
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+void Node::stop() {
+  std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
+  {
+    std::unique_lock lock(mu_);
+    if (stopping_ && role_ == NodeRole::kDown) return;
+    stopping_ = true;
+    // In-flight transactions die with the node.
+    for (auto& [id, a] : active_) {
+      if (a.done) {
+        CommitInfo info;
+        info.outcome = TxnOutcome::kSystemAborted;
+        callbacks.emplace_back(std::move(a.done), info);
+      }
+      ++counters_.system_aborted;
+    }
+    active_.clear();
+    ready_.clear();
+    deadlines_.clear();
+    become_locked(NodeRole::kDown);
+  }
+  ready_cv_.notify_all();
+  timer_cv_.notify_all();
+  for (auto& [cb, info] : callbacks) cb(info);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (timer_.joinable()) timer_.join();
+  if (heartbeater_.joinable()) heartbeater_.join();
+  if (checkpointer_.joinable()) checkpointer_.join();
+  std::unique_lock lock(mu_);
+  ++channel_epoch_;
+  engine_.reset();
+  replicator_.reset();
+  mirror_.reset();
+  log_writer_.reset();
+  guarded_channel_.reset();
+}
+
+// ------------------------------------------------------------ client ----
+
+void Node::submit(txn::TxnProgram program, DoneFn done) {
+  std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
+  {
+    std::unique_lock lock(mu_);
+    ++counters_.submitted;
+    const TimePoint now = clock_.now();
+    CommitInfo info;
+    if (role_ != NodeRole::kPrimaryWithMirror && role_ != NodeRole::kPrimaryAlone) {
+      ++counters_.system_aborted;
+      info.outcome = TxnOutcome::kSystemAborted;
+      if (done) callbacks.emplace_back(std::move(done), info);
+    } else if (!overload_.try_admit(now)) {
+      ++counters_.overload_rejected;
+      info.outcome = TxnOutcome::kOverloadRejected;
+      if (done) callbacks.emplace_back(std::move(done), info);
+    } else {
+      const TxnId id = next_local_txn_++;
+      const TimePoint deadline =
+          program.criticality == Criticality::kNonRealTime
+              ? TimePoint::max()
+              : now + program.relative_deadline;
+      Active a;
+      a.txn = std::make_unique<txn::Transaction>(id, ++admission_seq_,
+                                                 std::move(program), now, deadline);
+      a.done = std::move(done);
+      engine_->begin(*a.txn);
+      if (deadline != TimePoint::max()) deadlines_.emplace(deadline, id);
+      active_.emplace(id, std::move(a));
+      push_ready_locked(id);
+    }
+  }
+  ready_cv_.notify_one();
+  timer_cv_.notify_one();
+  for (auto& [cb, info] : callbacks) cb(info);
+}
+
+CommitInfo Node::execute(txn::TxnProgram program) {
+  std::promise<CommitInfo> promise;
+  auto future = promise.get_future();
+  submit(std::move(program),
+         [&promise](const CommitInfo& info) { promise.set_value(info); });
+  return future.get();
+}
+
+Result<storage::Value> Node::get(ObjectId oid) {
+  txn::TxnProgram program;
+  program.read(oid);
+  program.relative_deadline = Duration::seconds(5);
+  const CommitInfo info = execute(std::move(program));
+  if (info.outcome != TxnOutcome::kCommitted) {
+    return Status::error(ErrorCode::kAborted, "read transaction aborted");
+  }
+  std::lock_guard lock(mu_);
+  const storage::ObjectRecord* rec = store_.find(oid);
+  if (!rec) return Status::error(ErrorCode::kNotFound, "no such object");
+  return rec->value;
+}
+
+// ------------------------------------------------------------ workers ---
+
+void Node::push_ready_locked(TxnId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  Active& a = it->second;
+  if (a.owned_by_worker) {
+    a.resume_pending = true;
+    return;
+  }
+  ready_.emplace(a.txn->priority(), id);
+  ready_cv_.notify_one();
+}
+
+void Node::worker_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    const TxnId id = ready_.begin()->second;
+    ready_.erase(ready_.begin());
+    drive(id, lock);
+  }
+}
+
+void Node::drive(TxnId id, std::unique_lock<std::mutex>& lock) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  it->second.owned_by_worker = true;
+
+  std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
+  while (true) {
+    it = active_.find(id);
+    if (it == active_.end()) break;  // aborted under us (deadline timer)
+    Active& a = it->second;
+    const engine::StepResult r = engine_->step(*a.txn);
+    if (r.cost.is_positive() && config_.engine.costs.per_read.is_positive()) {
+      // Optional fidelity mode: burn the modelled CPU cost for real.
+      const TimePoint until = clock_.now() + r.cost;
+      while (clock_.now() < until) {
+      }
+    }
+    bool parked = false;
+    switch (r.action) {
+      case engine::StepAction::kContinue:
+      case engine::StepAction::kRestarted:
+        continue;
+      case engine::StepAction::kBlocked:
+      case engine::StepAction::kWaitLogAck:
+        if (a.resume_pending) {
+          a.resume_pending = false;
+          continue;  // the grant/ack already arrived
+        }
+        a.owned_by_worker = false;
+        parked = true;
+        break;
+      case engine::StepAction::kCommitted:
+        finish_locked(id, TxnOutcome::kCommitted, callbacks);
+        break;
+      case engine::StepAction::kAborted:
+        finish_locked(id, a.txn->outcome(), callbacks);
+        break;
+    }
+    if (parked) {
+      // The ack may race in between the step and the park flag: re-check.
+      auto it2 = active_.find(id);
+      if (it2 != active_.end() && it2->second.resume_pending) {
+        it2->second.resume_pending = false;
+        it2->second.owned_by_worker = true;
+        continue;
+      }
+    }
+    break;
+  }
+  if (!callbacks.empty()) {
+    lock.unlock();
+    for (auto& [cb, info] : callbacks) cb(info);
+    lock.lock();
+  }
+}
+
+void Node::finish_locked(TxnId id, TxnOutcome outcome,
+                         std::vector<std::pair<DoneFn, CommitInfo>>& callbacks) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  Active a = std::move(it->second);
+  active_.erase(it);
+  overload_.on_finish();
+
+  const TimePoint now = clock_.now();
+  CommitInfo info;
+  info.latency = now - a.txn->arrival();
+  info.restarts = a.txn->restarts();
+  info.late = a.late;
+  counters_.restarts += static_cast<std::uint64_t>(a.txn->restarts());
+
+  if (outcome == TxnOutcome::kCommitted && a.late) {
+    ++counters_.missed_deadline;
+    overload_.on_deadline_miss(now);
+  } else {
+    switch (outcome) {
+      case TxnOutcome::kCommitted:
+        ++counters_.committed;
+        commit_latency_.add(info.latency);
+        break;
+      case TxnOutcome::kMissedDeadline:
+        ++counters_.missed_deadline;
+        overload_.on_deadline_miss(now);
+        break;
+      case TxnOutcome::kOverloadRejected:
+        ++counters_.overload_rejected;
+        break;
+      case TxnOutcome::kConflictAborted:
+        ++counters_.conflict_aborted;
+        break;
+      case TxnOutcome::kSystemAborted:
+        ++counters_.system_aborted;
+        break;
+    }
+  }
+  info.outcome = outcome;
+  if (a.done) callbacks.emplace_back(std::move(a.done), info);
+}
+
+// -------------------------------------------------------------- timers ---
+
+void Node::timer_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (deadlines_.empty()) {
+      timer_cv_.wait(lock, [this] { return stopping_ || !deadlines_.empty(); });
+      continue;
+    }
+    const TimePoint next = deadlines_.begin()->first;
+    const TimePoint now = clock_.now();
+    if (now < next) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds((next - now).us));
+      continue;
+    }
+    std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
+    while (!deadlines_.empty() && deadlines_.begin()->first <= clock_.now()) {
+      const TxnId id = deadlines_.begin()->second;
+      deadlines_.erase(deadlines_.begin());
+      auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      Active& a = it->second;
+      if (a.txn->criticality() == Criticality::kFirm &&
+          engine_->can_abort(*a.txn) && !a.owned_by_worker) {
+        ready_.erase({a.txn->priority(), id});
+        engine_->abort(*a.txn, TxnOutcome::kMissedDeadline);
+        finish_locked(id, TxnOutcome::kMissedDeadline, callbacks);
+      } else {
+        // Soft deadline, running, or already validated: it completes late.
+        a.late = true;
+      }
+    }
+    if (!callbacks.empty()) {
+      lock.unlock();
+      for (auto& [cb, info] : callbacks) cb(info);
+      lock.lock();
+    }
+  }
+}
+
+// ---------------------------------------------------------- heartbeats ---
+
+void Node::heartbeat_loop() {
+  std::unique_lock lock(mu_);
+  const repl::Watchdog watchdog(config_.watchdog_timeout);
+  while (!stopping_) {
+    timer_cv_.wait_for(
+        lock, std::chrono::microseconds(config_.heartbeat_interval.us));
+    if (stopping_) return;
+    switch (role_) {
+      case NodeRole::kPrimaryWithMirror:
+        if (replicator_) {
+          replicator_->send_heartbeat(role_);
+          if (watchdog.expired(clock_.now(), replicator_->last_heard())) {
+            RODAIN_INFO("%s: watchdog expired for mirror", name_.c_str());
+            log_writer_->on_mirror_lost();
+            become_locked(NodeRole::kPrimaryAlone);
+          }
+        }
+        break;
+      case NodeRole::kPrimaryAlone:
+        if (replicator_) replicator_->send_heartbeat(role_);
+        break;
+      case NodeRole::kMirror:
+        if (mirror_) {
+          mirror_->send_heartbeat();
+          if (watchdog.expired(clock_.now(), mirror_->last_heard())) {
+            RODAIN_INFO("%s: watchdog expired for primary, taking over",
+                        name_.c_str());
+            take_over_locked();
+          }
+        }
+        break;
+      case NodeRole::kRecovering:
+      case NodeRole::kDown:
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ telemetry --
+
+TxnCounters Node::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+LatencyHistogram Node::commit_latency() const {
+  std::lock_guard lock(mu_);
+  return commit_latency_;
+}
+
+ValidationTs Node::mirror_applied_seq() const {
+  std::lock_guard lock(mu_);
+  return mirror_ ? mirror_->applied_seq() : 0;
+}
+
+}  // namespace rodain::rt

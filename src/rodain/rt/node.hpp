@@ -1,0 +1,197 @@
+// The real-time runtime: a RODAIN node on actual threads and sockets.
+//
+// Same passive engine as the simulator, driven by worker threads instead of
+// virtual time: an EDF-ordered ready queue feeds workers, a timer thread
+// enforces firm deadlines, the Log Writer ships redo records over TCP to a
+// peer node running the Mirror role, and a heartbeat/watchdog thread drives
+// the §2 role transitions. Engine state is guarded by one node mutex —
+// transaction steps are microseconds, so the single lock is not the
+// bottleneck at the throughputs this runtime targets.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "rodain/common/clock.hpp"
+#include "rodain/common/stats.hpp"
+#include "rodain/engine/engine.hpp"
+#include "rodain/log/log_storage.hpp"
+#include "rodain/log/writer.hpp"
+#include "rodain/net/channel.hpp"
+#include "rodain/repl/mirror.hpp"
+#include "rodain/repl/primary.hpp"
+#include "rodain/log/recovery.hpp"
+#include "rodain/sched/overload.hpp"
+
+namespace rodain::rt {
+
+struct NodeConfig {
+  engine::EngineConfig engine{};  ///< costs default to zero: native speed
+  sched::OverloadConfig overload{};
+  std::size_t worker_threads{1};
+  /// Redo log file; empty keeps the log in memory (tests, demos).
+  std::string log_path{};
+  bool fsync_log{false};
+  /// Periodic full checkpoints (bounding restart-recovery work). Empty
+  /// path or zero interval disables the daemon.
+  std::string checkpoint_path{};
+  Duration checkpoint_interval{Duration::zero()};
+  Duration heartbeat_interval{Duration::millis(100)};
+  Duration watchdog_timeout{Duration::millis(500)};
+  std::size_t store_capacity_hint{1024};
+
+  NodeConfig() { engine.costs = engine::CostModel::zero(); }
+};
+
+struct CommitInfo {
+  TxnOutcome outcome{TxnOutcome::kCommitted};
+  bool late{false};
+  Duration latency{Duration::zero()};
+  int restarts{0};
+};
+
+class Node {
+ public:
+  explicit Node(NodeConfig config, std::string name = "rodain");
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ---- data (load before starting a role) ------------------------------
+  [[nodiscard]] storage::ObjectStore& store() { return store_; }
+  [[nodiscard]] storage::BPlusTree& index() { return index_; }
+
+  // ---- lifecycle --------------------------------------------------------
+  /// Serve transactions. `peer` must be non-null for LogMode::kMirror and
+  /// may be non-null otherwise (to serve join requests later).
+  void start_primary(LogMode mode, net::Channel* peer = nullptr);
+  /// Maintain the peer's database copy; takes over if the peer goes silent.
+  void start_mirror(net::Channel& peer, ValidationTs expected_next = 1);
+  /// Rejoin after a restart: snapshot + catch-up from the serving peer.
+  void start_rejoin(net::Channel& peer);
+  void stop();
+
+  /// Cold-start recovery: rebuild the store from the configured checkpoint
+  /// and log files. Call before start_primary on a restarted node; the
+  /// validation sequence continues past everything recovered.
+  Result<log::RecoveryStats> recover_from_local_state();
+
+  /// Write a checkpoint now (also runs periodically when configured).
+  Status write_checkpoint();
+
+  [[nodiscard]] NodeRole role() const;
+  [[nodiscard]] bool serving() const;
+
+  // ---- client API -------------------------------------------------------
+  using DoneFn = std::function<void(const CommitInfo&)>;
+  /// Asynchronous submission; `done` runs on an internal thread.
+  void submit(txn::TxnProgram program, DoneFn done);
+  /// Blocking convenience wrapper.
+  CommitInfo execute(txn::TxnProgram program);
+  /// One-shot read of a single object's committed value.
+  [[nodiscard]] Result<storage::Value> get(ObjectId oid);
+
+  // ---- telemetry --------------------------------------------------------
+  [[nodiscard]] TxnCounters counters() const;
+  [[nodiscard]] LatencyHistogram commit_latency() const;
+  [[nodiscard]] ValidationTs mirror_applied_seq() const;
+
+ private:
+  struct Active {
+    std::unique_ptr<txn::Transaction> txn;
+    DoneFn done;
+    bool owned_by_worker{false};
+    bool resume_pending{false};
+    bool late{false};
+  };
+
+  /// Wraps the raw channel so every inbound frame and disconnect runs
+  /// under the node mutex (replication state is not thread-safe). Handlers
+  /// capture the node and the epoch at install time: when the node tears a
+  /// role down it bumps the epoch under the mutex, so a late callback from
+  /// the socket reader thread is dropped instead of touching freed
+  /// replication objects.
+  class GuardedChannel final : public net::Channel {
+   public:
+    GuardedChannel(Node& node, net::Channel& inner) : node_(node), inner_(inner) {}
+    void set_message_handler(MessageHandler handler) override;
+    void set_disconnect_handler(DisconnectHandler handler) override;
+    Status send(std::vector<std::byte> frame) override { return inner_.send(std::move(frame)); }
+    [[nodiscard]] bool connected() const override { return inner_.connected(); }
+    void close() override { inner_.close(); }
+
+   private:
+    Node& node_;
+    net::Channel& inner_;
+  };
+
+  void build_primary_locked(LogMode mode);
+  void become_locked(NodeRole role);
+  void take_over_locked();
+  bool serving_locked() const;
+  Status write_checkpoint_locked();
+
+  void worker_loop();
+  void timer_loop();
+  void heartbeat_loop();
+  void push_ready_locked(TxnId id);
+  void drive(TxnId id, std::unique_lock<std::mutex>& lock);
+  void finish_locked(TxnId id, TxnOutcome outcome,
+                     std::vector<std::pair<DoneFn, CommitInfo>>& callbacks);
+
+  NodeConfig config_;
+  std::string name_;
+  RealClock clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable timer_cv_;
+  bool stopping_{false};
+
+  storage::ObjectStore store_;
+  storage::BPlusTree index_;
+  std::unique_ptr<log::LogStorage> disk_;
+  std::unique_ptr<log::LogWriter> log_writer_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<GuardedChannel> guarded_channel_;
+  std::unique_ptr<repl::PrimaryReplicator> replicator_;
+  std::unique_ptr<repl::MirrorService> mirror_;
+  net::Channel* peer_{nullptr};
+
+  sched::OverloadManager overload_;
+  NodeRole role_{NodeRole::kDown};
+  /// Bumped (under mu_) whenever replication objects are torn down; stale
+  /// channel callbacks compare against it and bail out.
+  std::uint64_t channel_epoch_{0};
+
+  std::unordered_map<TxnId, Active> active_;
+  struct ReadyOrder {
+    bool operator()(const std::pair<PriorityKey, TxnId>& a,
+                    const std::pair<PriorityKey, TxnId>& b) const {
+      if (a.first.higher_than(b.first)) return true;
+      if (b.first.higher_than(a.first)) return false;
+      return a.second < b.second;
+    }
+  };
+  std::set<std::pair<PriorityKey, TxnId>, ReadyOrder> ready_;
+  std::multimap<TimePoint, TxnId> deadlines_;
+
+  std::uint64_t next_local_txn_{1};
+  std::uint64_t admission_seq_{0};
+  TxnCounters counters_;
+  LatencyHistogram commit_latency_;
+
+  std::vector<std::thread> workers_;
+  std::thread timer_;
+  std::thread heartbeater_;
+  std::thread checkpointer_;
+  ValidationTs recovered_next_seq_{1};
+};
+
+}  // namespace rodain::rt

@@ -1,0 +1,42 @@
+#include "rodain/sched/overload.hpp"
+
+#include <algorithm>
+
+namespace rodain::sched {
+
+void OverloadManager::prune(TimePoint now) {
+  const TimePoint horizon = now - config_.observation_window;
+  while (!misses_.empty() && misses_.front() < horizon) misses_.pop_front();
+}
+
+std::size_t OverloadManager::recent_misses(TimePoint now) {
+  prune(now);
+  return misses_.size();
+}
+
+std::size_t OverloadManager::effective_cap(TimePoint now) {
+  if (!config_.miss_feedback) return config_.max_active;
+  prune(now);
+  if (misses_.size() <= config_.miss_threshold) return config_.max_active;
+  // Each miss beyond the threshold sheds one admission slot.
+  const std::size_t excess = misses_.size() - config_.miss_threshold;
+  const std::size_t cap =
+      config_.max_active > excess ? config_.max_active - excess : 0;
+  return std::max(cap, config_.min_cap);
+}
+
+bool OverloadManager::try_admit(TimePoint now) {
+  if (active_ >= effective_cap(now)) return false;
+  ++active_;
+  return true;
+}
+
+void OverloadManager::on_finish() {
+  if (active_ > 0) --active_;
+}
+
+void OverloadManager::on_deadline_miss(TimePoint now) {
+  misses_.push_back(now);
+}
+
+}  // namespace rodain::sched

@@ -1,0 +1,54 @@
+// Demand-based CPU reservation for non-real-time transactions (paper §2):
+//
+//   "Without deadlines the non-realtime transactions get the execution turn
+//    only when the system has no real-time transaction ready ... They are
+//    likely to suffer from starvation. We avoid this by reserving a fixed
+//    fraction of execution time for the non-realtime transactions. The
+//    reservation is made on a demand basis."
+//
+// The driver consults this accountant before dispatching a non-RT step:
+// while non-RT work is pending and its share of consumed CPU is below the
+// reserved fraction, the step is boosted above the real-time queue.
+#pragma once
+
+#include "rodain/common/time.hpp"
+#include "rodain/common/types.hpp"
+
+namespace rodain::sched {
+
+class NonRtReservation {
+ public:
+  /// `fraction` of total CPU reserved for non-RT work, e.g. 0.1.
+  explicit NonRtReservation(double fraction) : fraction_(fraction) {}
+
+  /// Record CPU consumed by a step that just ran.
+  void charge(Criticality crit, Duration cpu) {
+    total_ += cpu;
+    if (crit == Criticality::kNonRealTime) non_rt_ += cpu;
+  }
+
+  /// Should the next non-RT step be boosted above real-time work?
+  /// (Only meaningful "on demand": call it when non-RT work is pending.)
+  [[nodiscard]] bool should_boost() const {
+    if (fraction_ <= 0.0) return false;
+    if (total_.is_zero()) return true;
+    return static_cast<double>(non_rt_.us) <
+           fraction_ * static_cast<double>(total_.us);
+  }
+
+  /// The priority a boosted non-RT step runs at: above every deadline.
+  [[nodiscard]] static PriorityKey boost_key(std::uint64_t seq) {
+    return PriorityKey{Criticality::kFirm, TimePoint::origin(), seq};
+  }
+
+  [[nodiscard]] Duration non_rt_served() const { return non_rt_; }
+  [[nodiscard]] Duration total_served() const { return total_; }
+  [[nodiscard]] double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+  Duration non_rt_{Duration::zero()};
+  Duration total_{Duration::zero()};
+};
+
+}  // namespace rodain::sched

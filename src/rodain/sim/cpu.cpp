@@ -1,0 +1,113 @@
+#include "rodain/sim/cpu.hpp"
+
+#include <cassert>
+
+namespace rodain::sim {
+
+SimCpu::JobId SimCpu::submit(PriorityKey key, Duration cost,
+                             std::function<void()> on_complete) {
+  const JobId id = next_job_++;
+  Job job{key, cost, std::move(on_complete)};
+  if (!running_) {
+    start(id, std::move(job));
+    return id;
+  }
+  if (key.higher_than(running_->job.key)) {
+    auto [rid, rjob] = stop_running();
+    const PriorityKey rkey = rjob.key;
+    ready_index_.emplace(rid, rkey);
+    ready_.emplace(ReadyKey{rkey, rid}, std::move(rjob));
+    start(id, std::move(job));
+    return id;
+  }
+  ready_index_.emplace(id, key);
+  ready_.emplace(ReadyKey{key, id}, std::move(job));
+  return id;
+}
+
+bool SimCpu::cancel(JobId id) {
+  if (running_ && running_->id == id) {
+    auto [rid, job] = stop_running();
+    (void)rid;
+    (void)job;  // dropped
+    dispatch_next();
+    return true;
+  }
+  auto it = ready_index_.find(id);
+  if (it == ready_index_.end()) return false;
+  ready_.erase(ReadyKey{it->second, id});
+  ready_index_.erase(it);
+  return true;
+}
+
+bool SimCpu::reprioritize(JobId id, PriorityKey key) {
+  auto it = ready_index_.find(id);
+  if (it == ready_index_.end()) return false;
+  auto node = ready_.extract(ReadyKey{it->second, id});
+  assert(!node.empty());
+  Job job = std::move(node.mapped());
+  job.key = key;
+  ready_index_.erase(it);
+
+  if (running_ && key.higher_than(running_->job.key)) {
+    auto [rid, rjob] = stop_running();
+    const PriorityKey rkey = rjob.key;
+    ready_index_.emplace(rid, rkey);
+    ready_.emplace(ReadyKey{rkey, rid}, std::move(rjob));
+    start(id, std::move(job));
+  } else if (!running_) {
+    start(id, std::move(job));
+  } else {
+    ready_index_.emplace(id, key);
+    ready_.emplace(ReadyKey{key, id}, std::move(job));
+  }
+  return true;
+}
+
+Duration SimCpu::busy_time() const {
+  Duration total = consumed_;
+  if (running_) total += sim_.now() - running_->started;
+  return total;
+}
+
+void SimCpu::dispatch_next() {
+  if (running_ || ready_.empty()) return;
+  auto node = ready_.extract(ready_.begin());
+  const JobId id = node.key().id;
+  Job job = std::move(node.mapped());
+  ready_index_.erase(id);
+  start(id, std::move(job));
+}
+
+void SimCpu::start(JobId id, Job job) {
+  assert(!running_);
+  const TimePoint started = sim_.now();
+  const Duration remaining = job.remaining;
+  running_.emplace(Running{id, std::move(job), started, kInvalidEvent});
+  running_->completion_event =
+      sim_.schedule_after(remaining, [this] { on_run_complete(); });
+}
+
+std::pair<SimCpu::JobId, SimCpu::Job> SimCpu::stop_running() {
+  assert(running_);
+  sim_.cancel(running_->completion_event);
+  const Duration used = sim_.now() - running_->started;
+  consumed_ += used;
+  Job job = std::move(running_->job);
+  job.remaining -= used;
+  if (job.remaining < Duration::zero()) job.remaining = Duration::zero();
+  const JobId id = running_->id;
+  running_.reset();
+  return {id, std::move(job)};
+}
+
+void SimCpu::on_run_complete() {
+  assert(running_);
+  consumed_ += running_->job.remaining;
+  auto fn = std::move(running_->job.on_complete);
+  running_.reset();
+  dispatch_next();
+  if (fn) fn();
+}
+
+}  // namespace rodain::sim

@@ -1,0 +1,63 @@
+#include "rodain/sim/simulation.hpp"
+
+#include <cassert>
+
+namespace rodain::sim {
+
+EventId Simulation::schedule_at(TimePoint t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);  // heap entry becomes a tombstone, skipped in step()
+  --live_;
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    queue_.pop();
+    now_ = e.time;
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(TimePoint until) {
+  while (!queue_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    Entry e = queue_.top();
+    if (!handlers_.contains(e.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (e.time > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace rodain::sim

@@ -1,0 +1,97 @@
+#include "rodain/simdb/sim_cluster.hpp"
+
+#include <cassert>
+
+namespace rodain::simdb {
+
+SimCluster::SimCluster(sim::Simulation& sim, SimClusterConfig config)
+    : sim_(sim), config_(config) {
+  node_a_ = std::make_unique<SimNode>(sim_, "node-a", 1, config_.node);
+  if (config_.two_nodes) {
+    node_b_ = std::make_unique<SimNode>(sim_, "node-b", 2, config_.node);
+    link_ = std::make_unique<net::SimLink>(sim_, config_.link);
+    node_a_->connect(link_->end_a());
+    node_b_->connect(link_->end_b());
+    node_b_->set_role_change_handler([this](NodeRole r) { on_role_change(r); });
+  }
+  node_a_->set_role_change_handler([this](NodeRole r) { on_role_change(r); });
+}
+
+void SimCluster::populate(
+    const std::function<void(storage::ObjectStore&, storage::BPlusTree&)>& loader) {
+  loader(node_a_->store(), node_a_->index());
+  if (node_b_) loader(node_b_->store(), node_b_->index());
+}
+
+void SimCluster::start() {
+  if (config_.two_nodes) {
+    assert(config_.primary_log_mode == LogMode::kMirror &&
+           "two-node cluster ships logs to the mirror");
+    node_b_->start_as_mirror(1);
+    node_a_->start_as_primary(LogMode::kMirror);
+  } else {
+    node_a_->start_as_primary(config_.primary_log_mode);
+  }
+}
+
+SimNode* SimCluster::serving_node() {
+  if (node_a_->serving()) return node_a_.get();
+  if (node_b_ && node_b_->serving()) return node_b_.get();
+  return nullptr;
+}
+
+void SimCluster::submit(txn::TxnProgram program, SimNode::DoneFn done) {
+  SimNode* primary = serving_node();
+  if (!primary) {
+    ++routing_counters_.submitted;
+    ++routing_counters_.system_aborted;
+    if (done) {
+      TxnResult r;
+      r.outcome = TxnOutcome::kSystemAborted;
+      r.arrival = r.finish = sim_.now();
+      done(r);
+    }
+    return;
+  }
+  primary->submit(std::move(program), std::move(done));
+}
+
+void SimCluster::fail_node(SimNode& node) {
+  const bool was_serving = node.serving();
+  node.fail();
+  if (link_) link_->sever();
+  if (was_serving && !serving_node()) {
+    outage_start_ = sim_.now();
+  }
+}
+
+void SimCluster::recover_node(SimNode& node) {
+  assert(node.role() == NodeRole::kDown);
+  if (link_) link_->restore();
+  node.recover_and_rejoin();
+}
+
+void SimCluster::on_role_change(NodeRole role) {
+  if ((role == NodeRole::kPrimaryAlone || role == NodeRole::kPrimaryWithMirror) &&
+      outage_start_) {
+    const Duration gap = sim_.now() - *outage_start_;
+    downtime_ += gap;
+    last_failover_gap_ = gap;
+    outage_start_.reset();
+  }
+}
+
+TxnCounters SimCluster::counters() const {
+  TxnCounters total = routing_counters_;
+  total.merge(node_a_->counters());
+  if (node_b_) total.merge(node_b_->counters());
+  return total;
+}
+
+Duration SimCluster::total_downtime() const {
+  Duration d = downtime_;
+  if (outage_start_) d += sim_.now() - *outage_start_;
+  return d;
+}
+
+}  // namespace rodain::simdb

@@ -1,0 +1,74 @@
+// A RODAIN pair (or a lone node) plus the client-side router.
+//
+// The cluster owns the link between the nodes, routes client transactions to
+// whichever node currently serves, injects failures/recoveries, and
+// measures the availability the paper's hot-standby design buys: the gap
+// between a primary failing and its peer serving again.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "rodain/net/sim_link.hpp"
+#include "rodain/simdb/sim_node.hpp"
+
+namespace rodain::simdb {
+
+struct SimClusterConfig {
+  SimNodeConfig node{};
+  net::SimLink::Options link{};
+  bool two_nodes{true};
+  /// Log mode of the initial primary: kMirror for the two-node system,
+  /// kDirectDisk or kOff for single-node configurations.
+  LogMode primary_log_mode{LogMode::kMirror};
+};
+
+class SimCluster {
+ public:
+  SimCluster(sim::Simulation& sim, SimClusterConfig config);
+
+  /// Populate both databases identically before start().
+  void populate(const std::function<void(storage::ObjectStore&,
+                                         storage::BPlusTree&)>& loader);
+
+  /// Bring the configured roles up.
+  void start();
+
+  /// Route a transaction to the serving node (kSystemAborted when none).
+  void submit(txn::TxnProgram program, SimNode::DoneFn done);
+
+  [[nodiscard]] SimNode& node_a() { return *node_a_; }
+  [[nodiscard]] SimNode& node_b() { return *node_b_; }
+  [[nodiscard]] SimNode* serving_node();
+  [[nodiscard]] net::SimLink* link() { return link_.get(); }
+
+  /// Crash a node (severs the link); the peer reacts per §2.
+  void fail_node(SimNode& node);
+  /// Restore the link and rejoin the node as Mirror.
+  void recover_node(SimNode& node);
+
+  /// Client-visible counters (merged node counters + routing rejections).
+  [[nodiscard]] TxnCounters counters() const;
+  /// Total time with no serving node so far.
+  [[nodiscard]] Duration total_downtime() const;
+  /// Last observed failover gap (failure -> peer serving), if any.
+  [[nodiscard]] std::optional<Duration> last_failover_gap() const {
+    return last_failover_gap_;
+  }
+
+ private:
+  void on_role_change(NodeRole role);
+
+  sim::Simulation& sim_;
+  SimClusterConfig config_;
+  std::unique_ptr<net::SimLink> link_;
+  std::unique_ptr<SimNode> node_a_;
+  std::unique_ptr<SimNode> node_b_;
+  TxnCounters routing_counters_;
+
+  std::optional<TimePoint> outage_start_;
+  Duration downtime_{Duration::zero()};
+  std::optional<Duration> last_failover_gap_;
+};
+
+}  // namespace rodain::simdb

@@ -1,0 +1,178 @@
+// A complete RODAIN node on the simulation timeline.
+//
+// This is the driver that turns the passive engine into the system of the
+// paper: a single preemptive-EDF CPU executes transaction steps, the
+// overload manager caps concurrent transactions, deadline expiry aborts firm
+// transactions, the Log Writer ships redo records to the Mirror Node (or to
+// the local simulated disk when alone), the watchdog detects peer failure,
+// and role transitions follow §2: the peer of a failed node serves alone,
+// and a recovered node always comes back as Mirror.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "rodain/common/stats.hpp"
+#include "rodain/engine/engine.hpp"
+#include "rodain/log/log_storage.hpp"
+#include "rodain/log/writer.hpp"
+#include "rodain/net/channel.hpp"
+#include "rodain/repl/mirror.hpp"
+#include "rodain/repl/primary.hpp"
+#include "rodain/sched/overload.hpp"
+#include "rodain/sched/reservation.hpp"
+#include "rodain/sim/cpu.hpp"
+#include "rodain/sim/simulation.hpp"
+
+namespace rodain::simdb {
+
+struct TxnResult {
+  TxnId id{kInvalidTxn};
+  TxnOutcome outcome{TxnOutcome::kCommitted};
+  bool late{false};  ///< committed, but after its deadline
+  TimePoint arrival{};
+  TimePoint finish{};
+  int restarts{0};
+};
+
+struct SimNodeConfig {
+  engine::EngineConfig engine{};
+  sched::OverloadConfig overload{};
+  /// CPU fraction reserved (on demand) for non-real-time transactions.
+  double nonrt_fraction{0.05};
+  /// False replaces the simulated disk with an instant in-memory sink —
+  /// the paper's Fig. 3 "disk writing turned off" configurations.
+  bool disk_enabled{true};
+  log::SimDiskLogStorage::Options disk{};
+  Duration heartbeat_interval{Duration::millis(50)};
+  Duration watchdog_timeout{Duration::millis(200)};
+  /// Activation delay between failure detection and serving as primary.
+  Duration takeover_activation{Duration::millis(1)};
+  std::size_t store_capacity_hint{30000};
+};
+
+class SimNode {
+ public:
+  using DoneFn = std::function<void(const TxnResult&)>;
+  using RoleChangeFn = std::function<void(NodeRole)>;
+
+  SimNode(sim::Simulation& sim, std::string name, NodeId id,
+          SimNodeConfig config);
+  ~SimNode();
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  /// Attach the channel toward the peer node (before starting a role).
+  void connect(net::Channel& channel) { channel_ = &channel; }
+  void set_role_change_handler(RoleChangeFn fn) { on_role_change_ = std::move(fn); }
+
+  // ---- lifecycle -------------------------------------------------------
+  /// Serve transactions. kMirror ships logs to the peer; kDirectDisk logs
+  /// locally before commit; kOff disables logging.
+  void start_as_primary(LogMode mode);
+  /// Maintain the database copy for the peer (fresh start, stores already
+  /// identical; the redo stream begins at `expected_next`).
+  void start_as_mirror(ValidationTs expected_next = 1);
+  /// Crash-stop. In-flight transactions die with kSystemAborted.
+  void fail();
+  /// Come back from a crash and rejoin as Mirror via snapshot + catch-up.
+  void recover_and_rejoin();
+
+  [[nodiscard]] NodeRole role() const { return role_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool serving() const {
+    return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
+  }
+
+  // ---- data ------------------------------------------------------------
+  [[nodiscard]] storage::ObjectStore& store() { return store_; }
+  [[nodiscard]] storage::BPlusTree& index() { return index_; }
+
+  // ---- client API ------------------------------------------------------
+  void submit(txn::TxnProgram program, DoneFn done);
+
+  /// Observe every finished transaction (with its full descriptor — read
+  /// sets, captured reads, timestamps) before it is destroyed. Used by the
+  /// serializability property tests and by telemetry.
+  using TxnObserver =
+      std::function<void(const txn::Transaction&, const TxnResult&)>;
+  void set_txn_observer(TxnObserver observer) { observer_ = std::move(observer); }
+
+  // ---- telemetry -------------------------------------------------------
+  [[nodiscard]] const TxnCounters& counters() const { return counters_; }
+  [[nodiscard]] const LatencyHistogram& commit_latency() const {
+    return commit_latency_;
+  }
+  [[nodiscard]] std::size_t active_txns() const { return active_.size(); }
+  [[nodiscard]] engine::Engine* engine() { return engine_.get(); }
+  [[nodiscard]] log::LogWriter* log_writer() { return log_writer_.get(); }
+  [[nodiscard]] log::LogStorage* disk() { return disk_.get(); }
+  [[nodiscard]] repl::MirrorService* mirror_service() { return mirror_.get(); }
+  [[nodiscard]] sim::SimCpu& cpu() { return cpu_; }
+  [[nodiscard]] sched::OverloadManager& overload() { return overload_; }
+
+ private:
+  struct Active {
+    std::unique_ptr<txn::Transaction> txn;
+    DoneFn done;
+    sim::SimCpu::JobId job{sim::SimCpu::kInvalidJob};
+    sim::EventId resume_event{sim::kInvalidEvent};
+    sim::EventId deadline_event{sim::kInvalidEvent};
+    bool late{false};
+    /// A resume (lock grant / log ack) arrived while the previous step's
+    /// CPU charge was still in flight; consume it in on_step_done.
+    bool pending_resume{false};
+  };
+
+  void build_log_writer(LogMode mode);
+  void build_engine(ValidationTs next_seq);
+  void become(NodeRole role);
+  void begin_takeover();
+  void schedule_heartbeat();
+  void heartbeat_tick();
+
+  void run_step(TxnId id);
+  void on_step_done(TxnId id, engine::StepAction action, Duration cost);
+  void schedule_resume(TxnId id);
+  void cancel_pending_work(Active& a);
+  void on_deadline(TxnId id);
+  void finish(TxnId id, TxnOutcome outcome);
+
+  [[nodiscard]] PriorityKey dispatch_key(const txn::Transaction& t);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  NodeId node_id_;
+  SimNodeConfig config_;
+
+  storage::ObjectStore store_;
+  storage::BPlusTree index_;
+  std::unique_ptr<log::LogStorage> disk_;
+  std::unique_ptr<log::LogWriter> log_writer_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<repl::PrimaryReplicator> replicator_;
+  std::unique_ptr<repl::MirrorService> mirror_;
+  net::Channel* channel_{nullptr};
+
+  sim::SimCpu cpu_;
+  sched::OverloadManager overload_;
+  sched::NonRtReservation reservation_;
+  NodeRole role_{NodeRole::kDown};
+  RoleChangeFn on_role_change_;
+  sim::EventId heartbeat_event_{sim::kInvalidEvent};
+  bool takeover_pending_{false};
+
+  std::unordered_map<TxnId, Active> active_;
+  /// Non-RT transactions whose current CPU job runs at background priority;
+  /// re-boosted in place when the reservation falls behind its share.
+  std::set<TxnId> nonrt_queued_;
+  TxnObserver observer_;
+  std::uint64_t next_local_txn_{1};
+  std::uint64_t admission_seq_{0};
+  TxnCounters counters_;
+  LatencyHistogram commit_latency_;
+};
+
+}  // namespace rodain::simdb

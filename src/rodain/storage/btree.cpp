@@ -1,0 +1,379 @@
+#include "rodain/storage/btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace rodain::storage {
+
+IndexKey IndexKey::from_string(std::string_view s) {
+  IndexKey k{};
+  const std::size_t n = std::min(s.size(), k.bytes.size());
+  std::memcpy(k.bytes.data(), s.data(), n);
+  return k;
+}
+
+IndexKey IndexKey::from_u64(std::uint64_t v) {
+  IndexKey k{};
+  for (int i = 0; i < 8; ++i) {
+    k.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * (7 - i))) & 0xff);
+  }
+  return k;
+}
+
+IndexKey IndexKey::max() {
+  IndexKey k{};
+  k.bytes.fill(0xff);
+  return k;
+}
+
+std::string IndexKey::to_string() const {
+  std::string s;
+  for (std::uint8_t b : bytes) {
+    if (b == 0) break;
+    if (b >= 0x20 && b < 0x7f) {
+      s.push_back(static_cast<char>(b));
+    } else {
+      char hex[5];
+      std::snprintf(hex, sizeof hex, "\\x%02x", b);
+      s += hex;
+    }
+  }
+  return s;
+}
+
+struct BPlusTree::Node {
+  bool leaf{true};
+  std::vector<IndexKey> keys;           // sorted
+  std::vector<ObjectId> values;         // leaf only, parallel to keys
+  std::vector<Node*> children;          // internal only, keys.size()+1
+  Node* next{nullptr};                  // leaf chain
+  Node* prev{nullptr};
+
+  [[nodiscard]] std::size_t count() const { return keys.size(); }
+};
+
+struct BPlusTree::InsertResult {
+  bool inserted{false};
+  Node* split_right{nullptr};  // non-null when the child split
+  IndexKey split_key{};        // separator to push up
+};
+
+namespace {
+constexpr std::size_t kMinKeys = BPlusTree::kOrder / 2;
+
+/// Index of the first key >= `key`.
+std::size_t lower_bound_in(const std::vector<IndexKey>& keys, const IndexKey& key) {
+  return static_cast<std::size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+/// Child slot to descend into for `key` in an internal node: keys act as
+/// separators, child[i] holds keys < keys[i]... child chosen as upper_bound.
+std::size_t child_slot(const std::vector<IndexKey>& keys, const IndexKey& key) {
+  return static_cast<std::size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+}  // namespace
+
+BPlusTree::BPlusTree() : root_(new Node{}) {}
+
+BPlusTree::~BPlusTree() { destroy(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& o) noexcept : root_(o.root_), size_(o.size_) {
+  o.root_ = new Node{};
+  o.size_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
+  if (this != &o) {
+    destroy(root_);
+    root_ = o.root_;
+    size_ = o.size_;
+    o.root_ = new Node{};
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::destroy(Node* n) {
+  if (!n) return;
+  if (!n->leaf) {
+    for (Node* c : n->children) destroy(c);
+  }
+  delete n;
+}
+
+BPlusTree::Node* BPlusTree::leaf_for(const IndexKey& key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[child_slot(n->keys, key)];
+  }
+  return n;
+}
+
+std::optional<ObjectId> BPlusTree::find(const IndexKey& key) const {
+  const Node* n = leaf_for(key);
+  const std::size_t i = lower_bound_in(n->keys, key);
+  if (i < n->count() && n->keys[i] == key) return n->values[i];
+  return std::nullopt;
+}
+
+bool BPlusTree::insert(const IndexKey& key, ObjectId value) {
+  InsertResult r = insert_rec(root_, key, value);
+  if (!r.inserted) return false;
+  if (r.split_right) {
+    auto* new_root = new Node{};
+    new_root->leaf = false;
+    new_root->keys.push_back(r.split_key);
+    new_root->children = {root_, r.split_right};
+    root_ = new_root;
+  }
+  ++size_;
+  return true;
+}
+
+BPlusTree::InsertResult BPlusTree::insert_rec(Node* n, const IndexKey& key,
+                                              ObjectId value) {
+  if (n->leaf) {
+    const std::size_t i = lower_bound_in(n->keys, key);
+    if (i < n->count() && n->keys[i] == key) return {};  // duplicate
+    n->keys.insert(n->keys.begin() + static_cast<std::ptrdiff_t>(i), key);
+    n->values.insert(n->values.begin() + static_cast<std::ptrdiff_t>(i), value);
+    if (n->count() <= kOrder) return {true, nullptr, {}};
+
+    // Split the leaf: right half moves to a new node; separator is the
+    // first key of the right node (B+ convention: it stays in the leaf).
+    auto* right = new Node{};
+    const std::size_t mid = n->count() / 2;
+    right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid), n->keys.end());
+    right->values.assign(n->values.begin() + static_cast<std::ptrdiff_t>(mid), n->values.end());
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    right->next = n->next;
+    right->prev = n;
+    if (n->next) n->next->prev = right;
+    n->next = right;
+    return {true, right, right->keys.front()};
+  }
+
+  const std::size_t slot = child_slot(n->keys, key);
+  InsertResult r = insert_rec(n->children[slot], key, value);
+  if (!r.inserted || !r.split_right) return r;
+
+  n->keys.insert(n->keys.begin() + static_cast<std::ptrdiff_t>(slot), r.split_key);
+  n->children.insert(n->children.begin() + static_cast<std::ptrdiff_t>(slot) + 1,
+                     r.split_right);
+  if (n->count() <= kOrder) return {true, nullptr, {}};
+
+  // Split the internal node: the middle key moves up (it does NOT stay).
+  auto* right = new Node{};
+  right->leaf = false;
+  const std::size_t mid = n->count() / 2;
+  const IndexKey up = n->keys[mid];
+  right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1, n->keys.end());
+  right->children.assign(n->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                         n->children.end());
+  n->keys.resize(mid);
+  n->children.resize(mid + 1);
+  return {true, right, up};
+}
+
+bool BPlusTree::update(const IndexKey& key, ObjectId value) {
+  Node* n = leaf_for(key);
+  const std::size_t i = lower_bound_in(n->keys, key);
+  if (i < n->count() && n->keys[i] == key) {
+    n->values[i] = value;
+    return true;
+  }
+  return false;
+}
+
+bool BPlusTree::erase(const IndexKey& key) {
+  if (!erase_rec(root_, key)) return false;
+  if (!root_->leaf && root_->count() == 0) {
+    Node* old = root_;
+    root_ = root_->children[0];
+    old->children.clear();
+    delete old;
+  }
+  --size_;
+  return true;
+}
+
+bool BPlusTree::erase_rec(Node* n, const IndexKey& key) {
+  if (n->leaf) {
+    const std::size_t i = lower_bound_in(n->keys, key);
+    if (i >= n->count() || !(n->keys[i] == key)) return false;
+    n->keys.erase(n->keys.begin() + static_cast<std::ptrdiff_t>(i));
+    n->values.erase(n->values.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  const std::size_t slot = child_slot(n->keys, key);
+  if (!erase_rec(n->children[slot], key)) return false;
+  if (n->children[slot]->count() < kMinKeys) rebalance_child(n, slot);
+  return true;
+}
+
+void BPlusTree::rebalance_child(Node* parent, std::size_t idx) {
+  Node* child = parent->children[idx];
+
+  // Try borrowing from the left sibling.
+  if (idx > 0) {
+    Node* left = parent->children[idx - 1];
+    if (left->count() > kMinKeys) {
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(), left->values.back());
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[idx - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(), parent->keys[idx - 1]);
+        parent->keys[idx - 1] = left->keys.back();
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(), left->children.back());
+        left->children.pop_back();
+      }
+      return;
+    }
+  }
+
+  // Try borrowing from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    Node* right = parent->children[idx + 1];
+    if (right->count() > kMinKeys) {
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(right->values.front());
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[idx] = right->keys.front();
+      } else {
+        child->keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+      }
+      return;
+    }
+  }
+
+  // Merge with a sibling. Normalize so we merge `right` into `left`.
+  std::size_t li = idx > 0 ? idx - 1 : idx;
+  Node* left = parent->children[li];
+  Node* right = parent->children[li + 1];
+  if (left->leaf) {
+    left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+    left->values.insert(left->values.end(), right->values.begin(), right->values.end());
+    left->next = right->next;
+    if (right->next) right->next->prev = left;
+  } else {
+    left->keys.push_back(parent->keys[li]);
+    left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+    left->children.insert(left->children.end(), right->children.begin(),
+                          right->children.end());
+    right->children.clear();
+  }
+  parent->keys.erase(parent->keys.begin() + static_cast<std::ptrdiff_t>(li));
+  parent->children.erase(parent->children.begin() + static_cast<std::ptrdiff_t>(li) + 1);
+  delete right;
+}
+
+void BPlusTree::range_scan(
+    const IndexKey& lo, const IndexKey& hi,
+    const std::function<bool(const IndexKey&, ObjectId)>& fn) const {
+  const Node* n = leaf_for(lo);
+  std::size_t i = lower_bound_in(n->keys, lo);
+  while (n) {
+    for (; i < n->count(); ++i) {
+      if (hi < n->keys[i]) return;
+      if (!fn(n->keys[i], n->values[i])) return;
+    }
+    n = n->next;
+    i = 0;
+  }
+}
+
+std::size_t BPlusTree::height() const {
+  std::size_t h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[0];
+    ++h;
+  }
+  return h;
+}
+
+Status BPlusTree::validate() const {
+  std::size_t leaf_depth = height();
+  if (auto s = validate_rec(root_, nullptr, nullptr, 1, leaf_depth); !s) return s;
+
+  // Leaf chain must enumerate exactly size() entries in strict key order.
+  const Node* n = root_;
+  while (!n->leaf) n = n->children[0];
+  std::size_t seen = 0;
+  const IndexKey* prev = nullptr;
+  const Node* prev_leaf = nullptr;
+  while (n) {
+    if (n->prev != prev_leaf) {
+      return Status::error(ErrorCode::kInternal, "leaf prev link broken");
+    }
+    for (const IndexKey& k : n->keys) {
+      if (prev && !(*prev < k)) {
+        return Status::error(ErrorCode::kInternal, "leaf chain out of order");
+      }
+      prev = &k;
+      ++seen;
+    }
+    prev_leaf = n;
+    n = n->next;
+  }
+  if (seen != size_) {
+    return Status::error(ErrorCode::kInternal, "size mismatch with leaf chain");
+  }
+  return Status::ok();
+}
+
+Status BPlusTree::validate_rec(const Node* n, const IndexKey* lo,
+                               const IndexKey* hi, std::size_t depth,
+                               std::size_t leaf_depth) const {
+  if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
+    return Status::error(ErrorCode::kInternal, "node keys unsorted");
+  }
+  for (const IndexKey& k : n->keys) {
+    if (lo && k < *lo) return Status::error(ErrorCode::kInternal, "key below bound");
+    if (hi && !(k < *hi)) return Status::error(ErrorCode::kInternal, "key above bound");
+  }
+  if (n != root_ && n->count() < kMinKeys) {
+    return Status::error(ErrorCode::kInternal, "node underfull");
+  }
+  if (n->count() > kOrder) {
+    return Status::error(ErrorCode::kInternal, "node overfull");
+  }
+  if (n->leaf) {
+    if (depth != leaf_depth) {
+      return Status::error(ErrorCode::kInternal, "leaves at unequal depth");
+    }
+    if (n->values.size() != n->keys.size()) {
+      return Status::error(ErrorCode::kInternal, "leaf arity mismatch");
+    }
+    return Status::ok();
+  }
+  if (n->children.size() != n->keys.size() + 1) {
+    return Status::error(ErrorCode::kInternal, "internal arity mismatch");
+  }
+  for (std::size_t i = 0; i < n->children.size(); ++i) {
+    const IndexKey* clo = i == 0 ? lo : &n->keys[i - 1];
+    const IndexKey* chi = i == n->keys.size() ? hi : &n->keys[i];
+    if (auto s = validate_rec(n->children[i], clo, chi, depth + 1, leaf_depth); !s) {
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace rodain::storage

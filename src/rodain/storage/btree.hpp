@@ -1,0 +1,86 @@
+// B+-tree secondary index.
+//
+// The number-translation workload looks up subscriber records by dialled
+// digit string; the tree maps fixed-width 16-byte keys (zero-padded numbers)
+// to ObjectIds, with linked leaves for range scans (prefix enumeration of a
+// number block). Classic order-B design: split on overflow, borrow/merge on
+// underflow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rodain/common/status.hpp"
+#include "rodain/common/types.hpp"
+
+namespace rodain::storage {
+
+/// Fixed-width index key: lexicographically compared 16 bytes.
+struct IndexKey {
+  std::array<std::uint8_t, 16> bytes{};
+
+  [[nodiscard]] static IndexKey from_string(std::string_view s);
+  [[nodiscard]] static IndexKey from_u64(std::uint64_t v);  ///< big-endian
+  [[nodiscard]] static IndexKey min() { return IndexKey{}; }
+  [[nodiscard]] static IndexKey max();
+
+  [[nodiscard]] std::string to_string() const;  ///< printable prefix
+
+  auto operator<=>(const IndexKey&) const = default;
+};
+
+class BPlusTree {
+ public:
+  static constexpr std::size_t kOrder = 32;  // max keys per node
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&& o) noexcept;
+  BPlusTree& operator=(BPlusTree&& o) noexcept;
+
+  /// Insert; returns false (tree unchanged) when the key already exists.
+  bool insert(const IndexKey& key, ObjectId value);
+
+  /// Replace the value of an existing key; false if absent.
+  bool update(const IndexKey& key, ObjectId value);
+
+  [[nodiscard]] std::optional<ObjectId> find(const IndexKey& key) const;
+
+  bool erase(const IndexKey& key);
+
+  /// Visit entries with lo <= key <= hi in key order; stop early when the
+  /// visitor returns false.
+  void range_scan(const IndexKey& lo, const IndexKey& hi,
+                  const std::function<bool(const IndexKey&, ObjectId)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t height() const;
+
+  /// Check every structural invariant (key order, fill factors, leaf links,
+  /// separator correctness). Test/debug aid; O(n).
+  [[nodiscard]] Status validate() const;
+
+ private:
+  struct Node;
+  struct InsertResult;
+
+  Node* leaf_for(const IndexKey& key) const;
+  InsertResult insert_rec(Node* n, const IndexKey& key, ObjectId value);
+  bool erase_rec(Node* n, const IndexKey& key);
+  void rebalance_child(Node* parent, std::size_t idx);
+  static void destroy(Node* n);
+  Status validate_rec(const Node* n, const IndexKey* lo, const IndexKey* hi,
+                      std::size_t depth, std::size_t leaf_depth) const;
+
+  Node* root_{nullptr};
+  std::size_t size_{0};
+};
+
+}  // namespace rodain::storage

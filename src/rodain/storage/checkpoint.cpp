@@ -1,0 +1,136 @@
+#include "rodain/storage/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+namespace rodain::storage {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x31544b4344'4f52ULL;  // "ROD CKT1"-ish tag
+constexpr std::uint32_t kVersion = 2;  // v2 adds the optional index section
+}  // namespace
+
+void encode_checkpoint(const ObjectStore& store, ValidationTs last_applied,
+                       ByteWriter& out, const BPlusTree* index) {
+  const std::size_t body_start = out.size();
+  out.put_u64(kMagic);
+  out.put_u32(kVersion);
+  out.put_u64(last_applied);
+  out.put_u64(store.live_size());  // tombstones are compacted away
+  store.for_each([&](ObjectId id, const ObjectRecord& rec) {
+    if (rec.deleted) return;
+    out.put_u64(id);
+    out.put_u64(rec.wts);
+    out.put_bytes(rec.value.view());
+  });
+  out.put_varint(index ? index->size() : 0);
+  if (index) {
+    index->range_scan(IndexKey::min(), IndexKey::max(),
+                      [&](const IndexKey& key, ObjectId oid) {
+                        out.put_raw(std::as_bytes(std::span{key.bytes}));
+                        out.put_varint(oid);
+                        return true;
+                      });
+  }
+  const auto body = out.view().subspan(body_start);
+  out.put_u32(crc32c(body));
+}
+
+Result<CheckpointMeta> decode_checkpoint(std::span<const std::byte> data,
+                                         ObjectStore& store,
+                                         BPlusTree* index) {
+  if (data.size() < 4) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint too short");
+  }
+  const auto body = data.subspan(0, data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(body) != expect) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint CRC mismatch");
+  }
+
+  ByteReader r(body);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  CheckpointMeta meta;
+  if (auto s = r.get_u64(magic); !s) return s;
+  if (magic != kMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad checkpoint magic");
+  }
+  if (auto s = r.get_u32(version); !s) return s;
+  if (version != 1 && version != kVersion) {
+    return Status::error(ErrorCode::kCorruption, "unsupported checkpoint version");
+  }
+  if (auto s = r.get_u64(meta.last_applied); !s) return s;
+  if (auto s = r.get_u64(meta.object_count); !s) return s;
+
+  store.clear();
+  if (index) *index = BPlusTree{};
+  for (std::uint64_t i = 0; i < meta.object_count; ++i) {
+    std::uint64_t id = 0;
+    std::uint64_t wts = 0;
+    std::vector<std::byte> value;
+    if (auto s = r.get_u64(id); !s) return s;
+    if (auto s = r.get_u64(wts); !s) return s;
+    if (auto s = r.get_bytes(value); !s) return s;
+    store.upsert(id, Value{std::span<const std::byte>{value}}, wts);
+  }
+  if (version >= 2) {
+    std::uint64_t index_count = 0;
+    if (auto s = r.get_varint(index_count); !s) return s;
+    for (std::uint64_t i = 0; i < index_count; ++i) {
+      IndexKey key;
+      std::span<const std::byte> raw;
+      std::uint64_t oid = 0;
+      if (auto s = r.get_raw(key.bytes.size(), raw); !s) return s;
+      std::memcpy(key.bytes.data(), raw.data(), raw.size());
+      if (auto s = r.get_varint(oid); !s) return s;
+      if (index) index->insert(key, oid);
+    }
+  }
+  if (!r.at_end()) {
+    return Status::error(ErrorCode::kCorruption, "trailing checkpoint bytes");
+  }
+  return meta;
+}
+
+Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,
+                             const std::string& path, const BPlusTree* index) {
+  ByteWriter w(store.size() * 80 + 64);
+  encode_checkpoint(store, last_applied, w, index);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return Status::error(ErrorCode::kIoError, "cannot open " + tmp);
+  const auto view = w.view();
+  const bool ok =
+      std::fwrite(view.data(), 1, view.size(), f) == view.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::error(ErrorCode::kIoError, "short checkpoint write");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::error(ErrorCode::kIoError, "rename: " + ec.message());
+  return Status::ok();
+}
+
+Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
+                                            ObjectStore& store,
+                                            BPlusTree* index) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> buf(static_cast<std::size_t>(len < 0 ? 0 : len));
+  const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kIoError, "short checkpoint read");
+  return decode_checkpoint(buf, store, index);
+}
+
+}  // namespace rodain::storage

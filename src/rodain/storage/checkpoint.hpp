@@ -1,0 +1,47 @@
+// Whole-database checkpoints.
+//
+// Two consumers: (1) the disk backup a lone node recovers from ("recover
+// from the backup on the disk", paper §4), and (2) snapshot shipping when a
+// recovered node rejoins as Mirror and needs the current database copy
+// before log catch-up. Both use the same CRC-protected encoding; only the
+// sink differs (file vs. network chunks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "rodain/common/serialization.hpp"
+#include "rodain/common/status.hpp"
+#include "rodain/common/types.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::storage {
+
+struct CheckpointMeta {
+  ValidationTs last_applied{0};  ///< every txn with ts <= this is included
+  std::uint64_t object_count{0};
+};
+
+/// Serialize the full store, and optionally the secondary index (so a
+/// cold start or a joining mirror rebuilds both). `last_applied` is the
+/// validation-timestamp high-water mark the snapshot is consistent with.
+void encode_checkpoint(const ObjectStore& store, ValidationTs last_applied,
+                       ByteWriter& out, const BPlusTree* index = nullptr);
+
+/// Rebuild `store` (cleared first) — and `index`, when provided and the
+/// checkpoint carries an index section — from an encoded checkpoint.
+Result<CheckpointMeta> decode_checkpoint(std::span<const std::byte> data,
+                                         ObjectStore& store,
+                                         BPlusTree* index = nullptr);
+
+/// File convenience wrappers (atomic via write-to-temp + rename).
+Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,
+                             const std::string& path,
+                             const BPlusTree* index = nullptr);
+Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
+                                            ObjectStore& store,
+                                            BPlusTree* index = nullptr);
+
+}  // namespace rodain::storage

@@ -1,0 +1,161 @@
+#include "rodain/storage/object_store.hpp"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace rodain::storage {
+
+namespace {
+std::size_t next_pow2(std::size_t n) {
+  return std::bit_ceil(n < 16 ? std::size_t{16} : n);
+}
+}  // namespace
+
+ObjectStore::ObjectStore(std::size_t expected_objects) {
+  slots_.resize(next_pow2(expected_objects * 2));
+}
+
+std::size_t ObjectStore::hash_of(ObjectId id) {
+  // Fibonacci/xor-fold mix; ObjectIds are often sequential.
+  std::uint64_t x = id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+Status ObjectStore::insert(ObjectId id, Value value) {
+  if (locate(id) != nullptr) {
+    return Status::error(ErrorCode::kAlreadyExists, "object id taken");
+  }
+  ObjectRecord rec;
+  rec.value = std::move(value);
+  insert_internal(id, std::move(rec));
+  return Status::ok();
+}
+
+ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
+  if (Slot* s = locate(id)) {
+    s->record.value = std::move(value);
+    if (wts > s->record.wts) s->record.wts = wts;
+    if (s->record.deleted) {
+      s->record.deleted = false;  // revived
+      --tombstones_;
+    }
+    return s->record;
+  }
+  ObjectRecord rec;
+  rec.value = std::move(value);
+  rec.wts = wts;
+  return insert_internal(id, std::move(rec));
+}
+
+ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
+  if (Slot* s = locate(id)) {
+    s->record.value.clear();
+    if (wts > s->record.wts) s->record.wts = wts;
+    if (!s->record.deleted) {
+      s->record.deleted = true;
+      ++tombstones_;
+    }
+    return s->record;
+  }
+  ObjectRecord rec;
+  rec.wts = wts;
+  rec.deleted = true;
+  ++tombstones_;
+  return insert_internal(id, std::move(rec));
+}
+
+const ObjectRecord* ObjectStore::find(ObjectId id) const {
+  const Slot* s = locate(id);
+  return s ? &s->record : nullptr;
+}
+
+ObjectRecord* ObjectStore::find_mutable(ObjectId id) {
+  Slot* s = locate(id);
+  return s ? &s->record : nullptr;
+}
+
+bool ObjectStore::erase(ObjectId id) {
+  Slot* s = locate(id);
+  if (!s) return false;
+  if (s->record.deleted) --tombstones_;
+  // Backward-shift deletion keeps probe sequences contiguous.
+  std::size_t i = static_cast<std::size_t>(s - slots_.data());
+  while (true) {
+    std::size_t next = (i + 1) & mask();
+    if (slots_[next].probe <= 1) break;
+    slots_[i] = std::move(slots_[next]);
+    --slots_[i].probe;
+    i = next;
+  }
+  slots_[i] = Slot{};
+  --size_;
+  return true;
+}
+
+void ObjectStore::for_each(
+    const std::function<void(ObjectId, const ObjectRecord&)>& fn) const {
+  for (const Slot& s : slots_) {
+    if (s.probe != 0) fn(s.id, s.record);
+  }
+}
+
+void ObjectStore::clear() {
+  for (Slot& s : slots_) s = Slot{};
+  size_ = 0;
+  tombstones_ = 0;
+}
+
+void ObjectStore::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.clear();
+  slots_.resize(old.size() * 2);
+  size_ = 0;
+  for (Slot& s : old) {
+    if (s.probe != 0) insert_internal(s.id, std::move(s.record));
+  }
+}
+
+ObjectStore::Slot* ObjectStore::locate(ObjectId id) {
+  std::size_t i = hash_of(id) & mask();
+  std::uint32_t probe = 1;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.probe == 0 || s.probe < probe) return nullptr;
+    if (s.id == id) return &s;
+    i = (i + 1) & mask();
+    ++probe;
+  }
+}
+
+const ObjectStore::Slot* ObjectStore::locate(ObjectId id) const {
+  return const_cast<ObjectStore*>(this)->locate(id);
+}
+
+ObjectRecord& ObjectStore::insert_internal(ObjectId id, ObjectRecord record) {
+  if ((size_ + 1) * 10 >= slots_.size() * 9) grow();  // keep load < 0.9
+  std::size_t i = hash_of(id) & mask();
+  Slot incoming;
+  incoming.id = id;
+  incoming.probe = 1;
+  incoming.record = std::move(record);
+  ObjectRecord* inserted = nullptr;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.probe == 0) {
+      s = std::move(incoming);
+      ++size_;
+      return inserted ? *inserted : s.record;
+    }
+    if (s.probe < incoming.probe) {
+      std::swap(s, incoming);
+      if (!inserted) inserted = &s.record;
+    }
+    i = (i + 1) & mask();
+    ++incoming.probe;
+  }
+}
+
+}  // namespace rodain::storage

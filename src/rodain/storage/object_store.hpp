@@ -1,0 +1,95 @@
+// The main-memory object store: a robin-hood open-addressing table mapping
+// ObjectId to the object's payload plus the OCC timestamps (largest committed
+// reader / writer) the concurrency controllers consult at validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rodain/common/status.hpp"
+#include "rodain/common/types.hpp"
+#include "rodain/storage/value.hpp"
+
+namespace rodain::storage {
+
+/// One stored object. `rts`/`wts` are the largest validation timestamps of
+/// committed readers/writers — the state OCC-TI/OCC-DATI intervals are
+/// computed against. Deleted objects stay as tombstones (`deleted`, empty
+/// value) so that a later reader still observes the deleter's `wts` and the
+/// serialization intervals remain sound; garbage collection of tombstones
+/// is an offline concern (compaction drops them).
+struct ObjectRecord {
+  Value value;
+  ValidationTs rts{0};
+  ValidationTs wts{0};
+  bool deleted{false};
+
+  [[nodiscard]] bool live() const { return !deleted; }
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(std::size_t expected_objects = 1024);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+  ObjectStore(ObjectStore&&) = default;
+  ObjectStore& operator=(ObjectStore&&) = default;
+
+  /// Insert a new object; fails with kAlreadyExists if the id is taken.
+  Status insert(ObjectId id, Value value);
+
+  /// Insert or overwrite (used by the mirror applier and recovery, which
+  /// replay after-images without knowing whether the object pre-existed).
+  /// Revives tombstones.
+  ObjectRecord& upsert(ObjectId id, Value value, ValidationTs wts);
+
+  /// Transactional delete: the record becomes a tombstone that keeps its
+  /// timestamps (and records the deleter's `wts`). Creates the tombstone if
+  /// the object never existed, so the deletion is still observable.
+  ObjectRecord& tombstone(ObjectId id, ValidationTs wts);
+
+  /// Objects with live (non-tombstoned) content.
+  [[nodiscard]] std::size_t live_size() const { return size_ - tombstones_; }
+  [[nodiscard]] std::size_t tombstone_count() const { return tombstones_; }
+
+  /// Lookup; nullptr when absent.
+  [[nodiscard]] const ObjectRecord* find(ObjectId id) const;
+  [[nodiscard]] ObjectRecord* find_mutable(ObjectId id);
+
+  bool erase(ObjectId id);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visit every live object (iteration order is unspecified but stable
+  /// between mutations). Used by checkpointing and snapshot shipping.
+  void for_each(const std::function<void(ObjectId, const ObjectRecord&)>& fn) const;
+
+  /// Remove everything (recovery restart).
+  void clear();
+
+  /// Table load factor diagnostics.
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    ObjectId id{kInvalidObject};
+    std::uint32_t probe{0};  // probe-sequence length + 1; 0 == empty
+    ObjectRecord record;
+  };
+
+  [[nodiscard]] static std::size_t hash_of(ObjectId id);
+  [[nodiscard]] std::size_t mask() const { return slots_.size() - 1; }
+  void grow();
+  Slot* locate(ObjectId id);
+  [[nodiscard]] const Slot* locate(ObjectId id) const;
+  ObjectRecord& insert_internal(ObjectId id, ObjectRecord record);
+
+  std::vector<Slot> slots_;
+  std::size_t size_{0};
+  std::size_t tombstones_{0};
+};
+
+}  // namespace rodain::storage

@@ -1,0 +1,64 @@
+#include "rodain/storage/value.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace rodain::storage {
+
+void Value::assign(std::span<const std::byte> bytes) {
+  if (bytes.size() <= kInlineCapacity) {
+    // Copy through a temporary so self-referencing assigns are safe.
+    std::byte tmp[kInlineCapacity];
+    std::memcpy(tmp, bytes.data(), bytes.size());
+    release();
+    size_ = bytes.size();
+    std::memcpy(inline_, tmp, bytes.size());
+    return;
+  }
+  auto* p = new std::byte[bytes.size()];
+  std::memcpy(p, bytes.data(), bytes.size());
+  release();
+  size_ = bytes.size();
+  heap_ = p;
+}
+
+void Value::release() {
+  if (!is_inline()) delete[] heap_;
+}
+
+void Value::move_from(Value& o) noexcept {
+  size_ = o.size_;
+  if (o.is_inline()) {
+    std::memcpy(inline_, o.inline_, o.size_);
+  } else {
+    heap_ = o.heap_;
+    o.heap_ = nullptr;
+    o.size_ = 0;
+  }
+}
+
+std::uint64_t Value::read_u64(std::size_t offset) const {
+  assert(offset + 8 <= size_);
+  if (offset + 8 > size_) return 0;  // defensive in release builds
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(data()[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void Value::write_u64(std::size_t offset, std::uint64_t v) {
+  if (offset + 8 > size_) {
+    // Grow zero-filled so counter fields can live in short objects.
+    std::vector<std::byte> grown(offset + 8);
+    std::memcpy(grown.data(), data(), size_);
+    assign(std::span<const std::byte>{grown});
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    data()[offset + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace rodain::storage

@@ -1,0 +1,81 @@
+// Small-buffer byte string for object payloads.
+//
+// Telecom records (routing entries, service profiles) are tens of bytes;
+// keeping them inline avoids a heap allocation per object and per deferred
+// write-set copy, which matters when every update transaction clones its
+// objects (deferred write, paper §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace rodain::storage {
+
+class Value {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  Value() = default;
+  explicit Value(std::span<const std::byte> bytes) { assign(bytes); }
+  explicit Value(std::string_view s) {
+    assign(std::as_bytes(std::span{s.data(), s.size()}));
+  }
+
+  Value(const Value& o) { assign(o.view()); }
+  Value& operator=(const Value& o) {
+    if (this != &o) assign(o.view());
+    return *this;
+  }
+  Value(Value&& o) noexcept { move_from(o); }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~Value() { release(); }
+
+  void assign(std::span<const std::byte> bytes);
+  void clear() {
+    release();
+    size_ = 0;
+    heap_ = nullptr;
+  }
+
+  [[nodiscard]] std::span<const std::byte> view() const {
+    return {data(), size_};
+  }
+  [[nodiscard]] std::span<std::byte> mutable_view() { return {data(), size_}; }
+  [[nodiscard]] const std::byte* data() const {
+    return is_inline() ? inline_ : heap_;
+  }
+  [[nodiscard]] std::byte* data() { return is_inline() ? inline_ : heap_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool is_inline() const { return size_ <= kInlineCapacity; }
+
+  /// Read/write a little-endian u64 at a byte offset (for counter fields).
+  [[nodiscard]] std::uint64_t read_u64(std::size_t offset) const;
+  void write_u64(std::size_t offset, std::uint64_t v);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_) == 0;
+  }
+
+ private:
+  void release();
+  void move_from(Value& o) noexcept;
+
+  std::size_t size_{0};
+  union {
+    std::byte inline_[kInlineCapacity];
+    std::byte* heap_;
+  };
+};
+
+}  // namespace rodain::storage

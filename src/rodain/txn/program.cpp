@@ -1,0 +1,97 @@
+#include "rodain/txn/program.hpp"
+
+namespace rodain::txn {
+
+std::size_t TxnProgram::num_updates() const {
+  std::size_t n = 0;
+  for (const Op& op : ops) {
+    n += std::holds_alternative<UpdateOp>(op) ||
+         std::holds_alternative<InsertOp>(op) ||
+         std::holds_alternative<DeleteOp>(op);
+  }
+  return n;
+}
+
+std::size_t TxnProgram::num_reads() const {
+  std::size_t n = 0;
+  for (const Op& op : ops) {
+    n += std::holds_alternative<ReadOp>(op) || std::holds_alternative<ReadKeyOp>(op);
+  }
+  return n;
+}
+
+TxnProgram& TxnProgram::read(ObjectId oid) {
+  ops.emplace_back(ReadOp{oid});
+  return *this;
+}
+
+TxnProgram& TxnProgram::read_key(const storage::IndexKey& key) {
+  ops.emplace_back(ReadKeyOp{key});
+  return *this;
+}
+
+TxnProgram& TxnProgram::set_value(ObjectId oid, storage::Value v) {
+  UpdateOp op;
+  op.oid = oid;
+  op.kind = UpdateOp::Kind::kSetValue;
+  op.value = std::move(v);
+  ops.emplace_back(std::move(op));
+  return *this;
+}
+
+TxnProgram& TxnProgram::add_to_field(ObjectId oid, std::uint32_t offset,
+                                     std::uint64_t delta) {
+  UpdateOp op;
+  op.oid = oid;
+  op.kind = UpdateOp::Kind::kAddToField;
+  op.delta = delta;
+  op.field_offset = offset;
+  ops.emplace_back(std::move(op));
+  return *this;
+}
+
+TxnProgram& TxnProgram::insert(ObjectId oid, storage::Value v) {
+  InsertOp op;
+  op.oid = oid;
+  op.value = std::move(v);
+  ops.emplace_back(std::move(op));
+  return *this;
+}
+
+TxnProgram& TxnProgram::insert(ObjectId oid, const storage::IndexKey& key,
+                               storage::Value v) {
+  InsertOp op;
+  op.oid = oid;
+  op.value = std::move(v);
+  op.has_key = true;
+  op.key = key;
+  ops.emplace_back(std::move(op));
+  return *this;
+}
+
+TxnProgram& TxnProgram::erase(ObjectId oid) {
+  ops.emplace_back(DeleteOp{oid, false, {}});
+  return *this;
+}
+
+TxnProgram& TxnProgram::erase(ObjectId oid, const storage::IndexKey& key) {
+  ops.emplace_back(DeleteOp{oid, true, key});
+  return *this;
+}
+
+TxnProgram& TxnProgram::compute(Duration cost) {
+  ops.emplace_back(ComputeOp{cost});
+  return *this;
+}
+
+TxnProgram& TxnProgram::with_deadline(Duration d) {
+  relative_deadline = d;
+  return *this;
+}
+
+TxnProgram& TxnProgram::with_criticality(Criticality c) {
+  criticality = c;
+  return *this;
+}
+
+}  // namespace rodain::txn

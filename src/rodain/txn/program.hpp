@@ -1,0 +1,97 @@
+// Transactions as replayable programs.
+//
+// The paper's workload arrives through an interface process replaying an
+// off-line generated test file (§4), so transactions must be value objects:
+// a sequence of operations that can be generated, serialized into a trace,
+// scheduled, preempted, restarted after a concurrency-control abort, and
+// re-executed deterministically. Closure-style transactions (arbitrary C++
+// lambdas) are offered by the embedded facade on top of this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rodain/common/time.hpp"
+#include "rodain/common/types.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/value.hpp"
+
+namespace rodain::txn {
+
+/// Read an object by id.
+struct ReadOp {
+  ObjectId oid{kInvalidObject};
+};
+
+/// Look an object id up in the secondary index by key, then read it.
+struct ReadKeyOp {
+  storage::IndexKey key;
+};
+
+/// Deferred update of an object (applied to the private copy; installed
+/// only after validation, paper §2).
+struct UpdateOp {
+  enum class Kind : std::uint8_t {
+    kSetValue = 0,    ///< replace the whole payload with `value`
+    kAddToField = 1,  ///< 64-bit add of `delta` at byte `field_offset`
+  };
+  ObjectId oid{kInvalidObject};
+  Kind kind{Kind::kSetValue};
+  storage::Value value;           // kSetValue payload
+  std::uint64_t delta{0};         // kAddToField amount
+  std::uint32_t field_offset{0};  // kAddToField position
+};
+
+/// Create (or overwrite) an object, optionally registering a secondary-index
+/// entry — subscriber provisioning. The index entry travels with the redo
+/// record so the mirror and recovery maintain the index too.
+struct InsertOp {
+  ObjectId oid{kInvalidObject};
+  storage::Value value;
+  bool has_key{false};
+  storage::IndexKey key{};
+};
+
+/// Delete an object (tombstoned in the store so concurrency control stays
+/// sound), optionally dropping its secondary-index entry.
+struct DeleteOp {
+  ObjectId oid{kInvalidObject};
+  bool has_key{false};
+  storage::IndexKey key{};
+};
+
+/// Pure CPU work (service logic between data accesses).
+struct ComputeOp {
+  Duration cost{Duration::zero()};
+};
+
+using Op = std::variant<ReadOp, ReadKeyOp, UpdateOp, InsertOp, DeleteOp, ComputeOp>;
+
+/// A complete transaction: operations plus its real-time attributes
+/// (criticality and relative deadline — "attributes like criticality and
+/// deadline that are used in their scheduling", paper §2).
+struct TxnProgram {
+  std::vector<Op> ops;
+  Criticality criticality{Criticality::kFirm};
+  Duration relative_deadline{Duration::millis(50)};
+
+  [[nodiscard]] std::size_t num_updates() const;
+  [[nodiscard]] std::size_t num_reads() const;  ///< ReadOp + ReadKeyOp
+
+  // Fluent builders used by workload generators and examples.
+  TxnProgram& read(ObjectId oid);
+  TxnProgram& read_key(const storage::IndexKey& key);
+  TxnProgram& set_value(ObjectId oid, storage::Value v);
+  TxnProgram& add_to_field(ObjectId oid, std::uint32_t offset, std::uint64_t delta);
+  TxnProgram& insert(ObjectId oid, storage::Value v);
+  TxnProgram& insert(ObjectId oid, const storage::IndexKey& key, storage::Value v);
+  TxnProgram& erase(ObjectId oid);
+  TxnProgram& erase(ObjectId oid, const storage::IndexKey& key);
+  TxnProgram& compute(Duration cost);
+  TxnProgram& with_deadline(Duration d);
+  TxnProgram& with_criticality(Criticality c);
+};
+
+}  // namespace rodain::txn

@@ -1,0 +1,106 @@
+// The paper's experimental setup (§4) as ready-made configurations.
+//
+// Hardware substitution (DESIGN.md): per-operation CPU costs are calibrated
+// so that the pure transaction mix saturates a single simulated CPU at the
+// 200–300 txn/s knee the paper reports for its Pentium Pro 200 MHz node,
+// the LAN costs one ~1 ms round trip on the commit path, and the log disk
+// behaves like a late-1990s drive (~8 ms per synchronous write).
+#pragma once
+
+#include "rodain/engine/engine.hpp"
+#include "rodain/simdb/sim_cluster.hpp"
+#include "rodain/workload/number_translation.hpp"
+
+namespace rodain::workload {
+
+struct PaperSetup {
+  /// 30 000-object number-translation database.
+  [[nodiscard]] static DatabaseConfig database() {
+    DatabaseConfig d;
+    d.num_objects = 30000;
+    return d;
+  }
+
+  /// The §4 transaction mix at a given update-transaction share.
+  [[nodiscard]] static WorkloadConfig workload(double write_fraction) {
+    WorkloadConfig w;
+    w.write_fraction = write_fraction;
+    w.reads_per_txn = 4;
+    w.updates_per_txn = 2;
+    w.read_deadline = Duration::millis(50);
+    w.write_deadline = Duration::millis(150);
+    return w;
+  }
+
+  /// CPU costs (DESIGN.md §5).
+  [[nodiscard]] static engine::CostModel costs() {
+    engine::CostModel m;
+    m.txn_fixed = Duration::micros(1200);
+    m.per_read = Duration::micros(350);
+    m.per_update = Duration::micros(550);
+    m.per_index_lookup = Duration::micros(80);
+    m.validate = Duration::micros(250);
+    m.per_install = Duration::micros(100);
+    m.per_log_marshal = Duration::micros(50);
+    m.commit_finalize = Duration::micros(200);
+    return m;
+  }
+
+  /// Overload manager: at most 50 concurrently active transactions.
+  [[nodiscard]] static sched::OverloadConfig overload() {
+    sched::OverloadConfig o;
+    o.max_active = 50;
+    o.miss_feedback = true;
+    return o;
+  }
+
+  /// Node with the paper's engine, scheduler and a ~1998 disk.
+  [[nodiscard]] static simdb::SimNodeConfig node(bool disk_enabled,
+                                                 cc::Protocol protocol =
+                                                     cc::Protocol::kOccDati) {
+    simdb::SimNodeConfig n;
+    n.engine.protocol = protocol;
+    n.engine.costs = costs();
+    n.overload = overload();
+    n.disk_enabled = disk_enabled;
+    n.disk.seek_time = Duration::millis(8);
+    n.disk.throughput_bytes_per_sec = 4.0 * 1024 * 1024;
+    n.store_capacity_hint = database().num_objects;
+    return n;
+  }
+
+  /// Two-node system: Primary ships logs to the Mirror (Fig. 2/3 "two
+  /// node"); the mirror's disk flushes are asynchronous group writes.
+  [[nodiscard]] static simdb::SimClusterConfig two_node(bool disk_enabled) {
+    simdb::SimClusterConfig c;
+    c.node = node(disk_enabled);
+    c.node.disk.coalesce_flushes = true;  // mirror disk is off the commit path
+    c.two_nodes = true;
+    c.primary_log_mode = LogMode::kMirror;
+    c.link.latency = Duration::micros(500);  // 1 ms round trip
+    return c;
+  }
+
+  /// Lone node logging straight to disk before commit (Fig. 2 "single
+  /// node"; with disk_enabled=false, Fig. 3's single-node series).
+  [[nodiscard]] static simdb::SimClusterConfig single_node(bool disk_enabled) {
+    simdb::SimClusterConfig c;
+    c.node = node(disk_enabled);
+    // Synchronous per-commit writes: no group commit on the critical path.
+    c.node.disk.coalesce_flushes = false;
+    c.two_nodes = false;
+    c.primary_log_mode = LogMode::kDirectDisk;
+    return c;
+  }
+
+  /// Logging turned off entirely (Fig. 3 "No logs" optimal series).
+  [[nodiscard]] static simdb::SimClusterConfig no_logging() {
+    simdb::SimClusterConfig c;
+    c.node = node(false);
+    c.two_nodes = false;
+    c.primary_log_mode = LogMode::kOff;
+    return c;
+  }
+};
+
+}  // namespace rodain::workload

@@ -1,0 +1,83 @@
+#include "rodain/workload/number_translation.hpp"
+
+#include <cstdio>
+
+namespace rodain::workload {
+
+storage::IndexKey number_for(std::size_t i) {
+  char digits[24];
+  std::snprintf(digits, sizeof digits, "0800%08zu", i);
+  return storage::IndexKey::from_string(std::string_view{digits, 12});
+}
+
+void load_database(const DatabaseConfig& config, storage::ObjectStore& store,
+                   storage::BPlusTree& index) {
+  Rng rng(config.seed);
+  std::vector<std::byte> payload(16 + config.profile_bytes);
+  for (std::size_t i = 0; i < config.num_objects; ++i) {
+    for (std::size_t b = 16; b < payload.size(); ++b) {
+      payload[b] = static_cast<std::byte>(rng.next_below(256));
+    }
+    storage::Value value{std::span<const std::byte>{payload}};
+    // Routing target: some other subscriber (deterministic).
+    value.write_u64(kRoutingOffset, rng.next_below(config.num_objects));
+    value.write_u64(kCounterOffset, 0);
+    store.upsert(oid_for(i), std::move(value), 0);
+    index.insert(number_for(i), oid_for(i));
+  }
+}
+
+TxnGenerator::TxnGenerator(const DatabaseConfig& database,
+                           const WorkloadConfig& workload, Rng rng)
+    : database_(database), workload_(workload), rng_(rng) {}
+
+std::size_t TxnGenerator::pick_subscriber() {
+  if (workload_.zipf_theta > 0.0) {
+    return rng_.next_zipf(database_.num_objects, workload_.zipf_theta);
+  }
+  return rng_.next_below(database_.num_objects);
+}
+
+txn::TxnProgram TxnGenerator::next() {
+  txn::TxnProgram program;
+  const bool is_write = rng_.next_bool(workload_.write_fraction);
+
+  // Distinct subscribers per transaction (repeat picks allowed to collide
+  // only across transactions, matching the paper's "a few objects").
+  std::vector<std::size_t> subscribers;
+  subscribers.reserve(workload_.reads_per_txn);
+  while (subscribers.size() < workload_.reads_per_txn) {
+    const std::size_t s = pick_subscriber();
+    bool dup = false;
+    for (std::size_t t : subscribers) dup |= (t == s);
+    if (!dup) subscribers.push_back(s);
+  }
+
+  for (std::size_t s : subscribers) {
+    if (workload_.use_index) {
+      program.read_key(number_for(s));
+    } else {
+      program.read(oid_for(s));
+    }
+  }
+  if (is_write) {
+    // Update the first `updates_per_txn` records that were read: bump the
+    // call counter and re-route.
+    const std::size_t n = std::min(workload_.updates_per_txn, subscribers.size());
+    for (std::size_t u = 0; u < n; ++u) {
+      program.add_to_field(oid_for(subscribers[u]), kCounterOffset, 1);
+    }
+    program.with_deadline(workload_.write_deadline);
+  } else {
+    program.with_deadline(workload_.read_deadline);
+  }
+
+  if (workload_.nonrt_fraction > 0.0 && rng_.next_bool(workload_.nonrt_fraction)) {
+    program.with_criticality(Criticality::kNonRealTime);
+  } else {
+    program.with_criticality(Criticality::kFirm);
+  }
+  return program;
+}
+
+}  // namespace rodain::workload

@@ -1,0 +1,80 @@
+// The paper's test database and workload (§4): a number translation
+// service — the Intelligent Network service that maps a dialled number
+// (e.g. a freephone 0800 number) to a routing target.
+//
+// Database: `num_objects` subscriber records (30 000 in the paper),
+// indexed by dialled number in the B+-tree. Record layout:
+//   [0..8)   routing target (u64)
+//   [8..16)  call counter (u64)
+//   [16..)   service profile bytes
+//
+// Workload: a variable mix of two transactions —
+//   * read-only service provision: look up and read a few records, commit
+//     (relative firm deadline 50 ms);
+//   * update service provision: read a few records, update some of them,
+//     commit (relative firm deadline 150 ms).
+#pragma once
+
+#include <cstdint>
+
+#include "rodain/common/rng.hpp"
+#include "rodain/common/time.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/object_store.hpp"
+#include "rodain/txn/program.hpp"
+
+namespace rodain::workload {
+
+struct DatabaseConfig {
+  std::size_t num_objects{30000};
+  std::size_t profile_bytes{32};  ///< extra payload beyond the two u64 fields
+  std::uint64_t seed{4242};
+};
+
+/// The dialled number of subscriber `i` ("0800" + 8 digits).
+[[nodiscard]] storage::IndexKey number_for(std::size_t i);
+/// The ObjectId of subscriber `i`.
+[[nodiscard]] constexpr ObjectId oid_for(std::size_t i) {
+  return static_cast<ObjectId>(i) + 1;  // 0 is reserved
+}
+
+inline constexpr std::uint32_t kRoutingOffset = 0;
+inline constexpr std::uint32_t kCounterOffset = 8;
+
+/// Build the subscriber database into an (empty) store + index.
+void load_database(const DatabaseConfig& config, storage::ObjectStore& store,
+                   storage::BPlusTree& index);
+
+struct WorkloadConfig {
+  double write_fraction{0.5};     ///< share of update transactions
+  std::size_t reads_per_txn{4};   ///< records touched by either kind
+  std::size_t updates_per_txn{2}; ///< records updated by a write txn
+  Duration read_deadline{Duration::millis(50)};
+  Duration write_deadline{Duration::millis(150)};
+  /// Access skew (0 = uniform, the paper's workload).
+  double zipf_theta{0.0};
+  /// Read through the number index (the service's access path) instead of
+  /// directly by object id.
+  bool use_index{true};
+  /// Share of transactions with no deadline at all (served from the
+  /// reserved fraction; 0 in the paper's measurements).
+  double nonrt_fraction{0.0};
+};
+
+/// Deterministic transaction-mix generator.
+class TxnGenerator {
+ public:
+  TxnGenerator(const DatabaseConfig& database, const WorkloadConfig& workload,
+               Rng rng);
+
+  [[nodiscard]] txn::TxnProgram next();
+
+ private:
+  [[nodiscard]] std::size_t pick_subscriber();
+
+  DatabaseConfig database_;
+  WorkloadConfig workload_;
+  Rng rng_;
+};
+
+}  // namespace rodain::workload

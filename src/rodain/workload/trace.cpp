@@ -1,0 +1,237 @@
+#include "rodain/workload/trace.hpp"
+
+#include <cstdio>
+
+namespace rodain::workload {
+
+namespace {
+constexpr std::uint64_t kTraceMagic = 0x3143'5254'444f'52ULL;  // "RODTRC1"
+constexpr std::uint8_t kOpRead = 1;
+constexpr std::uint8_t kOpReadKey = 2;
+constexpr std::uint8_t kOpUpdate = 3;
+constexpr std::uint8_t kOpCompute = 4;
+constexpr std::uint8_t kOpInsert = 5;
+constexpr std::uint8_t kOpDelete = 6;
+}  // namespace
+
+Trace Trace::generate(const DatabaseConfig& database,
+                      const WorkloadConfig& workload, double rate_tps,
+                      std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  TxnGenerator generator(database, workload, rng.split());
+  Trace trace;
+  double t_us = 0;
+  const double mean_gap_us = 1e6 / rate_tps;
+  for (std::size_t i = 0; i < count; ++i) {
+    t_us += rng.next_exponential(mean_gap_us);
+    trace.append(TraceEntry{Duration::micros(static_cast<std::int64_t>(t_us)),
+                            generator.next()});
+  }
+  return trace;
+}
+
+void encode_program(const txn::TxnProgram& p, ByteWriter& out) {
+  out.put_u8(static_cast<std::uint8_t>(p.criticality));
+  out.put_varint(static_cast<std::uint64_t>(p.relative_deadline.us));
+  out.put_varint(p.ops.size());
+  for (const txn::Op& op : p.ops) {
+    if (const auto* read = std::get_if<txn::ReadOp>(&op)) {
+      out.put_u8(kOpRead);
+      out.put_varint(read->oid);
+    } else if (const auto* read_key = std::get_if<txn::ReadKeyOp>(&op)) {
+      out.put_u8(kOpReadKey);
+      out.put_raw(std::as_bytes(std::span{read_key->key.bytes}));
+    } else if (const auto* update = std::get_if<txn::UpdateOp>(&op)) {
+      out.put_u8(kOpUpdate);
+      out.put_u8(static_cast<std::uint8_t>(update->kind));
+      out.put_varint(update->oid);
+      out.put_varint(update->delta);
+      out.put_u32(update->field_offset);
+      out.put_bytes(update->value.view());
+    } else if (const auto* insert = std::get_if<txn::InsertOp>(&op)) {
+      out.put_u8(kOpInsert);
+      out.put_varint(insert->oid);
+      out.put_u8(insert->has_key ? 1 : 0);
+      if (insert->has_key) out.put_raw(std::as_bytes(std::span{insert->key.bytes}));
+      out.put_bytes(insert->value.view());
+    } else if (const auto* erase = std::get_if<txn::DeleteOp>(&op)) {
+      out.put_u8(kOpDelete);
+      out.put_varint(erase->oid);
+      out.put_u8(erase->has_key ? 1 : 0);
+      if (erase->has_key) out.put_raw(std::as_bytes(std::span{erase->key.bytes}));
+    } else {
+      const auto& compute = std::get<txn::ComputeOp>(op);
+      out.put_u8(kOpCompute);
+      out.put_varint(static_cast<std::uint64_t>(compute.cost.us));
+    }
+  }
+}
+
+Status decode_program(ByteReader& in, txn::TxnProgram& out) {
+  std::uint8_t crit = 0;
+  std::uint64_t deadline_us = 0;
+  std::uint64_t op_count = 0;
+  if (auto s = in.get_u8(crit); !s) return s;
+  if (crit > static_cast<std::uint8_t>(Criticality::kFirm)) {
+    return Status::error(ErrorCode::kCorruption, "bad criticality");
+  }
+  if (auto s = in.get_varint(deadline_us); !s) return s;
+  if (auto s = in.get_varint(op_count); !s) return s;
+  out = txn::TxnProgram{};
+  out.criticality = static_cast<Criticality>(crit);
+  out.relative_deadline = Duration::micros(static_cast<std::int64_t>(deadline_us));
+  out.ops.reserve(op_count);
+  for (std::uint64_t i = 0; i < op_count; ++i) {
+    std::uint8_t kind = 0;
+    if (auto s = in.get_u8(kind); !s) return s;
+    switch (kind) {
+      case kOpRead: {
+        txn::ReadOp op;
+        if (auto s = in.get_varint(op.oid); !s) return s;
+        out.ops.emplace_back(op);
+        break;
+      }
+      case kOpReadKey: {
+        txn::ReadKeyOp op;
+        std::span<const std::byte> raw;
+        if (auto s = in.get_raw(op.key.bytes.size(), raw); !s) return s;
+        std::memcpy(op.key.bytes.data(), raw.data(), raw.size());
+        out.ops.emplace_back(op);
+        break;
+      }
+      case kOpUpdate: {
+        txn::UpdateOp op;
+        std::uint8_t update_kind = 0;
+        std::vector<std::byte> value;
+        if (auto s = in.get_u8(update_kind); !s) return s;
+        if (update_kind > static_cast<std::uint8_t>(txn::UpdateOp::Kind::kAddToField)) {
+          return Status::error(ErrorCode::kCorruption, "bad update kind");
+        }
+        op.kind = static_cast<txn::UpdateOp::Kind>(update_kind);
+        if (auto s = in.get_varint(op.oid); !s) return s;
+        if (auto s = in.get_varint(op.delta); !s) return s;
+        if (auto s = in.get_u32(op.field_offset); !s) return s;
+        if (auto s = in.get_bytes(value); !s) return s;
+        op.value = storage::Value{std::span<const std::byte>{value}};
+        out.ops.emplace_back(std::move(op));
+        break;
+      }
+      case kOpCompute: {
+        std::uint64_t cost_us = 0;
+        if (auto s = in.get_varint(cost_us); !s) return s;
+        out.ops.emplace_back(
+            txn::ComputeOp{Duration::micros(static_cast<std::int64_t>(cost_us))});
+        break;
+      }
+      case kOpInsert: {
+        txn::InsertOp op;
+        std::uint8_t has_key = 0;
+        std::vector<std::byte> value;
+        if (auto s = in.get_varint(op.oid); !s) return s;
+        if (auto s = in.get_u8(has_key); !s) return s;
+        if (has_key > 1) return Status::error(ErrorCode::kCorruption, "bad key flag");
+        op.has_key = has_key == 1;
+        if (op.has_key) {
+          std::span<const std::byte> raw;
+          if (auto s = in.get_raw(op.key.bytes.size(), raw); !s) return s;
+          std::memcpy(op.key.bytes.data(), raw.data(), raw.size());
+        }
+        if (auto s = in.get_bytes(value); !s) return s;
+        op.value = storage::Value{std::span<const std::byte>{value}};
+        out.ops.emplace_back(std::move(op));
+        break;
+      }
+      case kOpDelete: {
+        txn::DeleteOp op;
+        std::uint8_t has_key = 0;
+        if (auto s = in.get_varint(op.oid); !s) return s;
+        if (auto s = in.get_u8(has_key); !s) return s;
+        if (has_key > 1) return Status::error(ErrorCode::kCorruption, "bad key flag");
+        op.has_key = has_key == 1;
+        if (op.has_key) {
+          std::span<const std::byte> raw;
+          if (auto s = in.get_raw(op.key.bytes.size(), raw); !s) return s;
+          std::memcpy(op.key.bytes.data(), raw.data(), raw.size());
+        }
+        out.ops.emplace_back(op);
+        break;
+      }
+      default:
+        return Status::error(ErrorCode::kCorruption, "unknown trace op");
+    }
+  }
+  return Status::ok();
+}
+
+void Trace::encode(ByteWriter& out) const {
+  const std::size_t body_start = out.size();
+  out.put_u64(kTraceMagic);
+  out.put_varint(entries_.size());
+  for (const TraceEntry& e : entries_) {
+    out.put_varint(static_cast<std::uint64_t>(e.offset.us));
+    encode_program(e.program, out);
+  }
+  out.put_u32(crc32c(out.view().subspan(body_start)));
+}
+
+Result<Trace> Trace::decode(std::span<const std::byte> data) {
+  if (data.size() < 12) {
+    return Status::error(ErrorCode::kCorruption, "trace too short");
+  }
+  const auto body = data.subspan(0, data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(body) != expect) {
+    return Status::error(ErrorCode::kCorruption, "trace CRC mismatch");
+  }
+  ByteReader in(body);
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  if (auto s = in.get_u64(magic); !s) return s;
+  if (magic != kTraceMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad trace magic");
+  }
+  if (auto s = in.get_varint(count); !s) return s;
+  Trace trace;
+  trace.entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEntry e;
+    std::uint64_t offset_us = 0;
+    if (auto s = in.get_varint(offset_us); !s) return s;
+    e.offset = Duration::micros(static_cast<std::int64_t>(offset_us));
+    if (auto s = decode_program(in, e.program); !s) return s;
+    trace.entries_.push_back(std::move(e));
+  }
+  if (!in.at_end()) {
+    return Status::error(ErrorCode::kCorruption, "trailing trace bytes");
+  }
+  return trace;
+}
+
+Status Trace::save(const std::string& path) const {
+  ByteWriter w;
+  encode(w);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::error(ErrorCode::kIoError, "cannot open " + path);
+  const auto view = w.view();
+  const bool ok = std::fwrite(view.data(), 1, view.size(), f) == view.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kIoError, "short trace write");
+  return Status::ok();
+}
+
+Result<Trace> Trace::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> buf(static_cast<std::size_t>(len < 0 ? 0 : len));
+  const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kIoError, "short trace read");
+  return decode(buf);
+}
+
+}  // namespace rodain::workload

@@ -1,0 +1,57 @@
+// Off-line generated test files (paper §4): "All transactions arrive at the
+// RODAIN Prototype through a specific interface process, that reads the load
+// descriptions from an off-line generated test file."
+//
+// A trace is a list of (arrival offset, transaction program) pairs. Traces
+// are generated with Poisson arrivals, serialized to a CRC-protected binary
+// file, and replayed by the experiment harness and the rt runtime alike —
+// so a session is reproducible bit-for-bit across both drivers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rodain/common/serialization.hpp"
+#include "rodain/common/status.hpp"
+#include "rodain/workload/number_translation.hpp"
+
+namespace rodain::workload {
+
+struct TraceEntry {
+  Duration offset;  ///< arrival time relative to session start
+  txn::TxnProgram program;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Generate `count` transactions with Poisson arrivals at `rate_tps`.
+  [[nodiscard]] static Trace generate(const DatabaseConfig& database,
+                                      const WorkloadConfig& workload,
+                                      double rate_tps, std::size_t count,
+                                      std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] Duration duration() const {
+    return entries_.empty() ? Duration::zero() : entries_.back().offset;
+  }
+
+  void append(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+  // Binary round trip.
+  void encode(ByteWriter& out) const;
+  [[nodiscard]] static Result<Trace> decode(std::span<const std::byte> data);
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<Trace> load(const std::string& path);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+// Program (de)serialization, shared with the trace format.
+void encode_program(const txn::TxnProgram& p, ByteWriter& out);
+[[nodiscard]] Status decode_program(ByteReader& in, txn::TxnProgram& out);
+
+}  // namespace rodain::workload

@@ -1,0 +1,201 @@
+#include "rodain/cc/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain::cc {
+namespace {
+
+PriorityKey prio(std::int64_t deadline_us, std::uint64_t seq = 0) {
+  return PriorityKey{Criticality::kFirm, TimePoint{deadline_us}, seq};
+}
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kShared, prio(200, 2)).decision,
+            Access::kGranted);
+  EXPECT_TRUE(lm.holds(1, 10));
+  EXPECT_TRUE(lm.holds(1, 20));
+}
+
+TEST(LockManager, ExclusiveConflictsBlockLowerPriority) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kGranted);
+  // Later deadline = lower priority: must wait.
+  auto r = lm.acquire(1, 20, LockMode::kExclusive, prio(200, 2));
+  EXPECT_EQ(r.decision, Access::kBlocked);
+  EXPECT_TRUE(r.victims.empty());
+  EXPECT_FALSE(lm.holds(1, 20));
+}
+
+TEST(LockManager, HighPriorityRestartsHolders) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kGranted);
+  // Earlier deadline = higher priority: the holder is the victim.
+  auto r = lm.acquire(1, 20, LockMode::kExclusive, prio(100, 1));
+  EXPECT_EQ(r.decision, Access::kGranted);
+  ASSERT_EQ(r.victims.size(), 1u);
+  EXPECT_EQ(r.victims[0], 10u);
+  EXPECT_TRUE(lm.holds(1, 20));
+  EXPECT_FALSE(lm.holds(1, 10));
+}
+
+TEST(LockManager, SharedBlocksExclusiveFromLowerPriority) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kBlocked);
+}
+
+TEST(LockManager, ReleaseWakesWaitersInPriorityOrder) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(50, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 30, LockMode::kExclusive, prio(300, 3)).decision,
+            Access::kBlocked);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kBlocked);
+  auto woken = lm.release_all(10).woken;
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 20u);  // earlier deadline first
+  EXPECT_TRUE(lm.holds(1, 20));
+  // And when 20 releases, 30 gets its turn.
+  woken = lm.release_all(20).woken;
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 30u);
+}
+
+TEST(LockManager, ReleaseWakesMultipleSharedWaiters) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(50, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kShared, prio(200, 2)).decision,
+            Access::kBlocked);
+  EXPECT_EQ(lm.acquire(1, 30, LockMode::kShared, prio(300, 3)).decision,
+            Access::kBlocked);
+  auto woken = lm.release_all(10).woken;
+  EXPECT_EQ(woken.size(), 2u);
+  EXPECT_TRUE(lm.holds(1, 20));
+  EXPECT_TRUE(lm.holds(1, 30));
+}
+
+TEST(LockManager, ReentrantAcquire) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kGranted);  // sole-holder upgrade
+  // Exclusive is idempotent, shared is absorbed.
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+}
+
+TEST(LockManager, UpgradeVictimizesLowerPrioritySharers) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  ASSERT_EQ(lm.acquire(1, 20, LockMode::kShared, prio(200, 2)).decision,
+            Access::kGranted);
+  auto r = lm.acquire(1, 10, LockMode::kExclusive, prio(100, 1));
+  EXPECT_EQ(r.decision, Access::kGranted);
+  ASSERT_EQ(r.victims.size(), 1u);
+  EXPECT_EQ(r.victims[0], 20u);
+}
+
+TEST(LockManager, UpgradeBlocksBehindHigherPrioritySharer) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(200, 2)).decision,
+            Access::kGranted);
+  ASSERT_EQ(lm.acquire(1, 20, LockMode::kShared, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kBlocked);
+  // When the high-priority sharer finishes, the upgrade proceeds.
+  auto woken = lm.release_all(20).woken;
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 10u);
+  EXPECT_TRUE(lm.holds(1, 10));
+}
+
+TEST(LockManager, ReleaseAllDropsWaitingRequests) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(50, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kBlocked);
+  EXPECT_EQ(lm.waiting_requests(), 1u);
+  lm.release_all(20);  // the waiter aborts
+  EXPECT_EQ(lm.waiting_requests(), 0u);
+  lm.release_all(10);
+  EXPECT_EQ(lm.locked_objects(), 0u);
+}
+
+TEST(LockManager, CompatibleRequestQueuesBehindHigherPriorityWaiter) {
+  // A shared request must not sneak past a higher-priority exclusive waiter.
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(50, 0)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kBlocked);
+  EXPECT_EQ(lm.acquire(1, 30, LockMode::kShared, prio(300, 3)).decision,
+            Access::kBlocked);
+}
+
+TEST(LockManager, PromotionAppliesHighPriorityRule) {
+  // Waiter blocked behind a set {high, low}: when high releases, the waiter
+  // must displace the remaining low-priority holder, not keep waiting.
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(50, 0)).decision,
+            Access::kGranted);  // high
+  ASSERT_EQ(lm.acquire(1, 30, LockMode::kShared, prio(900, 9)).decision,
+            Access::kGranted);  // low
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kBlocked);
+  auto result = lm.release_all(10);
+  ASSERT_EQ(result.woken.size(), 1u);
+  EXPECT_EQ(result.woken[0], 20u);
+  ASSERT_EQ(result.victims.size(), 1u);
+  EXPECT_EQ(result.victims[0], 30u);
+  EXPECT_TRUE(lm.holds(1, 20));
+  EXPECT_FALSE(lm.holds(1, 30));
+}
+
+TEST(LockManager, PromotionCascadesThroughVictims) {
+  // The displaced victim's own lock on another object frees its waiter.
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, 10, LockMode::kShared, prio(50, 0)).decision,
+            Access::kGranted);
+  ASSERT_EQ(lm.acquire(1, 30, LockMode::kShared, prio(900, 9)).decision,
+            Access::kGranted);
+  ASSERT_EQ(lm.acquire(2, 30, LockMode::kExclusive, prio(900, 9)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(1, 20, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kBlocked);
+  EXPECT_EQ(lm.acquire(2, 40, LockMode::kShared, prio(950, 12)).decision,
+            Access::kBlocked);
+  auto result = lm.release_all(10);
+  // 20 promoted on object 1 (displacing 30); 30's exclusive lock on
+  // object 2 cascades away, promoting 40.
+  EXPECT_EQ(result.victims, (std::vector<TxnId>{30u}));
+  EXPECT_EQ(result.woken, (std::vector<TxnId>{20u, 40u}));
+  EXPECT_TRUE(lm.holds(2, 40));
+  EXPECT_FALSE(lm.holds(2, 30));
+}
+
+TEST(LockManager, IndependentObjects) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(1, 10, LockMode::kExclusive, prio(100, 1)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.acquire(2, 20, LockMode::kExclusive, prio(200, 2)).decision,
+            Access::kGranted);
+  EXPECT_EQ(lm.locked_objects(), 2u);
+}
+
+}  // namespace
+}  // namespace rodain::cc

@@ -1,0 +1,41 @@
+#include "rodain/common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(ManualClock, StartsAtOriginAndAdvances) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), TimePoint::origin());
+  clock.advance(5_ms);
+  EXPECT_EQ(clock.now(), TimePoint{5000});
+  clock.set(TimePoint{123});
+  EXPECT_EQ(clock.now(), TimePoint{123});
+}
+
+TEST(RealClock, IsMonotonicAndStartsNearZero) {
+  RealClock clock;
+  const TimePoint t0 = clock.now();
+  EXPECT_GE(t0.us, 0);
+  EXPECT_LT(t0.us, 1'000'000);  // origin at construction
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const TimePoint t1 = clock.now();
+  EXPECT_GT(t1, t0);
+  EXPECT_GE((t1 - t0).to_ms(), 1.0);
+}
+
+TEST(RealClock, IndependentOrigins) {
+  RealClock a;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  RealClock b;
+  // b started later, so reads less elapsed time.
+  EXPECT_GT(a.now(), b.now());
+}
+
+}  // namespace
+}  // namespace rodain

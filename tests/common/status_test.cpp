@@ -1,0 +1,57 @@
+#include "rodain/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  auto s = Status::error(ErrorCode::kNotFound, "object 7");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "object 7");
+  EXPECT_EQ(s.to_string(), "not-found: object 7");
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::error(ErrorCode::kCorruption).to_string(), "corruption");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::error(ErrorCode::kIoError, "disk gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ErrorCode, AllNamesDistinct) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kAborted), "aborted");
+  EXPECT_EQ(to_string(ErrorCode::kDeadlineMissed), "deadline-missed");
+  EXPECT_EQ(to_string(ErrorCode::kOverload), "overload");
+  EXPECT_EQ(to_string(ErrorCode::kUnavailable), "unavailable");
+}
+
+}  // namespace
+}  // namespace rodain

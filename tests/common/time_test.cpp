@@ -1,0 +1,74 @@
+#include "rodain/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::millis(5).us, 5000);
+  EXPECT_EQ(Duration::seconds(2).us, 2'000'000);
+  EXPECT_EQ(Duration::micros(7).us, 7);
+  EXPECT_EQ(Duration::millis_f(1.5).us, 1500);
+  EXPECT_EQ(Duration::seconds_f(0.25).us, 250'000);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ((5_ms).us, 5000);
+  EXPECT_EQ((3_s).us, 3'000'000);
+  EXPECT_EQ((42_us).us, 42);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((5_ms + 3_ms).us, 8000);
+  EXPECT_EQ((5_ms - 3_ms).us, 2000);
+  EXPECT_EQ((5_ms * 3).us, 15000);
+  EXPECT_EQ((6_ms / 2).us, 3000);
+  Duration d = 1_ms;
+  d += 2_ms;
+  EXPECT_EQ(d.us, 3000);
+  d -= 1_ms;
+  EXPECT_EQ(d.us, 2000);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(3_ms, 5_ms);
+  EXPECT_GT(5_ms, 3_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_TRUE((0_ms).is_zero());
+  EXPECT_TRUE((1_us).is_positive());
+  EXPECT_FALSE(Duration::micros(-1).is_positive());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).to_ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2'500'000_us).to_seconds(), 2.5);
+}
+
+TEST(TimePoint, Arithmetic) {
+  TimePoint t = TimePoint::origin();
+  t += 5_ms;
+  EXPECT_EQ(t.us, 5000);
+  EXPECT_EQ((t + 1_ms).us, 6000);
+  EXPECT_EQ((t - 1_ms).us, 4000);
+  EXPECT_EQ((t + 1_ms) - t, 1_ms);
+}
+
+TEST(TimePoint, Ordering) {
+  const TimePoint a{100};
+  const TimePoint b{200};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint{100});
+  EXPECT_LT(a, TimePoint::max());
+}
+
+TEST(TimeToString, Formats) {
+  EXPECT_EQ(to_string(2_s), "2s");
+  EXPECT_EQ(to_string(5_ms), "5ms");
+  EXPECT_EQ(to_string(7_us), "7us");
+}
+
+}  // namespace
+}  // namespace rodain

@@ -1,0 +1,159 @@
+// Cold-start recovery of the rt node: checkpoint + log tail, validation
+// sequence continuation, and the periodic checkpoint daemon.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "rodain/rt/node.hpp"
+#include "rodain/storage/checkpoint.hpp"
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+
+storage::Value zeros8() {
+  return storage::Value{std::string_view{"\0\0\0\0\0\0\0\0", 8}};
+}
+
+class RtRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rodain_rt_rec_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  rt::NodeConfig config() {
+    rt::NodeConfig c;
+    c.log_path = (dir_ / "redo.log").string();
+    c.checkpoint_path = (dir_ / "db.ckpt").string();
+    return c;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RtRecoveryTest, LogOnlyRecoveryRestoresStateAndSequence) {
+  ValidationTs last_seq = 0;
+  {
+    rt::Node node(config(), "gen1");
+    node.store().upsert(1, zeros8(), 0);
+    node.start_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 10; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    last_seq = 10;
+    node.stop();
+  }
+  {
+    rt::Node node(config(), "gen2");
+    node.store().upsert(1, zeros8(), 0);  // schema base, as on first boot
+    auto stats = node.recover_from_local_state();
+    ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+    EXPECT_EQ(stats.value().committed_applied, 10u);
+    EXPECT_EQ(stats.value().last_seq, last_seq);
+    EXPECT_EQ(node.store().find(1)->value.read_u64(0), 10u);
+
+    // The restarted node continues the sequence and serves.
+    node.start_primary(LogMode::kDirectDisk);
+    txn::TxnProgram p;
+    p.add_to_field(1, 0, 1);
+    p.relative_deadline = 5_s;
+    ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    EXPECT_EQ(node.store().find(1)->value.read_u64(0), 11u);
+    node.stop();
+  }
+  // The appended log replays cleanly across both generations.
+  storage::ObjectStore replayed;
+  replayed.upsert(1, zeros8(), 0);
+  auto stats = log::recover_from_file(config().log_path, replayed);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().committed_applied, 11u);
+  EXPECT_EQ(replayed.find(1)->value.read_u64(0), 11u);
+}
+
+TEST_F(RtRecoveryTest, CheckpointPlusTailRecovery) {
+  {
+    rt::Node node(config(), "gen1");
+    node.store().upsert(1, zeros8(), 0);
+    node.start_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 5; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 10);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    ASSERT_TRUE(node.write_checkpoint());  // covers seq 1..5
+    for (int i = 0; i < 3; ++i) {  // the tail past the checkpoint
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    node.stop();
+  }
+  rt::Node node(config(), "gen2");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  // Only the 3 tail transactions replayed; 5 came from the checkpoint.
+  EXPECT_EQ(stats.value().committed_applied, 3u);
+  EXPECT_EQ(stats.value().last_seq, 8u);
+  EXPECT_EQ(node.store().find(1)->value.read_u64(0), 53u);
+}
+
+TEST_F(RtRecoveryTest, RecoveryWithNoFilesIsCleanSlate) {
+  rt::NodeConfig c = config();
+  c.log_path = (dir_ / "absent.log").string();
+  c.checkpoint_path = (dir_ / "absent.ckpt").string();
+  rt::Node node(c, "fresh");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().committed_applied, 0u);
+  EXPECT_EQ(stats.value().last_seq, 0u);
+}
+
+TEST_F(RtRecoveryTest, PeriodicCheckpointDaemonWrites) {
+  rt::NodeConfig c = config();
+  c.checkpoint_interval = 50_ms;
+  rt::Node node(c, "daemon");
+  node.store().upsert(1, zeros8(), 0);
+  node.start_primary(LogMode::kDirectDisk);
+  txn::TxnProgram p;
+  p.add_to_field(1, 0, 7);
+  p.relative_deadline = 5_s;
+  ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+
+  for (int waited = 0; waited < 100 && !std::filesystem::exists(c.checkpoint_path);
+       ++waited) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(std::filesystem::exists(c.checkpoint_path));
+  node.stop();
+
+  storage::ObjectStore from_ckpt;
+  auto meta = storage::read_checkpoint_file(c.checkpoint_path, from_ckpt);
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta.value().last_applied, 1u);
+  EXPECT_EQ(from_ckpt.find(1)->value.read_u64(0), 7u);
+}
+
+TEST_F(RtRecoveryTest, RecoverAfterStartIsRejected) {
+  rt::Node node(config(), "late");
+  node.start_primary(LogMode::kOff);
+  auto stats = node.recover_from_local_state();
+  ASSERT_FALSE(stats.is_ok());
+  EXPECT_EQ(stats.status().code(), ErrorCode::kFailedPrecondition);
+  node.stop();
+}
+
+}  // namespace
+}  // namespace rodain

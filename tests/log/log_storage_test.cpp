@@ -1,0 +1,191 @@
+#include "rodain/log/log_storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace rodain::log {
+namespace {
+
+using namespace rodain::literals;
+
+storage::Value val(std::string_view s) { return storage::Value{s}; }
+
+TEST(MemoryLogStorage, FlushIsImmediate) {
+  MemoryLogStorage mem;
+  mem.append(Record::write_image(1, 2, val("x")));
+  EXPECT_EQ(mem.appended(), 1u);
+  EXPECT_EQ(mem.durable(), 0u);
+  bool done = false;
+  mem.flush([&](Status s) {
+    EXPECT_TRUE(s);
+    done = true;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mem.durable(), 1u);
+}
+
+class FileLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rodain_log_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()) +
+              ".log"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(FileLogTest, AppendFlushReadBack) {
+  {
+    auto file = FileLogStorage::open(path_);
+    ASSERT_TRUE(file.is_ok());
+    file.value()->append(Record::write_image(1, 10, val("a")));
+    file.value()->append(Record::commit(1, 1, 100, 1));
+    bool flushed = false;
+    file.value()->flush([&](Status s) {
+      EXPECT_TRUE(s);
+      flushed = true;
+    });
+    EXPECT_TRUE(flushed);
+    EXPECT_EQ(file.value()->durable(), 2u);
+  }
+  auto records = FileLogStorage::read_all(path_);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].oid, 10u);
+  EXPECT_TRUE(records.value()[1].is_commit());
+}
+
+TEST_F(FileLogTest, ReopenAppends) {
+  {
+    auto file = FileLogStorage::open(path_);
+    file.value()->append(Record::commit(1, 1, 100, 0));
+    file.value()->flush({});
+  }
+  {
+    auto file = FileLogStorage::open(path_);
+    file.value()->append(Record::commit(2, 2, 200, 0));
+    file.value()->flush({});
+  }
+  auto records = FileLogStorage::read_all(path_);
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_EQ(records.value().size(), 2u);
+}
+
+TEST_F(FileLogTest, TornTailReported) {
+  {
+    auto file = FileLogStorage::open(path_);
+    file.value()->append(Record::commit(1, 1, 100, 0));
+    file.value()->flush({});
+  }
+  // Append garbage simulating a torn write.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    const char garbage[] = {0x40, 0x00, 0x00, 0x00, 0x01};
+    std::fwrite(garbage, 1, sizeof garbage, f);
+    std::fclose(f);
+  }
+  bool torn = false;
+  auto records = FileLogStorage::read_all(path_, &torn);
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(records.value().size(), 1u);
+}
+
+TEST_F(FileLogTest, MissingFileIsNotFound) {
+  auto records = FileLogStorage::read_all(path_ + ".nope");
+  ASSERT_FALSE(records.is_ok());
+  EXPECT_EQ(records.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SimDiskLogStorage, FlushCostsSeekPlusTransfer) {
+  sim::Simulation sim;
+  SimDiskLogStorage::Options options;
+  options.seek_time = 8_ms;
+  options.throughput_bytes_per_sec = 1e6;  // 1 MB/s: 1 us per byte
+  SimDiskLogStorage disk(sim, options);
+  disk.append(Record::write_image(1, 2, val(std::string(1000, 'x'))));
+  TimePoint done_at{};
+  disk.flush([&](Status s) {
+    EXPECT_TRUE(s);
+    done_at = sim.now();
+  });
+  sim.run();
+  // ~8 ms seek + ~1 ms transfer for ~1 KB.
+  EXPECT_GT(done_at.us, 8500);
+  EXPECT_LT(done_at.us, 11000);
+  EXPECT_EQ(disk.durable(), 1u);
+}
+
+TEST(SimDiskLogStorage, SerializedFlushesQueue) {
+  sim::Simulation sim;
+  SimDiskLogStorage::Options options;
+  options.seek_time = 10_ms;
+  options.throughput_bytes_per_sec = 1e9;  // transfer negligible
+  options.coalesce_flushes = false;
+  SimDiskLogStorage disk(sim, options);
+
+  std::vector<TimePoint> completions;
+  for (int i = 0; i < 3; ++i) {
+    disk.append(Record::commit(static_cast<TxnId>(i), i + 1, 100, 0));
+    disk.flush([&](Status) { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  // One 10 ms op each, strictly serialized.
+  EXPECT_EQ(completions[0].us, 10000);
+  EXPECT_EQ(completions[1].us, 20000);
+  EXPECT_EQ(completions[2].us, 30000);
+}
+
+TEST(SimDiskLogStorage, CoalescedFlushesGroupCommit) {
+  sim::Simulation sim;
+  SimDiskLogStorage::Options options;
+  options.seek_time = 10_ms;
+  options.throughput_bytes_per_sec = 1e9;
+  options.coalesce_flushes = true;
+  SimDiskLogStorage disk(sim, options);
+
+  std::vector<TimePoint> completions;
+  for (int i = 0; i < 3; ++i) {
+    disk.append(Record::commit(static_cast<TxnId>(i), i + 1, 100, 0));
+    disk.flush([&](Status) { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  // First op covers txn 0; the two requests arriving while it is busy fold
+  // into ONE second op.
+  EXPECT_EQ(completions[0].us, 10000);
+  EXPECT_EQ(completions[1].us, 20000);
+  EXPECT_EQ(completions[2].us, 20000);
+  EXPECT_EQ(disk.durable(), 3u);
+}
+
+TEST(SimDiskLogStorage, BacklogTracksUnflushed) {
+  sim::Simulation sim;
+  SimDiskLogStorage disk(sim, {});
+  for (int i = 0; i < 5; ++i) {
+    disk.append(Record::commit(static_cast<TxnId>(i), i + 1, 100, 0));
+  }
+  EXPECT_EQ(disk.backlog(), 5u);
+  disk.flush({});
+  sim.run();
+  EXPECT_EQ(disk.backlog(), 0u);
+}
+
+TEST(SimDiskLogStorage, FlushWithNothingPendingCompletesInline) {
+  sim::Simulation sim;
+  SimDiskLogStorage disk(sim, {});
+  bool done = false;
+  disk.flush([&](Status) { done = true; });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace rodain::log

@@ -1,0 +1,150 @@
+#include "rodain/log/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rodain/common/rng.hpp"
+
+namespace rodain::log {
+namespace {
+
+storage::Value val(std::string_view s) { return storage::Value{s}; }
+
+struct Collector {
+  std::vector<ValidationTs> released;
+  Reorderer reorderer;
+
+  explicit Collector(ValidationTs expected = 1)
+      : reorderer(
+            [this](ValidationTs seq, TxnId, std::vector<Record>) {
+              released.push_back(seq);
+            },
+            expected) {}
+
+  void feed_txn(TxnId txn, ValidationTs seq, std::uint32_t writes = 1) {
+    for (std::uint32_t w = 0; w < writes; ++w) {
+      ASSERT_TRUE(reorderer.add(Record::write_image(txn, 100 + w, val("v"))));
+    }
+    ASSERT_TRUE(reorderer.add(Record::commit(txn, seq, seq * 1000, writes)));
+  }
+};
+
+TEST(Reorderer, InOrderStreamsReleaseImmediately) {
+  Collector c;
+  c.feed_txn(11, 1);
+  c.feed_txn(12, 2);
+  c.feed_txn(13, 3);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1, 2, 3}));
+  EXPECT_EQ(c.reorderer.staged_commits(), 0u);
+}
+
+TEST(Reorderer, OutOfOrderCommitsBufferUntilGapCloses) {
+  Collector c;
+  c.feed_txn(12, 2);
+  c.feed_txn(13, 3);
+  EXPECT_TRUE(c.released.empty());
+  EXPECT_EQ(c.reorderer.staged_commits(), 2u);
+  c.feed_txn(11, 1);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1, 2, 3}));
+}
+
+TEST(Reorderer, InterleavedWritesFromConcurrentTxns) {
+  Collector c;
+  // Writes of txns 21 and 22 interleave on the wire; commits arrive 2, 1.
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(21, 1, val("a"))));
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(22, 2, val("b"))));
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(21, 3, val("c"))));
+  ASSERT_TRUE(c.reorderer.add(Record::commit(22, 2, 2000, 1)));
+  EXPECT_EQ(c.reorderer.open_txns(), 1u);
+  ASSERT_TRUE(c.reorderer.add(Record::commit(21, 1, 1000, 2)));
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1, 2}));
+}
+
+TEST(Reorderer, WriteCountMismatchIsCorruption) {
+  Collector c;
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(5, 1, val("x"))));
+  auto s = c.reorderer.add(Record::commit(5, 1, 1000, 2));  // claims 2 writes
+  EXPECT_EQ(s.code(), ErrorCode::kCorruption);
+}
+
+TEST(Reorderer, StaleCommitDropped) {
+  Collector c(/*expected=*/5);
+  // A duplicate of an already-applied transaction (catch-up overlap).
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(3, 1, val("old"))));
+  ASSERT_TRUE(c.reorderer.add(Record::commit(3, 3, 3000, 1)));
+  EXPECT_TRUE(c.released.empty());
+  EXPECT_EQ(c.reorderer.open_txns(), 0u);  // buffered writes discarded
+  // The live stream continues at 5.
+  c.feed_txn(50, 5);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{5}));
+}
+
+TEST(Reorderer, DuplicateStagedCommitDropped) {
+  Collector c;
+  c.feed_txn(12, 2);
+  EXPECT_EQ(c.reorderer.staged_commits(), 1u);
+  // Duplicate delivery of the same commit (different copy of the records).
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(12, 1, val("dup"))));
+  ASSERT_TRUE(c.reorderer.add(Record::commit(12, 2, 2000, 1)));
+  EXPECT_EQ(c.reorderer.staged_commits(), 1u);
+  c.feed_txn(11, 1);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1, 2}));
+}
+
+TEST(Reorderer, DropOpenTxns) {
+  Collector c;
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(9, 1, val("x"))));
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(10, 2, val("y"))));
+  EXPECT_EQ(c.reorderer.drop_open_txns(), 2u);
+  EXPECT_EQ(c.reorderer.open_txns(), 0u);
+}
+
+TEST(Reorderer, ForceReleaseStagedAppliesAcrossGaps) {
+  Collector c;
+  c.feed_txn(12, 2);
+  c.feed_txn(14, 4);
+  EXPECT_TRUE(c.released.empty());
+  EXPECT_EQ(c.reorderer.force_release_staged(), 2u);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{2, 4}));
+  EXPECT_EQ(c.reorderer.expected_next(), 5u);
+}
+
+TEST(Reorderer, RecordsWithinTxnKeepOrder) {
+  std::vector<Record> out;
+  Reorderer reorderer([&](ValidationTs, TxnId, std::vector<Record> records) {
+    out = std::move(records);
+  });
+  ASSERT_TRUE(reorderer.add(Record::write_image(1, 10, val("first"))));
+  ASSERT_TRUE(reorderer.add(Record::write_image(1, 20, val("second"))));
+  ASSERT_TRUE(reorderer.add(Record::commit(1, 1, 1000, 2)));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].oid, 10u);
+  EXPECT_EQ(out[1].oid, 20u);
+  EXPECT_TRUE(out[2].is_commit());
+}
+
+// Property: any permutation of complete transaction batches is released in
+// exactly dense seq order.
+TEST(Reorderer, PropertyRandomPermutationsReleaseInOrder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 200;
+    std::vector<ValidationTs> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i + 1;
+    shuffle(order, rng);
+
+    Collector c;
+    for (ValidationTs seq : order) {
+      c.feed_txn(seq + 1000, seq, 1 + seq % 3);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    ASSERT_EQ(c.released.size(), n) << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(c.released[i], i + 1) << seed;
+    }
+    EXPECT_EQ(c.reorderer.staged_commits(), 0u);
+    EXPECT_EQ(c.reorderer.open_txns(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rodain::log

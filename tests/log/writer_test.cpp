@@ -1,0 +1,127 @@
+#include "rodain/log/writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain::log {
+namespace {
+
+storage::Value val(std::string_view s) { return storage::Value{s}; }
+
+std::vector<Record> txn_records(TxnId txn, ValidationTs seq) {
+  std::vector<Record> records;
+  records.push_back(Record::write_image(txn, 100 + txn, val("v")));
+  records.push_back(Record::commit(txn, seq, seq * 1000, 1));
+  return records;
+}
+
+struct CapturingShipper final : Shipper {
+  std::vector<Record> shipped;
+  void ship(std::span<const Record> records) override {
+    shipped.insert(shipped.end(), records.begin(), records.end());
+  }
+};
+
+TEST(LogWriter, OffModeAcksImmediately) {
+  LogWriter writer(LogMode::kOff, nullptr, nullptr);
+  bool durable = false;
+  writer.submit(1, txn_records(1, 1), [&] { durable = true; });
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(writer.counters().via_none, 1u);
+}
+
+TEST(LogWriter, DirectDiskWaitsForFlush) {
+  MemoryLogStorage disk;
+  LogWriter writer(LogMode::kDirectDisk, &disk, nullptr);
+  bool durable = false;
+  writer.submit(1, txn_records(1, 1), [&] { durable = true; });
+  EXPECT_TRUE(durable);  // memory flush completes inline
+  EXPECT_EQ(disk.records().size(), 2u);
+  EXPECT_EQ(writer.counters().via_disk, 1u);
+}
+
+TEST(LogWriter, MirrorModeWaitsForAck) {
+  CapturingShipper shipper;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  bool durable = false;
+  writer.submit(5, txn_records(9, 5), [&] { durable = true; });
+  EXPECT_FALSE(durable);
+  EXPECT_EQ(shipper.shipped.size(), 2u);
+  EXPECT_EQ(writer.pending_acks(), 1u);
+
+  writer.on_mirror_ack(5);
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(writer.pending_acks(), 0u);
+}
+
+TEST(LogWriter, DuplicateAndUnknownAcksIgnored) {
+  CapturingShipper shipper;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  int acks = 0;
+  writer.submit(5, txn_records(9, 5), [&] { ++acks; });
+  writer.on_mirror_ack(4);  // unknown
+  writer.on_mirror_ack(5);
+  writer.on_mirror_ack(5);  // duplicate
+  EXPECT_EQ(acks, 1);
+}
+
+TEST(LogWriter, MirrorLostReroutesPendingToDisk) {
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  int durable = 0;
+  writer.submit(1, txn_records(1, 1), [&] { ++durable; });
+  writer.submit(2, txn_records(2, 2), [&] { ++durable; });
+  EXPECT_EQ(durable, 0);
+
+  writer.on_mirror_lost();
+  // Both pending transactions completed through the local disk instead.
+  EXPECT_EQ(durable, 2);
+  EXPECT_EQ(writer.mode(), LogMode::kDirectDisk);
+  EXPECT_EQ(disk.records().size(), 4u);
+  EXPECT_EQ(writer.counters().rerouted, 2u);
+  // Late ack from the dead mirror: harmless.
+  writer.on_mirror_ack(1);
+  EXPECT_EQ(durable, 2);
+}
+
+TEST(LogWriter, ModeSwitchAffectsNewSubmissions) {
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  LogWriter writer(LogMode::kDirectDisk, &disk, &shipper);
+  writer.submit(1, txn_records(1, 1), {});
+  EXPECT_EQ(disk.records().size(), 2u);
+  writer.set_mode(LogMode::kMirror);
+  writer.submit(2, txn_records(2, 2), {});
+  EXPECT_EQ(shipper.shipped.size(), 2u);
+  EXPECT_EQ(disk.records().size(), 2u);  // unchanged
+}
+
+TEST(LogWriter, TailSinceServesCatchUp) {
+  LogWriter writer(LogMode::kOff, nullptr, nullptr);
+  for (ValidationTs seq = 1; seq <= 10; ++seq) {
+    writer.submit(seq, txn_records(seq, seq), {});
+  }
+  auto tail = writer.tail_since(7);
+  // Transactions 8, 9, 10: two records each.
+  ASSERT_EQ(tail.size(), 6u);
+  EXPECT_EQ(tail[1].seq, 8u);
+  EXPECT_EQ(tail[5].seq, 10u);
+  EXPECT_TRUE(writer.tail_since(10).empty());
+  // Everything retained from seq 0.
+  EXPECT_EQ(writer.tail_since(0).size(), 20u);
+}
+
+TEST(LogWriter, TailRetentionIsBounded) {
+  LogWriter writer(LogMode::kOff, nullptr, nullptr);
+  const ValidationTs total = LogWriter::kTailRetention + 100;
+  for (ValidationTs seq = 1; seq <= total; ++seq) {
+    writer.submit(seq, txn_records(seq, seq), {});
+  }
+  auto all = writer.tail_since(0);
+  EXPECT_EQ(all.size(), LogWriter::kTailRetention * 2);
+  ASSERT_TRUE(all[1].is_commit());
+  EXPECT_EQ(all[1].seq, 101u);  // oldest 100 evicted
+}
+
+}  // namespace
+}  // namespace rodain::log

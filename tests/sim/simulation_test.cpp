@@ -1,0 +1,119 @@
+#include "rodain/sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rodain::sim {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(Simulation, StartsAtOrigin) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{300}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{100}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{200}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{300});
+}
+
+TEST(Simulation, EqualTimesFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesNow) {
+  Simulation sim;
+  TimePoint fired{};
+  sim.schedule_after(5_ms, [&] {
+    sim.schedule_after(3_ms, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint{8000});
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  auto id = sim.schedule_after(1_ms, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, CancelFromInsideHandler) {
+  Simulation sim;
+  bool fired = false;
+  EventId victim = sim.schedule_after(2_ms, [&] { fired = true; });
+  sim.schedule_after(1_ms, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_after(1_ms, [&] { ++count; });
+  sim.schedule_after(10_ms, [&] { ++count; });
+  sim.run_until(TimePoint{5000});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), TimePoint{5000});
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeWhenIdle) {
+  Simulation sim;
+  sim.run_until(TimePoint{123456});
+  EXPECT_EQ(sim.now(), TimePoint{123456});
+}
+
+TEST(Simulation, HandlersCanScheduleMore) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1_us, chain);
+  };
+  sim.schedule_after(1_us, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), TimePoint{100});
+  EXPECT_EQ(sim.fired_events(), 100u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_after(1_us, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ManyEventsStress) {
+  Simulation sim;
+  std::uint64_t sum = 0;
+  for (int i = 1; i <= 10000; ++i) {
+    sim.schedule_at(TimePoint{i % 97}, [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+  }
+  sim.run();
+  EXPECT_EQ(sum, 10000ull * 10001 / 2);
+}
+
+}  // namespace
+}  // namespace rodain::sim

@@ -1,0 +1,232 @@
+#include "rodain/storage/btree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rodain/common/rng.hpp"
+
+namespace rodain::storage {
+namespace {
+
+IndexKey key(std::uint64_t v) { return IndexKey::from_u64(v); }
+
+TEST(IndexKey, Ordering) {
+  EXPECT_LT(key(1), key(2));
+  EXPECT_LT(IndexKey::min(), key(1));
+  EXPECT_LT(key(~0ULL), IndexKey::max());
+  EXPECT_EQ(key(7), key(7));
+}
+
+TEST(IndexKey, FromStringLexicographic) {
+  auto a = IndexKey::from_string("0401234");
+  auto b = IndexKey::from_string("0401235");
+  auto c = IndexKey::from_string("05");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.to_string(), "0401234");
+}
+
+TEST(IndexKey, FromStringTruncatesLongInput) {
+  auto k = IndexKey::from_string("123456789012345678901234");
+  EXPECT_EQ(k.to_string().size(), 16u);
+}
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(key(1)), std::nullopt);
+  EXPECT_FALSE(t.erase(key(1)));
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BPlusTree, InsertFindSmall) {
+  BPlusTree t;
+  EXPECT_TRUE(t.insert(key(10), 100));
+  EXPECT_TRUE(t.insert(key(20), 200));
+  EXPECT_TRUE(t.insert(key(5), 50));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.find(key(10)), 100u);
+  EXPECT_EQ(t.find(key(20)), 200u);
+  EXPECT_EQ(t.find(key(5)), 50u);
+  EXPECT_EQ(t.find(key(15)), std::nullopt);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BPlusTree, DuplicateInsertRejected) {
+  BPlusTree t;
+  EXPECT_TRUE(t.insert(key(1), 10));
+  EXPECT_FALSE(t.insert(key(1), 20));
+  EXPECT_EQ(t.find(key(1)), 10u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, UpdateValue) {
+  BPlusTree t;
+  t.insert(key(1), 10);
+  EXPECT_TRUE(t.update(key(1), 99));
+  EXPECT_EQ(t.find(key(1)), 99u);
+  EXPECT_FALSE(t.update(key(2), 1));
+}
+
+TEST(BPlusTree, SequentialInsertGrowsTree) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.insert(key(i), i * 10));
+  }
+  EXPECT_EQ(t.size(), 5000u);
+  EXPECT_GT(t.height(), 1u);
+  ASSERT_TRUE(t.validate());
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(t.find(key(i)), i * 10) << i;
+  }
+}
+
+TEST(BPlusTree, ReverseInsert) {
+  BPlusTree t;
+  for (std::uint64_t i = 5000; i-- > 0;) ASSERT_TRUE(t.insert(key(i), i));
+  ASSERT_TRUE(t.validate());
+  for (std::uint64_t i = 0; i < 5000; i += 13) EXPECT_EQ(t.find(key(i)), i);
+}
+
+TEST(BPlusTree, EraseToEmpty) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 1000; ++i) t.insert(key(i), i);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.erase(key(i))) << i;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BPlusTree, EraseReverseOrder) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 1000; ++i) t.insert(key(i), i);
+  for (std::uint64_t i = 1000; i-- > 0;) {
+    ASSERT_TRUE(t.erase(key(i))) << i;
+    if (i % 100 == 0) ASSERT_TRUE(t.validate()) << i;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTree, RangeScanFullOrder) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 300; ++i) t.insert(key(i * 2), i);
+  std::vector<std::uint64_t> seen;
+  t.range_scan(IndexKey::min(), IndexKey::max(),
+               [&](const IndexKey&, ObjectId v) {
+                 seen.push_back(v);
+                 return true;
+               });
+  ASSERT_EQ(seen.size(), 300u);
+  for (std::uint64_t i = 0; i < 300; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(BPlusTree, RangeScanBounds) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 100; ++i) t.insert(key(i), i);
+  std::vector<std::uint64_t> seen;
+  t.range_scan(key(10), key(20), [&](const IndexKey&, ObjectId v) {
+    seen.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 11u);  // inclusive bounds
+  EXPECT_EQ(seen.front(), 10u);
+  EXPECT_EQ(seen.back(), 20u);
+}
+
+TEST(BPlusTree, RangeScanEarlyStop) {
+  BPlusTree t;
+  for (std::uint64_t i = 0; i < 100; ++i) t.insert(key(i), i);
+  int count = 0;
+  t.range_scan(IndexKey::min(), IndexKey::max(),
+               [&](const IndexKey&, ObjectId) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BPlusTree, RangeScanEmptyRange) {
+  BPlusTree t;
+  t.insert(key(10), 1);
+  int count = 0;
+  t.range_scan(key(20), key(30), [&](const IndexKey&, ObjectId) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree a;
+  for (std::uint64_t i = 0; i < 100; ++i) a.insert(key(i), i);
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.find(key(50)), 50u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) — documented reset
+  a.insert(key(1), 1);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(BPlusTree, RandomizedAgainstStdMap) {
+  BPlusTree t;
+  std::map<IndexKey, ObjectId> model;
+  Rng rng(555);
+  for (int step = 0; step < 30000; ++step) {
+    const auto k = key(rng.next_below(2000));
+    switch (rng.next_below(3)) {
+      case 0: {
+        const ObjectId v = rng.next_u64();
+        EXPECT_EQ(t.insert(k, v), model.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(t.erase(k), model.erase(k) > 0);
+        break;
+      case 2: {
+        auto found = t.find(k);
+        auto it = model.find(k);
+        ASSERT_EQ(found.has_value(), it != model.end());
+        if (found) EXPECT_EQ(*found, it->second);
+        break;
+      }
+    }
+    if (step % 5000 == 4999) ASSERT_TRUE(t.validate()) << step;
+  }
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), model.size());
+
+  // Full scan must match the model ordering.
+  auto it = model.begin();
+  t.range_scan(IndexKey::min(), IndexKey::max(),
+               [&](const IndexKey& k2, ObjectId v) {
+                 EXPECT_EQ(k2, it->first);
+                 EXPECT_EQ(v, it->second);
+                 ++it;
+                 return true;
+               });
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(BPlusTree, PhoneNumberWorkloadShape) {
+  // The index the number-translation service uses: dialled number -> object.
+  BPlusTree t;
+  for (int i = 0; i < 1000; ++i) {
+    char num[17];
+    std::snprintf(num, sizeof num, "0405%07d", i);
+    ASSERT_TRUE(t.insert(IndexKey::from_string(num), static_cast<ObjectId>(i)));
+  }
+  EXPECT_EQ(t.find(IndexKey::from_string("04050000500")), 500u);
+  // Prefix scan: all numbers in the 0405000049x block.
+  int block = 0;
+  t.range_scan(IndexKey::from_string("04050000490"),
+               IndexKey::from_string("04050000499"),
+               [&](const IndexKey&, ObjectId) {
+                 ++block;
+                 return true;
+               });
+  EXPECT_EQ(block, 10);
+}
+
+}  // namespace
+}  // namespace rodain::storage

@@ -1,0 +1,144 @@
+#include "rodain/storage/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "rodain/common/rng.hpp"
+
+namespace rodain::storage {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rodain_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+void fill(ObjectStore& store, std::size_t n, Rng& rng) {
+  for (ObjectId i = 0; i < n; ++i) {
+    std::string v(rng.next_below(120) + 1, static_cast<char>('a' + i % 26));
+    store.upsert(i, Value{std::string_view{v}}, rng.next_below(1000));
+  }
+}
+
+TEST_F(CheckpointTest, EncodeDecodeRoundTrip) {
+  ObjectStore src;
+  Rng rng(1);
+  fill(src, 500, rng);
+
+  ByteWriter w;
+  encode_checkpoint(src, 4242, w);
+
+  ObjectStore dst;
+  auto meta = decode_checkpoint(w.view(), dst);
+  ASSERT_TRUE(meta.is_ok()) << meta.status().to_string();
+  EXPECT_EQ(meta.value().last_applied, 4242u);
+  EXPECT_EQ(meta.value().object_count, 500u);
+  EXPECT_EQ(dst.size(), src.size());
+  src.for_each([&](ObjectId id, const ObjectRecord& rec) {
+    const ObjectRecord* got = dst.find(id);
+    ASSERT_NE(got, nullptr) << id;
+    EXPECT_EQ(got->value, rec.value);
+    EXPECT_EQ(got->wts, rec.wts);
+  });
+}
+
+TEST_F(CheckpointTest, EmptyStoreRoundTrip) {
+  ObjectStore src, dst;
+  ByteWriter w;
+  encode_checkpoint(src, 0, w);
+  auto meta = decode_checkpoint(w.view(), dst);
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(dst.size(), 0u);
+}
+
+TEST_F(CheckpointTest, DecodeClearsPreviousContent) {
+  ObjectStore src, dst;
+  src.upsert(1, Value{std::string_view{"fresh"}}, 1);
+  dst.upsert(99, Value{std::string_view{"stale"}}, 1);
+  ByteWriter w;
+  encode_checkpoint(src, 1, w);
+  ASSERT_TRUE(decode_checkpoint(w.view(), dst).is_ok());
+  EXPECT_EQ(dst.find(99), nullptr);
+  EXPECT_NE(dst.find(1), nullptr);
+}
+
+TEST_F(CheckpointTest, CorruptionDetected) {
+  ObjectStore src;
+  Rng rng(2);
+  fill(src, 100, rng);
+  ByteWriter w;
+  encode_checkpoint(src, 7, w);
+  auto bytes = w.take();
+  bytes[bytes.size() / 2] ^= std::byte{0x40};
+  ObjectStore dst;
+  auto meta = decode_checkpoint(bytes, dst);
+  ASSERT_FALSE(meta.is_ok());
+  EXPECT_EQ(meta.status().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(CheckpointTest, TruncationDetected) {
+  ObjectStore src;
+  Rng rng(3);
+  fill(src, 100, rng);
+  ByteWriter w;
+  encode_checkpoint(src, 7, w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() / 2);
+  ObjectStore dst;
+  EXPECT_FALSE(decode_checkpoint(bytes, dst).is_ok());
+}
+
+TEST_F(CheckpointTest, TooShortBufferRejected) {
+  ObjectStore dst;
+  std::vector<std::byte> tiny(2);
+  EXPECT_FALSE(decode_checkpoint(tiny, dst).is_ok());
+}
+
+TEST_F(CheckpointTest, FileRoundTrip) {
+  ObjectStore src;
+  Rng rng(4);
+  fill(src, 1000, rng);
+  ASSERT_TRUE(write_checkpoint_file(src, 123, path("db.ckpt")));
+
+  ObjectStore dst;
+  auto meta = read_checkpoint_file(path("db.ckpt"), dst);
+  ASSERT_TRUE(meta.is_ok()) << meta.status().to_string();
+  EXPECT_EQ(meta.value().last_applied, 123u);
+  EXPECT_EQ(dst.size(), 1000u);
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  ObjectStore dst;
+  auto meta = read_checkpoint_file(path("nope.ckpt"), dst);
+  ASSERT_FALSE(meta.is_ok());
+  EXPECT_EQ(meta.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, OverwriteIsAtomicStyle) {
+  ObjectStore a, b, dst;
+  a.upsert(1, Value{std::string_view{"v1"}}, 1);
+  b.upsert(2, Value{std::string_view{"v2"}}, 2);
+  ASSERT_TRUE(write_checkpoint_file(a, 1, path("db.ckpt")));
+  ASSERT_TRUE(write_checkpoint_file(b, 2, path("db.ckpt")));
+  auto meta = read_checkpoint_file(path("db.ckpt"), dst);
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta.value().last_applied, 2u);
+  EXPECT_NE(dst.find(2), nullptr);
+  EXPECT_EQ(dst.find(1), nullptr);
+  // No stray temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path("db.ckpt.tmp")));
+}
+
+}  // namespace
+}  // namespace rodain::storage

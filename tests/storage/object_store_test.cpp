@@ -1,0 +1,146 @@
+#include "rodain/storage/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "rodain/common/rng.hpp"
+
+namespace rodain::storage {
+namespace {
+
+Value val(std::string_view s) { return Value{s}; }
+
+TEST(ObjectStore, InsertFind) {
+  ObjectStore store;
+  ASSERT_TRUE(store.insert(1, val("one")));
+  ASSERT_TRUE(store.insert(2, val("two")));
+  const ObjectRecord* r = store.find(1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->value, val("one"));
+  EXPECT_EQ(store.find(3), nullptr);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ObjectStore, DuplicateInsertRejected) {
+  ObjectStore store;
+  ASSERT_TRUE(store.insert(1, val("one")));
+  auto s = store.insert(1, val("uno"));
+  EXPECT_EQ(s.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(store.find(1)->value, val("one"));
+}
+
+TEST(ObjectStore, UpsertInsertsAndOverwrites) {
+  ObjectStore store;
+  store.upsert(5, val("a"), 10);
+  EXPECT_EQ(store.find(5)->wts, 10u);
+  store.upsert(5, val("b"), 20);
+  EXPECT_EQ(store.find(5)->value, val("b"));
+  EXPECT_EQ(store.find(5)->wts, 20u);
+  // Stale wts does not move the high-water mark backwards.
+  store.upsert(5, val("c"), 5);
+  EXPECT_EQ(store.find(5)->wts, 20u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStore, EraseExisting) {
+  ObjectStore store;
+  store.insert(1, val("x"));
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ObjectStore, FindMutable) {
+  ObjectStore store;
+  store.insert(1, val("x"));
+  ObjectRecord* r = store.find_mutable(1);
+  ASSERT_NE(r, nullptr);
+  r->rts = 99;
+  EXPECT_EQ(store.find(1)->rts, 99u);
+}
+
+TEST(ObjectStore, GrowsPastInitialCapacity) {
+  ObjectStore store(4);
+  for (ObjectId i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(store.insert(i, val("v")));
+  }
+  EXPECT_EQ(store.size(), 10000u);
+  for (ObjectId i = 0; i < 10000; ++i) {
+    ASSERT_NE(store.find(i), nullptr) << i;
+  }
+}
+
+TEST(ObjectStore, ForEachVisitsAllOnce) {
+  ObjectStore store;
+  for (ObjectId i = 100; i < 200; ++i) store.insert(i, val("v"));
+  std::set<ObjectId> seen;
+  store.for_each([&](ObjectId id, const ObjectRecord&) {
+    EXPECT_TRUE(seen.insert(id).second);
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 199u);
+}
+
+TEST(ObjectStore, Clear) {
+  ObjectStore store;
+  for (ObjectId i = 0; i < 50; ++i) ASSERT_TRUE(store.insert(i, val("v")));
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.find(7), nullptr);
+  // Reusable after clear.
+  ASSERT_TRUE(store.insert(7, val("w")));
+  EXPECT_EQ(store.find(7)->value, val("w"));
+}
+
+TEST(ObjectStore, RandomizedAgainstReferenceMap) {
+  ObjectStore store;
+  std::unordered_map<ObjectId, std::string> model;
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const ObjectId id = rng.next_below(500);
+    switch (rng.next_below(3)) {
+      case 0: {  // upsert
+        std::string v = "v" + std::to_string(rng.next_below(1000));
+        store.upsert(id, Value{std::string_view{v}}, 1);
+        model[id] = v;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(store.erase(id), model.erase(id) > 0) << id;
+        break;
+      }
+      case 2: {  // lookup
+        const ObjectRecord* r = store.find(id);
+        auto it = model.find(id);
+        ASSERT_EQ(r != nullptr, it != model.end()) << id;
+        if (r) { EXPECT_EQ(r->value, Value{std::string_view{it->second}}); }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(store.size(), model.size());
+  std::size_t visited = 0;
+  store.for_each([&](ObjectId id, const ObjectRecord& rec) {
+    ++visited;
+    auto it = model.find(id);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(rec.value, Value{std::string_view{it->second}});
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+TEST(ObjectStore, AdversarialSequentialIds) {
+  // Sequential ids stress the hash mixing; ensure probe lengths stay sane
+  // by simply checking correctness at high load.
+  ObjectStore store(16);
+  for (ObjectId i = 0; i < 100000; ++i) ASSERT_TRUE(store.insert(i, Value{}));
+  for (ObjectId i = 0; i < 100000; i += 997) EXPECT_NE(store.find(i), nullptr);
+  EXPECT_EQ(store.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace rodain::storage

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::storage {
+namespace {
+
+Value val(std::string_view s) { return Value{s}; }
+
+TEST(Tombstone, DeleteKeepsTimestampsAndClearsValue) {
+  ObjectStore store;
+  store.upsert(1, val("data"), 100);
+  store.find_mutable(1)->rts = 50;
+  ObjectRecord& rec = store.tombstone(1, 200);
+  EXPECT_TRUE(rec.deleted);
+  EXPECT_FALSE(rec.live());
+  EXPECT_TRUE(rec.value.empty());
+  EXPECT_EQ(rec.wts, 200u);
+  EXPECT_EQ(rec.rts, 50u);  // reader history preserved
+  EXPECT_EQ(store.tombstone_count(), 1u);
+  EXPECT_EQ(store.live_size(), 0u);
+  EXPECT_EQ(store.size(), 1u);  // the slot remains
+}
+
+TEST(Tombstone, DeleteOfMissingObjectCreatesTombstone) {
+  ObjectStore store;
+  store.tombstone(7, 300);
+  ASSERT_NE(store.find(7), nullptr);
+  EXPECT_TRUE(store.find(7)->deleted);
+  EXPECT_EQ(store.find(7)->wts, 300u);
+}
+
+TEST(Tombstone, UpsertRevives) {
+  ObjectStore store;
+  store.upsert(1, val("v1"), 100);
+  store.tombstone(1, 200);
+  ObjectRecord& rec = store.upsert(1, val("v2"), 300);
+  EXPECT_TRUE(rec.live());
+  EXPECT_EQ(rec.value, val("v2"));
+  EXPECT_EQ(rec.wts, 300u);
+  EXPECT_EQ(store.tombstone_count(), 0u);
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(Tombstone, DoubleDeleteIsIdempotentForCounters) {
+  ObjectStore store;
+  store.upsert(1, val("v"), 100);
+  store.tombstone(1, 200);
+  store.tombstone(1, 250);
+  EXPECT_EQ(store.tombstone_count(), 1u);
+  EXPECT_EQ(store.find(1)->wts, 250u);
+}
+
+TEST(Tombstone, WtsNeverGoesBackwards) {
+  ObjectStore store;
+  store.upsert(1, val("v"), 500);
+  store.tombstone(1, 100);  // stale delete replay
+  EXPECT_EQ(store.find(1)->wts, 500u);
+}
+
+TEST(Tombstone, EraseRemovesTombstoneEntirely) {
+  ObjectStore store;
+  store.tombstone(1, 100);
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_EQ(store.tombstone_count(), 0u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+TEST(Tombstone, SurvivesTableGrowth) {
+  ObjectStore store(4);
+  store.upsert(1, val("live"), 1);
+  store.tombstone(2, 5);
+  for (ObjectId i = 10; i < 500; ++i) store.upsert(i, val("x"), 1);
+  EXPECT_EQ(store.tombstone_count(), 1u);
+  ASSERT_NE(store.find(2), nullptr);
+  EXPECT_TRUE(store.find(2)->deleted);
+  EXPECT_EQ(store.live_size(), store.size() - 1);
+}
+
+TEST(Tombstone, ClearResetsCounters) {
+  ObjectStore store;
+  store.tombstone(1, 1);
+  store.clear();
+  EXPECT_EQ(store.tombstone_count(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rodain::storage

@@ -1,0 +1,115 @@
+#include "rodain/storage/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rodain::storage {
+namespace {
+
+Value make(std::size_t n, char fill = 'a') {
+  return Value{std::string_view{std::string(n, fill)}};
+}
+
+TEST(Value, EmptyByDefault) {
+  Value v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+}
+
+TEST(Value, InlineStorage) {
+  auto v = make(Value::kInlineCapacity);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), Value::kInlineCapacity);
+}
+
+TEST(Value, HeapStorage) {
+  auto v = make(Value::kInlineCapacity + 1);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), Value::kInlineCapacity + 1);
+}
+
+TEST(Value, CopySemantics) {
+  for (std::size_t n : {4uz, 48uz, 200uz}) {
+    auto a = make(n, 'x');
+    Value b = a;
+    EXPECT_EQ(a, b);
+    // Mutating the copy must not affect the original.
+    if (n > 0) b.mutable_view()[0] = std::byte{'y'};
+    EXPECT_NE(static_cast<int>(a.view()[0]), static_cast<int>(b.view()[0]));
+  }
+}
+
+TEST(Value, CopyAssignOverwrites) {
+  auto a = make(100, 'q');
+  auto b = make(5, 'z');
+  b = a;
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Value, SelfAssignSafe) {
+  auto a = make(100, 'p');
+  auto& ref = a;
+  a = ref;
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(static_cast<char>(a.view()[99]), 'p');
+}
+
+TEST(Value, MoveStealsHeap) {
+  auto a = make(100, 'm');
+  const std::byte* p = a.data();
+  Value b = std::move(a);
+  EXPECT_EQ(b.data(), p);  // heap pointer stolen, no copy
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(Value, MoveInline) {
+  auto a = make(10, 'i');
+  Value b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(static_cast<char>(b.view()[0]), 'i');
+}
+
+TEST(Value, MoveAssignReleasesOld) {
+  auto a = make(100, 'a');
+  auto b = make(200, 'b');
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(static_cast<char>(b.view()[0]), 'a');
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(make(10, 'x'), make(10, 'x'));
+  EXPECT_FALSE(make(10, 'x') == make(10, 'y'));
+  EXPECT_FALSE(make(10, 'x') == make(11, 'x'));
+  EXPECT_EQ(Value{}, Value{});
+}
+
+TEST(Value, U64FieldAccess) {
+  auto v = make(24, '\0');
+  v.write_u64(0, 0xdeadbeefULL);
+  v.write_u64(8, 42);
+  v.write_u64(16, ~0ULL);
+  EXPECT_EQ(v.read_u64(0), 0xdeadbeefULL);
+  EXPECT_EQ(v.read_u64(8), 42u);
+  EXPECT_EQ(v.read_u64(16), ~0ULL);
+}
+
+TEST(Value, AssignShrinkHeapToInline) {
+  auto v = make(100, 'h');
+  v.assign(std::as_bytes(std::span{"ab", 2}));
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Value, ClearReleases) {
+  auto v = make(100);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());
+}
+
+}  // namespace
+}  // namespace rodain::storage

@@ -1,0 +1,157 @@
+#include "rodain/txn/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rodain/txn/transaction.hpp"
+
+namespace rodain::txn {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(TxnProgram, BuilderComposesOps) {
+  TxnProgram p;
+  p.read(1)
+      .read_key(storage::IndexKey::from_string("0800"))
+      .add_to_field(2, 8, 5)
+      .set_value(3, storage::Value{std::string_view{"x"}})
+      .compute(2_ms)
+      .with_deadline(75_ms)
+      .with_criticality(Criticality::kSoft);
+  EXPECT_EQ(p.ops.size(), 5u);
+  EXPECT_EQ(p.num_reads(), 2u);
+  EXPECT_EQ(p.num_updates(), 2u);
+  EXPECT_EQ(p.relative_deadline, 75_ms);
+  EXPECT_EQ(p.criticality, Criticality::kSoft);
+}
+
+TEST(TxnProgram, Defaults) {
+  TxnProgram p;
+  EXPECT_EQ(p.criticality, Criticality::kFirm);
+  EXPECT_EQ(p.relative_deadline, 50_ms);
+  EXPECT_TRUE(p.ops.empty());
+}
+
+TEST(TsInterval, StartsFull) {
+  TsInterval iv;
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.lo, 1u);
+  EXPECT_EQ(iv.hi, TsInterval::kInf);
+}
+
+TEST(TsInterval, AfterRaisesLowerBound) {
+  TsInterval iv;
+  iv.after(100);
+  EXPECT_EQ(iv.lo, 101u);
+  iv.after(50);  // weaker constraint: no effect
+  EXPECT_EQ(iv.lo, 101u);
+}
+
+TEST(TsInterval, BeforeLowersUpperBound) {
+  TsInterval iv;
+  iv.before(100);
+  EXPECT_EQ(iv.hi, 99u);
+  iv.before(200);
+  EXPECT_EQ(iv.hi, 99u);
+}
+
+TEST(TsInterval, EmptyWhenCrossed) {
+  TsInterval iv;
+  iv.after(100);
+  iv.before(100);
+  EXPECT_TRUE(iv.empty());
+}
+
+TEST(TsInterval, BoundaryGuards) {
+  TsInterval iv;
+  iv.before(0);  // "before the beginning of time"
+  EXPECT_TRUE(iv.empty());
+  TsInterval iv2;
+  iv2.after(TsInterval::kInf);
+  EXPECT_TRUE(iv2.empty());
+}
+
+TEST(Transaction, PriorityKeyReflectsAttributes) {
+  TxnProgram p;
+  p.with_criticality(Criticality::kFirm);
+  Transaction t(7, 3, p, TimePoint{100}, TimePoint{5100});
+  const PriorityKey key = t.priority();
+  EXPECT_EQ(key.crit, Criticality::kFirm);
+  EXPECT_EQ(key.deadline, TimePoint{5100});
+  EXPECT_EQ(key.seq, 3u);
+}
+
+TEST(Transaction, ReadSetDedupsKeepsFirstObservation) {
+  Transaction t(1, 1, {}, {}, {});
+  t.note_read(5, 100);
+  t.note_read(5, 999);  // second observation ignored
+  t.note_read(6, 200);
+  ASSERT_EQ(t.read_set().size(), 2u);
+  EXPECT_EQ(t.read_set()[0].observed_wts, 100u);
+  EXPECT_TRUE(t.in_read_set(5));
+  EXPECT_FALSE(t.in_read_set(7));
+}
+
+TEST(Transaction, WriteCopyClonesOnce) {
+  Transaction t(1, 1, {}, {}, {});
+  storage::Value base{std::string_view{"base"}};
+  storage::Value& copy = t.write_copy(9, base);
+  EXPECT_EQ(copy, base);
+  copy = storage::Value{std::string_view{"mutated"}};
+  // Second access returns the same private copy, not a fresh clone.
+  EXPECT_EQ(t.write_copy(9, base), storage::Value{std::string_view{"mutated"}});
+  EXPECT_TRUE(t.in_write_set(9));
+  ASSERT_NE(t.find_write(9), nullptr);
+  EXPECT_EQ(t.find_write(10), nullptr);
+}
+
+TEST(Transaction, RestartResetsExecutionState) {
+  TxnProgram p;
+  p.read(1).add_to_field(2, 0, 1);
+  Transaction t(1, 1, p, TimePoint{0}, TimePoint{1000});
+  t.note_read(1, 5);
+  t.write_copy(2, storage::Value{});
+  t.advance_pc();
+  t.advance_pc();
+  t.interval().after(100);
+  t.set_validated(7, 7000);
+  t.set_phase(Phase::kValidating);
+  t.captured_reads.emplace_back();
+
+  t.prepare_restart();
+
+  EXPECT_EQ(t.phase(), Phase::kReadPhase);
+  EXPECT_EQ(t.pc(), 0u);
+  EXPECT_TRUE(t.read_set().empty());
+  EXPECT_TRUE(t.write_set().empty());
+  EXPECT_FALSE(t.interval().empty());
+  EXPECT_EQ(t.interval().lo, 1u);
+  EXPECT_EQ(t.validation_seq(), kInvalidValidationTs);
+  EXPECT_TRUE(t.captured_reads.empty());
+  EXPECT_EQ(t.restarts(), 1);
+  // Identity and deadline survive the restart.
+  EXPECT_EQ(t.id(), 1u);
+  EXPECT_EQ(t.deadline(), TimePoint{1000});
+}
+
+TEST(PriorityKeyOrdering, CriticalityDominatesDeadline) {
+  const PriorityKey firm{Criticality::kFirm, TimePoint{999999}, 2};
+  const PriorityKey soft{Criticality::kSoft, TimePoint{1}, 1};
+  const PriorityKey nonrt{Criticality::kNonRealTime, TimePoint{1}, 1};
+  EXPECT_TRUE(firm.higher_than(soft));
+  EXPECT_TRUE(soft.higher_than(nonrt));
+  EXPECT_FALSE(nonrt.higher_than(firm));
+}
+
+TEST(PriorityKeyOrdering, EdfWithinClassAndFifoTieBreak) {
+  const PriorityKey early{Criticality::kFirm, TimePoint{100}, 9};
+  const PriorityKey late{Criticality::kFirm, TimePoint{200}, 1};
+  EXPECT_TRUE(early.higher_than(late));
+  const PriorityKey first{Criticality::kFirm, TimePoint{100}, 1};
+  const PriorityKey second{Criticality::kFirm, TimePoint{100}, 2};
+  EXPECT_TRUE(first.higher_than(second));
+  EXPECT_FALSE(first.higher_than(first));
+}
+
+}  // namespace
+}  // namespace rodain::txn
