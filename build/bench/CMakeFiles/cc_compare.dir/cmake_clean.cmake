@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_compare.dir/cc_compare.cpp.o"
+  "CMakeFiles/cc_compare.dir/cc_compare.cpp.o.d"
+  "cc_compare"
+  "cc_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_path.dir/commit_path.cpp.o"
+  "CMakeFiles/commit_path.dir/commit_path.cpp.o.d"
+  "commit_path"
+  "commit_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

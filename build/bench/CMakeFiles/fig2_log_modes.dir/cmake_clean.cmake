@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_log_modes.dir/fig2_log_modes.cpp.o"
+  "CMakeFiles/fig2_log_modes.dir/fig2_log_modes.cpp.o.d"
+  "fig2_log_modes"
+  "fig2_log_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_log_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_no_disk.dir/fig3_no_disk.cpp.o"
+  "CMakeFiles/fig3_no_disk.dir/fig3_no_disk.cpp.o.d"
+  "fig3_no_disk"
+  "fig3_no_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_no_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

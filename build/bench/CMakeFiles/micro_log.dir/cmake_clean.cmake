@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_log.dir/micro_log.cpp.o"
+  "CMakeFiles/micro_log.dir/micro_log.cpp.o.d"
+  "micro_log"
+  "micro_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

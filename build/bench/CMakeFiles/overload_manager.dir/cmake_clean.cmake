@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_manager.dir/overload_manager.cpp.o"
+  "CMakeFiles/overload_manager.dir/overload_manager.cpp.o.d"
+  "overload_manager"
+  "overload_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_ablation.dir/reorder_ablation.cpp.o"
+  "CMakeFiles/reorder_ablation.dir/reorder_ablation.cpp.o.d"
+  "reorder_ablation"
+  "reorder_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

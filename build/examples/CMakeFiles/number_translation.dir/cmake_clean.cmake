@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/number_translation.dir/number_translation.cpp.o"
+  "CMakeFiles/number_translation.dir/number_translation.cpp.o.d"
+  "number_translation"
+  "number_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/number_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for number_translation.
+# This may be replaced when dependencies are built.

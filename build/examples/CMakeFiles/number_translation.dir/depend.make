@@ -1,0 +1,2 @@
+# Empty dependencies file for number_translation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rodain/cc/factory.cpp" "src/CMakeFiles/rodain.dir/rodain/cc/factory.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/cc/factory.cpp.o.d"
+  "/root/repo/src/rodain/cc/lock_manager.cpp" "src/CMakeFiles/rodain.dir/rodain/cc/lock_manager.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/cc/lock_manager.cpp.o.d"
+  "/root/repo/src/rodain/cc/occ.cpp" "src/CMakeFiles/rodain.dir/rodain/cc/occ.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/cc/occ.cpp.o.d"
+  "/root/repo/src/rodain/cc/two_pl.cpp" "src/CMakeFiles/rodain.dir/rodain/cc/two_pl.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/cc/two_pl.cpp.o.d"
+  "/root/repo/src/rodain/common/clock.cpp" "src/CMakeFiles/rodain.dir/rodain/common/clock.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/clock.cpp.o.d"
+  "/root/repo/src/rodain/common/diag.cpp" "src/CMakeFiles/rodain.dir/rodain/common/diag.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/diag.cpp.o.d"
+  "/root/repo/src/rodain/common/rng.cpp" "src/CMakeFiles/rodain.dir/rodain/common/rng.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/rng.cpp.o.d"
+  "/root/repo/src/rodain/common/serialization.cpp" "src/CMakeFiles/rodain.dir/rodain/common/serialization.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/serialization.cpp.o.d"
+  "/root/repo/src/rodain/common/stats.cpp" "src/CMakeFiles/rodain.dir/rodain/common/stats.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/stats.cpp.o.d"
+  "/root/repo/src/rodain/common/time.cpp" "src/CMakeFiles/rodain.dir/rodain/common/time.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/common/time.cpp.o.d"
+  "/root/repo/src/rodain/db/database.cpp" "src/CMakeFiles/rodain.dir/rodain/db/database.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/db/database.cpp.o.d"
+  "/root/repo/src/rodain/engine/engine.cpp" "src/CMakeFiles/rodain.dir/rodain/engine/engine.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/engine/engine.cpp.o.d"
+  "/root/repo/src/rodain/exp/session.cpp" "src/CMakeFiles/rodain.dir/rodain/exp/session.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/exp/session.cpp.o.d"
+  "/root/repo/src/rodain/log/log_storage.cpp" "src/CMakeFiles/rodain.dir/rodain/log/log_storage.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/log/log_storage.cpp.o.d"
+  "/root/repo/src/rodain/log/record.cpp" "src/CMakeFiles/rodain.dir/rodain/log/record.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/log/record.cpp.o.d"
+  "/root/repo/src/rodain/log/recovery.cpp" "src/CMakeFiles/rodain.dir/rodain/log/recovery.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/log/recovery.cpp.o.d"
+  "/root/repo/src/rodain/log/reorder.cpp" "src/CMakeFiles/rodain.dir/rodain/log/reorder.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/log/reorder.cpp.o.d"
+  "/root/repo/src/rodain/log/writer.cpp" "src/CMakeFiles/rodain.dir/rodain/log/writer.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/log/writer.cpp.o.d"
+  "/root/repo/src/rodain/net/sim_link.cpp" "src/CMakeFiles/rodain.dir/rodain/net/sim_link.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/net/sim_link.cpp.o.d"
+  "/root/repo/src/rodain/net/tcp.cpp" "src/CMakeFiles/rodain.dir/rodain/net/tcp.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/net/tcp.cpp.o.d"
+  "/root/repo/src/rodain/repl/endpoint.cpp" "src/CMakeFiles/rodain.dir/rodain/repl/endpoint.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/repl/endpoint.cpp.o.d"
+  "/root/repo/src/rodain/repl/mirror.cpp" "src/CMakeFiles/rodain.dir/rodain/repl/mirror.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/repl/mirror.cpp.o.d"
+  "/root/repo/src/rodain/repl/primary.cpp" "src/CMakeFiles/rodain.dir/rodain/repl/primary.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/repl/primary.cpp.o.d"
+  "/root/repo/src/rodain/repl/protocol.cpp" "src/CMakeFiles/rodain.dir/rodain/repl/protocol.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/repl/protocol.cpp.o.d"
+  "/root/repo/src/rodain/rt/node.cpp" "src/CMakeFiles/rodain.dir/rodain/rt/node.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/rt/node.cpp.o.d"
+  "/root/repo/src/rodain/sched/overload.cpp" "src/CMakeFiles/rodain.dir/rodain/sched/overload.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/sched/overload.cpp.o.d"
+  "/root/repo/src/rodain/sim/cpu.cpp" "src/CMakeFiles/rodain.dir/rodain/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/sim/cpu.cpp.o.d"
+  "/root/repo/src/rodain/sim/simulation.cpp" "src/CMakeFiles/rodain.dir/rodain/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/sim/simulation.cpp.o.d"
+  "/root/repo/src/rodain/simdb/sim_cluster.cpp" "src/CMakeFiles/rodain.dir/rodain/simdb/sim_cluster.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/simdb/sim_cluster.cpp.o.d"
+  "/root/repo/src/rodain/simdb/sim_node.cpp" "src/CMakeFiles/rodain.dir/rodain/simdb/sim_node.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/simdb/sim_node.cpp.o.d"
+  "/root/repo/src/rodain/storage/btree.cpp" "src/CMakeFiles/rodain.dir/rodain/storage/btree.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/storage/btree.cpp.o.d"
+  "/root/repo/src/rodain/storage/checkpoint.cpp" "src/CMakeFiles/rodain.dir/rodain/storage/checkpoint.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/storage/checkpoint.cpp.o.d"
+  "/root/repo/src/rodain/storage/object_store.cpp" "src/CMakeFiles/rodain.dir/rodain/storage/object_store.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/storage/object_store.cpp.o.d"
+  "/root/repo/src/rodain/storage/value.cpp" "src/CMakeFiles/rodain.dir/rodain/storage/value.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/storage/value.cpp.o.d"
+  "/root/repo/src/rodain/txn/program.cpp" "src/CMakeFiles/rodain.dir/rodain/txn/program.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/txn/program.cpp.o.d"
+  "/root/repo/src/rodain/txn/transaction.cpp" "src/CMakeFiles/rodain.dir/rodain/txn/transaction.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/txn/transaction.cpp.o.d"
+  "/root/repo/src/rodain/workload/number_translation.cpp" "src/CMakeFiles/rodain.dir/rodain/workload/number_translation.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/workload/number_translation.cpp.o.d"
+  "/root/repo/src/rodain/workload/trace.cpp" "src/CMakeFiles/rodain.dir/rodain/workload/trace.cpp.o" "gcc" "src/CMakeFiles/rodain.dir/rodain/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

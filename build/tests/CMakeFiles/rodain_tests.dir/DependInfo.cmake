@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc/lock_manager_test.cpp" "tests/CMakeFiles/rodain_tests.dir/cc/lock_manager_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/cc/lock_manager_test.cpp.o.d"
+  "/root/repo/tests/cc/occ_test.cpp" "tests/CMakeFiles/rodain_tests.dir/cc/occ_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/cc/occ_test.cpp.o.d"
+  "/root/repo/tests/cc/serializability_test.cpp" "tests/CMakeFiles/rodain_tests.dir/cc/serializability_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/cc/serializability_test.cpp.o.d"
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/serialization_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/serialization_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/time_test.cpp" "tests/CMakeFiles/rodain_tests.dir/common/time_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/common/time_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_test.cpp" "tests/CMakeFiles/rodain_tests.dir/engine/engine_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/engine/engine_test.cpp.o.d"
+  "/root/repo/tests/integration/provisioning_test.cpp" "tests/CMakeFiles/rodain_tests.dir/integration/provisioning_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/integration/provisioning_test.cpp.o.d"
+  "/root/repo/tests/integration/rt_node_test.cpp" "tests/CMakeFiles/rodain_tests.dir/integration/rt_node_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/integration/rt_node_test.cpp.o.d"
+  "/root/repo/tests/integration/rt_recovery_test.cpp" "tests/CMakeFiles/rodain_tests.dir/integration/rt_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/integration/rt_recovery_test.cpp.o.d"
+  "/root/repo/tests/integration/sim_cluster_test.cpp" "tests/CMakeFiles/rodain_tests.dir/integration/sim_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/integration/sim_cluster_test.cpp.o.d"
+  "/root/repo/tests/log/log_storage_test.cpp" "tests/CMakeFiles/rodain_tests.dir/log/log_storage_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/log/log_storage_test.cpp.o.d"
+  "/root/repo/tests/log/record_test.cpp" "tests/CMakeFiles/rodain_tests.dir/log/record_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/log/record_test.cpp.o.d"
+  "/root/repo/tests/log/recovery_test.cpp" "tests/CMakeFiles/rodain_tests.dir/log/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/log/recovery_test.cpp.o.d"
+  "/root/repo/tests/log/reorder_test.cpp" "tests/CMakeFiles/rodain_tests.dir/log/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/log/reorder_test.cpp.o.d"
+  "/root/repo/tests/log/writer_test.cpp" "tests/CMakeFiles/rodain_tests.dir/log/writer_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/log/writer_test.cpp.o.d"
+  "/root/repo/tests/net/sim_link_test.cpp" "tests/CMakeFiles/rodain_tests.dir/net/sim_link_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/net/sim_link_test.cpp.o.d"
+  "/root/repo/tests/net/tcp_test.cpp" "tests/CMakeFiles/rodain_tests.dir/net/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/net/tcp_test.cpp.o.d"
+  "/root/repo/tests/repl/protocol_test.cpp" "tests/CMakeFiles/rodain_tests.dir/repl/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/repl/protocol_test.cpp.o.d"
+  "/root/repo/tests/repl/replication_test.cpp" "tests/CMakeFiles/rodain_tests.dir/repl/replication_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/repl/replication_test.cpp.o.d"
+  "/root/repo/tests/sched/sched_test.cpp" "tests/CMakeFiles/rodain_tests.dir/sched/sched_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/sched/sched_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_test.cpp" "tests/CMakeFiles/rodain_tests.dir/sim/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/sim/cpu_test.cpp.o.d"
+  "/root/repo/tests/sim/simulation_test.cpp" "tests/CMakeFiles/rodain_tests.dir/sim/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/sim/simulation_test.cpp.o.d"
+  "/root/repo/tests/simdb/sim_node_test.cpp" "tests/CMakeFiles/rodain_tests.dir/simdb/sim_node_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/simdb/sim_node_test.cpp.o.d"
+  "/root/repo/tests/storage/btree_test.cpp" "tests/CMakeFiles/rodain_tests.dir/storage/btree_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/storage/btree_test.cpp.o.d"
+  "/root/repo/tests/storage/checkpoint_test.cpp" "tests/CMakeFiles/rodain_tests.dir/storage/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/storage/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/storage/object_store_test.cpp" "tests/CMakeFiles/rodain_tests.dir/storage/object_store_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/storage/object_store_test.cpp.o.d"
+  "/root/repo/tests/storage/tombstone_test.cpp" "tests/CMakeFiles/rodain_tests.dir/storage/tombstone_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/storage/tombstone_test.cpp.o.d"
+  "/root/repo/tests/storage/value_test.cpp" "tests/CMakeFiles/rodain_tests.dir/storage/value_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/storage/value_test.cpp.o.d"
+  "/root/repo/tests/txn/program_test.cpp" "tests/CMakeFiles/rodain_tests.dir/txn/program_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/txn/program_test.cpp.o.d"
+  "/root/repo/tests/workload/workload_test.cpp" "tests/CMakeFiles/rodain_tests.dir/workload/workload_test.cpp.o" "gcc" "tests/CMakeFiles/rodain_tests.dir/workload/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rodain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

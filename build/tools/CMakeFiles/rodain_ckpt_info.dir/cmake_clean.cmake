@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodain_ckpt_info.dir/ckpt_info.cpp.o"
+  "CMakeFiles/rodain_ckpt_info.dir/ckpt_info.cpp.o.d"
+  "rodain_ckpt_info"
+  "rodain_ckpt_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodain_ckpt_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodain_compact.dir/compact.cpp.o"
+  "CMakeFiles/rodain_compact.dir/compact.cpp.o.d"
+  "rodain_compact"
+  "rodain_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodain_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

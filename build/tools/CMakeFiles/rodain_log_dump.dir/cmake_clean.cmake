@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodain_log_dump.dir/log_dump.cpp.o"
+  "CMakeFiles/rodain_log_dump.dir/log_dump.cpp.o.d"
+  "rodain_log_dump"
+  "rodain_log_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodain_log_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
