@@ -11,12 +11,17 @@
 #include <cstdio>
 
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 
 using namespace rodain;
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::BenchReport rep("cc_compare");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("reps", static_cast<std::int64_t>(args.reps));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Ablation 1: OCC-BC / OCC-DA / OCC-TI / OCC-DATI / 2PL-HP ===\n");
   std::printf("(single node, logging off, hot 200-object database with "
               "zipf(0.6) access, write fraction 0.8, %zu reps x %zu txns)\n\n",
@@ -64,11 +69,21 @@ int main(int argc, char** argv) {
                     result.miss_ratio.mean(), per_commit,
                     static_cast<unsigned long long>(result.totals.conflict_aborted),
                     result.commit_latency_ms.mean());
+        char label[64];
+        std::snprintf(label, sizeof label, "%s %s rate=%.0f",
+                      std::string(cc::to_string(protocol)).c_str(), mix.name,
+                      rate);
+        rep.add_repeated(label, result);
+        rep.field("protocol", cc::to_string(protocol));
+        rep.field("write_fraction", mix.write_fraction);
+        rep.field("rate_tps", rate);
+        rep.field("restarts_per_commit", per_commit);
       }
       std::printf("\n");
     }
   }
   std::printf("expected: OCC-DATI commits with the fewest restarts "
               "(the paper's motivation for combining OCC-DA and OCC-TI).\n");
+  rep.write_file();
   return 0;
 }

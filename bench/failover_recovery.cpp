@@ -16,6 +16,7 @@
 #include <filesystem>
 
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 #include "rodain/log/recovery.hpp"
 #include "rodain/storage/checkpoint.hpp"
@@ -27,7 +28,7 @@ namespace {
 
 // ---------------------------------------------------------------- C4 ----
 
-void measure_failover(const exp::BenchArgs& args) {
+void measure_failover(const exp::BenchArgs& args, exp::BenchReport& rep) {
   std::printf("--- C4a: failover gap vs watchdog timeout (two-node, 200 txn/s) ---\n");
   exp::SeriesPrinter printer("watchdog[ms]", {"failover gap [ms]"});
   for (double timeout_ms : {50.0, 100.0, 200.0, 500.0, 1000.0}) {
@@ -50,14 +51,20 @@ void measure_failover(const exp::BenchArgs& args) {
     }
     sim.schedule_at(TimePoint{2'000'000}, [&] { cluster.fail_node(cluster.node_a()); });
     sim.run_until(TimePoint::origin() + trace.duration() + 5_s);
-    printer.add_row(timeout_ms, {cluster.last_failover_gap()
-                                     ? cluster.last_failover_gap()->to_ms()
-                                     : -1.0});
+    const double gap_ms = cluster.last_failover_gap()
+                              ? cluster.last_failover_gap()->to_ms()
+                              : -1.0;
+    printer.add_row(timeout_ms, {gap_ms});
+    char label[48];
+    std::snprintf(label, sizeof label, "C4a watchdog=%.0fms", timeout_ms);
+    rep.begin_result(label);
+    rep.field("watchdog_ms", timeout_ms);
+    rep.field("failover_gap_ms", gap_ms);
   }
   printer.print();
 }
 
-void measure_recovery(const exp::BenchArgs& args) {
+void measure_recovery(const exp::BenchArgs& args, exp::BenchReport& rep) {
   (void)args;
   std::printf("\n--- C4b: lone-node restart from disk backup (checkpoint + log replay) ---\n");
   exp::SeriesPrinter printer("objects",
@@ -114,6 +121,15 @@ void measure_recovery(const exp::BenchArgs& args) {
     printer.add_row(static_cast<double>(objects),
                     {static_cast<double>(ckpt_bytes) / (1024.0 * 1024.0),
                      disk_ms, cpu_ms, disk_ms + cpu_ms});
+    char label[48];
+    std::snprintf(label, sizeof label, "C4b restart objects=%zu", objects);
+    rep.begin_result(label);
+    rep.field("objects", static_cast<std::int64_t>(objects));
+    rep.field("checkpoint_mb",
+              static_cast<double>(ckpt_bytes) / (1024.0 * 1024.0));
+    rep.field("disk_load_ms", disk_ms);
+    rep.field("replay_cpu_ms", cpu_ms);
+    rep.field("total_restart_ms", disk_ms + cpu_ms);
   }
   printer.print();
   std::printf("  => a mirror takeover (~watchdog timeout, 50-1000 ms above) "
@@ -123,7 +139,8 @@ void measure_recovery(const exp::BenchArgs& args) {
 
 // ---------------------------------------------------------------- C5 ----
 
-void measure_sequential_failure(const exp::BenchArgs& args) {
+void measure_sequential_failure(const exp::BenchArgs& args,
+                                exp::BenchReport& rep) {
   std::printf("\n--- C5: committed-but-lost txns vs gap between the two failures ---\n");
   struct DiskCase {
     const char* name;
@@ -187,6 +204,13 @@ void measure_sequential_failure(const exp::BenchArgs& args) {
       sim.run_until(t1 + Duration::millis_f(gap_ms) + 1_s);
       printer.add_row(gap_ms, {static_cast<double>(lost),
                                static_cast<double>(backlog_at_t1)});
+      char label[64];
+      std::snprintf(label, sizeof label, "C5 %s gap=%.0fms", disk.name, gap_ms);
+      rep.begin_result(label);
+      rep.field("gap_ms", gap_ms);
+      rep.field("lost_committed_txns", static_cast<std::int64_t>(lost));
+      rep.field("mirror_backlog_at_t1",
+                static_cast<std::int64_t>(backlog_at_t1));
     }
     printer.print();
   }
@@ -198,10 +222,14 @@ void measure_sequential_failure(const exp::BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::BenchReport rep("failover_recovery");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Availability study: failover (C4) and sequential-failure "
               "loss window (C5) ===\n\n");
-  measure_failover(args);
-  measure_recovery(args);
-  measure_sequential_failure(args);
+  measure_failover(args, rep);
+  measure_recovery(args, rep);
+  measure_sequential_failure(args, rep);
+  rep.write_file();
   return 0;
 }

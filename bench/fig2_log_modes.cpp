@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 
 using namespace rodain;
@@ -50,6 +51,10 @@ void print_breakdown(const char* label, const TxnCounters& t) {
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::BenchReport rep("fig2_log_modes");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("reps", static_cast<std::int64_t>(args.reps));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Fig 2: normal (two node) vs transient (single node) mode, "
               "true log writes ===\n");
   std::printf("(%zu reps x %zu txns per point; paper: 20 x 10000)\n\n",
@@ -66,6 +71,13 @@ int main(int argc, char** argv) {
     fig2a.add_row(rate, {two.miss_ratio.mean(), single.miss_ratio.mean()});
     two_total.merge(two.totals);
     single_total.merge(single.totals);
+    char label[48];
+    std::snprintf(label, sizeof label, "fig2a two-node rate=%.0f", rate);
+    rep.add_repeated(label, two);
+    rep.field("rate_tps", rate);
+    std::snprintf(label, sizeof label, "fig2a single-node rate=%.0f", rate);
+    rep.add_repeated(label, single);
+    rep.field("rate_tps", rate);
   }
   fig2a.print();
   std::printf("\n  abort breakdown over the sweep (claim C1: overload-manager "
@@ -84,10 +96,20 @@ int main(int argc, char** argv) {
     fig2b.add_row(wf, {two.miss_ratio.mean(), single.miss_ratio.mean()});
     two_min = std::min(two_min, two.miss_ratio.mean());
     two_max = std::max(two_max, two.miss_ratio.mean());
+    char label[48];
+    std::snprintf(label, sizeof label, "fig2b two-node wf=%.1f", wf);
+    rep.add_repeated(label, two);
+    rep.field("write_fraction", wf);
+    std::snprintf(label, sizeof label, "fig2b single-node wf=%.1f", wf);
+    rep.add_repeated(label, single);
+    rep.field("write_fraction", wf);
   }
   fig2b.print();
   std::printf("\n  claim C2 (write-ratio effect is small for the two-node "
               "system): miss ratio spans %.3f..%.3f across 0..100%% writes\n",
               two_min, two_max);
+  rep.set("fig2b_two_node_miss_min", two_min);
+  rep.set("fig2b_two_node_miss_max", two_max);
+  rep.write_file();
   return 0;
 }

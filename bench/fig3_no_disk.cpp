@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 
 using namespace rodain;
@@ -35,6 +36,10 @@ double run_config(const simdb::SimClusterConfig& cluster, double rate,
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::BenchReport rep("fig3_no_disk");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("reps", static_cast<std::int64_t>(args.reps));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Fig 3: optimal (No logs) vs single node vs two node, "
               "disk writing turned off ===\n");
   std::printf("(%zu reps x %zu txns per point; paper: 20 x 10000)\n", args.reps,
@@ -65,11 +70,21 @@ int main(int argc, char** argv) {
                                     panel.write_fraction, args);
       printer.add_row(rate, {no_logs, single, two});
       max_gap_two_vs_nolog = std::max(max_gap_two_vs_nolog, two - no_logs);
+      char label[48];
+      std::snprintf(label, sizeof label, "%s rate=%.0f", panel.name, rate);
+      rep.begin_result(label);
+      rep.field("write_fraction", panel.write_fraction);
+      rep.field("rate_tps", rate);
+      rep.field("no_logs_miss", no_logs);
+      rep.field("single_node_miss", single);
+      rep.field("two_node_miss", two);
     }
     printer.print();
   }
   std::printf("\nclaim C3 (two-node-no-disk tracks the no-log optimum): "
               "largest miss-ratio gap observed = %.3f\n",
               max_gap_two_vs_nolog);
+  rep.set("max_gap_two_vs_nolog", max_gap_two_vs_nolog);
+  rep.write_file();
   return 0;
 }

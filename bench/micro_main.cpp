@@ -1,0 +1,40 @@
+// Shared main for the google-benchmark micro benches: unless the caller
+// passed --benchmark_out, default to BENCH_<binary>.json so every bench
+// run leaves a machine-readable report next to its console table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::string name = argv[0];
+    if (const auto pos = name.find_last_of('/'); pos != std::string::npos) {
+      name = name.substr(pos + 1);
+    }
+    out_flag = "--benchmark_out=BENCH_" + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!out_flag.empty()) {
+    std::printf("\n[bench report written to %s]\n",
+                out_flag.c_str() + std::strlen("--benchmark_out="));
+  }
+  return 0;
+}

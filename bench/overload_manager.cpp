@@ -10,13 +10,15 @@
 #include <cstdio>
 
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 
 using namespace rodain;
 
 namespace {
 
-void run_point(std::size_t cap, bool feedback, const exp::BenchArgs& args) {
+void run_point(std::size_t cap, bool feedback, const exp::BenchArgs& args,
+               exp::BenchReport& rep) {
   exp::SessionConfig config;
   config.cluster = workload::PaperSetup::no_logging();
   config.cluster.node.overload.max_active = cap;
@@ -38,26 +40,38 @@ void run_point(std::size_t cap, bool feedback, const exp::BenchArgs& args) {
               static_cast<double>(t.missed_deadline) /
                   static_cast<double>(t.submitted),
               result.commit_latency_ms.mean());
+  char label[48];
+  std::snprintf(label, sizeof label, "cap=%zu feedback=%s", cap,
+                feedback ? "on" : "off");
+  rep.add_repeated(label, result);
+  rep.field("cap", static_cast<std::int64_t>(cap));
+  rep.field("feedback", feedback ? "on" : "off");
+  rep.field("committed_share", committed_share);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::BenchReport rep("overload_manager");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("reps", static_cast<std::int64_t>(args.reps));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Ablation 3: overload manager at 400 txn/s (~1.7x the knee) ===\n");
   std::printf("(%zu reps x %zu txns per point)\n\n", args.reps, args.txns);
   std::printf("%-8s  %-9s  %-10s  %-11s  %-10s  %-10s  %-12s\n", "cap",
               "feedback", "miss", "committed", "overload", "deadline",
               "commit[ms]");
   for (std::size_t cap : {5uz, 10uz, 25uz, 50uz, 100uz, 200uz, 100000uz}) {
-    run_point(cap, false, args);
+    run_point(cap, false, args, rep);
   }
   std::printf("\nwith miss-window feedback (cap shrinks under sustained misses):\n");
   for (std::size_t cap : {50uz, 100uz, 200uz, 100000uz}) {
-    run_point(cap, true, args);
+    run_point(cap, true, args, rep);
   }
   std::printf("\n=> a moderate cap (the paper uses 50) converts hopeless "
               "deadline misses into cheap admission-time shedding while "
               "keeping commit latency of admitted work bounded.\n");
+  rep.write_file();
   return 0;
 }

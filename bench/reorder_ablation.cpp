@@ -14,6 +14,7 @@
 
 #include "rodain/common/rng.hpp"
 #include "rodain/exp/args.hpp"
+#include "rodain/exp/report.hpp"
 #include "rodain/exp/session.hpp"
 #include "rodain/log/reorder.hpp"
 
@@ -44,7 +45,7 @@ std::vector<std::vector<log::Record>> skewed_stream(std::size_t txns,
   return batches;
 }
 
-void reorder_depth_study(const exp::BenchArgs& args) {
+void reorder_depth_study(const exp::BenchArgs& args, exp::BenchReport& rep) {
   std::printf("--- reorder buffering vs write-phase skew (%zu txns) ---\n",
               args.txns);
   exp::SeriesPrinter printer("skew", {"max staged", "released in order"});
@@ -64,11 +65,17 @@ void reorder_depth_study(const exp::BenchArgs& args) {
     }
     printer.add_row(static_cast<double>(skew),
                     {static_cast<double>(max_staged), in_order ? 1.0 : 0.0});
+    char label[48];
+    std::snprintf(label, sizeof label, "reorder skew=%zu", skew);
+    rep.begin_result(label);
+    rep.field("skew", static_cast<std::int64_t>(skew));
+    rep.field("max_staged", static_cast<std::int64_t>(max_staged));
+    rep.field("released_in_order", in_order ? 1.0 : 0.0);
   }
   printer.print();
 }
 
-void recovery_pass_study(const exp::BenchArgs& args) {
+void recovery_pass_study(const exp::BenchArgs& args, exp::BenchReport& rep) {
   std::printf("\n--- recovery buffering: ordered (mirror) vs unordered (lone "
               "node) log ---\n");
   // Simulate the recovery reader's buffering requirement directly: an
@@ -92,6 +99,12 @@ void recovery_pass_study(const exp::BenchArgs& args) {
     }
     printer.add_row(static_cast<double>(skew),
                     {static_cast<double>(peak), peak <= 1 ? 1.0 : 0.0});
+    char label[48];
+    std::snprintf(label, sizeof label, "recovery skew=%zu", skew);
+    rep.begin_result(label);
+    rep.field("skew", static_cast<std::int64_t>(skew));
+    rep.field("peak_buffered_txns", static_cast<std::int64_t>(peak));
+    rep.field("single_pass", peak <= 1 ? 1.0 : 0.0);
   }
   printer.print();
   std::printf("  => the mirror's reordering moves this buffering off the "
@@ -103,8 +116,12 @@ void recovery_pass_study(const exp::BenchArgs& args) {
 int main(int argc, char** argv) {
   exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
   args.txns = std::min<std::size_t>(args.txns, 20000);
+  exp::BenchReport rep("reorder_ablation");
+  rep.set("txns", static_cast<std::int64_t>(args.txns));
+  rep.set("seed", static_cast<std::int64_t>(args.seed));
   std::printf("=== Ablation 4: mirror log reordering ===\n\n");
-  reorder_depth_study(args);
-  recovery_pass_study(args);
+  reorder_depth_study(args, rep);
+  recovery_pass_study(args, rep);
+  rep.write_file();
   return 0;
 }

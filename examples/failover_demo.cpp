@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 #include "rodain/rodain.hpp"
 
 using namespace rodain;
@@ -24,6 +25,12 @@ using namespace rodain::literals;
 
 int main() {
   diag::set_level(diag::Level::kInfo);
+
+  // Record everything: metrics + commit-path spans. The trace dumps to a
+  // Chrome trace_event file at the end (chrome://tracing or Perfetto).
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs::init(obs_config);
 
   // ---- wire the pair ------------------------------------------------------
   std::mutex mu;
@@ -44,6 +51,7 @@ int main() {
   rt::NodeConfig config;
   config.watchdog_timeout = 300_ms;
   config.heartbeat_interval = 50_ms;
+  config.metrics_snapshot_interval = 100_ms;
   auto primary = std::make_unique<rt::Node>(config, "primary");
   rt::Node mirror(config, "mirror");
   for (ObjectId account = 1; account <= 1000; ++account) {
@@ -109,6 +117,20 @@ int main() {
   after.with_deadline(150_ms);
   std::printf("== new transaction on survivor: %s\n",
               std::string(to_string(mirror.execute(std::move(after)).outcome)).c_str());
+  const obs::TimeSeries series = mirror.metrics_series();
   mirror.stop();
+
+  // ---- observability artifacts --------------------------------------------
+  const char* trace_path = "failover_demo_trace.json";
+  if (obs::tracer().dump_to_file(trace_path)) {
+    std::printf("== trace written to %s (%llu events; open in "
+                "chrome://tracing)\n",
+                trace_path,
+                static_cast<unsigned long long>(obs::tracer().recorded()));
+  }
+  std::printf("== sampled %zu metric snapshots on the survivor\n",
+              series.row_count());
+  std::printf("\n-- metrics registry --\n%s",
+              obs::metrics().render_text().c_str());
   return 0;
 }

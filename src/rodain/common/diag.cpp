@@ -1,14 +1,13 @@
 #include "rodain/common/diag.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <mutex>
 
 namespace rodain::diag {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_mutex;
 
 constexpr const char* level_tag(Level l) {
   switch (l) {
@@ -21,6 +20,14 @@ constexpr const char* level_tag(Level l) {
   }
   return "?";
 }
+
+/// Monotonic seconds since the first log line (steady clock), so lines from
+/// any thread carry a common, strictly comparable time base.
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
 }  // namespace
 
 void set_level(Level l) { g_level.store(l, std::memory_order_relaxed); }
@@ -28,13 +35,24 @@ Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void logf(Level l, const char* fmt, ...) {
   if (l < level()) return;
-  char buf[1024];
+  // Compose the whole line (timestamp + level + message + newline) into one
+  // buffer and emit it with a single fwrite: concurrent threads may
+  // interleave lines but never characters within a line.
+  char buf[1200];
+  int n = std::snprintf(buf, sizeof buf, "[%10.4f rodain %s] ",
+                        monotonic_seconds(), level_tag(l));
+  if (n < 0) return;
+  std::size_t len = static_cast<std::size_t>(n);
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
+  const int m = std::vsnprintf(buf + len, sizeof buf - len - 1, fmt, args);
   va_end(args);
-  std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[rodain %s] %s\n", level_tag(l), buf);
+  if (m > 0) {
+    len += static_cast<std::size_t>(m);
+    if (len > sizeof buf - 2) len = sizeof buf - 2;  // truncated
+  }
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, len, stderr);
 }
 
 }  // namespace rodain::diag

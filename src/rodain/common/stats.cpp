@@ -87,13 +87,18 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 Duration LatencyHistogram::quantile(double q) const {
   if (count_ == 0) return Duration::zero();
   q = std::clamp(q, 0.0, 1.0);
+  // q == 1 is the exact maximum (tracked out of band, so saturated samples
+  // that landed in the top bucket still report truthfully).
+  if (q >= 1.0) return max_;
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
     seen += buckets_[b];
     if (seen > target) {
-      return Duration::micros(bucket_lower(b));
+      // A bucket's lower bound can exceed the true maximum (single sample,
+      // or overflow samples saturating into the top bucket): clamp.
+      return std::min(Duration::micros(bucket_lower(b)), max_);
     }
   }
   return max_;

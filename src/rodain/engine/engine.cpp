@@ -3,8 +3,27 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::engine {
+
+namespace {
+/// Registered once, shared by every engine in the process (sim clusters run
+/// two); all mutators no-op unless obs::init enabled the layer.
+struct EngineMetrics {
+  obs::Counter& commits = obs::metrics().counter("engine.commits");
+  obs::Counter& aborts = obs::metrics().counter("engine.aborts");
+  obs::Counter& restarts = obs::metrics().counter("engine.restarts");
+  obs::Counter& validations = obs::metrics().counter("engine.validations");
+  obs::Counter& validation_rejects =
+      obs::metrics().counter("engine.validation_rejects");
+  obs::Counter& installs = obs::metrics().counter("engine.installs");
+};
+EngineMetrics& em() {
+  static EngineMetrics m;
+  return m;
+}
+}  // namespace
 
 CostModel CostModel::zero() {
   CostModel m;
@@ -62,6 +81,7 @@ bool Engine::can_abort(const txn::Transaction& t) const {
 
 void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
   assert(can_abort(t));
+  em().aborts.inc();
   cc_->on_abort(t);
   txns_.erase(t.id());
   t.set_phase(txn::Phase::kAborted);
@@ -70,6 +90,7 @@ void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
 
 void Engine::restart(txn::Transaction& t) {
   ++restarts_;
+  em().restarts.inc();
   cc_->on_abort(t);
   t.prepare_restart();
   cc_->on_begin(t);
@@ -129,6 +150,7 @@ StepResult Engine::step(txn::Transaction& t) {
 }
 
 StepResult Engine::step_read_phase(txn::Transaction& t) {
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kExecute, t.id());
   const Duration first_step_cost =
       (t.pc() == 0) ? config_.costs.txn_fixed : Duration::zero();
   const txn::Op& op = t.program().ops[t.pc()];
@@ -299,9 +321,12 @@ StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op) {
 }
 
 StepResult Engine::step_validate(txn::Transaction& t) {
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kValidate, t.id());
   const Duration cost = config_.costs.validate;
+  em().validations.inc();
   cc::ValidationResult result = cc_->validate(t, next_seq_, store_);
   if (!result.ok) {
+    em().validation_rejects.inc();
     t.set_phase(txn::Phase::kReadPhase);
     return restart_or_abort(t, cost);
   }
@@ -313,7 +338,9 @@ StepResult Engine::step_validate(txn::Transaction& t) {
 }
 
 StepResult Engine::step_write_phase(txn::Transaction& t) {
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kWritePhase, t.id());
   const auto& writes = t.write_set();
+  em().installs.inc(writes.size());
   const bool logging = log_writer_.mode() != LogMode::kOff;
   Duration cost =
       config_.costs.per_install * static_cast<std::int64_t>(writes.size());
@@ -385,6 +412,7 @@ void Engine::mark_installed(ValidationTs seq) {
 }
 
 StepResult Engine::step_finalize(txn::Transaction& t) {
+  em().commits.inc();
   t.set_phase(txn::Phase::kCommitted);
   t.set_outcome(TxnOutcome::kCommitted);
   txns_.erase(t.id());

@@ -1,0 +1,165 @@
+#include "rodain/exp/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef RODAIN_GIT_DESCRIBE
+#define RODAIN_GIT_DESCRIBE "unknown"
+#endif
+
+namespace rodain::exp {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  set("bench", name_);
+  set("git_describe", git_describe());
+}
+
+void BenchReport::set(std::string_view key, double value) {
+  fields_.push_back({std::string(key), json_number(value)});
+}
+
+void BenchReport::set(std::string_view key, std::int64_t value) {
+  fields_.push_back({std::string(key), std::to_string(value)});
+}
+
+void BenchReport::set(std::string_view key, std::string_view value) {
+  fields_.push_back({std::string(key), "\"" + json_escape(value) + "\""});
+}
+
+void BenchReport::begin_result(std::string_view label) {
+  results_.push_back(Entry{std::string(label), {}});
+}
+
+void BenchReport::field(std::string_view key, double value) {
+  results_.back().fields.push_back({std::string(key), json_number(value)});
+}
+
+void BenchReport::field(std::string_view key, std::int64_t value) {
+  results_.back().fields.push_back({std::string(key), std::to_string(value)});
+}
+
+void BenchReport::field(std::string_view key, std::string_view value) {
+  results_.back().fields.push_back(
+      {std::string(key), "\"" + json_escape(value) + "\""});
+}
+
+void BenchReport::latency_fields(const LatencyHistogram& hist,
+                                 std::string_view prefix) {
+  const std::string p(prefix);
+  field(p + "p50_ms", hist.quantile(0.5).to_ms());
+  field(p + "p95_ms", hist.quantile(0.95).to_ms());
+  field(p + "p99_ms", hist.quantile(0.99).to_ms());
+  field(p + "max_ms", hist.max_value().to_ms());
+}
+
+void BenchReport::add_session(std::string_view label,
+                              const SessionResult& result) {
+  begin_result(label);
+  const double secs = result.virtual_time.to_seconds();
+  field("throughput_tps",
+        secs > 0 ? static_cast<double>(result.counters.committed) / secs : 0.0);
+  field("mean_ms", result.commit_latency.mean().to_ms());
+  latency_fields(result.commit_latency);
+  field("miss_ratio", result.miss_ratio());
+  field("submitted", static_cast<std::int64_t>(result.counters.submitted));
+  field("committed", static_cast<std::int64_t>(result.counters.committed));
+}
+
+void BenchReport::add_repeated(std::string_view label,
+                               const RepeatedResult& result) {
+  begin_result(label);
+  field("miss_ratio_mean", result.miss_ratio.mean());
+  field("miss_ratio_stddev", result.miss_ratio.stddev());
+  field("latency_mean_ms", result.commit_latency_ms.mean());
+  field("submitted", static_cast<std::int64_t>(result.totals.submitted));
+  field("committed", static_cast<std::int64_t>(result.totals.committed));
+  field("missed_deadline",
+        static_cast<std::int64_t>(result.totals.missed_deadline));
+  field("overload_rejected",
+        static_cast<std::int64_t>(result.totals.overload_rejected));
+  field("conflict_aborted",
+        static_cast<std::int64_t>(result.totals.conflict_aborted));
+  field("cc_restarts", static_cast<std::int64_t>(result.cc_restarts));
+}
+
+void BenchReport::append_fields(std::string& out,
+                                const std::vector<Field>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(fields[i].key) + "\":" + fields[i].json_value;
+  }
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{";
+  append_fields(out, fields_);
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"label\":\"" + json_escape(results_[i].label) + "\"";
+    if (!results_[i].fields.empty()) {
+      out += ",";
+      append_fields(out, results_[i].fields);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool BenchReport::write_file() const {
+  std::string path;
+  if (const char* dir = std::getenv("RODAIN_BENCH_DIR"); dir && *dir) {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::printf("\n[bench report written to %s]\n", path.c_str());
+  return ok;
+}
+
+const char* BenchReport::git_describe() { return RODAIN_GIT_DESCRIBE; }
+
+}  // namespace rodain::exp

@@ -1,0 +1,74 @@
+// Machine-readable bench output: every bench/*.cpp builds one BenchReport
+// and writes BENCH_<name>.json next to its stdout tables, so plots and
+// regression tracking consume structured numbers instead of scraping text.
+//
+// Layout:
+//   { "bench": "...", "git_describe": "...", <scalar fields...>,
+//     "results": [ {"label": "...", <fields...>}, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rodain/common/stats.hpp"
+#include "rodain/exp/session.hpp"
+
+namespace rodain::exp {
+
+class BenchReport {
+ public:
+  /// `name` becomes the "bench" field and the BENCH_<name>.json filename.
+  explicit BenchReport(std::string name);
+
+  // ---- top-level scalar fields -----------------------------------------
+  void set(std::string_view key, double value);
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, std::string_view value);
+
+  // ---- per-configuration results ---------------------------------------
+  /// Start a new entry in "results"; subsequent field() calls fill it.
+  void begin_result(std::string_view label);
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, std::string_view value);
+
+  /// Standard digest of one session: throughput_tps, mean/p50/p95/p99 ms,
+  /// miss_ratio, committed/submitted. Starts a new result entry.
+  void add_session(std::string_view label, const SessionResult& result);
+  /// Digest of a repeated run: miss-ratio mean/stddev, latency mean,
+  /// totals. Starts a new result entry.
+  void add_repeated(std::string_view label, const RepeatedResult& result);
+  /// Latency digest fields (p50/p95/p99/max, ms) appended to the current
+  /// result entry.
+  void latency_fields(const LatencyHistogram& hist,
+                      std::string_view prefix = "");
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write BENCH_<name>.json into $RODAIN_BENCH_DIR (or the working
+  /// directory) and note the path on stdout. Returns false on I/O error.
+  bool write_file() const;
+
+  /// Compile-time `git describe` of the build (or "unknown").
+  [[nodiscard]] static const char* git_describe();
+
+ private:
+  struct Field {
+    std::string key;
+    std::string json_value;  // already-rendered JSON fragment
+  };
+  struct Entry {
+    std::string label;
+    std::vector<Field> fields;
+  };
+
+  static void append_fields(std::string& out, const std::vector<Field>& fields);
+
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<Entry> results_;
+};
+
+}  // namespace rodain::exp

@@ -24,9 +24,47 @@ SessionResult run_session(const SessionConfig& config) {
 
   const TimePoint horizon =
       TimePoint::origin() + trace.duration() + config.grace;
-  sim.run_until(horizon);
 
   SessionResult result;
+  if (config.sample_interval.is_positive()) {
+    // Periodic virtual-time sampling: each tick records a row and
+    // reschedules itself until the horizon.
+    const std::size_t col_committed = result.series.column("committed");
+    const std::size_t col_missed = result.series.column("missed");
+    const std::size_t col_miss_ratio = result.series.column("miss_ratio");
+    const std::size_t col_active = result.series.column("active_txns");
+    const std::size_t col_pending = result.series.column("pending_acks");
+    const std::size_t col_staged = result.series.column("reorder_staged");
+    auto sample = std::make_shared<std::function<void()>>();
+    *sample = [&sim, &cluster, &config, &result, horizon, sample, col_committed,
+               col_missed, col_miss_ratio, col_active, col_pending,
+               col_staged] {
+      const TxnCounters c = cluster.counters();
+      result.series.add_row(
+          static_cast<std::int64_t>((sim.now() - TimePoint::origin()).us));
+      result.series.set(col_committed, static_cast<double>(c.committed));
+      result.series.set(col_missed, static_cast<double>(c.missed_total()));
+      result.series.set(col_miss_ratio, c.miss_ratio());
+      result.series.set(col_active,
+                        static_cast<double>(cluster.node_a().active_txns()));
+      if (auto* writer = cluster.node_a().log_writer()) {
+        result.series.set(col_pending,
+                          static_cast<double>(writer->pending_acks()));
+      }
+      if (config.cluster.two_nodes) {
+        if (auto* mirror = cluster.node_b().mirror_service()) {
+          result.series.set(col_staged,
+                            static_cast<double>(mirror->reorder_staged()));
+        }
+      }
+      if (sim.now() + config.sample_interval <= horizon) {
+        sim.schedule_after(config.sample_interval, *sample);
+      }
+    };
+    sim.schedule_after(config.sample_interval, *sample);
+  }
+
+  sim.run_until(horizon);
   result.counters = cluster.counters();
   result.virtual_time = sim.now() - TimePoint::origin();
   result.commit_latency.merge(cluster.node_a().commit_latency());

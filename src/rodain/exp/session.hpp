@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rodain/common/stats.hpp"
+#include "rodain/obs/series.hpp"
 #include "rodain/simdb/sim_cluster.hpp"
 #include "rodain/workload/calibration.hpp"
 #include "rodain/workload/trace.hpp"
@@ -23,6 +24,9 @@ struct SessionConfig {
   std::uint64_t seed{1};
   /// Extra virtual time after the last arrival for stragglers to finish.
   Duration grace{Duration::seconds(5)};
+  /// Sample cluster counters into `SessionResult::series` every interval of
+  /// virtual time (zero disables sampling).
+  Duration sample_interval{Duration::zero()};
 };
 
 struct SessionResult {
@@ -34,6 +38,10 @@ struct SessionResult {
   /// the data-loss window of claim C5.
   std::uint64_t mirror_disk_backlog{0};
   double cpu_utilization{0.0};
+  /// Virtual-time series (one row per sample_interval when enabled):
+  /// committed, missed, miss_ratio, active_txns, pending_acks,
+  /// reorder_staged.
+  obs::TimeSeries series{};
 
   [[nodiscard]] double miss_ratio() const { return counters.miss_ratio(); }
 };

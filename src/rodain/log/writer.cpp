@@ -3,8 +3,26 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::log {
+
+namespace {
+struct WriterMetrics {
+  obs::Counter& via_mirror = obs::metrics().counter("log.submit.via_mirror");
+  obs::Counter& via_disk = obs::metrics().counter("log.submit.via_disk");
+  obs::Counter& via_none = obs::metrics().counter("log.submit.via_none");
+  obs::Counter& rerouted = obs::metrics().counter("log.rerouted");
+  obs::Gauge& pending_acks = obs::metrics().gauge("log.pending_acks");
+  /// One message round-trip from shipping a transaction's records to the
+  /// mirror's commit ack — the paper's commit-path cost.
+  obs::Timer& commit_rtt = obs::metrics().timer("repl.commit_rtt_us");
+};
+WriterMetrics& wm() {
+  static WriterMetrics m;
+  return m;
+}
+}  // namespace
 
 LogWriter::LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper)
     : mode_(mode), disk_(disk), shipper_(shipper) {
@@ -25,16 +43,26 @@ void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
   switch (mode_) {
     case LogMode::kOff:
       ++counters_.via_none;
+      wm().via_none.inc();
       if (on_durable) on_durable();
       return;
     case LogMode::kMirror: {
       ++counters_.via_mirror;
-      shipper_->ship(records);
-      pending_.emplace(seq, Pending{std::move(records), std::move(on_durable)});
+      wm().via_mirror.inc();
+      std::int64_t shipped_at = 0;
+      {
+        obs::ScopedSpan span(obs::tracer(), obs::Phase::kLogShip, seq);
+        if (obs::enabled()) shipped_at = obs::now_us();
+        shipper_->ship(records);
+      }
+      pending_.emplace(seq, Pending{std::move(records), std::move(on_durable),
+                                    shipped_at});
+      wm().pending_acks.set(static_cast<double>(pending_.size()));
       return;
     }
     case LogMode::kDirectDisk:
       ++counters_.via_disk;
+      wm().via_disk.inc();
       submit_to_disk(std::move(records), std::move(on_durable));
       return;
   }
@@ -52,8 +80,18 @@ void LogWriter::submit_to_disk(std::vector<Record> records,
 void LogWriter::on_mirror_ack(ValidationTs seq) {
   auto it = pending_.find(seq);
   if (it == pending_.end()) return;  // late/duplicate ack after reroute
+  if (it->second.shipped_at_us != 0) {
+    const std::int64_t now = obs::now_us();
+    if (obs::tracing_enabled()) {
+      obs::tracer().record_span(obs::Phase::kMirrorAck,
+                                it->second.shipped_at_us, now, seq);
+    }
+    wm().commit_rtt.observe(
+        Duration::micros(now - it->second.shipped_at_us));
+  }
   auto cb = std::move(it->second.on_durable);
   pending_.erase(it);
+  wm().pending_acks.set(static_cast<double>(pending_.size()));
   if (cb) cb();
 }
 
@@ -72,8 +110,10 @@ void LogWriter::on_mirror_lost() {
   // Re-log in validation order so the local log stays ordered.
   auto pending = std::move(pending_);
   pending_.clear();
+  wm().pending_acks.set(0.0);
   for (auto& [seq, p] : pending) {
     ++counters_.rerouted;
+    wm().rerouted.inc();
     submit_to_disk(std::move(p.records), std::move(p.on_durable));
   }
 }

@@ -80,6 +80,9 @@ class LogWriter {
   struct Pending {
     std::vector<Record> records;
     std::function<void()> on_durable;
+    /// obs time base (now_us) at ship time; the commit ack closes the
+    /// mirror_ack span and feeds the replication-RTT timer. 0 when obs off.
+    std::int64_t shipped_at_us{0};
   };
 
   void submit_to_disk(std::vector<Record> records,

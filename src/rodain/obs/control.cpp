@@ -1,0 +1,47 @@
+#include "rodain/obs/control.hpp"
+
+#include <chrono>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+std::int64_t process_origin_ns() {
+  static const std::int64_t origin =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return origin;
+}
+}  // namespace
+
+std::int64_t now_us() {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return (now_ns - process_origin_ns()) / 1000;
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  static thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void init(const ObsConfig& config) {
+  (void)process_origin_ns();  // anchor the time base before events flow
+  tracer().reset(config.trace_capacity);
+  detail::g_tracing.store(config.enabled && config.tracing,
+                          std::memory_order_relaxed);
+  detail::g_enabled.store(config.enabled, std::memory_order_relaxed);
+}
+
+}  // namespace rodain::obs

@@ -1,0 +1,46 @@
+// Observability master switch and time base.
+//
+// Every obs call site (counters, gauges, timers, spans) checks one global
+// flag before doing any work, so a disabled build costs a relaxed atomic
+// load and a predictable branch per event — nothing allocates, nothing
+// locks. The flag defaults to off; tools, demos and experiments opt in via
+// obs::init().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rodain::obs {
+
+struct ObsConfig {
+  bool enabled{false};
+  /// Span tracing can be switched off independently (metrics stay on).
+  bool tracing{true};
+  /// Ring capacity of the span tracer, rounded up to a power of two.
+  std::size_t trace_capacity{1u << 15};
+};
+
+/// Install the configuration (idempotent; callable before any instrumented
+/// component is constructed or at any later point).
+void init(const ObsConfig& config);
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_tracing;
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Monotonic microseconds since process start (steady clock) — the time
+/// base of every trace event and metrics snapshot.
+[[nodiscard]] std::int64_t now_us();
+
+/// Small dense id for the calling thread (stable for its lifetime).
+[[nodiscard]] std::uint32_t thread_id();
+
+}  // namespace rodain::obs

@@ -1,0 +1,144 @@
+#include "rodain/obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace rodain::obs {
+
+namespace {
+
+template <typename Map, typename Factory>
+decltype(auto) lookup(std::mutex& mu, Map& map, std::string_view name,
+                      Factory make) {
+  std::lock_guard lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — map anything else
+/// (our dots in particular) to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out += "rodain_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return lookup(mu_, counters_, name,
+                [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return lookup(mu_, gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  return lookup(mu_, timers_, name, [] { return std::make_unique<Timer>(); });
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    append_double(out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, t] : timers_) {
+    const LatencyHistogram h = t->merged();
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%s{quantile=\"%.2g\"} %lld\n",
+                    prom.c_str(), q,
+                    static_cast<long long>(h.quantile(q).us));
+      out += line;
+    }
+    out += prom + "_count " + std::to_string(h.count()) + "\n";
+    out += prom + "_max_us " + std::to_string(h.max_value().us) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    append_double(out, g->value());
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) out += ',';
+    first = false;
+    const LatencyHistogram h = t->merged();
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count());
+    out += ",\"p50_us\":" + std::to_string(h.quantile(0.5).us);
+    out += ",\"p95_us\":" + std::to_string(h.quantile(0.95).us);
+    out += ",\"p99_us\":" + std::to_string(h.quantile(0.99).us);
+    out += ",\"max_us\":" + std::to_string(h.max_value().us);
+    out += ",\"mean_us\":" + std::to_string(h.mean().us) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::sample_into(TimeSeries& series,
+                                  std::int64_t ts_us) const {
+  std::lock_guard lock(mu_);
+  series.add_row(ts_us);
+  for (const auto& [name, c] : counters_) {
+    series.set(series.column(name), static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    series.set(series.column(name), g->value());
+  }
+  for (const auto& [name, t] : timers_) {
+    series.set(series.column(std::string(name) + ".count"),
+               static_cast<double>(t->merged().count()));
+  }
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+}  // namespace rodain::obs

@@ -1,0 +1,162 @@
+// Metrics registry: named counters, gauges and latency timers with cheap
+// thread-sharded hot paths and on-demand merge.
+//
+// Design:
+//  * Counter — monotonically increasing; N cache-line-padded relaxed
+//    atomics, a thread picks its shard by hashed thread id. Reads sum.
+//  * Gauge — last-written value (atomic double); for queue depths, ratios,
+//    role numbers, RTT samples.
+//  * Timer — a LatencyHistogram per shard behind a tiny mutex each;
+//    observe() touches only the calling thread's shard, merged() folds all
+//    shards into one histogram for quantiles.
+//
+// All mutators are gated on obs::enabled(): a disabled process pays one
+// relaxed load + branch per call site. Metric objects registered once have
+// stable addresses for the lifetime of the registry, so instrumented
+// components may cache the reference.
+//
+// Naming scheme (see DESIGN.md "Observability"): lowercase dotted paths,
+// "<component>.<noun>[.<unit>]", e.g. "engine.commits",
+// "repl.commit_rtt_us", "mirror.reorder.staged". render_text() exposes
+// them Prometheus-style with dots mapped to underscores.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "rodain/common/stats.hpp"
+#include "rodain/obs/control.hpp"
+#include "rodain/obs/series.hpp"
+
+namespace rodain::obs {
+
+namespace detail {
+inline constexpr std::size_t kShards = 8;
+[[nodiscard]] inline std::size_t shard_index() {
+  return thread_id() % kShards;
+}
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Timer {
+ public:
+  void observe(Duration d) {
+    if (!enabled()) return;
+    Shard& s = shards_[detail::shard_index()];
+    std::lock_guard lock(s.mu);
+    s.hist.add(d);
+  }
+
+  /// Fold every per-thread shard into one histogram (snapshot semantics).
+  [[nodiscard]] LatencyHistogram merged() const {
+    LatencyHistogram out;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      out.merge(s.hist);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    LatencyHistogram hist;
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+/// RAII latency sample: records wall time from construction to destruction
+/// into a Timer. Near-free when obs is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) : timer_(timer), active_(enabled()) {
+    if (active_) begin_us_ = now_us();
+  }
+  ~ScopedTimer() {
+    if (active_) timer_.observe(Duration::micros(now_us() - begin_us_));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  bool active_;
+  std::int64_t begin_us_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Lookup-or-create. Returned references stay valid for the registry's
+  /// lifetime; hot paths should call once and cache.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Prometheus-style text exposition (one line per sample; dots in names
+  /// become underscores; timers expand to _count/_sum_us plus quantiles).
+  [[nodiscard]] std::string render_text() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"timers":{...}}.
+  [[nodiscard]] std::string render_json() const;
+
+  /// Append one row to `series` with every counter and gauge value (and
+  /// each timer's count) at timestamp `ts_us`.
+  void sample_into(TimeSeries& series, std::int64_t ts_us) const;
+
+  /// Drop every registered metric (tests and tool restarts).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+}  // namespace rodain::obs

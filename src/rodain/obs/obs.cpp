@@ -1,0 +1,15 @@
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+SpanTracer& tracer() {
+  static SpanTracer* t = new SpanTracer();  // never dtor'd
+  return *t;
+}
+
+}  // namespace rodain::obs

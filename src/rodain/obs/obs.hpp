@@ -1,0 +1,29 @@
+// Umbrella header for the observability layer: one process-wide metrics
+// registry and span tracer, plus the ObsConfig switch.
+//
+//   obs::init({.enabled = true});            // opt in (default: off)
+//   obs::metrics().counter("engine.commits").inc();
+//   obs::ScopedSpan span(obs::tracer(), obs::Phase::kValidate, txn_id);
+//   std::puts(obs::metrics().render_text().c_str());
+//   obs::tracer().dump_to_file("trace.json");
+//
+// Instrumented components reach the globals directly (and may cache metric
+// references); everything is a near-free no-op until obs::init() enables
+// the layer.
+#pragma once
+
+#include "rodain/obs/control.hpp"
+#include "rodain/obs/metrics.hpp"
+#include "rodain/obs/series.hpp"
+#include "rodain/obs/trace.hpp"
+
+namespace rodain::obs {
+
+/// Process-wide registry (created on first use, never destroyed before
+/// static teardown).
+[[nodiscard]] MetricsRegistry& metrics();
+
+/// Process-wide span tracer.
+[[nodiscard]] SpanTracer& tracer();
+
+}  // namespace rodain::obs

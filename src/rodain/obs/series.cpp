@@ -1,0 +1,82 @@
+#include "rodain/obs/series.hpp"
+
+#include <cstdio>
+
+namespace rodain::obs {
+
+std::size_t TimeSeries::column(std::string_view name) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  columns_.emplace_back(name);
+  return columns_.size() - 1;
+}
+
+void TimeSeries::add_row(std::int64_t ts_us) {
+  Row row;
+  row.ts_us = ts_us;
+  row.values.assign(columns_.size(), 0.0);
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeries::set(std::size_t col, double value) {
+  if (rows_.empty()) add_row(0);
+  Row& row = rows_.back();
+  if (row.values.size() <= col) row.values.resize(col + 1, 0.0);
+  row.values[col] = value;
+}
+
+double TimeSeries::at(std::size_t row, std::size_t col) const {
+  const Row& r = rows_[row];
+  return col < r.values.size() ? r.values[col] : 0.0;
+}
+
+namespace {
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+}  // namespace
+
+std::string TimeSeries::to_csv() const {
+  std::string out = "t_us";
+  for (const std::string& c : columns_) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  for (const Row& row : rows_) {
+    out += std::to_string(row.ts_us);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out += ',';
+      append_double(out, c < row.values.size() ? row.values[c] : 0.0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TimeSeries::to_json() const {
+  std::string out = "{\"columns\":[\"t_us\"";
+  for (const std::string& c : columns_) {
+    out += ",\"";
+    out += c;
+    out += '"';
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out += ',';
+    out += '[';
+    out += std::to_string(rows_[r].ts_us);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out += ',';
+      append_double(out, at(r, c));
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rodain::obs

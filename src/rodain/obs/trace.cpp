@@ -1,0 +1,110 @@
+#include "rodain/obs/trace.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace rodain::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kExecute: return "execute";
+    case Phase::kValidate: return "validate";
+    case Phase::kWritePhase: return "write_phase";
+    case Phase::kLogShip: return "log_ship";
+    case Phase::kMirrorAck: return "mirror_ack";
+    case Phase::kReorder: return "reorder";
+    case Phase::kApply: return "apply";
+    case Phase::kSnapshotInstall: return "snapshot_install";
+    case Phase::kRoleChange: return "role_change";
+    case Phase::kPrimaryFailure: return "primary_failure";
+    case Phase::kMirrorTakeover: return "mirror_takeover";
+    case Phase::kRejoin: return "rejoin";
+    case Phase::kCheckpoint: return "checkpoint";
+    case Phase::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) { reset(capacity); }
+
+void SpanTracer::reset(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  ring_.assign(std::bit_ceil(capacity), TraceEvent{});
+  mask_ = ring_.size() - 1;
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void SpanTracer::record_span(Phase phase, std::int64_t begin_us,
+                             std::int64_t end_us, std::uint64_t arg) {
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = ring_[slot & mask_];
+  e.ts_us = begin_us;
+  e.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
+  e.arg = arg;
+  e.tid = thread_id();
+  e.phase = phase;
+}
+
+void SpanTracer::record_instant(Phase phase, std::uint64_t arg) {
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = ring_[slot & mask_];
+  e.ts_us = now_us();
+  e.dur_us = -1;
+  e.arg = arg;
+  e.tid = thread_id();
+  e.phase = phase;
+}
+
+std::vector<TraceEvent> SpanTracer::snapshot() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  std::vector<TraceEvent> out;
+  const std::uint64_t retained = n < ring_.size() ? n : ring_.size();
+  out.reserve(retained);
+  const std::uint64_t first = n - retained;
+  for (std::uint64_t i = first; i < n; ++i) out.push_back(ring_[i & mask_]);
+  return out;
+}
+
+std::string SpanTracer::dump_json() const {
+  const std::uint64_t total = recorded();
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) out += ',';
+    if (e.dur_us < 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"rodain\",\"ph\":\"i\","
+                    "\"s\":\"g\",\"ts\":%lld,\"pid\":1,\"tid\":%u,"
+                    "\"args\":{\"id\":%llu}}",
+                    phase_name(e.phase), static_cast<long long>(e.ts_us),
+                    e.tid, static_cast<unsigned long long>(e.arg));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"rodain\",\"ph\":\"X\","
+                    "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u,"
+                    "\"args\":{\"id\":%llu}}",
+                    phase_name(e.phase), static_cast<long long>(e.ts_us),
+                    static_cast<long long>(e.dur_us), e.tid,
+                    static_cast<unsigned long long>(e.arg));
+    }
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":";
+  out += std::to_string(total);
+  out += ",\"retained\":";
+  out += std::to_string(events.size());
+  out += "}}";
+  return out;
+}
+
+bool SpanTracer::dump_to_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = dump_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace rodain::obs

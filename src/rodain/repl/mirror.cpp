@@ -1,8 +1,31 @@
 #include "rodain/repl/mirror.hpp"
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::repl {
+
+namespace {
+struct MirrorMetrics {
+  obs::Counter& records_received =
+      obs::metrics().counter("mirror.records_received");
+  obs::Counter& acks_sent = obs::metrics().counter("mirror.acks_sent");
+  obs::Counter& txns_applied = obs::metrics().counter("mirror.txns_applied");
+  obs::Counter& writes_applied =
+      obs::metrics().counter("mirror.writes_applied");
+  obs::Counter& stale_duplicates =
+      obs::metrics().counter("mirror.stale_duplicates");
+  /// Reorder-queue depths: commit-complete transactions waiting for an
+  /// earlier seq, and transactions with buffered writes but no commit yet.
+  obs::Gauge& reorder_staged = obs::metrics().gauge("mirror.reorder.staged");
+  obs::Gauge& reorder_open = obs::metrics().gauge("mirror.reorder.open");
+  obs::Gauge& applied_seq = obs::metrics().gauge("mirror.applied_seq");
+};
+MirrorMetrics& mm() {
+  static MirrorMetrics m;
+  return m;
+}
+}  // namespace
 
 MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
                              net::Channel& channel, const Clock& clock,
@@ -44,6 +67,9 @@ void MirrorService::attach_synced(ValidationTs expected_next) {
 }
 
 void MirrorService::request_join(ValidationTs have) {
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kRejoin, have);
+  }
   awaiting_snapshot_ = true;
   snapshot_buffer_.clear();
   stashed_.clear();
@@ -57,11 +83,13 @@ void MirrorService::send_heartbeat() {
 void MirrorService::on_log_batch(std::vector<log::Record> records) {
   for (log::Record& r : records) {
     ++stats_.records_received;
+    mm().records_received.inc();
     // "When the Mirror Node receives a commit record, it immediately sends
     // an acknowledgment back" (paper §3) — before reordering or disk.
     if (r.is_commit()) {
       (void)endpoint_.send(Message::commit_ack(r.seq));
       ++stats_.acks_sent;
+      mm().acks_sent.inc();
     }
     if (awaiting_snapshot_) {
       stashed_.push_back(std::move(r));
@@ -74,20 +102,32 @@ void MirrorService::on_log_batch(std::vector<log::Record> records) {
 void MirrorService::feed(log::Record r) {
   const bool was_commit = r.is_commit();
   const std::size_t staged_before = reorderer_.staged_commits();
-  if (Status s = reorderer_.add(std::move(r)); !s) {
-    RODAIN_ERROR("mirror reorderer: %s", s.to_string().c_str());
-    return;
+  // An in-order commit is released synchronously inside add() (which
+  // advances applied_seq_), so "released" must be detected by applied_seq_
+  // moving, not by comparing expected_next() afterwards.
+  const ValidationTs applied_before = applied_seq_;
+  {
+    obs::ScopedSpan span(obs::tracer(), obs::Phase::kReorder, r.seq);
+    if (Status s = reorderer_.add(std::move(r)); !s) {
+      RODAIN_ERROR("mirror reorderer: %s", s.to_string().c_str());
+      return;
+    }
   }
+  mm().reorder_staged.set(static_cast<double>(reorderer_.staged_commits()));
+  mm().reorder_open.set(static_cast<double>(reorderer_.open_txns()));
   if (was_commit && reorderer_.staged_commits() == staged_before &&
-      reorderer_.expected_next() == applied_seq_ + 1) {
+      applied_seq_ == applied_before) {
     // Commit neither staged nor released: stale duplicate.
     ++stats_.stale_duplicates;
+    mm().stale_duplicates.inc();
   }
 }
 
 void MirrorService::release(ValidationTs seq, TxnId txn,
                             std::vector<log::Record> records) {
   (void)txn;
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kApply, seq);
+  const std::uint64_t writes_before = stats_.writes_applied;
   // The commit record is last; its serialization timestamp stamps the
   // writes (keeps the copy's OCC metadata usable after takeover).
   const ValidationTs serial_ts =
@@ -112,6 +152,9 @@ void MirrorService::release(ValidationTs seq, TxnId txn,
   }
   applied_seq_ = seq;
   ++stats_.txns_applied;
+  mm().txns_applied.inc();
+  mm().writes_applied.inc(stats_.writes_applied - writes_before);
+  mm().applied_seq.set(static_cast<double>(seq));
   if (options_.store_to_disk && disk_) {
     for (const log::Record& r : records) disk_->append(r);
     // Asynchronous, off the commit path; SimDiskLogStorage coalesces
@@ -130,6 +173,7 @@ void MirrorService::on_snapshot_chunk(std::uint32_t index, std::uint32_t total,
 
 void MirrorService::on_snapshot_done(ValidationTs boundary) {
   if (!awaiting_snapshot_) return;
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kSnapshotInstall, boundary);
   auto meta = storage::decode_checkpoint(snapshot_buffer_, store_, index_);
   snapshot_buffer_.clear();
   if (!meta.is_ok()) {
@@ -156,6 +200,11 @@ MirrorService::TakeoverResult MirrorService::take_over() {
   result.dropped_open = reorderer_.drop_open_txns();
   result.applied_staged = reorderer_.force_release_staged();
   result.next_seq = reorderer_.expected_next();
+  mm().reorder_staged.set(0.0);
+  mm().reorder_open.set(0.0);
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kMirrorTakeover, result.next_seq);
+  }
   if (disk_) disk_->flush({});
   RODAIN_INFO("mirror takeover: %zu staged applied, %zu open txns dropped, "
               "continuing at seq %llu",

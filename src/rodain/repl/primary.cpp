@@ -1,8 +1,26 @@
 #include "rodain/repl/primary.hpp"
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::repl {
+
+namespace {
+struct PrimaryMetrics {
+  obs::Counter& batches_shipped =
+      obs::metrics().counter("repl.batches_shipped");
+  obs::Counter& heartbeats_sent =
+      obs::metrics().counter("repl.heartbeats_sent");
+  obs::Counter& snapshots_served =
+      obs::metrics().counter("repl.snapshots_served");
+  obs::Gauge& mirror_applied_seq =
+      obs::metrics().gauge("repl.mirror_applied_seq");
+};
+PrimaryMetrics& pm() {
+  static PrimaryMetrics m;
+  return m;
+}
+}  // namespace
 
 PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
                                      storage::ObjectStore& store,
@@ -22,6 +40,8 @@ PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
                     .on_heartbeat =
                         [this](NodeRole, ValidationTs applied) {
                           mirror_applied_ = std::max(mirror_applied_, applied);
+                          pm().mirror_applied_seq.set(
+                              static_cast<double>(mirror_applied_));
                         },
                     .on_join_request =
                         [this](ValidationTs have) { on_join_request(have); },
@@ -39,11 +59,13 @@ PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
       options_(options) {}
 
 void PrimaryReplicator::ship(std::span<const log::Record> records) {
+  pm().batches_shipped.inc();
   (void)endpoint_.send(
       Message::log_batch(std::vector<log::Record>(records.begin(), records.end())));
 }
 
 void PrimaryReplicator::send_heartbeat(NodeRole role) {
+  pm().heartbeats_sent.inc();
   (void)endpoint_.send(Message::heartbeat(role, 0));
 }
 
@@ -80,6 +102,7 @@ void PrimaryReplicator::on_join_request(ValidationTs have) {
   }
   (void)endpoint_.send(Message::snapshot_done(boundary));
   ++snapshots_served_;
+  pm().snapshots_served.inc();
   RODAIN_INFO("primary: served snapshot at boundary %llu (%zu bytes, %u chunks)",
               static_cast<unsigned long long>(boundary), bytes.size(), total);
 }

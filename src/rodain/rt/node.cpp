@@ -3,9 +3,33 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
 
 namespace rodain::rt {
+
+namespace {
+struct NodeMetrics {
+  obs::Counter& submitted = obs::metrics().counter("node.txn.submitted");
+  obs::Counter& committed = obs::metrics().counter("node.txn.committed");
+  obs::Counter& missed_deadline =
+      obs::metrics().counter("node.txn.missed_deadline");
+  obs::Counter& conflict_aborted =
+      obs::metrics().counter("node.txn.conflict_aborted");
+  obs::Counter& system_aborted =
+      obs::metrics().counter("node.txn.system_aborted");
+  obs::Counter& role_transitions =
+      obs::metrics().counter("node.role_transitions");
+  obs::Timer& commit_latency = obs::metrics().timer("node.commit_latency_us");
+  obs::Gauge& role = obs::metrics().gauge("node.role");
+  obs::Gauge& active_txns = obs::metrics().gauge("node.active_txns");
+  obs::Gauge& miss_ratio = obs::metrics().gauge("node.miss_ratio");
+};
+NodeMetrics& nm() {
+  static NodeMetrics m;
+  return m;
+}
+}  // namespace
 
 // ----------------------------------------------------- guarded channel ---
 
@@ -75,6 +99,12 @@ void Node::become_locked(NodeRole role) {
               std::string(to_string(role_)).c_str(),
               std::string(to_string(role)).c_str());
   role_ = role;
+  nm().role_transitions.inc();
+  nm().role.set(static_cast<double>(static_cast<int>(role)));
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kRoleChange,
+                                 static_cast<std::uint64_t>(role));
+  }
 }
 
 void Node::build_primary_locked(LogMode mode) {
@@ -144,6 +174,32 @@ void Node::start_primary(LogMode mode, net::Channel* peer) {
       }
     });
   }
+  start_sampler_locked();
+}
+
+void Node::start_sampler_locked() {
+  if (sampler_.joinable() || !config_.metrics_snapshot_interval.is_positive()) {
+    return;
+  }
+  sampler_ = std::thread([this] {
+    std::unique_lock lock(mu_);
+    while (!stopping_) {
+      timer_cv_.wait_for(
+          lock,
+          std::chrono::microseconds(config_.metrics_snapshot_interval.us));
+      if (stopping_) break;
+      sample_metrics_locked();
+    }
+  });
+}
+
+void Node::sample_metrics_locked() {
+  if (!obs::enabled()) return;
+  // Refresh the point-in-time gauges right before the registry snapshot so
+  // the sampled row is internally consistent.
+  nm().active_txns.set(static_cast<double>(active_.size()));
+  nm().miss_ratio.set(counters_.miss_ratio());
+  obs::metrics().sample_into(series_, obs::now_us());
 }
 
 bool Node::serving_locked() const {
@@ -154,8 +210,17 @@ Status Node::write_checkpoint_locked() {
   // Consistent boundary: every transaction up to the installed low-water
   // mark has its after-images in the store (validation+install is atomic).
   const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
-  return storage::write_checkpoint_file(store_, boundary,
-                                        config_.checkpoint_path, &index_);
+  Status s = storage::write_checkpoint_file(store_, boundary,
+                                            config_.checkpoint_path, &index_);
+  if (s) {
+    RODAIN_INFO("%s: checkpoint written at boundary %llu", name_.c_str(),
+                static_cast<unsigned long long>(boundary));
+    obs::metrics().counter("node.checkpoints").inc();
+    if (obs::tracing_enabled()) {
+      obs::tracer().record_instant(obs::Phase::kCheckpoint, boundary);
+    }
+  }
+  return s;
 }
 
 Status Node::write_checkpoint() {
@@ -175,7 +240,17 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
   auto stats = log::recover_checkpoint_and_log(config_.checkpoint_path,
                                                config_.log_path, store_,
                                                &index_);
-  if (stats.is_ok()) recovered_next_seq_ = stats.value().last_seq + 1;
+  if (stats.is_ok()) {
+    recovered_next_seq_ = stats.value().last_seq + 1;
+    RODAIN_INFO("%s: local recovery done (%llu txns replayed, next seq %llu)",
+                name_.c_str(),
+                static_cast<unsigned long long>(stats.value().committed_applied),
+                static_cast<unsigned long long>(recovered_next_seq_));
+    if (obs::tracing_enabled()) {
+      obs::tracer().record_instant(obs::Phase::kRecovery,
+                                   stats.value().last_seq);
+    }
+  }
   return stats;
 }
 
@@ -193,6 +268,7 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
   mirror_->attach_synced(expected_next);
   become_locked(NodeRole::kMirror);
   heartbeater_ = std::thread([this] { heartbeat_loop(); });
+  start_sampler_locked();
 }
 
 void Node::start_rejoin(net::Channel& peer) {
@@ -208,8 +284,10 @@ void Node::start_rejoin(net::Channel& peer) {
                                                   *guarded_channel_, clock_,
                                                   options, &index_);
   become_locked(NodeRole::kRecovering);
+  RODAIN_INFO("%s: rejoining via snapshot + catch-up", name_.c_str());
   mirror_->request_join(0);
   heartbeater_ = std::thread([this] { heartbeat_loop(); });
+  start_sampler_locked();
 }
 
 void Node::take_over_locked() {
@@ -260,6 +338,7 @@ void Node::stop() {
   if (timer_.joinable()) timer_.join();
   if (heartbeater_.joinable()) heartbeater_.join();
   if (checkpointer_.joinable()) checkpointer_.join();
+  if (sampler_.joinable()) sampler_.join();
   std::unique_lock lock(mu_);
   ++channel_epoch_;
   engine_.reset();
@@ -276,6 +355,7 @@ void Node::submit(txn::TxnProgram program, DoneFn done) {
   {
     std::unique_lock lock(mu_);
     ++counters_.submitted;
+    nm().submitted.inc();
     const TimePoint now = clock_.now();
     CommitInfo info;
     if (role_ != NodeRole::kPrimaryWithMirror && role_ != NodeRole::kPrimaryAlone) {
@@ -427,15 +507,19 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
 
   if (outcome == TxnOutcome::kCommitted && a.late) {
     ++counters_.missed_deadline;
+    nm().missed_deadline.inc();
     overload_.on_deadline_miss(now);
   } else {
     switch (outcome) {
       case TxnOutcome::kCommitted:
         ++counters_.committed;
         commit_latency_.add(info.latency);
+        nm().committed.inc();
+        nm().commit_latency.observe(info.latency);
         break;
       case TxnOutcome::kMissedDeadline:
         ++counters_.missed_deadline;
+        nm().missed_deadline.inc();
         overload_.on_deadline_miss(now);
         break;
       case TxnOutcome::kOverloadRejected:
@@ -443,9 +527,11 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
         break;
       case TxnOutcome::kConflictAborted:
         ++counters_.conflict_aborted;
+        nm().conflict_aborted.inc();
         break;
       case TxnOutcome::kSystemAborted:
         ++counters_.system_aborted;
+        nm().system_aborted.inc();
         break;
     }
   }
@@ -522,6 +608,10 @@ void Node::heartbeat_loop() {
           if (watchdog.expired(clock_.now(), mirror_->last_heard())) {
             RODAIN_INFO("%s: watchdog expired for primary, taking over",
                         name_.c_str());
+            if (obs::tracing_enabled()) {
+              obs::tracer().record_instant(obs::Phase::kPrimaryFailure, 0);
+            }
+            obs::metrics().counter("node.takeovers").inc();
             take_over_locked();
           }
         }
@@ -548,6 +638,11 @@ LatencyHistogram Node::commit_latency() const {
 ValidationTs Node::mirror_applied_seq() const {
   std::lock_guard lock(mu_);
   return mirror_ ? mirror_->applied_seq() : 0;
+}
+
+obs::TimeSeries Node::metrics_series() const {
+  std::lock_guard lock(mu_);
+  return series_;
 }
 
 }  // namespace rodain::rt

@@ -21,6 +21,7 @@
 #include "rodain/common/clock.hpp"
 #include "rodain/common/stats.hpp"
 #include "rodain/engine/engine.hpp"
+#include "rodain/obs/series.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/writer.hpp"
 #include "rodain/net/channel.hpp"
@@ -45,6 +46,9 @@ struct NodeConfig {
   Duration heartbeat_interval{Duration::millis(100)};
   Duration watchdog_timeout{Duration::millis(500)};
   std::size_t store_capacity_hint{1024};
+  /// Sample the process metrics registry into a time-series on this
+  /// interval (zero disables the sampler; requires obs::init enabled).
+  Duration metrics_snapshot_interval{Duration::zero()};
 
   NodeConfig() { engine.costs = engine::CostModel::zero(); }
 };
@@ -101,6 +105,8 @@ class Node {
   [[nodiscard]] TxnCounters counters() const;
   [[nodiscard]] LatencyHistogram commit_latency() const;
   [[nodiscard]] ValidationTs mirror_applied_seq() const;
+  /// Rows sampled by the periodic metrics sampler (copy; thread-safe).
+  [[nodiscard]] obs::TimeSeries metrics_series() const;
 
  private:
   struct Active {
@@ -132,6 +138,8 @@ class Node {
   };
 
   void build_primary_locked(LogMode mode);
+  void start_sampler_locked();
+  void sample_metrics_locked();
   void become_locked(NodeRole role);
   void take_over_locked();
   bool serving_locked() const;
@@ -191,6 +199,8 @@ class Node {
   std::thread timer_;
   std::thread heartbeater_;
   std::thread checkpointer_;
+  std::thread sampler_;
+  obs::TimeSeries series_;
   ValidationTs recovered_next_seq_{1};
 };
 

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "rodain/obs/obs.hpp"
+
 namespace rodain::sched {
+
+namespace {
+struct SchedMetrics {
+  obs::Counter& admitted = obs::metrics().counter("sched.admitted");
+  obs::Counter& rejected = obs::metrics().counter("sched.overload_rejected");
+  obs::Counter& deadline_misses =
+      obs::metrics().counter("sched.deadline_misses");
+  obs::Gauge& active = obs::metrics().gauge("sched.active");
+  obs::Gauge& effective_cap = obs::metrics().gauge("sched.effective_cap");
+};
+SchedMetrics& sm() {
+  static SchedMetrics m;
+  return m;
+}
+}  // namespace
 
 void OverloadManager::prune(TimePoint now) {
   const TimePoint horizon = now - config_.observation_window;
@@ -26,17 +43,26 @@ std::size_t OverloadManager::effective_cap(TimePoint now) {
 }
 
 bool OverloadManager::try_admit(TimePoint now) {
-  if (active_ >= effective_cap(now)) return false;
+  const std::size_t cap = effective_cap(now);
+  sm().effective_cap.set(static_cast<double>(cap));
+  if (active_ >= cap) {
+    sm().rejected.inc();
+    return false;
+  }
   ++active_;
+  sm().admitted.inc();
+  sm().active.set(static_cast<double>(active_));
   return true;
 }
 
 void OverloadManager::on_finish() {
   if (active_ > 0) --active_;
+  sm().active.set(static_cast<double>(active_));
 }
 
 void OverloadManager::on_deadline_miss(TimePoint now) {
   misses_.push_back(now);
+  sm().deadline_misses.inc();
 }
 
 }  // namespace rodain::sched

@@ -1,0 +1,105 @@
+// Edge cases of LatencyHistogram::quantile: empty, single sample, the q=0
+// and q=1 endpoints, out-of-range q, saturation past the top bucket, and
+// merge-then-quantile consistency.
+#include <gtest/gtest.h>
+
+#include "rodain/common/rng.hpp"
+#include "rodain/common/stats.hpp"
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+
+TEST(LatencyQuantile, EmptyHistogramIsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.0), Duration::zero());
+  EXPECT_EQ(h.quantile(0.5), Duration::zero());
+  EXPECT_EQ(h.quantile(1.0), Duration::zero());
+}
+
+TEST(LatencyQuantile, SingleSampleReportsThatSample) {
+  LatencyHistogram h;
+  h.add(Duration::micros(1234));
+  // Buckets are ~4% wide, but all quantiles must clamp to the true max.
+  EXPECT_EQ(h.quantile(1.0), Duration::micros(1234));
+  EXPECT_LE(h.quantile(0.0).us, 1234);
+  EXPECT_GE(h.quantile(0.0).us, 1100);  // within one bucket below
+  EXPECT_EQ(h.quantile(0.5), h.quantile(0.0));
+}
+
+TEST(LatencyQuantile, EndpointsAndClamping) {
+  LatencyHistogram h;
+  for (int us = 100; us <= 1000; us += 100) h.add(Duration::micros(us));
+  EXPECT_EQ(h.quantile(1.0), Duration::micros(1000));  // exact max
+  EXPECT_LE(h.quantile(0.0).us, 100);                  // first bucket
+  EXPECT_GT(h.quantile(0.0).us, 0);
+  // Out-of-range q clamps to the endpoints.
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(LatencyQuantile, MonotonicInQ) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(Duration::micros(1 + static_cast<std::int64_t>(rng.next_below(100000))));
+  }
+  Duration prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const Duration cur = h.quantile(q);
+    EXPECT_GE(cur.us, prev.us) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_LE(h.quantile(1.0), h.max_value());
+}
+
+TEST(LatencyQuantile, SaturationAboveTopBucketClampsToTrueMax) {
+  LatencyHistogram h;
+  // ~35 years in microseconds: far beyond the 2^40us top bucket.
+  const Duration huge = Duration::micros(std::int64_t{1} << 50);
+  h.add(Duration::micros(10));
+  h.add(huge);
+  h.add(huge + Duration::micros(5));
+  EXPECT_EQ(h.quantile(1.0), huge + Duration::micros(5));
+  // High quantiles land in the saturated top bucket, whose lower bound
+  // (2^40us) is below the samples; they must never exceed the true max.
+  EXPECT_LE(h.quantile(0.9).us, (huge + Duration::micros(5)).us);
+  EXPECT_LE(h.quantile(0.5).us, (huge + Duration::micros(5)).us);
+}
+
+TEST(LatencyQuantile, MergeMatchesDirectAccumulation) {
+  LatencyHistogram a, b, direct;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Duration d =
+        Duration::micros(1 + static_cast<std::int64_t>(rng.next_below(50000)));
+    (i % 2 ? a : b).add(d);
+    direct.add(d);
+  }
+  LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.max_value(), direct.max_value());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyQuantile, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.add(5_ms);
+  h.add(10_ms);
+  LatencyHistogram merged = h;
+  merged.merge(empty);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), h.quantile(q));
+  }
+  LatencyHistogram other = empty;
+  other.merge(h);
+  EXPECT_EQ(other.quantile(1.0), h.quantile(1.0));
+}
+
+}  // namespace
+}  // namespace rodain

@@ -1,0 +1,166 @@
+// MetricsRegistry: enable gating, sharded counters/timers, expositions,
+// and time-series sampling.
+#include "rodain/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+namespace {
+
+/// Flip the global obs flag for one test and restore it after.
+class ObsEnabledScope {
+ public:
+  explicit ObsEnabledScope(bool on) : prev_(enabled()) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+  ~ObsEnabledScope() {
+    detail::g_enabled.store(prev_, std::memory_order_relaxed);
+  }
+
+ private:
+  bool prev_;
+};
+
+TEST(Metrics, MutatorsAreNoOpsWhenDisabled) {
+  ObsEnabledScope scope(false);
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.disabled");
+  Gauge& g = reg.gauge("test.disabled_gauge");
+  Timer& t = reg.timer("test.disabled_timer");
+  c.inc();
+  g.set(5.0);
+  t.observe(Duration::millis(1));
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(t.merged().count(), 0u);
+}
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.threads");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < 10000; ++j) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(Metrics, LookupReturnsStableReference) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  Counter& a = reg.counter("stable.name");
+  a.inc(3);
+  Counter& b = reg.counter("stable.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, TimerMergesShards) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  Timer& t = reg.timer("test.timer");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t, i] {
+      for (int j = 0; j < 100; ++j) t.observe(Duration::millis(1 + i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LatencyHistogram merged = t.merged();
+  EXPECT_EQ(merged.count(), 400u);
+  EXPECT_EQ(merged.max_value(), Duration::millis(4));
+}
+
+TEST(Metrics, RenderTextPrometheusShape) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  reg.counter("engine.commits").inc(7);
+  reg.gauge("mirror.reorder.staged").set(3.0);
+  reg.timer("repl.commit_rtt_us").observe(Duration::millis(2));
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("rodain_engine_commits 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("rodain_mirror_reorder_staged 3"), std::string::npos);
+  EXPECT_NE(text.find("rodain_repl_commit_rtt_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rodain_engine_commits counter"),
+            std::string::npos);
+}
+
+TEST(Metrics, RenderJsonContainsSections) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  reg.counter("a.b").inc(2);
+  reg.gauge("c.d").set(1.5);
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+}
+
+TEST(Metrics, SampleIntoProducesRows) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  Counter& c = reg.counter("s.count");
+  Gauge& g = reg.gauge("s.gauge");
+  TimeSeries series;
+  c.inc(5);
+  g.set(1.0);
+  reg.sample_into(series, 1000);
+  c.inc(5);
+  g.set(2.0);
+  reg.sample_into(series, 2000);
+  ASSERT_EQ(series.row_count(), 2u);
+  const std::size_t col_c = series.column("s.count");
+  const std::size_t col_g = series.column("s.gauge");
+  EXPECT_EQ(series.timestamp(0), 1000);
+  EXPECT_EQ(series.at(0, col_c), 5.0);
+  EXPECT_EQ(series.at(1, col_c), 10.0);
+  EXPECT_EQ(series.at(1, col_g), 2.0);
+}
+
+TEST(Metrics, TimeSeriesExports) {
+  TimeSeries s;
+  const std::size_t a = s.column("alpha");
+  s.add_row(10);
+  s.set(a, 1.0);
+  const std::size_t b = s.column("beta");  // registered after first row
+  s.add_row(20);
+  s.set(a, 2.0);
+  s.set(b, 3.0);
+  EXPECT_EQ(s.at(0, b), 0.0);  // missing leading cell pads to 0
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("t_us,alpha,beta"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("20,2,3"), std::string::npos) << csv;
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"columns\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+}
+
+TEST(Metrics, GlobalRegistryAccessor) {
+  // The process-wide singleton exists and hands out stable references.
+  Counter& c1 = metrics().counter("global.test_counter");
+  Counter& c2 = metrics().counter("global.test_counter");
+  EXPECT_EQ(&c1, &c2);
+}
+
+}  // namespace
+}  // namespace rodain::obs

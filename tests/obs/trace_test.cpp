@@ -1,0 +1,122 @@
+// SpanTracer: ring semantics, overwrite-oldest, Chrome trace_event JSON
+// shape, and the enable gating of ScopedSpan.
+#include "rodain/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+namespace {
+
+class ObsScope {
+ public:
+  ObsScope(bool on, bool tracing) : prev_on_(enabled()), prev_tr_(tracing_enabled()) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+    detail::g_tracing.store(tracing, std::memory_order_relaxed);
+  }
+  ~ObsScope() {
+    detail::g_enabled.store(prev_on_, std::memory_order_relaxed);
+    detail::g_tracing.store(prev_tr_, std::memory_order_relaxed);
+  }
+
+ private:
+  bool prev_on_;
+  bool prev_tr_;
+};
+
+TEST(Trace, RecordAndSnapshot) {
+  SpanTracer tracer(16);
+  tracer.record_span(Phase::kExecute, 100, 150, 42);
+  tracer.record_span(Phase::kValidate, 150, 160, 42);
+  tracer.record_instant(Phase::kMirrorTakeover, 7);
+  EXPECT_EQ(tracer.recorded(), 3u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, Phase::kExecute);
+  EXPECT_EQ(events[0].ts_us, 100);
+  EXPECT_EQ(events[0].dur_us, 50);
+  EXPECT_EQ(events[0].arg, 42u);
+  EXPECT_EQ(events[1].phase, Phase::kValidate);
+  EXPECT_EQ(events[2].phase, Phase::kMirrorTakeover);
+  EXPECT_LT(events[2].dur_us, 0);  // instant marker
+}
+
+TEST(Trace, RingOverwritesOldest) {
+  SpanTracer tracer(4);  // rounds to 4 slots
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record_span(Phase::kExecute, static_cast<std::int64_t>(i),
+                       static_cast<std::int64_t>(i + 1), i);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // only the newest survive
+  EXPECT_EQ(events.front().arg, 6u);
+  EXPECT_EQ(events.back().arg, 9u);
+}
+
+TEST(Trace, CapacityRoundsToPowerOfTwo) {
+  SpanTracer tracer(5);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  tracer.reset(100);
+  EXPECT_EQ(tracer.capacity(), 128u);
+  EXPECT_EQ(tracer.recorded(), 0u);  // reset drops history
+}
+
+TEST(Trace, DumpJsonChromeShape) {
+  SpanTracer tracer(16);
+  tracer.record_span(Phase::kLogShip, 10, 30, 5);
+  tracer.record_instant(Phase::kRejoin, 9);
+  const std::string json = tracer.dump_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"log_ship\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rejoin\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":2"), std::string::npos);
+}
+
+TEST(Trace, ScopedSpanGatedByFlags) {
+  SpanTracer tracer(16);
+  {
+    ObsScope scope(false, true);
+    ScopedSpan span(tracer, Phase::kExecute, 1);
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);  // obs disabled: no event
+  {
+    ObsScope scope(true, false);
+    ScopedSpan span(tracer, Phase::kExecute, 2);
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);  // tracing off: no event
+  {
+    ObsScope scope(true, true);
+    ScopedSpan span(tracer, Phase::kExecute, 3);
+  }
+  ASSERT_EQ(tracer.recorded(), 1u);
+  EXPECT_EQ(tracer.snapshot()[0].arg, 3u);
+}
+
+TEST(Trace, PhaseNamesCoverTaxonomy) {
+  EXPECT_STREQ(phase_name(Phase::kExecute), "execute");
+  EXPECT_STREQ(phase_name(Phase::kValidate), "validate");
+  EXPECT_STREQ(phase_name(Phase::kWritePhase), "write_phase");
+  EXPECT_STREQ(phase_name(Phase::kLogShip), "log_ship");
+  EXPECT_STREQ(phase_name(Phase::kMirrorAck), "mirror_ack");
+  EXPECT_STREQ(phase_name(Phase::kReorder), "reorder");
+  EXPECT_STREQ(phase_name(Phase::kApply), "apply");
+  EXPECT_STREQ(phase_name(Phase::kPrimaryFailure), "primary_failure");
+  EXPECT_STREQ(phase_name(Phase::kMirrorTakeover), "mirror_takeover");
+}
+
+TEST(Trace, GlobalTracerInitAppliesCapacity) {
+  ObsConfig config;
+  config.enabled = false;  // leave the process flag off for other tests
+  config.trace_capacity = 64;
+  init(config);
+  EXPECT_EQ(tracer().capacity(), 64u);
+  EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace rodain::obs
