@@ -1,0 +1,26 @@
+#include "rodain/common/backoff.hpp"
+
+#include <algorithm>
+
+namespace rodain {
+
+Backoff::Backoff(BackoffPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed),
+      base_us_(static_cast<double>(policy.initial.us)) {}
+
+Duration Backoff::next() {
+  ++attempts_;
+  const double max_us = static_cast<double>(policy_.max.us);
+  const double base = std::min(base_us_, max_us);
+  const double factor = 1.0 + policy_.jitter * (2.0 * rng_.next_double() - 1.0);
+  const double jittered = std::clamp(base * factor, 1.0, max_us);
+  base_us_ = std::min(base_us_ * policy_.multiplier, max_us);
+  return Duration::micros(static_cast<std::int64_t>(jittered));
+}
+
+void Backoff::reset() {
+  base_us_ = static_cast<double>(policy_.initial.us);
+  attempts_ = 0;
+}
+
+}  // namespace rodain

@@ -1,0 +1,39 @@
+// Capped exponential backoff with seeded jitter, for reconnect and retry
+// loops. Deterministic: the same seed yields the same delay sequence, so
+// chaos runs that exercise reconnects replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "rodain/common/rng.hpp"
+#include "rodain/common/time.hpp"
+
+namespace rodain {
+
+struct BackoffPolicy {
+  Duration initial{Duration::millis(10)};
+  Duration max{Duration::seconds(2)};
+  double multiplier{2.0};
+  /// Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter{0.2};
+};
+
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, std::uint64_t seed);
+
+  /// The next delay to wait; advances the exponential schedule.
+  Duration next();
+  /// Back to the initial delay (call on success).
+  void reset();
+
+  [[nodiscard]] std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  double base_us_;
+  std::uint32_t attempts_{0};
+};
+
+}  // namespace rodain

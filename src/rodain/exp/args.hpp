@@ -31,10 +31,16 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         args.reps = 2;
         args.txns = 3000;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        // CI smoke: exercises every sweep point once with a tiny workload —
+        // catches crashes and report-format regressions, not perf shifts.
+        args.reps = 1;
+        args.txns = 500;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "options: --reps N (default 5)  --txns N (default 10000)\n"
-            "         --seed N  --paper (20 reps, paper setup)  --quick\n");
+            "         --seed N  --paper (20 reps, paper setup)  --quick\n"
+            "         --smoke (1 rep, 500 txns; CI crash/format check)\n");
         std::exit(0);
       }
     }

@@ -30,6 +30,16 @@ Status Reorderer::add(Record r) {
   return Status::ok();
 }
 
+void Reorderer::set_expected_next(ValidationTs seq) {
+  expected_ = seq;
+  // Commits staged in a previous incarnation can sit below the new floor
+  // when the transactions between them and the old floor were rerouted to
+  // the primary's disk and never shipped. The snapshot already covers them;
+  // keeping them would wedge release_ready() on a seq that never matches.
+  staged_.erase(staged_.begin(), staged_.lower_bound(seq));
+  release_ready();
+}
+
 void Reorderer::release_ready() {
   while (!staged_.empty()) {
     auto it = staged_.begin();

@@ -40,7 +40,11 @@ class Reorderer {
   /// Transactions with buffered writes but no commit record yet.
   [[nodiscard]] std::size_t open_txns() const { return open_.size(); }
   [[nodiscard]] ValidationTs expected_next() const { return expected_; }
-  void set_expected_next(ValidationTs seq) { expected_ = seq; }
+  /// Move the release floor (mirror rejoin: the snapshot covers everything
+  /// below `seq`). Purges staged transactions the floor passed — their
+  /// predecessors were lost and the gap would block release_ready() forever
+  /// — and releases any staged run that now starts at `seq`.
+  void set_expected_next(ValidationTs seq);
 
   /// Drop transactions that never received a commit record — on primary
   /// failure they are "considered aborted, and their modifications ... are

@@ -13,6 +13,8 @@ struct WriterMetrics {
   obs::Counter& via_disk = obs::metrics().counter("log.submit.via_disk");
   obs::Counter& via_none = obs::metrics().counter("log.submit.via_none");
   obs::Counter& rerouted = obs::metrics().counter("log.rerouted");
+  obs::Counter& resent = obs::metrics().counter("log.resent");
+  obs::Counter& ack_timeouts = obs::metrics().counter("log.ack_timeouts");
   obs::Gauge& pending_acks = obs::metrics().gauge("log.pending_acks");
   /// One message round-trip from shipping a transaction's records to the
   /// mirror's commit ack — the paper's commit-path cost.
@@ -55,8 +57,10 @@ void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
         if (obs::enabled()) shipped_at = obs::now_us();
         shipper_->ship(records);
       }
-      pending_.emplace(seq, Pending{std::move(records), std::move(on_durable),
-                                    shipped_at});
+      pending_.emplace(seq,
+                       Pending{std::move(records), std::move(on_durable),
+                               shipped_at,
+                               clock_ ? clock_->now() : TimePoint{}});
       wm().pending_acks.set(static_cast<double>(pending_.size()));
       return;
     }
@@ -101,6 +105,46 @@ std::vector<Record> LogWriter::tail_since(ValidationTs seq) const {
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
   return out;
+}
+
+void LogWriter::configure_ack_timeout(const Clock* clock, Duration timeout,
+                                      std::function<void()> on_timeout) {
+  clock_ = clock;
+  ack_timeout_ = timeout;
+  on_ack_timeout_ = std::move(on_timeout);
+}
+
+bool LogWriter::check_ack_timeouts() {
+  if (mode_ != LogMode::kMirror || pending_.empty() || !clock_ ||
+      !ack_timeout_.is_positive()) {
+    return false;
+  }
+  const Pending& oldest = pending_.begin()->second;
+  if (clock_->now() - oldest.shipped_at <= ack_timeout_) return false;
+  ++counters_.ack_timeouts;
+  wm().ack_timeouts.inc();
+  RODAIN_WARN("log writer: commit ack timeout (%zu pending, oldest seq %llu)",
+              pending_.size(),
+              static_cast<unsigned long long>(pending_.begin()->first));
+  // The escalation hook typically calls on_mirror_lost(), clearing
+  // pending_ — so one firing cannot repeat for the same transactions.
+  if (on_ack_timeout_) on_ack_timeout_();
+  return true;
+}
+
+std::size_t LogWriter::resend_pending() {
+  if (mode_ != LogMode::kMirror || !shipper_) return 0;
+  std::size_t n = 0;
+  for (auto& [seq, p] : pending_) {
+    shipper_->ship(p.records);
+    ++n;
+    ++counters_.resent;
+    wm().resent.inc();
+  }
+  if (n > 0) {
+    RODAIN_INFO("log writer: re-shipped %zu unacked txns after reconnect", n);
+  }
+  return n;
 }
 
 void LogWriter::on_mirror_lost() {

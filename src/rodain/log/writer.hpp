@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "rodain/common/clock.hpp"
 #include "rodain/common/types.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/record.hpp"
@@ -58,6 +59,22 @@ class LogWriter {
   /// committing transaction is stranded.
   void on_mirror_lost();
 
+  /// Arm the ack timeout: when check_ack_timeouts() finds the oldest
+  /// unacknowledged shipment older than `timeout`, `on_timeout` fires (the
+  /// node escalates to on_mirror_lost so committers are never stranded
+  /// behind a silently dead link).
+  void configure_ack_timeout(const Clock* clock, Duration timeout,
+                             std::function<void()> on_timeout);
+
+  /// Poll from the node's heartbeat tick. Returns true when the timeout
+  /// fired this call.
+  bool check_ack_timeouts();
+
+  /// Re-ship every unacknowledged transaction in validation order (after a
+  /// reconnect — the mirror acks commit records again and drops what it
+  /// already applied as stale). Returns how many were resent.
+  std::size_t resend_pending();
+
   [[nodiscard]] std::size_t pending_acks() const { return pending_.size(); }
 
   /// Records of every submitted transaction with validation seq > `seq`,
@@ -73,6 +90,8 @@ class LogWriter {
     std::uint64_t via_disk{0};
     std::uint64_t via_none{0};
     std::uint64_t rerouted{0};
+    std::uint64_t resent{0};
+    std::uint64_t ack_timeouts{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -83,6 +102,9 @@ class LogWriter {
     /// obs time base (now_us) at ship time; the commit ack closes the
     /// mirror_ack span and feeds the replication-RTT timer. 0 when obs off.
     std::int64_t shipped_at_us{0};
+    /// Clock time of the first shipment (ack-timeout input; resends do not
+    /// reset it — the timeout bounds total time-to-durable).
+    TimePoint shipped_at{};
   };
 
   void submit_to_disk(std::vector<Record> records,
@@ -91,6 +113,9 @@ class LogWriter {
   LogMode mode_;
   LogStorage* disk_;
   Shipper* shipper_;
+  const Clock* clock_{nullptr};
+  Duration ack_timeout_{Duration::zero()};
+  std::function<void()> on_ack_timeout_;
   std::map<ValidationTs, Pending> pending_;  // unacked, in seq order
   std::map<ValidationTs, std::vector<Record>> tail_;  // recent submissions
   Counters counters_;

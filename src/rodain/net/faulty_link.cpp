@@ -1,0 +1,162 @@
+#include "rodain/net/faulty_link.hpp"
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::net {
+
+namespace {
+struct FaultMetrics {
+  obs::Counter& dropped = obs::metrics().counter("net.fault.dropped");
+  obs::Counter& duplicated = obs::metrics().counter("net.fault.duplicated");
+  obs::Counter& corrupted = obs::metrics().counter("net.fault.corrupted");
+  obs::Counter& reordered = obs::metrics().counter("net.fault.reordered");
+  obs::Counter& delayed = obs::metrics().counter("net.fault.delayed");
+  obs::Counter& partitioned = obs::metrics().counter("net.fault.partitioned");
+  obs::Counter& severed = obs::metrics().counter("net.fault.severed");
+};
+FaultMetrics& fm() {
+  static FaultMetrics m;
+  return m;
+}
+}  // namespace
+
+void FaultyLink::End::set_message_handler(MessageHandler handler) {
+  link_->inner_end(index_).set_message_handler(std::move(handler));
+}
+
+void FaultyLink::End::set_disconnect_handler(DisconnectHandler handler) {
+  link_->inner_end(index_).set_disconnect_handler(std::move(handler));
+}
+
+Status FaultyLink::End::send(std::vector<std::byte> frame) {
+  return link_->inject(index_, std::move(frame));
+}
+
+bool FaultyLink::End::connected() const {
+  return link_->inner_end(index_).connected();
+}
+
+void FaultyLink::End::close() { link_->inner_end(index_).close(); }
+
+FaultyLink::FaultyLink(sim::Simulation& sim, SimLink& inner, Options options)
+    : sim_(sim), inner_(inner), options_(options) {
+  Rng seeder(options_.seed);
+  rng_[0] = seeder.split();
+  rng_[1] = seeder.split();
+  for (int i = 0; i < 2; ++i) {
+    ends_[i].link_ = this;
+    ends_[i].index_ = i;
+  }
+}
+
+void FaultyLink::set_partition(int direction, bool blocked) {
+  partitioned_[static_cast<std::size_t>(direction)] = blocked;
+}
+
+Status FaultyLink::inject(int direction, std::vector<std::byte> frame) {
+  const auto d = static_cast<std::size_t>(direction);
+  const std::uint64_t index = frame_count_[d]++;
+  if (!enabled_) return deliver(direction, std::move(frame));
+  if (script_) {
+    switch (script_(FrameInfo{direction, index, frame})) {
+      case ScriptAction::kDrop:
+        ++stats_.script_dropped;
+        return Status::ok();
+      case ScriptAction::kSever:
+        ++stats_.severed;
+        fm().severed.inc();
+        inner_.sever();
+        return Status::error(ErrorCode::kUnavailable,
+                             "fault script severed the link");
+      case ScriptAction::kPass:
+        break;
+    }
+  }
+  if (partitioned_[d]) {
+    ++stats_.partitioned;
+    fm().partitioned.inc();
+    return Status::ok();  // silent one-way loss: the sender sees success
+  }
+  const FaultProfile& p = direction == 0 ? options_.a_to_b : options_.b_to_a;
+  Rng& rng = rng_[d];
+  if (p.drop > 0 && rng.next_bool(p.drop)) {
+    ++stats_.dropped;
+    fm().dropped.inc();
+    return Status::ok();
+  }
+  if (p.corrupt > 0 && !frame.empty() && rng.next_bool(p.corrupt)) {
+    const std::uint64_t at = rng.next_below(frame.size());
+    frame[at] ^= static_cast<std::byte>(1u << rng.next_below(8));
+    ++stats_.corrupted;
+    fm().corrupted.inc();
+  }
+  std::optional<std::vector<std::byte>> dup;
+  if (p.duplicate > 0 && rng.next_bool(p.duplicate)) dup = frame;
+  forward(direction, std::move(frame));
+  if (dup) {
+    ++stats_.duplicated;
+    fm().duplicated.inc();
+    forward(direction, std::move(*dup));
+  }
+  return Status::ok();
+}
+
+void FaultyLink::forward(int direction, std::vector<std::byte> frame) {
+  const auto d = static_cast<std::size_t>(direction);
+  const FaultProfile& p = direction == 0 ? options_.a_to_b : options_.b_to_a;
+  if (p.reorder > 0 && !held_[d] && rng_[d].next_bool(p.reorder)) {
+    // Hold this frame; it is released right after the next frame in this
+    // direction (a one-frame swap), or by the flush timer if none comes.
+    ++stats_.reordered;
+    fm().reordered.inc();
+    held_[d] = std::move(frame);
+    flush_event_[d] =
+        sim_.schedule_after(options_.reorder_flush, [this, direction, d] {
+          flush_event_[d] = sim::kInvalidEvent;
+          flush_held(direction);
+        });
+    return;
+  }
+  (void)deliver(direction, std::move(frame));
+  flush_held(direction);
+}
+
+void FaultyLink::flush_held(int direction) {
+  const auto d = static_cast<std::size_t>(direction);
+  if (!held_[d]) return;
+  if (flush_event_[d] != sim::kInvalidEvent) {
+    sim_.cancel(flush_event_[d]);
+    flush_event_[d] = sim::kInvalidEvent;
+  }
+  auto frame = std::move(*held_[d]);
+  held_[d].reset();
+  (void)deliver(direction, std::move(frame));
+}
+
+Status FaultyLink::deliver(int direction, std::vector<std::byte> frame) {
+  const auto d = static_cast<std::size_t>(direction);
+  const FaultProfile& p = direction == 0 ? options_.a_to_b : options_.b_to_a;
+  if (enabled_ && p.delay > 0 && rng_[d].next_bool(p.delay)) {
+    const std::int64_t lo = p.delay_min.us;
+    const std::int64_t hi = std::max(lo, p.delay_max.us);
+    const auto extra = Duration::micros(
+        lo + static_cast<std::int64_t>(
+                 rng_[d].next_below(static_cast<std::uint64_t>(hi - lo + 1))));
+    ++stats_.delayed;
+    fm().delayed.inc();
+    sim_.schedule_after(extra,
+                        [this, direction, f = std::move(frame)]() mutable {
+                          // The link may have been severed while the frame
+                          // sat in the delay queue; then it is simply lost.
+                          if (inner_end(direction).send(std::move(f))) {
+                            ++stats_.forwarded;
+                          }
+                        });
+    return Status::ok();
+  }
+  Status s = inner_end(direction).send(std::move(frame));
+  if (s) ++stats_.forwarded;
+  return s;
+}
+
+}  // namespace rodain::net

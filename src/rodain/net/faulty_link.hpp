@@ -1,0 +1,139 @@
+// Deterministic fault injection for the replication path.
+//
+// FaultyLink decorates a SimLink with per-direction, independently seeded
+// fault processes: frame drop, duplication, extra delay, reordering, byte
+// corruption, one-way partitions and hard disconnects — plus a script hook
+// for precise failures ("sever the link exactly at frame N / at snapshot
+// chunk K"). All randomness derives from one seed, and fault decisions are
+// made per injected frame in arrival order, so a chaos run replays
+// bit-for-bit from its seed.
+//
+// The layers above (Endpoint envelope dedup, LogWriter ack timeout +
+// resend, the mirror's chunk retry) exist to survive exactly what this
+// class injects.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "rodain/common/rng.hpp"
+#include "rodain/net/channel.hpp"
+#include "rodain/net/sim_link.hpp"
+#include "rodain/sim/simulation.hpp"
+
+namespace rodain::net {
+
+/// Independent per-frame fault probabilities for one direction.
+struct FaultProfile {
+  double drop{0};       ///< frame silently lost
+  double duplicate{0};  ///< frame delivered twice
+  double corrupt{0};    ///< one byte flipped (envelope crc catches it)
+  double reorder{0};    ///< frame held and released after its successor
+  double delay{0};      ///< extra uniform delay in [delay_min, delay_max]
+  Duration delay_min{Duration::micros(200)};
+  Duration delay_max{Duration::millis(5)};
+};
+
+/// What the script sees for every frame entering the link.
+struct FrameInfo {
+  int direction{0};                  ///< 0 = a->b, 1 = b->a
+  std::uint64_t index{0};            ///< per-direction ordinal, 0-based
+  std::span<const std::byte> bytes;  ///< encoded frame, pre-fault
+};
+
+enum class ScriptAction : std::uint8_t {
+  kPass,   ///< continue through the probabilistic faults
+  kDrop,   ///< lose this frame
+  kSever,  ///< hard-disconnect the link (script may schedule a restore)
+};
+
+/// Deterministic fault script, consulted before the probabilistic faults.
+using FaultScript = std::function<ScriptAction(const FrameInfo&)>;
+
+class FaultyLink {
+ public:
+  struct Options {
+    FaultProfile a_to_b{};
+    FaultProfile b_to_a{};
+    std::uint64_t seed{1};
+    /// A reordered (held) frame is flushed at most this long after capture
+    /// even if no successor arrives.
+    Duration reorder_flush{Duration::millis(5)};
+  };
+
+  struct Stats {
+    std::uint64_t forwarded{0};
+    std::uint64_t dropped{0};
+    std::uint64_t duplicated{0};
+    std::uint64_t corrupted{0};
+    std::uint64_t reordered{0};
+    std::uint64_t delayed{0};
+    std::uint64_t partitioned{0};
+    std::uint64_t script_dropped{0};
+    std::uint64_t severed{0};
+  };
+
+  FaultyLink(sim::Simulation& sim, SimLink& inner, Options options);
+
+  /// Decorated ends; wire nodes to these instead of the SimLink's own.
+  [[nodiscard]] Channel& end_a() { return ends_[0]; }
+  [[nodiscard]] Channel& end_b() { return ends_[1]; }
+
+  void set_script(FaultScript script) { script_ = std::move(script); }
+
+  /// One-way partition: silently discard every frame in one direction
+  /// while both ends still look connected (the asymmetric failure a
+  /// watchdog is hardest against).
+  void set_partition(int direction, bool blocked);
+
+  /// Master switch: while disabled, frames pass through untouched
+  /// (partitions and scripts included) — used to quiesce a chaos run.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Hard disconnect / repair of the underlying link.
+  void sever() { inner_.sever(); }
+  void restore() { inner_.restore(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  class End final : public Channel {
+   public:
+    void set_message_handler(MessageHandler handler) override;
+    void set_disconnect_handler(DisconnectHandler handler) override;
+    Status send(std::vector<std::byte> frame) override;
+    [[nodiscard]] bool connected() const override;
+    void close() override;
+
+   private:
+    friend class FaultyLink;
+    FaultyLink* link_{nullptr};
+    int index_{0};
+  };
+
+  [[nodiscard]] Channel& inner_end(int direction) {
+    return direction == 0 ? inner_.end_a() : inner_.end_b();
+  }
+  Status inject(int direction, std::vector<std::byte> frame);
+  void forward(int direction, std::vector<std::byte> frame);
+  Status deliver(int direction, std::vector<std::byte> frame);
+  void flush_held(int direction);
+
+  sim::Simulation& sim_;
+  SimLink& inner_;
+  Options options_;
+  std::array<Rng, 2> rng_;
+  std::array<End, 2> ends_;
+  FaultScript script_;
+  bool enabled_{true};
+  std::array<bool, 2> partitioned_{false, false};
+  std::array<std::uint64_t, 2> frame_count_{0, 0};
+  std::array<std::optional<std::vector<std::byte>>, 2> held_{};
+  std::array<sim::EventId, 2> flush_event_{sim::kInvalidEvent,
+                                           sim::kInvalidEvent};
+  Stats stats_;
+};
+
+}  // namespace rodain::net

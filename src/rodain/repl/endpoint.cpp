@@ -1,12 +1,52 @@
 #include "rodain/repl/endpoint.hpp"
 
+#include <atomic>
+
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::repl {
 
-Endpoint::Endpoint(net::Channel& channel, const Clock& clock, Handlers handlers)
+namespace {
+
+struct EndpointMetrics {
+  obs::Counter& corrupt = obs::metrics().counter("repl.frames_corrupt");
+  obs::Counter& duplicates = obs::metrics().counter("repl.frames_duplicate");
+  obs::Counter& stale = obs::metrics().counter("repl.frames_stale");
+  obs::Counter& send_failures = obs::metrics().counter("repl.send_failures");
+  obs::Counter& reconnects = obs::metrics().counter("repl.reconnects");
+  obs::Counter& reconnect_attempts =
+      obs::metrics().counter("repl.reconnect_attempts");
+};
+EndpointMetrics& epm() {
+  static EndpointMetrics m;
+  return m;
+}
+
+/// Epochs must be distinct and monotone across endpoint rebuilds so a new
+/// endpoint's frames are never suppressed by a receiver's stale anti-replay
+/// window: clock microseconds in the high bits order rebuilds over time, a
+/// process-wide counter in the low bits breaks ties at equal timestamps.
+std::uint64_t next_epoch(const Clock& clock) {
+  static std::atomic<std::uint64_t> counter{1};
+  const auto us = static_cast<std::uint64_t>(clock.now().us);
+  return (us << 16) | (counter.fetch_add(1, std::memory_order_relaxed) &
+                       0xffffULL);
+}
+
+constexpr std::uint64_t kWindowBits = 64;
+
+}  // namespace
+
+Endpoint::Endpoint(net::Channel& channel, const Clock& clock,
+                   Handlers handlers)
+    : Endpoint(channel, clock, std::move(handlers), Options{}) {}
+
+Endpoint::Endpoint(net::Channel& channel, const Clock& clock,
+                   Handlers handlers, Options options)
     : channel_(channel), clock_(clock), handlers_(std::move(handlers)),
-      last_heard_(clock.now()) {
+      last_heard_(clock.now()), epoch_(next_epoch(clock)),
+      backoff_(options.reconnect, options.seed) {
   channel_.set_message_handler(
       [this](std::vector<std::byte> frame) { on_frame(std::move(frame)); });
   channel_.set_disconnect_handler([this] {
@@ -14,16 +54,101 @@ Endpoint::Endpoint(net::Channel& channel, const Clock& clock, Handlers handlers)
   });
 }
 
-void Endpoint::on_frame(std::vector<std::byte> frame) {
-  auto decoded = decode(frame);
-  if (!decoded.is_ok()) {
-    RODAIN_WARN("replication frame rejected: %s",
-                decoded.status().to_string().c_str());
-    if (handlers_.on_protocol_error) handlers_.on_protocol_error(decoded.status());
+Status Endpoint::send(const Message& m) {
+  Status s = channel_.send(encode_framed(epoch_, next_frame_seq_++, m));
+  if (s) {
+    ++stats_.frames_sent;
+  } else {
+    ++stats_.send_failures;
+    epm().send_failures.inc();
+  }
+  return s;
+}
+
+void Endpoint::poll(TimePoint now) {
+  if (channel_.connected()) {
+    if (reconnecting_) {
+      reconnecting_ = false;
+      backoff_.reset();
+      ++stats_.reconnects;
+      epm().reconnects.inc();
+      if (handlers_.on_reconnected) handlers_.on_reconnected();
+    }
     return;
   }
+  if (!reconnecting_) {
+    reconnecting_ = true;
+    next_attempt_ = now + backoff_.next();
+    return;
+  }
+  if (now < next_attempt_) return;
+  ++stats_.reconnect_attempts;
+  epm().reconnect_attempts.inc();
+  if (connector_ && connector_()) {
+    reconnecting_ = false;
+    backoff_.reset();
+    ++stats_.reconnects;
+    epm().reconnects.inc();
+    if (handlers_.on_reconnected) handlers_.on_reconnected();
+    return;
+  }
+  next_attempt_ = now + backoff_.next();
+}
+
+bool Endpoint::accept_frame(std::uint64_t epoch, std::uint64_t seq) {
+  if (epoch < peer_epoch_) {
+    ++stats_.stale_suppressed;
+    epm().stale.inc();
+    return false;
+  }
+  if (epoch > peer_epoch_) {
+    // The peer rebuilt its endpoint (role transition / recovery): start a
+    // fresh window.
+    peer_epoch_ = epoch;
+    window_highest_ = seq;
+    window_mask_ = 1;
+    return true;
+  }
+  if (seq > window_highest_) {
+    const std::uint64_t shift = seq - window_highest_;
+    window_mask_ = shift >= kWindowBits ? 0 : window_mask_ << shift;
+    window_mask_ |= 1;
+    window_highest_ = seq;
+    return true;
+  }
+  const std::uint64_t behind = window_highest_ - seq;
+  if (behind >= kWindowBits) {
+    ++stats_.stale_suppressed;
+    epm().stale.inc();
+    return false;
+  }
+  const std::uint64_t bit = 1ULL << behind;
+  if (window_mask_ & bit) {
+    ++stats_.duplicates_suppressed;
+    epm().duplicates.inc();
+    return false;
+  }
+  window_mask_ |= bit;
+  return true;
+}
+
+void Endpoint::on_frame(std::vector<std::byte> frame) {
+  auto decoded = decode_framed(frame);
+  if (!decoded.is_ok()) {
+    ++stats_.corrupt_rejected;
+    epm().corrupt.inc();
+    RODAIN_WARN("replication frame rejected: %s",
+                decoded.status().to_string().c_str());
+    if (handlers_.on_protocol_error) {
+      handlers_.on_protocol_error(decoded.status());
+    }
+    return;
+  }
+  Frame f = std::move(decoded).value();
+  if (!accept_frame(f.epoch, f.frame_seq)) return;
+  ++stats_.frames_received;
   last_heard_ = clock_.now();
-  Message m = std::move(decoded).value();
+  Message m = std::move(f.msg);
   switch (m.type) {
     case MsgType::kLogBatch:
       if (handlers_.on_log_batch) handlers_.on_log_batch(std::move(m.records));
@@ -39,12 +164,19 @@ void Endpoint::on_frame(std::vector<std::byte> frame) {
       break;
     case MsgType::kSnapshotChunk:
       if (handlers_.on_snapshot_chunk) {
-        handlers_.on_snapshot_chunk(m.chunk_index, m.chunk_total,
-                                    std::move(m.blob));
+        handlers_.on_snapshot_chunk(m.snapshot_id, m.chunk_index,
+                                    m.chunk_total, std::move(m.blob));
       }
       break;
     case MsgType::kSnapshotDone:
-      if (handlers_.on_snapshot_done) handlers_.on_snapshot_done(m.seq);
+      if (handlers_.on_snapshot_done) {
+        handlers_.on_snapshot_done(m.seq, m.snapshot_id);
+      }
+      break;
+    case MsgType::kChunkRetry:
+      if (handlers_.on_chunk_retry) {
+        handlers_.on_chunk_retry(m.snapshot_id, std::move(m.missing));
+      }
       break;
   }
 }

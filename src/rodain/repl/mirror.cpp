@@ -1,5 +1,7 @@
 #include "rodain/repl/mirror.hpp"
 
+#include <algorithm>
+
 #include "rodain/common/diag.hpp"
 #include "rodain/obs/obs.hpp"
 
@@ -15,6 +17,13 @@ struct MirrorMetrics {
       obs::metrics().counter("mirror.writes_applied");
   obs::Counter& stale_duplicates =
       obs::metrics().counter("mirror.stale_duplicates");
+  obs::Counter& duplicate_chunks =
+      obs::metrics().counter("mirror.duplicate_chunks");
+  obs::Counter& chunk_retries =
+      obs::metrics().counter("mirror.chunk_retries_sent");
+  obs::Counter& join_retries = obs::metrics().counter("mirror.join_retries");
+  obs::Counter& rejoins_after_abandon =
+      obs::metrics().counter("mirror.rejoins_after_abandon");
   /// Reorder-queue depths: commit-complete transactions waiting for an
   /// earlier seq, and transactions with buffered writes but no commit yet.
   obs::Gauge& reorder_staged = obs::metrics().gauge("mirror.reorder.staged");
@@ -34,6 +43,7 @@ MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
       disk_(disk),
       index_(index),
       options_(options),
+      clock_(clock),
       endpoint_(channel, clock,
                 Endpoint::Handlers{
                     .on_log_batch =
@@ -41,18 +51,23 @@ MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
                           on_log_batch(std::move(r));
                         },
                     .on_commit_ack = {},
-                    .on_heartbeat = [](NodeRole, ValidationTs) {},
+                    .on_heartbeat =
+                        [this](NodeRole role, ValidationTs applied) {
+                          on_heartbeat(role, applied);
+                        },
                     .on_join_request = {},
                     .on_snapshot_chunk =
-                        [this](std::uint32_t i, std::uint32_t n,
-                               std::vector<std::byte> b) {
-                          on_snapshot_chunk(i, n, std::move(b));
+                        [this](std::uint64_t id, std::uint32_t i,
+                               std::uint32_t n, std::vector<std::byte> b) {
+                          on_snapshot_chunk(id, i, n, std::move(b));
                         },
                     .on_snapshot_done =
-                        [this](ValidationTs boundary) {
-                          on_snapshot_done(boundary);
+                        [this](ValidationTs boundary, std::uint64_t id) {
+                          on_snapshot_done(boundary, id);
                         },
+                    .on_chunk_retry = {},
                     .on_disconnect = {},
+                    .on_reconnected = {},
                     .on_protocol_error = {},
                 }),
       reorderer_(
@@ -64,6 +79,14 @@ void MirrorService::attach_synced(ValidationTs expected_next) {
   reorderer_.set_expected_next(expected_next);
   applied_seq_ = expected_next == 0 ? 0 : expected_next - 1;
   awaiting_snapshot_ = false;
+  synced_at_ = clock_.now();
+}
+
+void MirrorService::reset_assembly() {
+  snapshot_id_ = 0;
+  chunk_total_ = 0;
+  chunks_.clear();
+  chunks_received_ = 0;
 }
 
 void MirrorService::request_join(ValidationTs have) {
@@ -71,13 +94,84 @@ void MirrorService::request_join(ValidationTs have) {
     obs::tracer().record_instant(obs::Phase::kRejoin, have);
   }
   awaiting_snapshot_ = true;
-  snapshot_buffer_.clear();
-  stashed_.clear();
-  (void)endpoint_.send(Message::join_request(have));
+  join_have_ = have;
+  // Floor for acceptable serves: ids embed the shared clock (us << 16), so
+  // every serve created before this join request compares smaller, and the
+  // serve answering it compares greater. Without the floor a stale serve's
+  // late chunks could restart assembly after reset_assembly() zeroes
+  // snapshot_id_ and install an old boundary — silently missing commits
+  // that exist only in the serve answering this join (e.g. ones the
+  // primary disk-committed while alone and never shipped live).
+  min_snapshot_id_ =
+      std::max({min_snapshot_id_, snapshot_id_,
+                static_cast<std::uint64_t>(clock_.now().us) << 16});
+  reset_assembly();
+  // The stash survives join retries. Every stashed commit was already
+  // acknowledged (ack-on-receipt), so dropping it here would lose acked
+  // transactions if a retry races with the previous serve: that serve's
+  // late chunks can resurrect its assembly and install the OLDER boundary,
+  // and only the stash replay covers the commits in between. Stale entries
+  // are cheap — the reorderer drops them on replay.
+  stalled_retries_ = 0;
+  last_join_activity_ = clock_.now();
+  if (!endpoint_.send(Message::join_request(have))) ++stats_.send_failures;
 }
 
 void MirrorService::send_heartbeat() {
-  (void)endpoint_.send(Message::heartbeat(NodeRole::kMirror, applied_seq_));
+  if (!endpoint_.send(Message::heartbeat(NodeRole::kMirror, applied_seq_))) {
+    ++stats_.send_failures;
+  }
+}
+
+void MirrorService::poll(TimePoint now) {
+  endpoint_.poll(now);
+  if (!awaiting_snapshot_) return;
+  if (now - last_join_activity_ <= options_.join_retry_timeout) return;
+  // The join stalled: the request, some chunks, or the done marker were
+  // lost. With a partial assembly, ask for exactly the missing chunks;
+  // otherwise start over.
+  ++stats_.join_retries;
+  mm().join_retries.inc();
+  last_join_activity_ = now;
+  if (++stalled_retries_ > kMaxChunkRetries) {
+    // Repeated chunk retries went nowhere (e.g. the primary rebuilt and no
+    // longer caches this serve): start the join over.
+    RODAIN_WARN("mirror: %u stalled retries, restarting the join",
+                stalled_retries_);
+    request_join(join_have_);
+    return;
+  }
+  if (snapshot_id_ != 0 && chunks_received_ > 0) {
+    ++stats_.chunk_retries_sent;
+    mm().chunk_retries.inc();
+    RODAIN_INFO("mirror: join stalled, re-requesting %zu missing chunks",
+                static_cast<std::size_t>(chunk_total_) - chunks_received_);
+    if (!endpoint_.send(Message::chunk_retry(snapshot_id_, missing_chunks()))) {
+      ++stats_.send_failures;
+    }
+  } else {
+    RODAIN_INFO("mirror: join stalled with no snapshot progress, re-joining");
+    if (!endpoint_.send(Message::join_request(join_have_))) {
+      ++stats_.send_failures;
+    }
+  }
+}
+
+void MirrorService::on_heartbeat(NodeRole role, ValidationTs applied) {
+  (void)applied;
+  if (role != NodeRole::kPrimaryAlone || awaiting_snapshot_) return;
+  // The primary serves alone while we believe we are its synced mirror: it
+  // falsely declared us lost (ack timeout / watchdog during a link flap)
+  // and our copy is diverging. Rejoin from what we have. Freshly synced
+  // mirrors ignore stale kPrimaryAlone heartbeats still in flight.
+  if (clock_.now() - synced_at_ <= options_.abandon_grace) return;
+  ++stats_.rejoins_after_abandon;
+  mm().rejoins_after_abandon.inc();
+  RODAIN_WARN("mirror: primary abandoned us (serving alone), rejoining from "
+              "seq %llu",
+              static_cast<unsigned long long>(applied_seq_));
+  if (options_.on_abandoned) options_.on_abandoned();
+  request_join(applied_seq_);
 }
 
 void MirrorService::on_log_batch(std::vector<log::Record> records) {
@@ -87,9 +181,16 @@ void MirrorService::on_log_batch(std::vector<log::Record> records) {
     // "When the Mirror Node receives a commit record, it immediately sends
     // an acknowledgment back" (paper §3) — before reordering or disk.
     if (r.is_commit()) {
-      (void)endpoint_.send(Message::commit_ack(r.seq));
+      if (!endpoint_.send(Message::commit_ack(r.seq))) {
+        ++stats_.send_failures;
+      }
       ++stats_.acks_sent;
       mm().acks_sent.inc();
+    }
+    if (r.is_commit()) {
+      RODAIN_DEBUG("mirror: recv commit seq %llu awaiting=%d",
+                   static_cast<unsigned long long>(r.seq),
+                   awaiting_snapshot_ ? 1 : 0);
     }
     if (awaiting_snapshot_) {
       stashed_.push_back(std::move(r));
@@ -163,34 +264,110 @@ void MirrorService::release(ValidationTs seq, TxnId txn,
   }
 }
 
-void MirrorService::on_snapshot_chunk(std::uint32_t index, std::uint32_t total,
-                                      std::vector<std::byte> blob) {
-  (void)index;
-  (void)total;
-  if (!awaiting_snapshot_) return;
-  snapshot_buffer_.insert(snapshot_buffer_.end(), blob.begin(), blob.end());
+std::vector<std::uint32_t> MirrorService::missing_chunks() const {
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t i = 0; i < chunk_total_; ++i) {
+    if (!chunks_[i]) missing.push_back(i);
+  }
+  return missing;
 }
 
-void MirrorService::on_snapshot_done(ValidationTs boundary) {
+void MirrorService::on_snapshot_chunk(std::uint64_t snapshot_id,
+                                      std::uint32_t index,
+                                      std::uint32_t total,
+                                      std::vector<std::byte> blob) {
   if (!awaiting_snapshot_) return;
+  if (snapshot_id <= min_snapshot_id_ || snapshot_id < snapshot_id_) {
+    // Chunk of a serve older than our latest join request (or than the
+    // assembly in progress): never let a stale serve clobber or — worse —
+    // install; its boundary predates what the current serve covers.
+    ++stats_.duplicate_chunks;
+    mm().duplicate_chunks.inc();
+    return;
+  }
+  if (snapshot_id > snapshot_id_) {
+    // First chunk of a newer serve: restart assembly under its id.
+    reset_assembly();
+    snapshot_id_ = snapshot_id;
+    chunk_total_ = total;
+    chunks_.assign(total, std::nullopt);
+  }
+  if (total != chunk_total_ || index >= chunk_total_) {
+    RODAIN_WARN("mirror: inconsistent snapshot chunk (%u/%u), re-joining",
+                index, total);
+    request_join(join_have_);
+    return;
+  }
+  last_join_activity_ = clock_.now();
+  if (chunks_[index]) {
+    ++stats_.duplicate_chunks;
+    mm().duplicate_chunks.inc();
+    return;
+  }
+  chunks_[index] = std::move(blob);
+  ++chunks_received_;
+  ++stats_.snapshot_chunks;
+  stalled_retries_ = 0;
+}
+
+void MirrorService::on_snapshot_done(ValidationTs boundary,
+                                     std::uint64_t snapshot_id) {
+  if (!awaiting_snapshot_) return;
+  if (snapshot_id <= min_snapshot_id_) {
+    return;  // done marker of a serve older than our latest join request
+  }
+  last_join_activity_ = clock_.now();
+  if (snapshot_id < snapshot_id_ && snapshot_id_ != 0) {
+    return;  // done marker of an abandoned serve; a newer one is assembling
+  }
+  if (snapshot_id != snapshot_id_) {
+    // Done for a serve whose chunks we never saw (all lost): nothing to
+    // assemble — fall back to a fresh join.
+    ++stats_.join_retries;
+    mm().join_retries.inc();
+    request_join(join_have_);
+    return;
+  }
+  if (chunks_received_ < chunk_total_) {
+    // The done marker overtook (or outlived) some chunks: request exactly
+    // the missing ones and stay in the joining state.
+    ++stats_.chunk_retries_sent;
+    mm().chunk_retries.inc();
+    RODAIN_INFO("mirror: snapshot done but %zu chunks missing, re-requesting",
+                static_cast<std::size_t>(chunk_total_) - chunks_received_);
+    if (!endpoint_.send(Message::chunk_retry(snapshot_id_, missing_chunks()))) {
+      ++stats_.send_failures;
+    }
+    return;
+  }
   obs::ScopedSpan span(obs::tracer(), obs::Phase::kSnapshotInstall, boundary);
-  auto meta = storage::decode_checkpoint(snapshot_buffer_, store_, index_);
-  snapshot_buffer_.clear();
+  std::vector<std::byte> bytes;
+  for (auto& c : chunks_) {
+    bytes.insert(bytes.end(), c->begin(), c->end());
+  }
+  reset_assembly();
+  auto meta = storage::decode_checkpoint(bytes, store_, index_);
   if (!meta.is_ok()) {
     RODAIN_ERROR("snapshot decode failed: %s",
                  meta.status().to_string().c_str());
     // Retry the join from scratch.
-    request_join(0);
+    request_join(join_have_);
     return;
   }
   RODAIN_INFO("mirror: snapshot installed (%llu objects, boundary seq %llu)",
               static_cast<unsigned long long>(meta.value().object_count),
               static_cast<unsigned long long>(boundary));
   awaiting_snapshot_ = false;
-  reorderer_.set_expected_next(boundary + 1);
+  synced_at_ = clock_.now();
+  // applied_seq_ first: set_expected_next can synchronously release staged
+  // transactions above the boundary, and release() advances applied_seq_ —
+  // assigning afterwards would roll it back.
   applied_seq_ = boundary;
+  reorderer_.set_expected_next(boundary + 1);
   auto stashed = std::move(stashed_);
   stashed_.clear();
+  RODAIN_DEBUG("mirror: replaying %zu stashed records after install",
+               stashed.size());
   for (log::Record& r : stashed) feed(std::move(r));
   if (options_.on_synced) options_.on_synced();
 }

@@ -5,6 +5,13 @@
 // reorders transactions into true validation order, applies committed
 // transactions to the database copy — never undoing anything — and stores
 // the ordered log to disk asynchronously, off the commit path.
+//
+// The join path is hardened against a faulty link: snapshot chunks are
+// assembled by index under a per-serve snapshot id (so chunks from an
+// abandoned serve can never leak into a later one), missing chunks are
+// re-requested with kChunkRetry, a stalled join is retried, and a primary
+// that falsely declared this mirror lost (heartbeats say kPrimaryAlone
+// while we believe we are its synced mirror) triggers an automatic rejoin.
 #pragma once
 
 #include <optional>
@@ -27,6 +34,16 @@ class MirrorService {
     /// Invoked when a requested join finishes (snapshot installed and the
     /// stashed live stream replayed) — the node is now a proper Mirror.
     std::function<void()> on_synced;
+    /// The primary abandoned us (its heartbeats say kPrimaryAlone while we
+    /// are synced): a rejoin was initiated; the node should drop back to
+    /// kRecovering until on_synced fires again.
+    std::function<void()> on_abandoned;
+    /// A join making no progress for this long retries (missing chunks are
+    /// re-requested; with nothing received yet, the join is re-sent).
+    Duration join_retry_timeout{Duration::millis(100)};
+    /// Ignore kPrimaryAlone heartbeats this soon after syncing — they can
+    /// be stale frames that were in flight while our join completed.
+    Duration abandon_grace{Duration::millis(150)};
   };
 
   struct Stats {
@@ -35,6 +52,12 @@ class MirrorService {
     std::uint64_t txns_applied{0};
     std::uint64_t writes_applied{0};
     std::uint64_t stale_duplicates{0};
+    std::uint64_t snapshot_chunks{0};
+    std::uint64_t duplicate_chunks{0};
+    std::uint64_t chunk_retries_sent{0};
+    std::uint64_t join_retries{0};
+    std::uint64_t rejoins_after_abandon{0};
+    std::uint64_t send_failures{0};
   };
 
   /// `disk` may be null when store_to_disk is false; `index` (optional)
@@ -54,6 +77,10 @@ class MirrorService {
 
   void send_heartbeat();
 
+  /// Drive join retries and the endpoint's reconnect machinery; call
+  /// periodically (heartbeat tick).
+  void poll(TimePoint now);
+
   /// Take over as the lone server (paper §2: the failed node's peer becomes
   /// the server; transactions without a commit record are aborted).
   struct TakeoverResult {
@@ -69,26 +96,50 @@ class MirrorService {
   [[nodiscard]] TimePoint last_heard() const { return endpoint_.last_heard(); }
   [[nodiscard]] std::size_t reorder_staged() const { return reorderer_.staged_commits(); }
   [[nodiscard]] std::size_t reorder_open() const { return reorderer_.open_txns(); }
+  [[nodiscard]] const Endpoint::Stats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
 
  private:
   void on_log_batch(std::vector<log::Record> records);
   void feed(log::Record r);
   void release(ValidationTs seq, TxnId txn, std::vector<log::Record> records);
-  void on_snapshot_chunk(std::uint32_t index, std::uint32_t total,
-                         std::vector<std::byte> blob);
-  void on_snapshot_done(ValidationTs boundary);
+  void on_snapshot_chunk(std::uint64_t snapshot_id, std::uint32_t index,
+                         std::uint32_t total, std::vector<std::byte> blob);
+  void on_snapshot_done(ValidationTs boundary, std::uint64_t snapshot_id);
+  void on_heartbeat(NodeRole role, ValidationTs applied);
+  void reset_assembly();
+  [[nodiscard]] std::vector<std::uint32_t> missing_chunks() const;
 
   storage::ObjectStore& store_;
   log::LogStorage* disk_;
   storage::BPlusTree* index_;
   Options options_;
+  const Clock& clock_;
   Endpoint endpoint_;
   log::Reorderer reorderer_;
   ValidationTs applied_seq_{0};
   Stats stats_;
 
   bool awaiting_snapshot_{false};
-  std::vector<std::byte> snapshot_buffer_;
+  /// Chunk assembly for the in-progress serve (reset when a chunk from a
+  /// newer serve arrives).
+  std::uint64_t snapshot_id_{0};
+  /// Serves with id <= this floor are stale and must never assemble or
+  /// install. Raised at every request_join to the id any serve created
+  /// before the request would carry (ids embed the shared clock).
+  std::uint64_t min_snapshot_id_{0};
+  std::uint32_t chunk_total_{0};
+  std::vector<std::optional<std::vector<std::byte>>> chunks_;
+  std::size_t chunks_received_{0};
+  /// Consecutive no-progress join retries; past kMaxChunkRetries the join
+  /// restarts from scratch instead of asking for chunks the primary may no
+  /// longer cache.
+  std::uint32_t stalled_retries_{0};
+  static constexpr std::uint32_t kMaxChunkRetries = 4;
+  ValidationTs join_have_{0};
+  TimePoint last_join_activity_{};
+  TimePoint synced_at_{};
   std::vector<log::Record> stashed_;  ///< live records held during snapshot
 };
 

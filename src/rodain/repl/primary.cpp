@@ -1,5 +1,7 @@
 #include "rodain/repl/primary.hpp"
 
+#include <atomic>
+
 #include "rodain/common/diag.hpp"
 #include "rodain/obs/obs.hpp"
 
@@ -13,12 +15,24 @@ struct PrimaryMetrics {
       obs::metrics().counter("repl.heartbeats_sent");
   obs::Counter& snapshots_served =
       obs::metrics().counter("repl.snapshots_served");
+  obs::Counter& chunks_resent =
+      obs::metrics().counter("repl.snapshot_chunks_resent");
   obs::Gauge& mirror_applied_seq =
       obs::metrics().gauge("repl.mirror_applied_seq");
 };
 PrimaryMetrics& pm() {
   static PrimaryMetrics m;
   return m;
+}
+
+/// Snapshot-serve ids must be monotone across replicator rebuilds so the
+/// joiner can order serves (clock microseconds high, process counter low —
+/// same scheme as endpoint epochs).
+std::uint64_t next_snapshot_id(const Clock& clock) {
+  static std::atomic<std::uint64_t> counter{1};
+  const auto us = static_cast<std::uint64_t>(clock.now().us);
+  return (us << 16) |
+         (counter.fetch_add(1, std::memory_order_relaxed) & 0xffffULL);
 }
 }  // namespace
 
@@ -38,35 +52,92 @@ PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
                     .on_commit_ack =
                         [this](ValidationTs seq) { writer_.on_mirror_ack(seq); },
                     .on_heartbeat =
-                        [this](NodeRole, ValidationTs applied) {
+                        [this](NodeRole role, ValidationTs applied) {
+                          if (role == NodeRole::kPrimaryAlone ||
+                              role == NodeRole::kPrimaryWithMirror) {
+                            // The peer also believes it is serving: split
+                            // brain. Its `applied` is a commit height, not
+                            // a mirror-applied seq — don't mix the two.
+                            if (hooks_.on_peer_primary) {
+                              hooks_.on_peer_primary(applied);
+                            }
+                            return;
+                          }
                           mirror_applied_ = std::max(mirror_applied_, applied);
                           pm().mirror_applied_seq.set(
                               static_cast<double>(mirror_applied_));
+                          if (last_snapshot_ &&
+                              mirror_applied_ >= last_snapshot_->boundary) {
+                            // The joiner caught up: the cached snapshot can
+                            // no longer be needed for chunk retries.
+                            last_snapshot_.reset();
+                          }
                         },
                     .on_join_request =
                         [this](ValidationTs have) { on_join_request(have); },
                     .on_snapshot_chunk = {},
                     .on_snapshot_done = {},
+                    .on_chunk_retry =
+                        [this](std::uint64_t id,
+                               std::vector<std::uint32_t> missing) {
+                          on_chunk_retry(id, missing);
+                        },
                     .on_disconnect =
                         [this] {
                           if (hooks_.on_disconnect) hooks_.on_disconnect();
                         },
+                    .on_reconnected =
+                        [this] {
+                          // The stream restarted: anything unacked may have
+                          // been lost in flight — ship it again (the mirror
+                          // drops what it already applied as stale).
+                          writer_.resend_pending();
+                          if (hooks_.on_reconnected) hooks_.on_reconnected();
+                        },
                     .on_protocol_error = {},
                 }),
+      clock_(clock),
       store_(store),
       writer_(writer),
       hooks_(std::move(hooks)),
       options_(options) {}
 
-void PrimaryReplicator::ship(std::span<const log::Record> records) {
-  pm().batches_shipped.inc();
-  (void)endpoint_.send(
-      Message::log_batch(std::vector<log::Record>(records.begin(), records.end())));
+Status PrimaryReplicator::send_counted(const Message& m) {
+  Status s = endpoint_.send(m);
+  if (!s) {
+    if (++send_failures_ == 1 || endpoint_.connected()) {
+      RODAIN_WARN("primary: replication send failed: %s",
+                  s.to_string().c_str());
+    }
+  }
+  return s;
 }
 
-void PrimaryReplicator::send_heartbeat(NodeRole role) {
+void PrimaryReplicator::ship(std::span<const log::Record> records) {
+  pm().batches_shipped.inc();
+  (void)send_counted(Message::log_batch(
+      std::vector<log::Record>(records.begin(), records.end())));
+  // A failed ship is not fatal: either the disconnect handler or the
+  // writer's ack timeout escalates, or a reconnect re-ships the pending set.
+}
+
+void PrimaryReplicator::send_heartbeat(NodeRole role, ValidationTs height) {
   pm().heartbeats_sent.inc();
-  (void)endpoint_.send(Message::heartbeat(role, 0));
+  (void)send_counted(Message::heartbeat(role, height));
+}
+
+void PrimaryReplicator::poll(TimePoint now) { endpoint_.poll(now); }
+
+Status PrimaryReplicator::send_chunk(std::uint32_t index) {
+  const CachedSnapshot& snap = *last_snapshot_;
+  const std::size_t chunk = options_.snapshot_chunk_bytes;
+  const std::size_t begin = static_cast<std::size_t>(index) * chunk;
+  const std::size_t len = std::min(chunk, snap.bytes.size() - begin);
+  return send_counted(Message::snapshot_chunk(
+      snap.id, index, snap.chunk_total,
+      std::vector<std::byte>(
+          snap.bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+          snap.bytes.begin() + static_cast<std::ptrdiff_t>(begin + len))));
 }
 
 void PrimaryReplicator::on_join_request(ValidationTs have) {
@@ -80,16 +151,11 @@ void PrimaryReplicator::on_join_request(ValidationTs have) {
   auto bytes = w.take();
 
   const std::size_t chunk = options_.snapshot_chunk_bytes;
-  const auto total =
-      static_cast<std::uint32_t>((bytes.size() + chunk - 1) / chunk);
-  for (std::uint32_t i = 0; i < total; ++i) {
-    const std::size_t begin = static_cast<std::size_t>(i) * chunk;
-    const std::size_t len = std::min(chunk, bytes.size() - begin);
-    (void)endpoint_.send(Message::snapshot_chunk(
-        i, total,
-        std::vector<std::byte>(bytes.begin() + static_cast<std::ptrdiff_t>(begin),
-                               bytes.begin() + static_cast<std::ptrdiff_t>(begin + len))));
-  }
+  const auto total = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (bytes.size() + chunk - 1) / chunk));
+  last_snapshot_ = CachedSnapshot{next_snapshot_id(clock_), boundary, total,
+                                  std::move(bytes)};
+  for (std::uint32_t i = 0; i < total; ++i) (void)send_chunk(i);
 
   // Catch-up: committed transactions past the boundary that were logged
   // before the mode switch (the joiner drops any overlap as stale).
@@ -98,13 +164,36 @@ void PrimaryReplicator::on_join_request(ValidationTs have) {
   // between the tail and the live stream.
   if (hooks_.on_mirror_joined) hooks_.on_mirror_joined();
   if (!tail.empty()) {
-    (void)endpoint_.send(Message::log_batch(std::move(tail)));
+    (void)send_counted(Message::log_batch(std::move(tail)));
   }
-  (void)endpoint_.send(Message::snapshot_done(boundary));
+  (void)send_counted(Message::snapshot_done(boundary, last_snapshot_->id));
   ++snapshots_served_;
   pm().snapshots_served.inc();
-  RODAIN_INFO("primary: served snapshot at boundary %llu (%zu bytes, %u chunks)",
-              static_cast<unsigned long long>(boundary), bytes.size(), total);
+  RODAIN_INFO("primary: served snapshot %llu at boundary %llu (%zu bytes, %u chunks)",
+              static_cast<unsigned long long>(last_snapshot_->id),
+              static_cast<unsigned long long>(boundary),
+              last_snapshot_->bytes.size(), total);
+}
+
+void PrimaryReplicator::on_chunk_retry(
+    std::uint64_t snapshot_id, const std::vector<std::uint32_t>& missing) {
+  if (!last_snapshot_ || last_snapshot_->id != snapshot_id) {
+    // The cached serve is gone (or the request is from an older serve);
+    // the joiner's stalled-join poll will fall back to a fresh join.
+    RODAIN_WARN("primary: chunk retry for unknown snapshot %llu ignored",
+                static_cast<unsigned long long>(snapshot_id));
+    return;
+  }
+  for (std::uint32_t index : missing) {
+    if (index >= last_snapshot_->chunk_total) continue;
+    if (send_chunk(index)) {
+      ++snapshot_chunks_resent_;
+      pm().chunks_resent.inc();
+    }
+  }
+  // Re-finish the serve: the done marker may itself have been lost.
+  (void)send_counted(
+      Message::snapshot_done(last_snapshot_->boundary, last_snapshot_->id));
 }
 
 }  // namespace rodain::repl

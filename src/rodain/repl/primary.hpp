@@ -1,7 +1,14 @@
 // The Primary Node's replication half: ships the redo stream (it is the
 // LogWriter's Shipper), routes commit acks back, serves join requests with
 // a snapshot + catch-up tail, and exposes peer liveness for the watchdog.
+//
+// Hardened against lossy links: send statuses are counted instead of
+// dropped, the last served snapshot is cached so the joiner can ask for
+// exactly the chunks it is missing (kChunkRetry), and a reconnect observed
+// by the endpoint triggers a re-ship of every unacknowledged transaction.
 #pragma once
+
+#include <optional>
 
 #include "rodain/common/clock.hpp"
 #include "rodain/log/writer.hpp"
@@ -23,6 +30,13 @@ class PrimaryReplicator final : public log::Shipper {
     std::function<void()> on_mirror_joined;
     /// The link dropped.
     std::function<void()> on_disconnect;
+    /// The link came back (after unacked txns were already re-shipped).
+    std::function<void()> on_reconnected;
+    /// A heartbeat arrived whose sender also claims a primary role: split
+    /// brain (a spurious mirror takeover during a link-only outage). The
+    /// argument is the peer's commit height from its heartbeat; the node
+    /// layer resolves the conflict (see DESIGN.md §8).
+    std::function<void(ValidationTs)> on_peer_primary;
   };
 
   struct Options {
@@ -42,16 +56,53 @@ class PrimaryReplicator final : public log::Shipper {
   // log::Shipper
   void ship(std::span<const log::Record> records) override;
 
-  void send_heartbeat(NodeRole role);
+  /// `height` is this node's commit height (installed low-water mark); a
+  /// peer that also believes it is primary uses it to resolve the conflict
+  /// (richer history wins).
+  void send_heartbeat(NodeRole role, ValidationTs height = 0);
+
+  /// Drive the endpoint's reconnect machinery (heartbeat tick).
+  void poll(TimePoint now);
 
   [[nodiscard]] TimePoint last_heard() const { return endpoint_.last_heard(); }
+  [[nodiscard]] bool channel_connected() const { return endpoint_.connected(); }
   [[nodiscard]] ValidationTs mirror_applied_seq() const { return mirror_applied_; }
   [[nodiscard]] std::uint64_t snapshots_served() const { return snapshots_served_; }
+  [[nodiscard]] std::uint64_t send_failures() const { return send_failures_; }
+  [[nodiscard]] std::uint64_t snapshot_chunks_resent() const {
+    return snapshot_chunks_resent_;
+  }
+  [[nodiscard]] const Endpoint::Stats& endpoint_stats() const {
+    return endpoint_.stats();
+  }
+  /// Endpoint ages for the split-brain tie-break: with equal commit
+  /// heights, the younger endpoint (larger epoch — the spurious
+  /// taker-over rebuilt its replicator later) yields.
+  [[nodiscard]] std::uint64_t endpoint_epoch() const {
+    return endpoint_.epoch();
+  }
+  [[nodiscard]] std::uint64_t peer_epoch() const {
+    return endpoint_.peer_epoch();
+  }
 
  private:
   void on_join_request(ValidationTs have);
+  void on_chunk_retry(std::uint64_t snapshot_id,
+                      const std::vector<std::uint32_t>& missing);
+  Status send_counted(const Message& m);
+  Status send_chunk(std::uint32_t index);
+
+  /// The last served snapshot, kept until the mirror's applied seq passes
+  /// its boundary, so lost chunks can be re-served without re-encoding.
+  struct CachedSnapshot {
+    std::uint64_t id{0};
+    ValidationTs boundary{0};
+    std::uint32_t chunk_total{0};
+    std::vector<std::byte> bytes;
+  };
 
   Endpoint endpoint_;
+  const Clock& clock_;
   storage::ObjectStore& store_;
   const storage::BPlusTree* index_{nullptr};
   log::LogWriter& writer_;
@@ -59,6 +110,9 @@ class PrimaryReplicator final : public log::Shipper {
   Options options_;
   ValidationTs mirror_applied_{0};
   std::uint64_t snapshots_served_{0};
+  std::uint64_t send_failures_{0};
+  std::uint64_t snapshot_chunks_resent_{0};
+  std::optional<CachedSnapshot> last_snapshot_;
 };
 
 }  // namespace rodain::repl

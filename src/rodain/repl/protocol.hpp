@@ -8,6 +8,17 @@
 //   kSnapshotChunk serving node -> joiner: checkpoint bytes
 //   kSnapshotDone  serving node -> joiner: snapshot boundary seq; live
 //                  records with greater seq follow
+//   kChunkRetry    joiner -> serving node: re-send these missing chunks
+//
+// Every message travels inside a frame envelope:
+//
+//   [u32 crc32c(epoch || frame_seq || payload)][u64 epoch][u64 frame_seq][payload]
+//
+// The crc rejects corrupted frames (the message payload itself carries no
+// checksum), the per-endpoint frame_seq lets the receiver suppress
+// duplicates and stale reordered frames, and the epoch — monotone across
+// endpoint rebuilds within a process — keeps a rebuilt sender from being
+// suppressed by the receiver's old anti-replay window.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,7 @@ enum class MsgType : std::uint8_t {
   kJoinRequest = 4,
   kSnapshotChunk = 5,
   kSnapshotDone = 6,
+  kChunkRetry = 7,
 };
 
 struct Message {
@@ -39,18 +51,39 @@ struct Message {
   std::vector<std::byte> blob;       ///< kSnapshotChunk payload
   std::uint32_t chunk_index{0};      ///< kSnapshotChunk ordinal
   std::uint32_t chunk_total{0};      ///< kSnapshotChunk count
+  /// Identifies one snapshot serve (kSnapshotChunk / kSnapshotDone /
+  /// kChunkRetry), so chunks from an abandoned serve can never be mixed
+  /// into a later one.
+  std::uint64_t snapshot_id{0};
+  std::vector<std::uint32_t> missing;  ///< kChunkRetry: chunk indexes
 
   [[nodiscard]] static Message log_batch(std::vector<log::Record> records);
   [[nodiscard]] static Message commit_ack(ValidationTs seq);
   [[nodiscard]] static Message heartbeat(NodeRole role, ValidationTs applied);
   [[nodiscard]] static Message join_request(ValidationTs have);
-  [[nodiscard]] static Message snapshot_chunk(std::uint32_t index,
+  [[nodiscard]] static Message snapshot_chunk(std::uint64_t snapshot_id,
+                                              std::uint32_t index,
                                               std::uint32_t total,
                                               std::vector<std::byte> blob);
-  [[nodiscard]] static Message snapshot_done(ValidationTs boundary);
+  [[nodiscard]] static Message snapshot_done(ValidationTs boundary,
+                                             std::uint64_t snapshot_id);
+  [[nodiscard]] static Message chunk_retry(std::uint64_t snapshot_id,
+                                           std::vector<std::uint32_t> missing);
 };
 
 [[nodiscard]] std::vector<std::byte> encode(const Message& m);
 [[nodiscard]] Result<Message> decode(std::span<const std::byte> frame);
+
+/// A message plus its envelope fields, as received.
+struct Frame {
+  std::uint64_t epoch{0};
+  std::uint64_t frame_seq{0};
+  Message msg;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_framed(std::uint64_t epoch,
+                                                   std::uint64_t frame_seq,
+                                                   const Message& m);
+[[nodiscard]] Result<Frame> decode_framed(std::span<const std::byte> frame);
 
 }  // namespace rodain::repl

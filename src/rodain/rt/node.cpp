@@ -107,8 +107,18 @@ void Node::become_locked(NodeRole role) {
   }
 }
 
+void Node::escalate_mirror_lost_locked(const char* why) {
+  if (role_ != NodeRole::kPrimaryWithMirror) return;
+  RODAIN_INFO("%s: mirror lost (%s)", name_.c_str(), why);
+  link_down_since_.reset();
+  log_writer_->on_mirror_lost();
+  become_locked(NodeRole::kPrimaryAlone);
+  ready_cv_.notify_all();
+}
+
 void Node::build_primary_locked(LogMode mode) {
   ++channel_epoch_;  // invalidate callbacks into the old role's objects
+  link_down_since_.reset();
   mirror_.reset();
   replicator_.reset();
   log_writer_ = std::make_unique<log::LogWriter>(LogMode::kOff, disk_.get(), nullptr);
@@ -123,17 +133,44 @@ void Node::build_primary_locked(LogMode mode) {
       become_locked(NodeRole::kPrimaryWithMirror);
     };
     hooks.on_disconnect = [this] {
-      if (role_ == NodeRole::kPrimaryWithMirror) {
-        RODAIN_INFO("%s: mirror link lost", name_.c_str());
-        log_writer_->on_mirror_lost();
-        become_locked(NodeRole::kPrimaryAlone);
-        ready_cv_.notify_all();
+      if (role_ != NodeRole::kPrimaryWithMirror) return;
+      if (!config_.disconnect_grace.is_positive()) {
+        escalate_mirror_lost_locked("link lost");
+      } else if (!link_down_since_) {
+        link_down_since_ = clock_.now();
+        RODAIN_INFO("%s: mirror link down, grace %lld us", name_.c_str(),
+                    static_cast<long long>(config_.disconnect_grace.us));
+      }
+    };
+    hooks.on_reconnected = [this] {
+      if (link_down_since_) {
+        RODAIN_INFO("%s: mirror link restored within grace", name_.c_str());
+        link_down_since_.reset();
+      }
+    };
+    hooks.on_peer_primary = [this, warned = false](ValidationTs peer) mutable {
+      // Split brain in the threaded runtime is detected and surfaced, not
+      // auto-resolved: demoting a live primary means quiescing the worker
+      // pool mid-transaction, so the deployment fences manually (the sim
+      // runtime auto-demotes — DESIGN.md §8 documents the asymmetry).
+      obs::metrics().counter("node.split_brain_detected").inc();
+      if (!warned) {
+        warned = true;
+        RODAIN_WARN(
+            "%s: split brain: peer also claims a primary role "
+            "(peer height %llu vs ours %llu) — manual fencing required",
+            name_.c_str(), static_cast<unsigned long long>(peer),
+            static_cast<unsigned long long>(
+                engine_ ? engine_->installed_low_water() : 0));
       }
     };
     replicator_ = std::make_unique<repl::PrimaryReplicator>(
         *guarded_channel_, clock_, store_, *log_writer_, std::move(hooks));
     replicator_->set_index(&index_);
     log_writer_->set_shipper(replicator_.get());
+    log_writer_->configure_ack_timeout(&clock_, config_.ack_timeout, [this] {
+      escalate_mirror_lost_locked("commit ack timeout");
+    });
   }
   log_writer_->set_mode(mode);
 
@@ -262,6 +299,8 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
   guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
   repl::MirrorService::Options options;
   options.store_to_disk = true;
+  options.on_synced = [this] { become_locked(NodeRole::kMirror); };
+  options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
                                                   options, &index_);
@@ -280,6 +319,7 @@ void Node::start_rejoin(net::Channel& peer) {
   repl::MirrorService::Options options;
   options.store_to_disk = true;
   options.on_synced = [this] { become_locked(NodeRole::kMirror); };
+  options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
                                                   options, &index_);
@@ -294,6 +334,7 @@ void Node::take_over_locked() {
   if (role_ != NodeRole::kMirror || !mirror_) return;
   auto takeover = mirror_->take_over();
   ++channel_epoch_;
+  link_down_since_.reset();
   mirror_.reset();
   peer_ = nullptr;  // the old primary is gone; a rejoin brings a new channel
   guarded_channel_.reset();
@@ -591,20 +632,36 @@ void Node::heartbeat_loop() {
     switch (role_) {
       case NodeRole::kPrimaryWithMirror:
         if (replicator_) {
-          replicator_->send_heartbeat(role_);
-          if (watchdog.expired(clock_.now(), replicator_->last_heard())) {
+          replicator_->send_heartbeat(
+              role_, engine_ ? engine_->installed_low_water() : 0);
+          replicator_->poll(clock_.now());
+          if (link_down_since_ && replicator_->channel_connected()) {
+            link_down_since_.reset();
+          }
+          if (link_down_since_ &&
+              clock_.now() - *link_down_since_ > config_.disconnect_grace) {
+            escalate_mirror_lost_locked("disconnect grace expired");
+            break;
+          }
+          if (log_writer_ && log_writer_->check_ack_timeouts()) break;
+          if (role_ == NodeRole::kPrimaryWithMirror &&
+              watchdog.expired(clock_.now(), replicator_->last_heard())) {
             RODAIN_INFO("%s: watchdog expired for mirror", name_.c_str());
-            log_writer_->on_mirror_lost();
-            become_locked(NodeRole::kPrimaryAlone);
+            escalate_mirror_lost_locked("watchdog expired");
           }
         }
         break;
       case NodeRole::kPrimaryAlone:
-        if (replicator_) replicator_->send_heartbeat(role_);
+        if (replicator_) {
+          replicator_->send_heartbeat(
+              role_, engine_ ? engine_->installed_low_water() : 0);
+          replicator_->poll(clock_.now());
+        }
         break;
       case NodeRole::kMirror:
         if (mirror_) {
           mirror_->send_heartbeat();
+          mirror_->poll(clock_.now());
           if (watchdog.expired(clock_.now(), mirror_->last_heard())) {
             RODAIN_INFO("%s: watchdog expired for primary, taking over",
                         name_.c_str());
@@ -617,6 +674,13 @@ void Node::heartbeat_loop() {
         }
         break;
       case NodeRole::kRecovering:
+        // Keep the primary's watchdog fed while the snapshot installs, and
+        // drive the join retry/chunk-retry machinery.
+        if (mirror_) {
+          mirror_->send_heartbeat();
+          mirror_->poll(clock_.now());
+        }
+        break;
       case NodeRole::kDown:
         break;
     }

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -45,6 +46,13 @@ struct NodeConfig {
   Duration checkpoint_interval{Duration::zero()};
   Duration heartbeat_interval{Duration::millis(100)};
   Duration watchdog_timeout{Duration::millis(500)};
+  /// Oldest unacked mirror shipment older than this declares the mirror
+  /// lost (committers are never stranded). Zero disables.
+  Duration ack_timeout{Duration::millis(250)};
+  /// Grace window for a dropped mirror link before escalating to
+  /// on_mirror_lost; gives reconnect/backoff a chance to ride out flaps.
+  /// Zero keeps the historical instant escalation.
+  Duration disconnect_grace{Duration::zero()};
   std::size_t store_capacity_hint{1024};
   /// Sample the process metrics registry into a time-series on this
   /// interval (zero disables the sampler; requires obs::init enabled).
@@ -141,6 +149,7 @@ class Node {
   void start_sampler_locked();
   void sample_metrics_locked();
   void become_locked(NodeRole role);
+  void escalate_mirror_lost_locked(const char* why);
   void take_over_locked();
   bool serving_locked() const;
   Status write_checkpoint_locked();
@@ -177,6 +186,9 @@ class Node {
   /// Bumped (under mu_) whenever replication objects are torn down; stale
   /// channel callbacks compare against it and bail out.
   std::uint64_t channel_epoch_{0};
+  /// When the mirror link dropped (primary side, under mu_); escalation
+  /// waits out config_.disconnect_grace.
+  std::optional<TimePoint> link_down_since_;
 
   std::unordered_map<TxnId, Active> active_;
   struct ReadyOrder {

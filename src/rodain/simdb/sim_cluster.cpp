@@ -10,8 +10,15 @@ SimCluster::SimCluster(sim::Simulation& sim, SimClusterConfig config)
   if (config_.two_nodes) {
     node_b_ = std::make_unique<SimNode>(sim_, "node-b", 2, config_.node);
     link_ = std::make_unique<net::SimLink>(sim_, config_.link);
-    node_a_->connect(link_->end_a());
-    node_b_->connect(link_->end_b());
+    if (config_.faults) {
+      faulty_ = std::make_unique<net::FaultyLink>(sim_, *link_,
+                                                  *config_.faults);
+      node_a_->connect(faulty_->end_a());
+      node_b_->connect(faulty_->end_b());
+    } else {
+      node_a_->connect(link_->end_a());
+      node_b_->connect(link_->end_b());
+    }
     node_b_->set_role_change_handler([this](NodeRole r) { on_role_change(r); });
   }
   node_a_->set_role_change_handler([this](NodeRole r) { on_role_change(r); });
@@ -35,9 +42,14 @@ void SimCluster::start() {
 }
 
 SimNode* SimCluster::serving_node() {
-  if (node_a_->serving()) return node_a_.get();
-  if (node_b_ && node_b_->serving()) return node_b_.get();
-  return nullptr;
+  if (preferred_ && preferred_->serving()) return preferred_;
+  preferred_ = nullptr;
+  if (node_a_->serving()) {
+    preferred_ = node_a_.get();
+  } else if (node_b_ && node_b_->serving()) {
+    preferred_ = node_b_.get();
+  }
+  return preferred_;
 }
 
 void SimCluster::submit(txn::TxnProgram program, SimNode::DoneFn done) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "rodain/net/faulty_link.hpp"
 #include "rodain/net/sim_link.hpp"
 #include "rodain/simdb/sim_node.hpp"
 
@@ -21,6 +22,9 @@ struct SimClusterConfig {
   /// Log mode of the initial primary: kMirror for the two-node system,
   /// kDirectDisk or kOff for single-node configurations.
   LogMode primary_log_mode{LogMode::kMirror};
+  /// When set, the inter-node link is wrapped in a deterministic
+  /// fault-injecting decorator (chaos testing).
+  std::optional<net::FaultyLink::Options> faults{};
 };
 
 class SimCluster {
@@ -39,8 +43,14 @@ class SimCluster {
 
   [[nodiscard]] SimNode& node_a() { return *node_a_; }
   [[nodiscard]] SimNode& node_b() { return *node_b_; }
+  /// The node client traffic goes to. Sticky: while the last-used node
+  /// still serves, it keeps the traffic — so during a split-brain window
+  /// (both briefly claim a primary role) only the incumbent accumulates
+  /// new commits and the pair can re-converge without losing any.
   [[nodiscard]] SimNode* serving_node();
   [[nodiscard]] net::SimLink* link() { return link_.get(); }
+  /// Non-null when config.faults was set.
+  [[nodiscard]] net::FaultyLink* faulty_link() { return faulty_.get(); }
 
   /// Crash a node (severs the link); the peer reacts per §2.
   void fail_node(SimNode& node);
@@ -62,8 +72,10 @@ class SimCluster {
   sim::Simulation& sim_;
   SimClusterConfig config_;
   std::unique_ptr<net::SimLink> link_;
+  std::unique_ptr<net::FaultyLink> faulty_;
   std::unique_ptr<SimNode> node_a_;
   std::unique_ptr<SimNode> node_b_;
+  SimNode* preferred_{nullptr};
   TxnCounters routing_counters_;
 
   std::optional<TimePoint> outage_start_;

@@ -25,6 +25,14 @@ SimNode::SimNode(sim::Simulation& sim, std::string name, NodeId id,
 
 SimNode::~SimNode() = default;
 
+void SimNode::escalate_mirror_lost(const char* why) {
+  if (role_ != NodeRole::kPrimaryWithMirror) return;
+  RODAIN_INFO("%s: %s, switching to direct disk logging", name_.c_str(), why);
+  link_down_since_.reset();
+  log_writer_->on_mirror_lost();
+  become(NodeRole::kPrimaryAlone);
+}
+
 void SimNode::build_log_writer(LogMode mode) {
   log_writer_ = std::make_unique<log::LogWriter>(LogMode::kOff, disk_.get(),
                                                  nullptr);
@@ -38,19 +46,59 @@ void SimNode::build_log_writer(LogMode mode) {
       become(NodeRole::kPrimaryWithMirror);
     };
     hooks.on_disconnect = [this] {
-      if (role_ == NodeRole::kPrimaryWithMirror) {
-        RODAIN_INFO("%s: mirror link lost, switching to direct disk logging",
-                    name_.c_str());
-        log_writer_->on_mirror_lost();
-        become(NodeRole::kPrimaryAlone);
+      if (role_ != NodeRole::kPrimaryWithMirror) return;
+      if (!config_.disconnect_grace.is_positive()) {
+        escalate_mirror_lost("mirror link lost");
+      } else if (!link_down_since_) {
+        // Tolerate the flap for the grace window; the heartbeat tick
+        // escalates if no reconnect happens in time.
+        link_down_since_ = sim_.now();
       }
+    };
+    hooks.on_reconnected = [this] { link_down_since_.reset(); };
+    hooks.on_peer_primary = [this](ValidationTs peer_height) {
+      resolve_primary_conflict(peer_height);
     };
     replicator_ = std::make_unique<repl::PrimaryReplicator>(
         *channel_, sim_, store_, *log_writer_, std::move(hooks));
     replicator_->set_index(&index_);
     log_writer_->set_shipper(replicator_.get());
+    log_writer_->configure_ack_timeout(
+        &sim_, config_.ack_timeout,
+        [this] { escalate_mirror_lost("commit ack timeout"); });
   }
   log_writer_->set_mode(mode);
+}
+
+void SimNode::resolve_primary_conflict(ValidationTs peer_height) {
+  // Both nodes believe they are primary: a link-only outage outlasted the
+  // mirror's watchdog, so it took over while this node kept serving. The
+  // pair re-converges deterministically: the node with the richer commit
+  // history keeps serving; on a tie the endpoint built earlier (the
+  // original primary — smaller epoch) wins and the spurious taker-over
+  // yields. Both sides evaluate the same rule with the same inputs, so
+  // exactly one of them demotes.
+  if (demotion_pending_ || !serving() || !replicator_) return;
+  const ValidationTs mine = engine_ ? engine_->installed_low_water() : 0;
+  if (mine > peer_height) return;
+  if (mine == peer_height &&
+      replicator_->endpoint_epoch() < replicator_->peer_epoch()) {
+    return;
+  }
+  RODAIN_WARN(
+      "%s: split brain: peer also serves (height %llu vs our %llu); "
+      "stepping down to rejoin as mirror",
+      name_.c_str(), static_cast<unsigned long long>(peer_height),
+      static_cast<unsigned long long>(mine));
+  demotion_pending_ = true;
+  // Deferred: this fires from inside the replicator's heartbeat handler,
+  // and the step-down destroys the replicator.
+  sim_.schedule_after(Duration::zero(), [this] {
+    demotion_pending_ = false;
+    if (!serving()) return;  // raced with a real crash
+    fail();
+    recover_and_rejoin();
+  });
 }
 
 void SimNode::build_engine(ValidationTs next_seq) {
@@ -95,6 +143,8 @@ void SimNode::start_as_mirror(ValidationTs expected_next) {
   assert(channel_ && "mirror needs a channel to the primary");
   repl::MirrorService::Options options;
   options.store_to_disk = config_.disk_enabled;
+  options.on_synced = [this] { become(NodeRole::kMirror); };
+  options.on_abandoned = [this] { become(NodeRole::kRecovering); };
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *channel_, sim_, options,
                                                   &index_);
@@ -111,6 +161,8 @@ void SimNode::fail() {
     heartbeat_event_ = sim::kInvalidEvent;
   }
   takeover_pending_ = false;
+  demotion_pending_ = false;
+  link_down_since_.reset();
   // Every in-flight transaction dies with the node.
   auto active = std::move(active_);
   active_.clear();
@@ -144,6 +196,7 @@ void SimNode::recover_and_rejoin() {
   repl::MirrorService::Options options;
   options.store_to_disk = config_.disk_enabled;
   options.on_synced = [this] { become(NodeRole::kMirror); };
+  options.on_abandoned = [this] { become(NodeRole::kRecovering); };
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *channel_, sim_, options,
                                                   &index_);
@@ -165,20 +218,34 @@ void SimNode::heartbeat_tick() {
   switch (role_) {
     case NodeRole::kPrimaryWithMirror:
       if (replicator_) {
-        replicator_->send_heartbeat(role_);
-        if (watchdog.expired(sim_.now(), replicator_->last_heard())) {
+        replicator_->send_heartbeat(
+            role_, engine_ ? engine_->installed_low_water() : 0);
+        replicator_->poll(sim_.now());
+        if (channel_ && channel_->connected()) link_down_since_.reset();
+        if (link_down_since_ &&
+            sim_.now() - *link_down_since_ > config_.disconnect_grace) {
+          escalate_mirror_lost("mirror link still down past grace");
+        } else if (log_writer_) {
+          log_writer_->check_ack_timeouts();
+        }
+        if (role_ == NodeRole::kPrimaryWithMirror &&
+            watchdog.expired(sim_.now(), replicator_->last_heard())) {
           RODAIN_INFO("%s: watchdog expired for mirror", name_.c_str());
-          log_writer_->on_mirror_lost();
-          become(NodeRole::kPrimaryAlone);
+          escalate_mirror_lost("mirror watchdog expired");
         }
       }
       break;
     case NodeRole::kPrimaryAlone:
-      if (replicator_) replicator_->send_heartbeat(role_);
+      if (replicator_) {
+        replicator_->send_heartbeat(
+            role_, engine_ ? engine_->installed_low_water() : 0);
+        replicator_->poll(sim_.now());
+      }
       break;
     case NodeRole::kMirror:
       if (mirror_) {
         mirror_->send_heartbeat();
+        mirror_->poll(sim_.now());
         if (!takeover_pending_ &&
             watchdog.expired(sim_.now(), mirror_->last_heard())) {
           RODAIN_INFO("%s: watchdog expired for primary, taking over",
@@ -188,6 +255,12 @@ void SimNode::heartbeat_tick() {
       }
       break;
     case NodeRole::kRecovering:
+      // A joiner still heartbeats (so the serving node's watchdog does not
+      // fire during a long snapshot install) and drives its join retries.
+      if (mirror_) {
+        mirror_->send_heartbeat();
+        mirror_->poll(sim_.now());
+      }
       break;
     case NodeRole::kDown:
       return;

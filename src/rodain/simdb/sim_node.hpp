@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -50,6 +51,15 @@ struct SimNodeConfig {
   Duration watchdog_timeout{Duration::millis(200)};
   /// Activation delay between failure detection and serving as primary.
   Duration takeover_activation{Duration::millis(1)};
+  /// A primary whose oldest unacked shipment is older than this declares
+  /// the mirror lost (so committers are never stranded behind a silently
+  /// lossy link). Zero disables the ack timeout.
+  Duration ack_timeout{Duration::millis(100)};
+  /// How long a primary tolerates a disconnected mirror link before
+  /// escalating to on_mirror_lost — gives the endpoint's reconnect/backoff
+  /// machinery a window to ride out link flaps. Zero keeps the historical
+  /// instant escalation.
+  Duration disconnect_grace{Duration::zero()};
   std::size_t store_capacity_hint{30000};
 };
 
@@ -129,6 +139,8 @@ class SimNode {
   void build_log_writer(LogMode mode);
   void build_engine(ValidationTs next_seq);
   void become(NodeRole role);
+  void escalate_mirror_lost(const char* why);
+  void resolve_primary_conflict(ValidationTs peer_height);
   void begin_takeover();
   void schedule_heartbeat();
   void heartbeat_tick();
@@ -163,6 +175,12 @@ class SimNode {
   RoleChangeFn on_role_change_;
   sim::EventId heartbeat_event_{sim::kInvalidEvent};
   bool takeover_pending_{false};
+  /// A split-brain demotion is scheduled (deferred off the replicator's
+  /// message handler, which the demotion destroys).
+  bool demotion_pending_{false};
+  /// When the mirror link dropped (primary side); escalation happens only
+  /// once the disconnect grace elapses without a reconnect.
+  std::optional<TimePoint> link_down_since_;
 
   std::unordered_map<TxnId, Active> active_;
   /// Non-RT transactions whose current CPU job runs at background priority;

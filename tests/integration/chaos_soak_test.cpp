@@ -1,0 +1,336 @@
+// Seeded randomized chaos soak over the simulated RODAIN pair.
+//
+// Thousands of transactions run against a two-node cluster whose link
+// injects drops, duplicates, corruption, reordering and delay, while a
+// director crashes nodes, flaps the link, installs one-way partitions and
+// scripts exact-frame severs. The core invariant: a transaction reported
+// committed has its marker object on the surviving system, and a
+// transaction reported aborted (deadline miss, overload rejection,
+// conflict) never does. kSystemAborted is the only indeterminate outcome.
+//
+// Every run is reproducible bit-for-bit from its seed:
+//   RODAIN_CHAOS_SEED=<seed> ./build/tests/rodain_tests
+//       --gtest_filter='ChaosSoak.SeededSoak'   (one line)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rodain/common/diag.hpp"
+#include "rodain/common/rng.hpp"
+#include "rodain/simdb/sim_cluster.hpp"
+#include "rodain/workload/calibration.hpp"
+#include "rodain/workload/number_translation.hpp"
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+
+/// Marker objects live far above the workload database's id range; each
+/// transaction inserts exactly one, so presence is a commit witness.
+constexpr ObjectId kMarkerBase = 1'000'000;
+
+enum class Fate : std::uint8_t {
+  kUnresolved,     ///< callback never fired (a bug by itself)
+  kAcked,          ///< reported committed: marker MUST survive
+  kDefiniteAbort,  ///< reported aborted pre-commit: marker MUST NOT exist
+  kIndeterminate,  ///< kSystemAborted: node died with the txn in flight
+};
+
+Fate fate_of(TxnOutcome o) {
+  switch (o) {
+    case TxnOutcome::kCommitted:
+      return Fate::kAcked;
+    case TxnOutcome::kMissedDeadline:
+    case TxnOutcome::kOverloadRejected:
+    case TxnOutcome::kConflictAborted:
+      return Fate::kDefiniteAbort;
+    case TxnOutcome::kSystemAborted:
+      return Fate::kIndeterminate;
+  }
+  return Fate::kIndeterminate;
+}
+
+struct SoakOptions {
+  std::uint64_t seed{0xC0FFEE};
+  std::size_t txns{1200};
+};
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+void run_soak(const SoakOptions& opt) {
+  SCOPED_TRACE("chaos seed " + std::to_string(opt.seed));
+  // RODAIN_CHAOS_VERBOSE=1 narrates every role transition, rejoin and
+  // escalation — the first tool to reach for when a seed fails.
+  // RODAIN_CHAOS_VERBOSE=2 adds per-record replication tracing.
+  if (const char* verbose = std::getenv("RODAIN_CHAOS_VERBOSE")) {
+    diag::set_level(verbose[0] == '2' ? diag::Level::kDebug
+                                      : diag::Level::kInfo);
+  }
+  std::printf(
+      "[chaos] seed=%llu txns=%zu  repro: RODAIN_CHAOS_SEED=%llu "
+      "./build/tests/rodain_tests --gtest_filter='ChaosSoak.SeededSoak'\n",
+      static_cast<unsigned long long>(opt.seed), opt.txns,
+      static_cast<unsigned long long>(opt.seed));
+
+  Rng seeder(opt.seed);
+  Rng fault_rng = seeder.split();
+  Rng workload_rng = seeder.split();
+  Rng director_rng = seeder.split();
+
+  // Fault intensities drawn from the seed: lossy but not absurd, so the
+  // system keeps making progress while every defense gets exercised.
+  net::FaultyLink::Options faults;
+  faults.seed = fault_rng.next_u64();
+  for (net::FaultProfile* p : {&faults.a_to_b, &faults.b_to_a}) {
+    p->drop = fault_rng.next_double() * 0.04;
+    p->duplicate = fault_rng.next_double() * 0.04;
+    p->corrupt = fault_rng.next_double() * 0.02;
+    p->reorder = fault_rng.next_double() * 0.05;
+    p->delay = fault_rng.next_double() * 0.08;
+    p->delay_min = Duration::micros(200);
+    p->delay_max = Duration::millis(3);
+  }
+
+  sim::Simulation sim;
+  auto config = workload::PaperSetup::two_node(true);
+  workload::DatabaseConfig db;
+  db.num_objects = 1000;
+  config.node.store_capacity_hint = db.num_objects + opt.txns + 64;
+  config.node.disconnect_grace = 60_ms;  // ride out short flaps
+  config.faults = faults;
+  simdb::SimCluster cluster(sim, config);
+  cluster.populate([&](storage::ObjectStore& s, storage::BPlusTree& i) {
+    workload::load_database(db, s, i);
+  });
+  cluster.start();
+  net::FaultyLink* link = cluster.faulty_link();
+  ASSERT_NE(link, nullptr);
+
+  // ---- workload: every txn plants a unique marker --------------------
+  std::vector<Fate> fates(opt.txns, Fate::kUnresolved);
+  TimePoint arrival = TimePoint::origin() + 50_ms;
+  TimePoint last_arrival = arrival;
+  for (std::size_t i = 0; i < opt.txns; ++i) {
+    arrival += Duration::micros(
+        static_cast<std::int64_t>(workload_rng.next_exponential(8000.0)));
+    last_arrival = arrival;
+    const ObjectId shared = workload::oid_for(
+        workload_rng.next_below(db.num_objects));
+    sim.schedule_at(arrival, [&cluster, &fates, i, shared] {
+      txn::TxnProgram p;
+      p.insert(kMarkerBase + i, storage::Value{"marker"});
+      p.add_to_field(shared, workload::kCounterOffset, 1);
+      p.with_deadline(150_ms);
+      cluster.submit(std::move(p), [&fates, i](const simdb::TxnResult& r) {
+        fates[i] = fate_of(r.outcome);
+      });
+    });
+  }
+  const TimePoint quiesce_at = last_arrival + 1_s;
+
+  // ---- chaos director ------------------------------------------------
+  simdb::SimNode* downed = nullptr;
+  std::uint64_t crashes = 0, flaps = 0, partitions = 0, script_severs = 0;
+
+  auto both_paired = [&] {
+    simdb::SimNode* s = cluster.serving_node();
+    if (!s || s->role() != NodeRole::kPrimaryWithMirror) return false;
+    simdb::SimNode& other =
+        (s == &cluster.node_a()) ? cluster.node_b() : cluster.node_a();
+    return other.role() == NodeRole::kMirror;
+  };
+
+  std::function<void()> director = [&] {
+    if (sim.now() >= quiesce_at) return;
+    switch (director_rng.next_below(6)) {
+      case 0: {  // crash the serving node — only when both believe paired,
+                 // so every acked commit is already on the mirror
+        if (!downed && both_paired()) {
+          simdb::SimNode* s = cluster.serving_node();
+          downed = s;
+          ++crashes;
+          cluster.fail_node(*s);
+          simdb::SimNode* expect = s;
+          sim.schedule_after(
+              Duration::millis(director_rng.next_in(300, 800)), [&, expect] {
+                if (downed == expect) {
+                  cluster.recover_node(*expect);
+                  downed = nullptr;
+                }
+              });
+        }
+        break;
+      }
+      case 1: {  // crash the mirror (safe at any time)
+        simdb::SimNode* s = cluster.serving_node();
+        if (!downed && s) {
+          simdb::SimNode& m =
+              (s == &cluster.node_a()) ? cluster.node_b() : cluster.node_a();
+          if (m.role() == NodeRole::kMirror ||
+              m.role() == NodeRole::kRecovering) {
+            downed = &m;
+            ++crashes;
+            cluster.fail_node(m);
+            simdb::SimNode* expect = &m;
+            sim.schedule_after(
+                Duration::millis(director_rng.next_in(300, 800)),
+                [&, expect] {
+                  if (downed == expect) {
+                    cluster.recover_node(*expect);
+                    downed = nullptr;
+                  }
+                });
+          }
+        }
+        break;
+      }
+      case 2: {  // link flap, shorter than the 200 ms watchdog
+        if (!downed) {
+          ++flaps;
+          link->sever();
+          sim.schedule_after(Duration::millis(director_rng.next_in(20, 120)),
+                            [&] {
+                              if (!downed) link->restore();
+                            });
+        }
+        break;
+      }
+      case 3: {  // one-way partition: both ends still "connected"
+        const int dir = static_cast<int>(director_rng.next_below(2));
+        ++partitions;
+        link->set_partition(dir, true);
+        sim.schedule_after(Duration::millis(director_rng.next_in(20, 120)),
+                          [&, dir] { link->set_partition(dir, false); });
+        break;
+      }
+      case 4: {  // scripted sever at an exact future frame (hits snapshot
+                 // chunks and log batches mid-stream deterministically)
+        if (!downed) {
+          ++script_severs;
+          link->set_script(
+              [n = director_rng.next_in(1, 25)](
+                  const net::FrameInfo&) mutable {
+                return --n == 0 ? net::ScriptAction::kSever
+                                : net::ScriptAction::kPass;
+              });
+          sim.schedule_after(150_ms, [&] {
+            link->set_script({});
+            if (!downed) link->restore();
+          });
+        }
+        break;
+      }
+      default:  // breathe
+        break;
+    }
+    sim.schedule_after(Duration::millis(director_rng.next_in(150, 400)),
+                       director);
+  };
+  sim.schedule_at(TimePoint::origin() + 200_ms, director);
+
+  // ---- quiesce: stop the chaos, let the pair converge ----------------
+  sim.schedule_at(quiesce_at, [&] {
+    link->set_enabled(false);
+    link->set_script({});
+    link->set_partition(0, false);
+    link->set_partition(1, false);
+    if (downed) {
+      cluster.recover_node(*downed);
+      downed = nullptr;
+    } else {
+      link->restore();
+    }
+  });
+  sim.run_until(quiesce_at + 5_s);
+
+  // ---- invariants ----------------------------------------------------
+  simdb::SimNode* survivor = cluster.serving_node();
+  ASSERT_NE(survivor, nullptr) << "no serving node after quiesce";
+  EXPECT_TRUE(both_paired())
+      << "pair did not converge to Primary+Mirror after quiesce: node-a is "
+      << to_string(cluster.node_a().role()) << ", node-b is "
+      << to_string(cluster.node_b().role());
+  simdb::SimNode& peer = (survivor == &cluster.node_a()) ? cluster.node_b()
+                                                         : cluster.node_a();
+  const bool check_peer = both_paired();
+  std::printf(
+      "[chaos] end state: survivor=%s low_water=%llu peer_applied=%llu\n",
+      survivor->name().c_str(),
+      static_cast<unsigned long long>(
+          survivor->engine() ? survivor->engine()->installed_low_water() : 0),
+      static_cast<unsigned long long>(
+          peer.mirror_service() ? peer.mirror_service()->applied_seq() : 0));
+
+  std::size_t acked = 0, definite = 0, indeterminate = 0;
+  for (std::size_t i = 0; i < opt.txns; ++i) {
+    const ObjectId marker = kMarkerBase + i;
+    const bool on_survivor = survivor->store().find(marker) != nullptr;
+    switch (fates[i]) {
+      case Fate::kAcked:
+        ++acked;
+        EXPECT_TRUE(on_survivor)
+            << "LOST COMMIT: txn " << i << " was acknowledged but its marker "
+            << "is missing from the surviving node";
+        if (check_peer) {
+          EXPECT_NE(peer.store().find(marker), nullptr)
+              << "txn " << i << " missing from the rejoined mirror";
+        }
+        break;
+      case Fate::kDefiniteAbort:
+        ++definite;
+        EXPECT_FALSE(on_survivor)
+            << "PHANTOM COMMIT: txn " << i
+            << " was reported aborted but its marker exists";
+        break;
+      case Fate::kIndeterminate:
+        ++indeterminate;
+        break;
+      case Fate::kUnresolved:
+        ADD_FAILURE() << "txn " << i << " never resolved";
+        break;
+    }
+  }
+
+  std::printf(
+      "[chaos] seed=%llu: %zu acked, %zu aborted, %zu indeterminate | "
+      "%llu crashes, %llu flaps, %llu partitions, %llu script severs | "
+      "link: %llu fwd %llu drop %llu dup %llu corrupt %llu reorder\n",
+      static_cast<unsigned long long>(opt.seed), acked, definite,
+      indeterminate, static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(flaps),
+      static_cast<unsigned long long>(partitions),
+      static_cast<unsigned long long>(script_severs),
+      static_cast<unsigned long long>(link->stats().forwarded),
+      static_cast<unsigned long long>(link->stats().dropped),
+      static_cast<unsigned long long>(link->stats().duplicated),
+      static_cast<unsigned long long>(link->stats().corrupted),
+      static_cast<unsigned long long>(link->stats().reordered));
+
+  // The run must have made real progress through the chaos.
+  EXPECT_GT(acked, opt.txns / 3);
+}
+
+TEST(ChaosSoak, SeededSoak) {
+  SoakOptions opt;
+  opt.seed = env_u64("RODAIN_CHAOS_SEED", 0xC0FFEE);
+  opt.txns = static_cast<std::size_t>(env_u64("RODAIN_CHAOS_TXNS", 1200));
+  run_soak(opt);
+}
+
+TEST(ChaosSoak, ShortSeedSweep) {
+  for (const std::uint64_t seed : {3ULL, 17ULL, 2024ULL}) {
+    SoakOptions opt;
+    opt.seed = seed;
+    opt.txns = 400;
+    run_soak(opt);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace rodain

@@ -90,6 +90,37 @@ TEST(Reorderer, DuplicateStagedCommitDropped) {
   EXPECT_EQ(c.released, (std::vector<ValidationTs>{1, 2}));
 }
 
+TEST(Reorderer, SetExpectedNextPurgesStagedBelowFloor) {
+  // Rejoin scenario from the chaos soak: commits 21..23 staged behind a gap
+  // (their predecessors were disk-committed on the primary and never
+  // shipped), then a snapshot install moves the floor past them. The stale
+  // entries must not wall off the live stream that resumes at the floor.
+  Collector c(/*expected=*/10);
+  c.feed_txn(121, 21);
+  c.feed_txn(122, 22);
+  c.feed_txn(123, 23);
+  EXPECT_TRUE(c.released.empty());
+  EXPECT_EQ(c.reorderer.staged_commits(), 3u);
+  c.reorderer.set_expected_next(31);  // snapshot boundary 30
+  EXPECT_EQ(c.reorderer.staged_commits(), 0u);
+  c.feed_txn(131, 31);
+  c.feed_txn(132, 32);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{31, 32}));
+}
+
+TEST(Reorderer, SetExpectedNextReleasesStagedAtFloor) {
+  // Commits at and above the new floor survive the purge and release as
+  // soon as the floor reaches them (install path: stash replayed after).
+  Collector c(/*expected=*/10);
+  c.feed_txn(121, 21);  // below the new floor: purged
+  c.feed_txn(131, 31);  // at the new floor: releases synchronously
+  c.feed_txn(132, 32);
+  EXPECT_TRUE(c.released.empty());
+  c.reorderer.set_expected_next(31);
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{31, 32}));
+  EXPECT_EQ(c.reorderer.expected_next(), 33u);
+}
+
 TEST(Reorderer, DropOpenTxns) {
   Collector c;
   ASSERT_TRUE(c.reorderer.add(Record::write_image(9, 1, val("x"))));

@@ -96,6 +96,119 @@ TEST(LogWriter, ModeSwitchAffectsNewSubmissions) {
   EXPECT_EQ(disk.records().size(), 2u);  // unchanged
 }
 
+TEST(LogWriter, AckTimeoutFiresForOldestUnacked) {
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  int timeouts = 0;
+  writer.configure_ack_timeout(&clock, Duration::millis(100),
+                               [&] { ++timeouts; });
+
+  writer.submit(1, txn_records(1, 1), {});
+  clock.advance(Duration::millis(50));
+  EXPECT_FALSE(writer.check_ack_timeouts());
+  EXPECT_EQ(timeouts, 0);
+
+  clock.advance(Duration::millis(51));  // oldest shipment now 101 ms old
+  EXPECT_TRUE(writer.check_ack_timeouts());
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_EQ(writer.counters().ack_timeouts, 1u);
+}
+
+TEST(LogWriter, AckInTimeDisarmsTimeout) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  int timeouts = 0;
+  writer.configure_ack_timeout(&clock, Duration::millis(100),
+                               [&] { ++timeouts; });
+  writer.submit(1, txn_records(1, 1), {});
+  writer.on_mirror_ack(1);
+  clock.advance(Duration::seconds(10));
+  EXPECT_FALSE(writer.check_ack_timeouts());
+  EXPECT_EQ(timeouts, 0);
+}
+
+TEST(LogWriter, AckTimeoutMeasuresFromFirstShipment) {
+  // Resends must not push the deadline out: the timeout bounds total
+  // time-to-durable for the oldest committer.
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  int timeouts = 0;
+  writer.configure_ack_timeout(&clock, Duration::millis(100),
+                               [&] { ++timeouts; });
+  writer.submit(1, txn_records(1, 1), {});
+  clock.advance(Duration::millis(60));
+  EXPECT_EQ(writer.resend_pending(), 1u);
+  clock.advance(Duration::millis(60));  // 120 ms after the first shipment
+  EXPECT_TRUE(writer.check_ack_timeouts());
+  EXPECT_EQ(timeouts, 1);
+}
+
+TEST(LogWriter, ResendPendingReshipsInSeqOrder) {
+  CapturingShipper shipper;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  writer.submit(2, txn_records(2, 2), {});
+  writer.submit(1, txn_records(1, 1), {});
+  writer.on_mirror_ack(2);
+  shipper.shipped.clear();
+
+  EXPECT_EQ(writer.resend_pending(), 1u);
+  ASSERT_EQ(shipper.shipped.size(), 2u);  // txn 1's two records only
+  EXPECT_EQ(shipper.shipped[1].seq, 1u);
+  EXPECT_EQ(writer.counters().resent, 1u);
+
+  // Acked transactions are gone; a second resend re-ships the same one.
+  EXPECT_EQ(writer.resend_pending(), 1u);
+  writer.on_mirror_ack(1);
+  EXPECT_EQ(writer.resend_pending(), 0u);
+}
+
+TEST(LogWriter, ResendIsNoOpOutsideMirrorMode) {
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  writer.submit(1, txn_records(1, 1), {});
+  writer.on_mirror_lost();
+  shipper.shipped.clear();
+  EXPECT_EQ(writer.resend_pending(), 0u);
+  EXPECT_TRUE(shipper.shipped.empty());
+}
+
+TEST(LogWriter, MirrorLostWithInFlightUnackedCompletesEveryCommitter) {
+  // The satellite case: ack timeout escalates to on_mirror_lost while
+  // several transactions sit unacked; all must become durable via disk, in
+  // order, exactly once.
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  writer.configure_ack_timeout(&clock, Duration::millis(100),
+                               [&] { writer.on_mirror_lost(); });
+
+  std::vector<ValidationTs> durable_order;
+  for (ValidationTs seq = 1; seq <= 3; ++seq) {
+    writer.submit(seq, txn_records(seq, seq),
+                  [&durable_order, seq] { durable_order.push_back(seq); });
+  }
+  writer.on_mirror_ack(1);
+  EXPECT_EQ(writer.pending_acks(), 2u);
+
+  clock.advance(Duration::millis(101));
+  EXPECT_TRUE(writer.check_ack_timeouts());
+  EXPECT_EQ(durable_order, (std::vector<ValidationTs>{1, 2, 3}));
+  EXPECT_EQ(writer.mode(), LogMode::kDirectDisk);
+  EXPECT_EQ(writer.pending_acks(), 0u);
+  EXPECT_EQ(writer.counters().rerouted, 2u);
+  EXPECT_EQ(disk.records().size(), 4u);  // txns 2 and 3 rerouted
+  // The stale mirror ack arriving later is harmless.
+  writer.on_mirror_ack(2);
+  EXPECT_EQ(durable_order.size(), 3u);
+}
+
 TEST(LogWriter, TailSinceServesCatchUp) {
   LogWriter writer(LogMode::kOff, nullptr, nullptr);
   for (ValidationTs seq = 1; seq <= 10; ++seq) {

@@ -1,0 +1,216 @@
+// The fault-injecting link decorator: each fault type in isolation, the
+// script hook, one-way partitions, and bit-for-bit determinism from the
+// seed.
+#include <gtest/gtest.h>
+
+#include "rodain/net/faulty_link.hpp"
+
+namespace rodain::net {
+namespace {
+
+std::vector<std::byte> make_frame(std::uint8_t tag, std::size_t size = 32) {
+  std::vector<std::byte> f(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    f[i] = static_cast<std::byte>(tag + i);
+  }
+  return f;
+}
+
+struct Rig {
+  sim::Simulation sim;
+  SimLink inner{sim, {}};
+  std::unique_ptr<FaultyLink> link;
+  std::vector<std::vector<std::byte>> at_b;
+  std::vector<std::vector<std::byte>> at_a;
+
+  explicit Rig(FaultyLink::Options options) {
+    link = std::make_unique<FaultyLink>(sim, inner, options);
+    link->end_b().set_message_handler(
+        [this](std::vector<std::byte> f) { at_b.push_back(std::move(f)); });
+    link->end_a().set_message_handler(
+        [this](std::vector<std::byte> f) { at_a.push_back(std::move(f)); });
+  }
+};
+
+TEST(FaultyLink, PassThroughWithoutFaults) {
+  Rig rig({});
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.link->end_a().send(make_frame(i)).is_ok());
+  }
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) EXPECT_EQ(rig.at_b[i], make_frame(i));
+  EXPECT_EQ(rig.link->stats().forwarded, 5u);
+  EXPECT_EQ(rig.link->stats().dropped, 0u);
+}
+
+TEST(FaultyLink, DropLosesFramesSilently) {
+  FaultyLink::Options options;
+  options.a_to_b.drop = 1.0;
+  Rig rig(options);
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());  // sender: ok
+  rig.sim.run();
+  EXPECT_TRUE(rig.at_b.empty());
+  EXPECT_EQ(rig.link->stats().dropped, 1u);
+}
+
+TEST(FaultyLink, CorruptFlipsExactlyOneBit) {
+  FaultyLink::Options options;
+  options.a_to_b.corrupt = 1.0;
+  Rig rig(options);
+  const auto original = make_frame(9);
+  ASSERT_TRUE(rig.link->end_a().send(original).is_ok());
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    auto diff = std::to_integer<unsigned>(rig.at_b[0][i] ^ original[i]);
+    flipped_bits += __builtin_popcount(diff);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(rig.link->stats().corrupted, 1u);
+}
+
+TEST(FaultyLink, DuplicateDeliversTwice) {
+  FaultyLink::Options options;
+  options.a_to_b.duplicate = 1.0;
+  Rig rig(options);
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(3)).is_ok());
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 2u);
+  EXPECT_EQ(rig.at_b[0], rig.at_b[1]);
+  EXPECT_EQ(rig.link->stats().duplicated, 1u);
+}
+
+TEST(FaultyLink, ReorderSwapsAdjacentFrames) {
+  FaultyLink::Options options;
+  options.a_to_b.reorder = 1.0;
+  Rig rig(options);
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());  // held
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(2)).is_ok());  // releases it
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 2u);
+  EXPECT_EQ(rig.at_b[0], make_frame(2));
+  EXPECT_EQ(rig.at_b[1], make_frame(1));
+  EXPECT_GE(rig.link->stats().reordered, 1u);
+}
+
+TEST(FaultyLink, FlushTimerReleasesLoneHeldFrame) {
+  FaultyLink::Options options;
+  options.a_to_b.reorder = 1.0;
+  options.reorder_flush = Duration::millis(3);
+  Rig rig(options);
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());
+  rig.sim.run();  // no successor ever arrives
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  EXPECT_EQ(rig.at_b[0], make_frame(1));
+  // Held for the flush timeout on top of the link's own latency.
+  EXPECT_GE(rig.sim.now().us, 3000);
+}
+
+TEST(FaultyLink, DelayAddsExtraLatency) {
+  FaultyLink::Options options;
+  options.a_to_b.delay = 1.0;
+  options.a_to_b.delay_min = Duration::millis(2);
+  options.a_to_b.delay_max = Duration::millis(2);
+  Rig rig(options);
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  // 2 ms injected + 500 us SimLink propagation.
+  EXPECT_GE(rig.sim.now().us, 2500);
+  EXPECT_EQ(rig.link->stats().delayed, 1u);
+}
+
+TEST(FaultyLink, OneWayPartitionDropsOnlyThatDirection) {
+  Rig rig({});
+  rig.link->set_partition(0, true);
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());  // blackholed
+  EXPECT_TRUE(rig.link->end_b().send(make_frame(2)).is_ok());  // passes
+  rig.sim.run();
+  EXPECT_TRUE(rig.at_b.empty());
+  ASSERT_EQ(rig.at_a.size(), 1u);
+  EXPECT_EQ(rig.link->stats().partitioned, 1u);
+  // Both ends still look connected: this is the asymmetric failure.
+  EXPECT_TRUE(rig.link->end_a().connected());
+  EXPECT_TRUE(rig.link->end_b().connected());
+
+  rig.link->set_partition(0, false);
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(3)).is_ok());
+  rig.sim.run();
+  EXPECT_EQ(rig.at_b.size(), 1u);
+}
+
+TEST(FaultyLink, ScriptSeversAtExactFrame) {
+  Rig rig({});
+  rig.link->set_script([](const FrameInfo& f) {
+    return f.direction == 0 && f.index == 2 ? ScriptAction::kSever
+                                            : ScriptAction::kPass;
+  });
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(0)).is_ok());
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());
+  EXPECT_FALSE(rig.link->end_a().send(make_frame(2)).is_ok());  // severed here
+  EXPECT_FALSE(rig.link->end_a().connected());
+  rig.sim.run();
+  EXPECT_EQ(rig.link->stats().severed, 1u);
+  EXPECT_TRUE(rig.at_b.empty());  // in-flight frames died with the link
+
+  rig.link->restore();
+  rig.link->set_script({});
+  EXPECT_TRUE(rig.link->end_a().send(make_frame(3)).is_ok());
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  EXPECT_EQ(rig.at_b[0], make_frame(3));
+}
+
+TEST(FaultyLink, ScriptDropLosesExactFrame) {
+  Rig rig({});
+  rig.link->set_script([](const FrameInfo& f) {
+    return f.index == 1 ? ScriptAction::kDrop : ScriptAction::kPass;
+  });
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(rig.link->end_a().send(make_frame(i)).is_ok());
+  }
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 2u);
+  EXPECT_EQ(rig.at_b[0], make_frame(0));
+  EXPECT_EQ(rig.at_b[1], make_frame(2));
+  EXPECT_EQ(rig.link->stats().script_dropped, 1u);
+}
+
+TEST(FaultyLink, DisabledLinkPassesEverythingThrough) {
+  FaultyLink::Options options;
+  options.a_to_b.drop = 1.0;
+  Rig rig(options);
+  rig.link->set_partition(0, true);
+  rig.link->set_enabled(false);
+  ASSERT_TRUE(rig.link->end_a().send(make_frame(1)).is_ok());
+  rig.sim.run();
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  EXPECT_EQ(rig.link->stats().dropped, 0u);
+}
+
+TEST(FaultyLink, DeterministicFromSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    FaultyLink::Options options;
+    options.seed = seed;
+    options.a_to_b = {.drop = 0.2, .duplicate = 0.2, .corrupt = 0.2,
+                      .reorder = 0.2, .delay = 0.3};
+    options.b_to_a = {.drop = 0.1, .duplicate = 0.1, .corrupt = 0.1,
+                      .reorder = 0.1, .delay = 0.2};
+    Rig rig(options);
+    for (std::uint8_t i = 0; i < 100; ++i) {
+      (void)rig.link->end_a().send(make_frame(i));
+      if (i % 3 == 0) (void)rig.link->end_b().send(make_frame(i, 16));
+    }
+    rig.sim.run();
+    return std::tuple{rig.at_b, rig.at_a, rig.link->stats().forwarded,
+                      rig.link->stats().dropped, rig.link->stats().corrupted};
+  };
+  EXPECT_EQ(run_once(1234), run_once(1234));
+  // A different seed takes a different fault path.
+  EXPECT_NE(run_once(1234), run_once(77));
+}
+
+}  // namespace
+}  // namespace rodain::net

@@ -53,17 +53,54 @@ TEST(ReplProtocol, JoinRequestRoundTrip) {
 TEST(ReplProtocol, SnapshotChunkRoundTrip) {
   std::vector<std::byte> blob(1000);
   for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i);
-  Message out = round_trip(Message::snapshot_chunk(3, 10, blob));
+  Message out = round_trip(Message::snapshot_chunk(77, 3, 10, blob));
   EXPECT_EQ(out.type, MsgType::kSnapshotChunk);
+  EXPECT_EQ(out.snapshot_id, 77u);
   EXPECT_EQ(out.chunk_index, 3u);
   EXPECT_EQ(out.chunk_total, 10u);
   EXPECT_EQ(out.blob, blob);
 }
 
 TEST(ReplProtocol, SnapshotDoneRoundTrip) {
-  Message out = round_trip(Message::snapshot_done(999));
+  Message out = round_trip(Message::snapshot_done(999, 77));
   EXPECT_EQ(out.type, MsgType::kSnapshotDone);
   EXPECT_EQ(out.seq, 999u);
+  EXPECT_EQ(out.snapshot_id, 77u);
+}
+
+TEST(ReplProtocol, ChunkRetryRoundTrip) {
+  Message out = round_trip(Message::chunk_retry(42, {0, 5, 17}));
+  EXPECT_EQ(out.type, MsgType::kChunkRetry);
+  EXPECT_EQ(out.snapshot_id, 42u);
+  EXPECT_EQ(out.missing, (std::vector<std::uint32_t>{0, 5, 17}));
+}
+
+TEST(ReplProtocol, FramedRoundTrip) {
+  Message m = Message::commit_ack(99);
+  auto bytes = encode_framed(7, 12, m);
+  auto frame = decode_framed(bytes);
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  EXPECT_EQ(frame.value().epoch, 7u);
+  EXPECT_EQ(frame.value().frame_seq, 12u);
+  EXPECT_EQ(frame.value().msg.type, MsgType::kCommitAck);
+  EXPECT_EQ(frame.value().msg.seq, 99u);
+}
+
+TEST(ReplProtocol, FramedCrcRejectsBitFlip) {
+  auto bytes = encode_framed(7, 12, Message::commit_ack(99));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto copy = bytes;
+    copy[i] ^= std::byte{0x01};
+    EXPECT_FALSE(decode_framed(copy).is_ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(ReplProtocol, FramedTruncationRejected) {
+  auto bytes = encode_framed(1, 1, Message::heartbeat(NodeRole::kMirror, 4));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::byte> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(decode_framed(prefix).is_ok()) << "cut to " << cut;
+  }
 }
 
 TEST(ReplProtocol, GarbageRejected) {

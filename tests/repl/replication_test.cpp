@@ -140,7 +140,10 @@ TEST(Replication, TakeoverAppliesStagedAndDropsOpen) {
   batch.push_back(log::Record::write_image(33, 30, val("staged")));
   batch.push_back(log::Record::commit(33, 3, 3000, 1));
   batch.push_back(log::Record::write_image(99, 40, val("incomplete")));
-  (void)rig.link.end_a().send(encode(Message::log_batch(std::move(batch))));
+  // Hand-built frame: a huge epoch so the mirror's anti-replay window treats
+  // it as newer than anything the real primary endpoint sent.
+  (void)rig.link.end_a().send(
+      encode_framed(1ULL << 40, 1, Message::log_batch(std::move(batch))));
   rig.sim.run();
 
   EXPECT_EQ(rig.mirror->reorder_staged(), 1u);
