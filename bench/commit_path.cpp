@@ -7,6 +7,12 @@
 //   * logging off               (lower bound),
 //   * mirror shipping           (sweep of network round-trip time),
 //   * direct disk               (sweep of disk seek time, +group commit).
+//
+// A fourth section sweeps the replication group-commit batch size
+// (DESIGN.md §9): with a fixed per-frame protocol overhead, a per-txn frame
+// stream saturates the sender at high rates while batching pays the
+// overhead once per batch — the DeWitt group-commit amortization on the
+// mirror path.
 #include <cstdio>
 
 #include "rodain/exp/args.hpp"
@@ -17,16 +23,21 @@ using namespace rodain;
 
 namespace {
 
-exp::SessionResult run_one(simdb::SimClusterConfig cluster,
-                           const exp::BenchArgs& args) {
+exp::SessionResult run_at(simdb::SimClusterConfig cluster,
+                          const exp::BenchArgs& args, double rate_tps) {
   exp::SessionConfig config;
   config.cluster = std::move(cluster);
   config.database = workload::PaperSetup::database();
   config.workload = workload::PaperSetup::workload(1.0);  // updates only
-  config.arrival_rate_tps = 100.0;                        // light load
+  config.arrival_rate_tps = rate_tps;
   config.txn_count = args.txns / 2;
   config.seed = args.seed;
   return exp::run_session(config);
+}
+
+exp::SessionResult run_one(simdb::SimClusterConfig cluster,
+                           const exp::BenchArgs& args) {
+  return run_at(std::move(cluster), args, 100.0);  // light load
 }
 
 void report(exp::BenchReport& rep, const char* label,
@@ -77,9 +88,76 @@ int main(int argc, char** argv) {
     report(rep, "single-node, 8 ms seek + group commit", run_one(cluster, args));
   }
 
+  // Group-commit batch sweep. Instant CPU isolates the wire cost: at
+  // 3000 tps a 400 us per-frame overhead makes the per-txn frame stream
+  // (batch 1) oversubscribe the sender's serial transmitter in both
+  // directions (frames out, acks back), while batching pays the overhead
+  // once per batch and the mirror answers with one cumulative ack.
+  const double kBatchRate = 3000.0;
+  const Duration kFrameOverhead = Duration::micros(400);
+  const Duration kBatchDelay = args.batch_delay_us > 0
+                                   ? Duration::micros(args.batch_delay_us)
+                                   : Duration::millis(5);
+  std::printf("\n  mirror path, group-commit batch sweep (instant CPU, "
+              "%.0f tps, %lld us/frame overhead):\n",
+              kBatchRate, static_cast<long long>(kFrameOverhead.us));
+
+  double batch_baseline_ms = 0.0;
+  {
+    auto cluster = workload::PaperSetup::no_logging();
+    cluster.node.engine.costs = engine::CostModel::zero();
+    batch_baseline_ms = run_at(cluster, args, kBatchRate)
+                            .commit_latency.mean()
+                            .to_ms();
+  }
+  for (std::size_t batch : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+    auto cluster = workload::PaperSetup::two_node(true);
+    cluster.node.engine.costs = engine::CostModel::zero();
+    cluster.link.latency = Duration::micros(500);  // 1 ms RTT
+    cluster.link.per_frame_overhead = kFrameOverhead;
+    cluster.node.log_batch.max_txns = batch;
+    if (batch > 1) {
+      cluster.node.log_batch.max_bytes = args.batch_bytes;
+      cluster.node.log_batch.max_delay = kBatchDelay;
+      cluster.node.log_batch.adaptive_delay = args.batch_adaptive;
+    }
+    const exp::SessionResult result = run_at(cluster, args, kBatchRate);
+    char label[64];
+    std::snprintf(label, sizeof label, "group commit, batch %zu", batch);
+    report(rep, label, result);
+    const double fill =
+        result.log_batches_shipped > 0
+            ? static_cast<double>(result.log_batch_txns) /
+                  static_cast<double>(result.log_batches_shipped)
+            : 0.0;
+    const double overhead_ms =
+        result.commit_latency.mean().to_ms() - batch_baseline_ms;
+    std::printf("    %-32s fill=%5.2f txns/frame  acks=%llu for %llu "
+                "commits  overhead=%.3fms\n",
+                label, fill,
+                static_cast<unsigned long long>(result.mirror_acks_sent),
+                static_cast<unsigned long long>(result.mirror_ack_commits),
+                overhead_ms);
+    rep.field("batch_max_txns", static_cast<std::int64_t>(batch));
+    rep.field("batch_delay_us",
+              static_cast<std::int64_t>(batch > 1 ? kBatchDelay.us : 0));
+    rep.field("batches_shipped",
+              static_cast<std::int64_t>(result.log_batches_shipped));
+    rep.field("batch_txns_shipped",
+              static_cast<std::int64_t>(result.log_batch_txns));
+    rep.field("mean_batch_fill", fill);
+    rep.field("acks_sent", static_cast<std::int64_t>(result.mirror_acks_sent));
+    rep.field("ack_commits_covered",
+              static_cast<std::int64_t>(result.mirror_ack_commits));
+    rep.field("commit_overhead_ms", overhead_ms);
+  }
+
   std::printf("\n=> the mirror path costs ~one RTT above the no-log bound and "
               "stays an order of magnitude below a synchronous 8 ms disk "
-              "write (the paper's core claim).\n");
+              "write (the paper's core claim); batching amortizes the "
+              "per-frame overhead once the stream would otherwise saturate "
+              "the sender.\n");
   rep.write_file();
   return 0;
 }

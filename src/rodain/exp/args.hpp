@@ -15,6 +15,13 @@ struct BenchArgs {
   /// Transactions per session (paper: 10 000).
   std::size_t txns{10000};
   std::uint64_t seed{1};
+  /// Group-commit knobs for benches that sweep batching (bench/commit_path):
+  /// txn/byte flush thresholds, max flush delay, and the adaptive-delay
+  /// toggle. The defaults reproduce the unbatched ship-at-submit path.
+  std::size_t batch_txns{1};
+  std::size_t batch_bytes{0};
+  std::int64_t batch_delay_us{0};
+  bool batch_adaptive{false};
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -25,6 +32,15 @@ struct BenchArgs {
         args.txns = static_cast<std::size_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--batch-txns") == 0 && i + 1 < argc) {
+        args.batch_txns = static_cast<std::size_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--batch-bytes") == 0 && i + 1 < argc) {
+        args.batch_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--batch-delay-us") == 0 &&
+                 i + 1 < argc) {
+        args.batch_delay_us = std::atoll(argv[++i]);
+      } else if (std::strcmp(argv[i], "--batch-adaptive") == 0) {
+        args.batch_adaptive = true;
       } else if (std::strcmp(argv[i], "--paper") == 0) {
         args.reps = 20;
         args.txns = 10000;
@@ -40,7 +56,9 @@ struct BenchArgs {
         std::printf(
             "options: --reps N (default 5)  --txns N (default 10000)\n"
             "         --seed N  --paper (20 reps, paper setup)  --quick\n"
-            "         --smoke (1 rep, 500 txns; CI crash/format check)\n");
+            "         --smoke (1 rep, 500 txns; CI crash/format check)\n"
+            "         --batch-txns N  --batch-bytes N  --batch-delay-us N\n"
+            "         --batch-adaptive (group-commit knobs, commit_path)\n");
         std::exit(0);
       }
     }

@@ -76,9 +76,25 @@ SessionResult run_session(const SessionConfig& config) {
   if (auto* eng = cluster.node_a().engine()) {
     result.cc_restarts += eng->restarts();
   }
+  if (auto* writer = cluster.node_a().log_writer()) {
+    result.log_batches_shipped += writer->counters().batches_shipped;
+    result.log_batch_txns += writer->counters().batch_txns_shipped;
+  }
   if (config.cluster.two_nodes) {
     result.commit_latency.merge(cluster.node_b().commit_latency());
     if (auto* eng = cluster.node_b().engine()) result.cc_restarts += eng->restarts();
+    // After a failover either node may have held the primary or mirror
+    // role; sum both sides so the accounting survives role changes.
+    if (auto* writer = cluster.node_b().log_writer()) {
+      result.log_batches_shipped += writer->counters().batches_shipped;
+      result.log_batch_txns += writer->counters().batch_txns_shipped;
+    }
+    for (simdb::SimNode* node : {&cluster.node_a(), &cluster.node_b()}) {
+      if (auto* mirror = node->mirror_service()) {
+        result.mirror_acks_sent += mirror->stats().acks_sent;
+        result.mirror_ack_commits += mirror->stats().ack_commits_covered;
+      }
+    }
     if (auto* disk =
             dynamic_cast<log::SimDiskLogStorage*>(cluster.node_b().disk())) {
       result.mirror_disk_backlog = disk->backlog();

@@ -38,6 +38,14 @@ struct SessionResult {
   /// the data-loss window of claim C5.
   std::uint64_t mirror_disk_backlog{0};
   double cpu_utilization{0.0};
+  /// Replication-path message accounting (two-node sessions; zero without a
+  /// mirror). Group-commit effectiveness reads directly off these: mean
+  /// batch fill is log_batch_txns / log_batches_shipped, and ack coalescing
+  /// is mirror_ack_commits / mirror_acks_sent.
+  std::uint64_t log_batches_shipped{0};
+  std::uint64_t log_batch_txns{0};
+  std::uint64_t mirror_acks_sent{0};
+  std::uint64_t mirror_ack_commits{0};
   /// Virtual-time series (one row per sample_interval when enabled):
   /// committed, missed, miss_ratio, active_txns, pending_acks,
   /// reorder_staged.

@@ -4,13 +4,20 @@ namespace rodain::log {
 
 Status Reorderer::add(Record r) {
   if (!r.is_commit()) {  // write images and tombstones buffer per txn
-    open_[r.txn].push_back(std::move(r));
+    OpenTxn& open = open_[r.txn];
+    if (!open.records.empty() && open.batch != batch_epoch_) {
+      // Re-delivery from a later batch (reconnect re-ship of a txn whose
+      // commit never arrived): the stale copy would double the write count.
+      open.records.clear();
+    }
+    open.batch = batch_epoch_;
+    open.records.push_back(std::move(r));
     return Status::ok();
   }
   // Commit record: close the transaction and stage it at its seq.
   std::vector<Record> records;
   if (auto it = open_.find(r.txn); it != open_.end()) {
-    records = std::move(it->second);
+    records = std::move(it->second.records);
     open_.erase(it);
   }
   if (r.seq < expected_ || staged_.contains(r.seq)) {
@@ -28,6 +35,15 @@ Status Reorderer::add(Record r) {
   staged_.emplace(seq, Staged{txn, std::move(records)});
   release_ready();
   return Status::ok();
+}
+
+ValidationTs Reorderer::received_commit_floor() const {
+  ValidationTs floor = expected_ == 0 ? 0 : expected_ - 1;
+  for (const auto& entry : staged_) {
+    if (entry.first != floor + 1) break;
+    ++floor;
+  }
+  return floor;
 }
 
 void Reorderer::set_expected_next(ValidationTs seq) {

@@ -34,6 +34,20 @@ class Reorderer {
   /// disagrees with the buffered write count (lost or duplicated records).
   Status add(Record r);
 
+  /// Mark the start of one delivered wire batch. A transaction's record set
+  /// never spans batches (Shipper contract), so write images arriving for
+  /// an already-open transaction in a *later* batch are a re-delivery
+  /// (reconnect re-ship of an uncommitted txn): the stale buffered copy is
+  /// dropped before buffering restarts, instead of double-counting and
+  /// tripping the commit record's write-count check. Callers that never
+  /// call this get the legacy accumulate-everything behaviour.
+  void begin_batch() { ++batch_epoch_; }
+
+  /// Highest validation seq such that every commit record <= it has been
+  /// received (released, or staged in a contiguous run from the floor) —
+  /// the mirror's cumulative-ack value. 0 when nothing has been received.
+  [[nodiscard]] ValidationTs received_commit_floor() const;
+
   /// Transactions whose commit record arrived but that wait for an earlier
   /// sequence number.
   [[nodiscard]] std::size_t staged_commits() const { return staged_.size(); }
@@ -60,12 +74,19 @@ class Reorderer {
     TxnId txn;
     std::vector<Record> records;
   };
+  struct OpenTxn {
+    /// Batch epoch of the latest delivery; a write arriving under a newer
+    /// epoch supersedes (clears) the buffered records.
+    std::uint64_t batch{0};
+    std::vector<Record> records;
+  };
 
   void release_ready();
 
   ReleaseFn release_;
   ValidationTs expected_;
-  std::unordered_map<TxnId, std::vector<Record>> open_;
+  std::uint64_t batch_epoch_{0};
+  std::unordered_map<TxnId, OpenTxn> open_;
   std::map<ValidationTs, Staged> staged_;
 };
 

@@ -1,9 +1,17 @@
 // Primary-side Log Writer (paper §3).
 //
-// Normal mode (kMirror): records are shipped to the Mirror Node the moment
-// the write phase generates them; the transaction proceeds to its final
-// commit step when the mirror's acknowledgment of the *commit record*
+// Normal mode (kMirror): records are shipped to the Mirror Node when the
+// write phase generates them; the transaction proceeds to its final commit
+// step when the mirror's acknowledgment covering the *commit record*
 // arrives — one message round-trip, no disk write on the commit path.
+//
+// Group commit (DESIGN.md §9): with batching configured, submissions
+// accumulate in a batch buffer and ship as one multi-transaction frame when
+// a txn/byte threshold fills, the flush delay expires, or flush_batch() is
+// called. The durability point is unchanged — a buffered transaction was
+// never acknowledged, so its committer still waits for the (now batched)
+// mirror ack. Acks are cumulative: on_mirror_ack(seq) releases every
+// pending transaction with validation seq <= `seq`.
 //
 // Transient mode (kDirectDisk): no mirror exists, so the records go to the
 // local log device and the transaction commits only once the flush is
@@ -14,6 +22,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,7 +34,10 @@
 namespace rodain::log {
 
 /// Transport hook: ships records toward the mirror. Acks flow back through
-/// LogWriter::on_mirror_ack.
+/// LogWriter::on_mirror_ack. Contract: one ship() call may carry many
+/// transactions, but a transaction's record set ([after-images..., commit])
+/// is never split across calls — the mirror's per-batch duplicate detection
+/// (Reorderer::begin_batch) depends on this.
 class Shipper {
  public:
   virtual ~Shipper() = default;
@@ -34,6 +46,26 @@ class Shipper {
 
 class LogWriter {
  public:
+  /// Group-commit knobs. The default (max_txns 1, no byte/delay trigger)
+  /// ships every submission immediately — the unbatched historical path.
+  struct BatchOptions {
+    /// Flush when the batch holds this many transactions. 1 = unbatched.
+    std::size_t max_txns{1};
+    /// Flush when the batch's encoded payload reaches this many bytes
+    /// (0 disables the byte trigger).
+    std::size_t max_bytes{0};
+    /// Upper bound on how long a submission may sit in the buffer before
+    /// shipping. Requires a flush scheduler and a clock (configure_batching);
+    /// zero disables the timer — then only thresholds and explicit
+    /// flush_batch() calls drain the buffer.
+    Duration max_delay{Duration::zero()};
+    /// Adapt the effective delay to load: a delay-filled batch under half
+    /// full halves it (light load should not pay the full window), a
+    /// threshold-filled batch doubles it back toward max_delay. Bounded to
+    /// [max_delay/8, max_delay].
+    bool adaptive_delay{false};
+  };
+
   /// `disk` may be null only if the writer is never switched to
   /// kDirectDisk; `shipper` may be null only if never switched to kMirror.
   LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper);
@@ -51,12 +83,14 @@ class LogWriter {
   void submit(ValidationTs seq, std::vector<Record> records,
               std::function<void()> on_durable);
 
-  /// Mirror acknowledged the commit record of `seq`.
+  /// Cumulative mirror acknowledgment: every pending transaction with
+  /// validation seq <= `seq` is durable on the mirror. Callbacks fire in
+  /// seq order.
   void on_mirror_ack(ValidationTs seq);
 
   /// The mirror is gone: switch to direct-disk logging and re-route every
-  /// not-yet-acknowledged transaction to the local device so that no
-  /// committing transaction is stranded.
+  /// not-yet-acknowledged transaction (shipped or still buffered) to the
+  /// local device so that no committing transaction is stranded.
   void on_mirror_lost();
 
   /// Arm the ack timeout: when check_ack_timeouts() finds the oldest
@@ -70,9 +104,31 @@ class LogWriter {
   /// fired this call.
   bool check_ack_timeouts();
 
-  /// Re-ship every unacknowledged transaction in validation order (after a
-  /// reconnect — the mirror acks commit records again and drops what it
-  /// already applied as stale). Returns how many were resent.
+  /// Enable group commit. `schedule_flush(d)` asks the host runtime to call
+  /// flush_batch() after `d`; a stale callback (the batch already drained)
+  /// is harmless — flush_batch() re-arms or no-ops as needed. Pass an empty
+  /// scheduler only when flush_batch() is driven externally (tests).
+  void configure_batching(const Clock* clock, BatchOptions options,
+                          std::function<void(Duration)> schedule_flush = {});
+
+  /// Drain the batch buffer as one shipment. Called by the host's flush
+  /// timer and safe to call any time; if the current batch's delay window
+  /// has not expired yet (the timer was armed for an older batch), the
+  /// flush is re-armed instead of shipping early.
+  void flush_batch();
+
+  /// Transactions accumulated in the batch buffer, not yet shipped.
+  [[nodiscard]] std::size_t batched_txns() const { return batch_txns_; }
+  /// Effective flush delay after adaptive adjustment (== max_delay when
+  /// adaptive_delay is off).
+  [[nodiscard]] Duration current_flush_delay() const { return batch_delay_; }
+
+  /// Re-ship every unacknowledged transaction as one combined batch in
+  /// validation order (after a reconnect — the mirror drops what it already
+  /// applied as stale and re-acks its cumulative floor). Each resent entry's
+  /// ack-timeout clock restarts: a reconnect must get a full timeout window
+  /// before escalation, not inherit the dead link's elapsed time. Returns
+  /// how many transactions were resent.
   std::size_t resend_pending();
 
   [[nodiscard]] std::size_t pending_acks() const { return pending_.size(); }
@@ -84,7 +140,8 @@ class LogWriter {
   [[nodiscard]] std::vector<Record> tail_since(ValidationTs seq) const;
   static constexpr std::size_t kTailRetention = 4096;
 
-  /// Telemetry: transactions that commuted through each path.
+  /// Telemetry: transactions that commuted through each path, plus batch
+  /// shipping and cumulative-ack accounting.
   struct Counters {
     std::uint64_t via_mirror{0};
     std::uint64_t via_disk{0};
@@ -92,6 +149,21 @@ class LogWriter {
     std::uint64_t rerouted{0};
     std::uint64_t resent{0};
     std::uint64_t ack_timeouts{0};
+    /// Frames shipped to the mirror (each one kLogBatch message).
+    std::uint64_t batches_shipped{0};
+    /// Transactions carried by those frames (mean fill = txns / batches).
+    std::uint64_t batch_txns_shipped{0};
+    std::uint64_t batch_bytes_shipped{0};
+    /// Why each batch drained: txn threshold, byte threshold, delay timer,
+    /// or forced (explicit flush / unbatched ship-at-submit).
+    std::uint64_t batch_fill_txns{0};
+    std::uint64_t batch_fill_bytes{0};
+    std::uint64_t batch_fill_delay{0};
+    std::uint64_t batch_fill_forced{0};
+    /// Ack messages received and the pending txns they released — the
+    /// coalescing ratio is acks_received : ack_released_txns.
+    std::uint64_t acks_received{0};
+    std::uint64_t ack_released_txns{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -102,13 +174,18 @@ class LogWriter {
     /// obs time base (now_us) at ship time; the commit ack closes the
     /// mirror_ack span and feeds the replication-RTT timer. 0 when obs off.
     std::int64_t shipped_at_us{0};
-    /// Clock time of the first shipment (ack-timeout input; resends do not
-    /// reset it — the timeout bounds total time-to-durable).
+    /// Clock time of the latest (re)shipment — resend_pending() restamps it
+    /// so the ack timeout measures the current link attempt, not the total
+    /// time-to-durable across reconnects.
     TimePoint shipped_at{};
   };
 
+  enum class FillCause { kTxns, kBytes, kDelay, kForced };
+
   void submit_to_disk(std::vector<Record> records,
                       std::function<void()> on_durable);
+  void drain_batch(FillCause cause);
+  void clear_batch();
 
   LogMode mode_;
   LogStorage* disk_;
@@ -118,6 +195,17 @@ class LogWriter {
   std::function<void()> on_ack_timeout_;
   std::map<ValidationTs, Pending> pending_;  // unacked, in seq order
   std::map<ValidationTs, std::vector<Record>> tail_;  // recent submissions
+
+  // ---- group-commit batch buffer ----------------------------------------
+  BatchOptions batch_opts_{};
+  const Clock* batch_clock_{nullptr};
+  std::function<void(Duration)> schedule_flush_;
+  std::vector<Record> batch_records_;
+  std::size_t batch_txns_{0};
+  std::size_t batch_bytes_{0};
+  Duration batch_delay_{Duration::zero()};  // adaptive effective delay
+  std::optional<TimePoint> batch_deadline_;
+
   Counters counters_;
 };
 

@@ -32,13 +32,17 @@ void SimLink::transmit(int from, std::vector<std::byte> frame) {
     delay += Duration::micros(static_cast<std::int64_t>(
         rng_.next_below(static_cast<std::uint64_t>(options_.jitter.us) + 1)));
   }
+  Duration ser = options_.per_frame_overhead;
   if (options_.bandwidth_bytes_per_sec > 0) {
-    const auto ser_us = static_cast<std::int64_t>(
-        static_cast<double>(frame.size()) / options_.bandwidth_bytes_per_sec * 1e6);
+    const double bps = static_cast<double>(options_.bandwidth_bytes_per_sec);
+    const double seconds = static_cast<double>(frame.size()) / bps;
+    ser += Duration::micros(static_cast<std::int64_t>(seconds * 1e6));
+  }
+  if (ser.is_positive()) {
     // The sender's transmitter is serial: frames queue behind each other.
     auto& free_at = tx_free_[static_cast<std::size_t>(from)];
     const TimePoint start = std::max(free_at, sim_.now());
-    free_at = start + Duration::micros(ser_us);
+    free_at = start + ser;
     delay += (free_at - sim_.now());
   }
   const std::uint64_t gen = generation_;

@@ -24,6 +24,12 @@ class SimLink {
     Duration jitter{Duration::zero()};
     /// Bytes/second; 0 disables serialization delay.
     double bandwidth_bytes_per_sec{12.5e6};  // 100 Mbit/s
+    /// Fixed per-frame cost (protocol/processing overhead) occupying the
+    /// sender's serial transmitter in addition to the byte time. This is
+    /// the group-commit lever: many commits in one frame pay it once, and
+    /// a per-txn frame stream saturates the transmitter at high rates.
+    /// Zero (default) preserves the pure-bandwidth model.
+    Duration per_frame_overhead{Duration::zero()};
     std::uint64_t seed{1};
   };
 

@@ -47,15 +47,28 @@ Endpoint::Endpoint(net::Channel& channel, const Clock& clock,
     : channel_(channel), clock_(clock), handlers_(std::move(handlers)),
       last_heard_(clock.now()), epoch_(next_epoch(clock)),
       backoff_(options.reconnect, options.seed) {
+  // Weak liveness guard: the channel outlives this endpoint, and a late
+  // event (a frame in flight, a sever after the owning node failed) must
+  // not call into a destroyed endpoint.
   channel_.set_message_handler(
-      [this](std::vector<std::byte> frame) { on_frame(std::move(frame)); });
-  channel_.set_disconnect_handler([this] {
+      [this, alive = std::weak_ptr<bool>(alive_)](std::vector<std::byte> f) {
+        if (alive.expired()) return;
+        on_frame(std::move(f));
+      });
+  channel_.set_disconnect_handler([this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
     if (handlers_.on_disconnect) handlers_.on_disconnect();
   });
 }
 
 Status Endpoint::send(const Message& m) {
-  Status s = channel_.send(encode_framed(epoch_, next_frame_seq_++, m));
+  // One encode buffer for the endpoint's lifetime: it grows to the peak
+  // frame size once, after which encoding is allocation-free up to the
+  // exact-size copy the channel takes ownership of.
+  encode_buf_.clear();
+  encode_framed_into(epoch_, next_frame_seq_++, m, encode_buf_);
+  const auto view = encode_buf_.view();
+  Status s = channel_.send(std::vector<std::byte>(view.begin(), view.end()));
   if (s) {
     ++stats_.frames_sent;
   } else {

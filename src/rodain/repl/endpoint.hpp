@@ -9,6 +9,8 @@
 // can retry unacknowledged commit records).
 #pragma once
 
+#include <memory>
+
 #include "rodain/common/backoff.hpp"
 #include "rodain/common/clock.hpp"
 #include "rodain/net/channel.hpp"
@@ -91,13 +93,20 @@ class Endpoint {
   net::Channel& channel_;
   const Clock& clock_;
   Handlers handlers_;
+  /// Liveness sentinel captured (weakly) by the handlers this endpoint
+  /// installs on the channel: the channel outlives the endpoint (a SimLink
+  /// end survives a node failure), so a late frame or disconnect event must
+  /// not reach a destroyed endpoint. Destroying the endpoint expires the
+  /// sentinel and the stale handlers become no-ops.
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
   TimePoint last_heard_;
   Stats stats_;
 
-  // Send side: this endpoint's epoch (monotone across rebuilds) and frame
-  // counter.
+  // Send side: this endpoint's epoch (monotone across rebuilds), frame
+  // counter, and the reused frame-encode buffer.
   std::uint64_t epoch_;
   std::uint64_t next_frame_seq_{1};
+  ByteWriter encode_buf_;
 
   // Receive side: DTLS-style 64-frame sliding window within the peer's
   // current epoch.

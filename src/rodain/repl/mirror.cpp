@@ -12,6 +12,8 @@ struct MirrorMetrics {
   obs::Counter& records_received =
       obs::metrics().counter("mirror.records_received");
   obs::Counter& acks_sent = obs::metrics().counter("mirror.acks_sent");
+  obs::Counter& ack_commits_covered =
+      obs::metrics().counter("mirror.ack_commits_covered");
   obs::Counter& txns_applied = obs::metrics().counter("mirror.txns_applied");
   obs::Counter& writes_applied =
       obs::metrics().counter("mirror.writes_applied");
@@ -106,12 +108,12 @@ void MirrorService::request_join(ValidationTs have) {
       std::max({min_snapshot_id_, snapshot_id_,
                 static_cast<std::uint64_t>(clock_.now().us) << 16});
   reset_assembly();
-  // The stash survives join retries. Every stashed commit was already
-  // acknowledged (ack-on-receipt), so dropping it here would lose acked
+  // The stash survives join retries. Dropping it here would lose delivered
   // transactions if a retry races with the previous serve: that serve's
   // late chunks can resurrect its assembly and install the OLDER boundary,
-  // and only the stash replay covers the commits in between. Stale entries
-  // are cheap — the reorderer drops them on replay.
+  // and only the stash replay covers the commits in between — the
+  // post-install cumulative ack acknowledges them. Stale entries are cheap
+  // — the reorderer drops them on replay.
   stalled_retries_ = 0;
   last_join_activity_ = clock_.now();
   if (!endpoint_.send(Message::join_request(have))) ++stats_.send_failures;
@@ -175,29 +177,47 @@ void MirrorService::on_heartbeat(NodeRole role, ValidationTs applied) {
 }
 
 void MirrorService::on_log_batch(std::vector<log::Record> records) {
-  for (log::Record& r : records) {
-    ++stats_.records_received;
-    mm().records_received.inc();
-    // "When the Mirror Node receives a commit record, it immediately sends
-    // an acknowledgment back" (paper §3) — before reordering or disk.
+  stats_.records_received += records.size();
+  mm().records_received.inc(records.size());
+  std::size_t commits = 0;
+  for (const log::Record& r : records) {
     if (r.is_commit()) {
-      if (!endpoint_.send(Message::commit_ack(r.seq))) {
-        ++stats_.send_failures;
-      }
-      ++stats_.acks_sent;
-      mm().acks_sent.inc();
-    }
-    if (r.is_commit()) {
+      ++commits;
       RODAIN_DEBUG("mirror: recv commit seq %llu awaiting=%d",
                    static_cast<unsigned long long>(r.seq),
                    awaiting_snapshot_ ? 1 : 0);
     }
-    if (awaiting_snapshot_) {
-      stashed_.push_back(std::move(r));
-    } else {
-      feed(std::move(r));
-    }
   }
+  if (awaiting_snapshot_) {
+    // No acks while joining: the floor is unknowable until the snapshot
+    // installs; the post-install cumulative ack covers everything stashed.
+    stashed_.push_back(std::move(records));
+    return;
+  }
+  // "When the Mirror Node receives a commit record, it immediately sends
+  // an acknowledgment back" (paper §3) — before reordering to disk, but
+  // coalesced: one cumulative ack answers every commit in the batch. Sent
+  // even when every commit was a stale duplicate (a re-ship after
+  // reconnect means the primary may have lost the original ack).
+  reorderer_.begin_batch();
+  for (log::Record& r : records) feed(std::move(r));
+  if (commits > 0) send_cumulative_ack(commits);
+}
+
+void MirrorService::send_cumulative_ack(std::size_t commits_covered) {
+  const ValidationTs floor = reorderer_.received_commit_floor();
+  // A floor of 0 means no contiguous prefix yet (e.g. the stream's first
+  // batch was lost): nothing to ack — the primary's ack timeout or the
+  // reconnect resend recovers.
+  if (floor == 0) return;
+  if (!endpoint_.send(Message::commit_ack(floor))) {
+    ++stats_.send_failures;
+    return;
+  }
+  ++stats_.acks_sent;
+  stats_.ack_commits_covered += commits_covered;
+  mm().acks_sent.inc();
+  mm().ack_commits_covered.inc(commits_covered);
 }
 
 void MirrorService::feed(log::Record r) {
@@ -366,9 +386,20 @@ void MirrorService::on_snapshot_done(ValidationTs boundary,
   reorderer_.set_expected_next(boundary + 1);
   auto stashed = std::move(stashed_);
   stashed_.clear();
-  RODAIN_DEBUG("mirror: replaying %zu stashed records after install",
+  RODAIN_DEBUG("mirror: replaying %zu stashed batches after install",
                stashed.size());
-  for (log::Record& r : stashed) feed(std::move(r));
+  std::size_t stash_commits = 0;
+  for (std::vector<log::Record>& batch : stashed) {
+    reorderer_.begin_batch();
+    for (log::Record& r : batch) {
+      if (r.is_commit()) ++stash_commits;
+      feed(std::move(r));
+    }
+  }
+  // The join sent no acks (the floor was unknown): one cumulative ack now
+  // covers the snapshot boundary and the replayed stash, releasing every
+  // transaction the primary kept pending across the join.
+  send_cumulative_ack(stash_commits);
   if (options_.on_synced) options_.on_synced();
 }
 

@@ -1,10 +1,13 @@
 // The Mirror Node's replication service (paper §3).
 //
-// Receives the redo stream, immediately acknowledges each *commit record*
-// (that ack is what unblocks the committing transaction on the primary),
-// reorders transactions into true validation order, applies committed
-// transactions to the database copy — never undoing anything — and stores
-// the ordered log to disk asynchronously, off the commit path.
+// Receives the redo stream and acknowledges commit records immediately on
+// delivery (that ack is what unblocks committing transactions on the
+// primary) — coalesced to one *cumulative* ack per delivered batch, which
+// carries the reorderer's contiguous received-commit floor and so covers
+// every commit at or below it (DESIGN.md §9). It reorders transactions into
+// true validation order, applies committed transactions to the database
+// copy — never undoing anything — and stores the ordered log to disk
+// asynchronously, off the commit path.
 //
 // The join path is hardened against a faulty link: snapshot chunks are
 // assembled by index under a per-serve snapshot id (so chunks from an
@@ -49,6 +52,9 @@ class MirrorService {
   struct Stats {
     std::uint64_t records_received{0};
     std::uint64_t acks_sent{0};
+    /// Commit records covered by those acks — the coalescing ratio is
+    /// ack_commits_covered : acks_sent (>= 1 with batching).
+    std::uint64_t ack_commits_covered{0};
     std::uint64_t txns_applied{0};
     std::uint64_t writes_applied{0};
     std::uint64_t stale_duplicates{0};
@@ -102,6 +108,10 @@ class MirrorService {
 
  private:
   void on_log_batch(std::vector<log::Record> records);
+  /// One cumulative ack at the reorderer's received-commit floor;
+  /// `commits_covered` is how many newly delivered commit records it
+  /// answers (telemetry only). Skipped while the floor is still 0.
+  void send_cumulative_ack(std::size_t commits_covered);
   void feed(log::Record r);
   void release(ValidationTs seq, TxnId txn, std::vector<log::Record> records);
   void on_snapshot_chunk(std::uint64_t snapshot_id, std::uint32_t index,
@@ -140,7 +150,10 @@ class MirrorService {
   ValidationTs join_have_{0};
   TimePoint last_join_activity_{};
   TimePoint synced_at_{};
-  std::vector<log::Record> stashed_;  ///< live records held during snapshot
+  /// Live batches held during snapshot assembly, batch boundaries intact:
+  /// the replay runs the reorderer's per-batch duplicate detection exactly
+  /// as a live delivery would.
+  std::vector<std::vector<log::Record>> stashed_;
 };
 
 }  // namespace rodain::repl

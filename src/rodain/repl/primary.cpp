@@ -50,7 +50,10 @@ PrimaryReplicator::PrimaryReplicator(net::Channel& channel, const Clock& clock,
                 Endpoint::Handlers{
                     .on_log_batch = {},
                     .on_commit_ack =
-                        [this](ValidationTs seq) { writer_.on_mirror_ack(seq); },
+                        [this](ValidationTs seq) {
+                          // Cumulative: releases every pending txn <= seq.
+                          writer_.on_mirror_ack(seq);
+                        },
                     .on_heartbeat =
                         [this](NodeRole role, ValidationTs applied) {
                           if (role == NodeRole::kPrimaryAlone ||

@@ -61,8 +61,6 @@ Message Message::chunk_retry(std::uint64_t snapshot_id,
   return m;
 }
 
-namespace {
-
 void encode_into(const Message& m, ByteWriter& w) {
   w.put_u8(static_cast<std::uint8_t>(m.type));
   switch (m.type) {
@@ -98,6 +96,8 @@ void encode_into(const Message& m, ByteWriter& w) {
       break;
   }
 }
+
+namespace {
 
 Result<Message> decode_from(ByteReader& r) {
   std::uint8_t type = 0;
@@ -188,15 +188,21 @@ Result<Message> decode(std::span<const std::byte> frame) {
   return decode_from(r);
 }
 
-std::vector<std::byte> encode_framed(std::uint64_t epoch,
-                                     std::uint64_t frame_seq,
-                                     const Message& m) {
-  ByteWriter w;
+void encode_framed_into(std::uint64_t epoch, std::uint64_t frame_seq,
+                        const Message& m, ByteWriter& w) {
+  const std::size_t base = w.size();
   w.put_u32(0);  // crc placeholder
   w.put_u64(epoch);
   w.put_u64(frame_seq);
   encode_into(m, w);
-  w.patch_u32(0, crc32c(w.view().subspan(4)));
+  w.patch_u32(base, crc32c(w.view().subspan(base + 4)));
+}
+
+std::vector<std::byte> encode_framed(std::uint64_t epoch,
+                                     std::uint64_t frame_seq,
+                                     const Message& m) {
+  ByteWriter w;
+  encode_framed_into(epoch, frame_seq, m, w);
   return w.take();
 }
 

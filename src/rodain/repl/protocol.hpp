@@ -1,8 +1,11 @@
 // Wire protocol between the Primary and Mirror Nodes (paper §2–3).
 //
-//   kLogBatch      primary -> mirror: redo records as generated
-//   kCommitAck     mirror -> primary: a commit record arrived (the primary
-//                  may let that transaction perform its final commit step)
+//   kLogBatch      primary -> mirror: redo records as generated; one frame
+//                  may carry many transactions (group commit), but never a
+//                  partial transaction
+//   kCommitAck     mirror -> primary: cumulative — every commit record with
+//                  validation seq <= `seq` has arrived (the primary may let
+//                  all of those transactions perform their final commit step)
 //   kHeartbeat     both directions, watchdog liveness + applied high-water
 //   kJoinRequest   recovering node -> serving node: "make me your mirror"
 //   kSnapshotChunk serving node -> joiner: checkpoint bytes
@@ -72,6 +75,9 @@ struct Message {
 };
 
 [[nodiscard]] std::vector<std::byte> encode(const Message& m);
+/// Append `m`'s payload encoding to `w` (no framing) — the buffer-reusing
+/// counterpart of encode().
+void encode_into(const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Message> decode(std::span<const std::byte> frame);
 
 /// A message plus its envelope fields, as received.
@@ -84,6 +90,11 @@ struct Frame {
 [[nodiscard]] std::vector<std::byte> encode_framed(std::uint64_t epoch,
                                                    std::uint64_t frame_seq,
                                                    const Message& m);
+/// Append one complete frame (crc/epoch/frame_seq envelope + payload) to
+/// `w`. The endpoint clears and reuses one ByteWriter across sends so the
+/// steady-state ship path stops allocating a fresh buffer per frame.
+void encode_framed_into(std::uint64_t epoch, std::uint64_t frame_seq,
+                        const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Frame> decode_framed(std::span<const std::byte> frame);
 
 }  // namespace rodain::repl

@@ -171,6 +171,15 @@ void Node::build_primary_locked(LogMode mode) {
     log_writer_->configure_ack_timeout(&clock_, config_.ack_timeout, [this] {
       escalate_mirror_lost_locked("commit ack timeout");
     });
+    // The schedule hook runs under mu_ (every submit path holds it);
+    // flush_batch() is then driven by the timer thread, also under mu_.
+    log_flush_at_.reset();
+    log_writer_->configure_batching(
+        &clock_, config_.log_batch, [this](Duration d) {
+          const TimePoint at = clock_.now() + d;
+          if (!log_flush_at_ || at < *log_flush_at_) log_flush_at_ = at;
+          timer_cv_.notify_all();
+        });
   }
   log_writer_->set_mode(mode);
 
@@ -585,15 +594,28 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
 void Node::timer_loop() {
   std::unique_lock lock(mu_);
   while (!stopping_) {
-    if (deadlines_.empty()) {
-      timer_cv_.wait(lock, [this] { return stopping_ || !deadlines_.empty(); });
+    // Wake for whichever comes first: the next txn deadline or a pending
+    // group-commit flush.
+    std::optional<TimePoint> next;
+    if (!deadlines_.empty()) next = deadlines_.begin()->first;
+    if (log_flush_at_ && (!next || *log_flush_at_ < *next)) {
+      next = *log_flush_at_;
+    }
+    if (!next) {
+      timer_cv_.wait(lock, [this] {
+        return stopping_ || !deadlines_.empty() || log_flush_at_.has_value();
+      });
       continue;
     }
-    const TimePoint next = deadlines_.begin()->first;
     const TimePoint now = clock_.now();
-    if (now < next) {
-      timer_cv_.wait_for(lock, std::chrono::microseconds((next - now).us));
+    if (now < *next) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds((*next - now).us));
       continue;
+    }
+    if (log_flush_at_ && clock_.now() >= *log_flush_at_) {
+      log_flush_at_.reset();
+      // flush_batch may re-arm via the schedule hook (sets log_flush_at_).
+      if (log_writer_) log_writer_->flush_batch();
     }
     std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
     while (!deadlines_.empty() && deadlines_.begin()->first <= clock_.now()) {

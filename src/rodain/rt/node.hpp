@@ -53,6 +53,10 @@ struct NodeConfig {
   /// on_mirror_lost; gives reconnect/backoff a chance to ride out flaps.
   /// Zero keeps the historical instant escalation.
   Duration disconnect_grace{Duration::zero()};
+  /// Group-commit batching for the mirror ship path (DESIGN.md §9); flush
+  /// timers run on the node's timer thread. The default ships every
+  /// submission immediately.
+  log::LogWriter::BatchOptions log_batch{};
   std::size_t store_capacity_hint{1024};
   /// Sample the process metrics registry into a time-series on this
   /// interval (zero disables the sampler; requires obs::init enabled).
@@ -201,6 +205,9 @@ class Node {
   };
   std::set<std::pair<PriorityKey, TxnId>, ReadyOrder> ready_;
   std::multimap<TimePoint, TxnId> deadlines_;
+  /// Earliest requested group-commit flush; the timer thread calls
+  /// LogWriter::flush_batch() when it comes due (under mu_).
+  std::optional<TimePoint> log_flush_at_;
 
   std::uint64_t next_local_txn_{1};
   std::uint64_t admission_seq_{0};

@@ -66,6 +66,15 @@ void SimNode::build_log_writer(LogMode mode) {
     log_writer_->configure_ack_timeout(
         &sim_, config_.ack_timeout,
         [this] { escalate_mirror_lost("commit ack timeout"); });
+    log_writer_->configure_batching(
+        &sim_, config_.log_batch, [this](Duration d) {
+          // The event may outlive this writer (role teardown): calling
+          // flush on the successor's empty or fresh batch is harmless —
+          // flush_batch() re-arms or no-ops as needed.
+          sim_.schedule_after(d, [this] {
+            if (log_writer_) log_writer_->flush_batch();
+          });
+        });
   }
   log_writer_->set_mode(mode);
 }

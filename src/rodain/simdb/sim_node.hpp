@@ -60,6 +60,9 @@ struct SimNodeConfig {
   /// machinery a window to ride out link flaps. Zero keeps the historical
   /// instant escalation.
   Duration disconnect_grace{Duration::zero()};
+  /// Group-commit batching for the mirror ship path (DESIGN.md §9). The
+  /// default (max_txns 1, no delay) ships every submission immediately.
+  log::LogWriter::BatchOptions log_batch{};
   std::size_t store_capacity_hint{30000};
 };
 

@@ -7,9 +7,11 @@ namespace rodain::storage {
 
 void Value::assign(std::span<const std::byte> bytes) {
   if (bytes.size() <= kInlineCapacity) {
-    // Copy through a temporary so self-referencing assigns are safe.
+    // Copy through a temporary so self-referencing assigns are safe. An
+    // empty span may carry a null data() — memcpy forbids that even for
+    // zero sizes.
     std::byte tmp[kInlineCapacity];
-    std::memcpy(tmp, bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(tmp, bytes.data(), bytes.size());
     release();
     size_ = bytes.size();
     std::memcpy(inline_, tmp, bytes.size());

@@ -102,6 +102,11 @@ void run_soak(const SoakOptions& opt) {
   db.num_objects = 1000;
   config.node.store_capacity_hint = db.num_objects + opt.txns + 64;
   config.node.disconnect_grace = 60_ms;  // ride out short flaps
+  // Group commit on, so the soak exercises batched frames, cumulative acks
+  // and batch resend/reroute under every injected fault.
+  config.node.log_batch.max_txns = 4;
+  config.node.log_batch.max_delay = 2_ms;
+  config.node.log_batch.adaptive_delay = true;
   config.faults = faults;
   simdb::SimCluster cluster(sim, config);
   cluster.populate([&](storage::ObjectStore& s, storage::BPlusTree& i) {

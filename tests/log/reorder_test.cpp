@@ -177,5 +177,45 @@ TEST(Reorderer, PropertyRandomPermutationsReleaseInOrder) {
   }
 }
 
+TEST(Reorderer, BatchEpochDedupsRedeliveredWrites) {
+  // Regression: a resend after reconnect re-delivers the write images of a
+  // transaction whose first delivery is still buffered in open_. Without the
+  // per-batch epoch the images double up and the commit's write count check
+  // reports kCorruption.
+  Collector c;
+  c.reorderer.begin_batch();
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(7, 100, val("v"))));
+  // Link drops before the commit record; the primary re-ships the whole txn.
+  c.reorderer.begin_batch();
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(7, 100, val("v"))));
+  ASSERT_TRUE(c.reorderer.add(Record::commit(7, 1, 1000, 1)));
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1}));
+  EXPECT_EQ(c.reorderer.open_txns(), 0u);
+}
+
+TEST(Reorderer, BatchEpochKeepsWritesWithinOneBatch) {
+  // Within a single batch a multi-write transaction accumulates normally.
+  Collector c;
+  c.reorderer.begin_batch();
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(7, 100, val("a"))));
+  ASSERT_TRUE(c.reorderer.add(Record::write_image(7, 101, val("b"))));
+  ASSERT_TRUE(c.reorderer.add(Record::commit(7, 1, 1000, 2)));
+  EXPECT_EQ(c.released, (std::vector<ValidationTs>{1}));
+}
+
+TEST(Reorderer, ReceivedCommitFloorTracksContiguousPrefix) {
+  Collector c;
+  EXPECT_EQ(c.reorderer.received_commit_floor(), 0u);  // nothing received
+  c.feed_txn(11, 1);
+  EXPECT_EQ(c.reorderer.received_commit_floor(), 1u);
+  // Seq 3 and 4 stage behind the missing 2: the floor must not advance past
+  // the gap, or the primary would release a transaction the mirror lost.
+  c.feed_txn(13, 3);
+  c.feed_txn(14, 4);
+  EXPECT_EQ(c.reorderer.received_commit_floor(), 1u);
+  c.feed_txn(12, 2);
+  EXPECT_EQ(c.reorderer.received_commit_floor(), 4u);
+}
+
 }  // namespace
 }  // namespace rodain::log

@@ -130,9 +130,10 @@ TEST(LogWriter, AckInTimeDisarmsTimeout) {
   EXPECT_EQ(timeouts, 0);
 }
 
-TEST(LogWriter, AckTimeoutMeasuresFromFirstShipment) {
-  // Resends must not push the deadline out: the timeout bounds total
-  // time-to-durable for the oldest committer.
+TEST(LogWriter, ResendRestampsAckTimeout) {
+  // Regression: resend_pending() used to leave Pending::shipped_at at the
+  // original shipment time, so check_ack_timeouts() re-fired immediately
+  // after a reconnect. A resend restarts the window for the new attempt.
   CapturingShipper shipper;
   MemoryLogStorage disk;
   ManualClock clock;
@@ -143,27 +144,34 @@ TEST(LogWriter, AckTimeoutMeasuresFromFirstShipment) {
   writer.submit(1, txn_records(1, 1), {});
   clock.advance(Duration::millis(60));
   EXPECT_EQ(writer.resend_pending(), 1u);
-  clock.advance(Duration::millis(60));  // 120 ms after the first shipment
+  clock.advance(Duration::millis(60));  // 120 ms overall, 60 ms since resend
+  EXPECT_FALSE(writer.check_ack_timeouts());
+  EXPECT_EQ(timeouts, 0);
+  clock.advance(Duration::millis(41));  // 101 ms since the resend
   EXPECT_TRUE(writer.check_ack_timeouts());
   EXPECT_EQ(timeouts, 1);
 }
 
-TEST(LogWriter, ResendPendingReshipsInSeqOrder) {
+TEST(LogWriter, ResendPendingReshipsInSeqOrderAsOneBatch) {
   CapturingShipper shipper;
   LogWriter writer(LogMode::kMirror, nullptr, &shipper);
-  writer.submit(2, txn_records(2, 2), {});
   writer.submit(1, txn_records(1, 1), {});
-  writer.on_mirror_ack(2);
-  shipper.shipped.clear();
-
-  EXPECT_EQ(writer.resend_pending(), 1u);
-  ASSERT_EQ(shipper.shipped.size(), 2u);  // txn 1's two records only
-  EXPECT_EQ(shipper.shipped[1].seq, 1u);
-  EXPECT_EQ(writer.counters().resent, 1u);
-
-  // Acked transactions are gone; a second resend re-ships the same one.
-  EXPECT_EQ(writer.resend_pending(), 1u);
+  writer.submit(2, txn_records(2, 2), {});
+  writer.submit(3, txn_records(3, 3), {});
   writer.on_mirror_ack(1);
+  shipper.shipped.clear();
+  const std::uint64_t frames_before = writer.counters().batches_shipped;
+
+  // Txns 2 and 3 go out again as one combined frame, in validation order.
+  EXPECT_EQ(writer.resend_pending(), 2u);
+  ASSERT_EQ(shipper.shipped.size(), 4u);
+  EXPECT_EQ(shipper.shipped[1].seq, 2u);
+  EXPECT_EQ(shipper.shipped[3].seq, 3u);
+  EXPECT_EQ(writer.counters().resent, 2u);
+  EXPECT_EQ(writer.counters().batches_shipped, frames_before + 1);
+
+  // Acked transactions are gone; the cumulative ack clears the rest.
+  writer.on_mirror_ack(3);
   EXPECT_EQ(writer.resend_pending(), 0u);
 }
 
@@ -234,6 +242,213 @@ TEST(LogWriter, TailRetentionIsBounded) {
   EXPECT_EQ(all.size(), LogWriter::kTailRetention * 2);
   ASSERT_TRUE(all[1].is_commit());
   EXPECT_EQ(all[1].seq, 101u);  // oldest 100 evicted
+}
+
+TEST(LogWriter, SynchronousLoopbackAckFindsPendingEntry) {
+  // Regression: submit() used to ship before registering pending_, so a
+  // shipper that acks synchronously (loopback transport) found an empty map
+  // and the durable callback was lost forever.
+  struct LoopbackShipper final : Shipper {
+    LogWriter* writer{nullptr};
+    void ship(std::span<const Record> records) override {
+      ValidationTs top = 0;
+      for (const Record& r : records) {
+        if (r.is_commit() && r.seq > top) top = r.seq;
+      }
+      if (writer != nullptr && top != 0) writer->on_mirror_ack(top);
+    }
+  };
+  LoopbackShipper shipper;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  shipper.writer = &writer;
+  bool durable = false;
+  writer.submit(1, txn_records(1, 1), [&] { durable = true; });
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(writer.pending_acks(), 0u);
+}
+
+TEST(LogWriter, CumulativeAckReleasesInSeqOrder) {
+  CapturingShipper shipper;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  std::vector<ValidationTs> durable_order;
+  for (ValidationTs seq = 1; seq <= 4; ++seq) {
+    writer.submit(seq, txn_records(seq, seq),
+                  [&durable_order, seq] { durable_order.push_back(seq); });
+  }
+  writer.on_mirror_ack(3);
+  EXPECT_EQ(durable_order, (std::vector<ValidationTs>{1, 2, 3}));
+  EXPECT_EQ(writer.pending_acks(), 1u);
+  EXPECT_EQ(writer.counters().acks_received, 1u);
+  EXPECT_EQ(writer.counters().ack_released_txns, 3u);
+  writer.on_mirror_ack(4);
+  EXPECT_EQ(durable_order, (std::vector<ValidationTs>{1, 2, 3, 4}));
+  EXPECT_EQ(writer.pending_acks(), 0u);
+}
+
+TEST(LogWriter, BatchDrainsAtTxnThreshold) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 3;
+  writer.configure_batching(&clock, opts);
+
+  writer.submit(1, txn_records(1, 1), {});
+  writer.submit(2, txn_records(2, 2), {});
+  EXPECT_TRUE(shipper.shipped.empty());
+  EXPECT_EQ(writer.batched_txns(), 2u);
+
+  writer.submit(3, txn_records(3, 3), {});
+  EXPECT_EQ(shipper.shipped.size(), 6u);  // three txns, two records each
+  EXPECT_EQ(writer.batched_txns(), 0u);
+  EXPECT_EQ(writer.counters().batches_shipped, 1u);
+  EXPECT_EQ(writer.counters().batch_txns_shipped, 3u);
+  EXPECT_EQ(writer.counters().batch_fill_txns, 1u);
+}
+
+TEST(LogWriter, BatchDrainsAtByteThreshold) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  std::size_t one_txn_bytes = 0;
+  for (const Record& r : txn_records(1, 1)) one_txn_bytes += r.encoded_size();
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 100;
+  opts.max_bytes = one_txn_bytes + 1;  // one txn fits, two overflow
+  writer.configure_batching(&clock, opts);
+
+  writer.submit(1, txn_records(1, 1), {});
+  EXPECT_TRUE(shipper.shipped.empty());
+  writer.submit(2, txn_records(2, 2), {});
+  EXPECT_EQ(shipper.shipped.size(), 4u);
+  EXPECT_EQ(writer.counters().batch_fill_bytes, 1u);
+  EXPECT_EQ(writer.counters().batch_bytes_shipped, 2 * one_txn_bytes);
+}
+
+TEST(LogWriter, DelayWindowFlushesViaScheduler) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  std::vector<Duration> scheduled;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 100;
+  opts.max_delay = Duration::millis(5);
+  writer.configure_batching(&clock, opts,
+                            [&](Duration d) { scheduled.push_back(d); });
+
+  writer.submit(1, txn_records(1, 1), {});
+  ASSERT_EQ(scheduled.size(), 1u);  // first txn of the batch opens the window
+  EXPECT_EQ(scheduled[0].us, 5000);
+  writer.submit(2, txn_records(2, 2), {});
+  EXPECT_EQ(scheduled.size(), 1u);  // later txns ride the same window
+  EXPECT_TRUE(shipper.shipped.empty());
+
+  clock.advance(Duration::millis(5));
+  writer.flush_batch();
+  EXPECT_EQ(shipper.shipped.size(), 4u);
+  EXPECT_EQ(writer.counters().batch_fill_delay, 1u);
+}
+
+TEST(LogWriter, StaleFlushTimerRearmsForYoungerBatch) {
+  // A timer armed for batch N may fire after N already drained on a
+  // threshold; it must not ship batch N+1 early, only re-arm its remainder.
+  CapturingShipper shipper;
+  ManualClock clock;
+  std::vector<Duration> scheduled;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 2;
+  opts.max_delay = Duration::millis(5);
+  writer.configure_batching(&clock, opts,
+                            [&](Duration d) { scheduled.push_back(d); });
+
+  writer.submit(1, txn_records(1, 1), {});  // t=0: timer armed for t=5ms
+  clock.advance(Duration::millis(1));
+  writer.submit(2, txn_records(2, 2), {});  // threshold drains batch 1
+  EXPECT_EQ(shipper.shipped.size(), 4u);
+  clock.advance(Duration::millis(1));
+  writer.submit(3, txn_records(3, 3), {});  // t=2ms: batch 2 deadline t=7ms
+  ASSERT_EQ(scheduled.size(), 2u);
+
+  clock.advance(Duration::millis(3));  // t=5ms: batch 1's stale timer fires
+  writer.flush_batch();
+  EXPECT_EQ(shipper.shipped.size(), 4u);  // batch 2 not shipped early
+  ASSERT_EQ(scheduled.size(), 3u);
+  EXPECT_EQ(scheduled[2].us, 2000);  // re-armed for the remaining window
+
+  clock.advance(Duration::millis(2));  // t=7ms: batch 2's own deadline
+  writer.flush_batch();
+  EXPECT_EQ(shipper.shipped.size(), 6u);
+  EXPECT_EQ(writer.counters().batch_fill_txns, 1u);
+  EXPECT_EQ(writer.counters().batch_fill_delay, 1u);
+}
+
+TEST(LogWriter, ExplicitFlushDrainsPartialBatch) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 100;
+  writer.configure_batching(&clock, opts);
+
+  writer.submit(1, txn_records(1, 1), {});
+  writer.submit(2, txn_records(2, 2), {});
+  EXPECT_EQ(writer.batched_txns(), 2u);
+  writer.flush_batch();
+  EXPECT_EQ(shipper.shipped.size(), 4u);
+  EXPECT_EQ(writer.counters().batch_fill_forced, 1u);
+  writer.flush_batch();  // empty buffer: no-op
+  EXPECT_EQ(writer.counters().batches_shipped, 1u);
+}
+
+TEST(LogWriter, MirrorLostReroutesBufferedBatchToDisk) {
+  // Buffered-but-unshipped txns are registered in pending_, so the mirror
+  // loss path must complete them via disk without ever shipping the batch.
+  CapturingShipper shipper;
+  MemoryLogStorage disk;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, &disk, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 100;
+  writer.configure_batching(&clock, opts);
+
+  int durable = 0;
+  writer.submit(1, txn_records(1, 1), [&] { ++durable; });
+  writer.submit(2, txn_records(2, 2), [&] { ++durable; });
+  EXPECT_TRUE(shipper.shipped.empty());
+
+  writer.on_mirror_lost();
+  EXPECT_EQ(durable, 2);
+  EXPECT_TRUE(shipper.shipped.empty());
+  EXPECT_EQ(writer.batched_txns(), 0u);
+  EXPECT_EQ(disk.records().size(), 4u);
+  EXPECT_EQ(writer.counters().rerouted, 2u);
+}
+
+TEST(LogWriter, AdaptiveDelayTracksLoad) {
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  LogWriter::BatchOptions opts;
+  opts.max_txns = 4;
+  opts.max_delay = Duration::millis(8);
+  opts.adaptive_delay = true;
+  writer.configure_batching(&clock, opts);
+  EXPECT_EQ(writer.current_flush_delay().us, 8000);
+
+  // A delay-filled batch under half full halves the window.
+  writer.submit(1, txn_records(1, 1), {});
+  clock.advance(Duration::millis(8));
+  writer.flush_batch();
+  EXPECT_EQ(writer.counters().batch_fill_delay, 1u);
+  EXPECT_EQ(writer.current_flush_delay().us, 4000);
+
+  // A threshold-filled batch doubles it back toward max_delay.
+  for (ValidationTs seq = 2; seq <= 5; ++seq) {
+    writer.submit(seq, txn_records(seq, seq), {});
+  }
+  EXPECT_EQ(writer.counters().batch_fill_txns, 1u);
+  EXPECT_EQ(writer.current_flush_delay().us, 8000);
 }
 
 }  // namespace

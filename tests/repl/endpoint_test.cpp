@@ -82,6 +82,17 @@ TEST(Endpoint, EpochsMonotoneAcrossRebuilds) {
   EXPECT_LT(a.epoch(), b.epoch());
 }
 
+TEST(Endpoint, DestroyedEndpointLeavesNoLiveChannelHandlers) {
+  // Regression: the channel outlives the endpoint (a SimLink end survives a
+  // node failure), and the handlers the endpoint registered used to dangle —
+  // a late frame or a sever after teardown was a use-after-free.
+  ManualClock clock;
+  StubChannel channel;
+  { Endpoint ep(channel, clock, {}); }
+  channel.inject(encode_framed(100, 1, Message::commit_ack(5)));
+  channel.set_up(false);  // fires the stale disconnect handler: must no-op
+}
+
 TEST(Endpoint, CorruptFrameRejected) {
   Rig rig;
   auto bytes = encode_framed(100, 1, Message::commit_ack(5));

@@ -86,6 +86,23 @@ TEST(ReplProtocol, FramedRoundTrip) {
   EXPECT_EQ(frame.value().msg.seq, 99u);
 }
 
+TEST(ReplProtocol, FramedEncodeIntoReusedBufferMatchesFreshEncode) {
+  // The endpoint reuses one ByteWriter across sends; the appended bytes must
+  // be identical to a fresh allocation, frame after frame.
+  ByteWriter reused;
+  for (std::uint64_t frame_seq = 1; frame_seq <= 3; ++frame_seq) {
+    Message m = Message::commit_ack(100 + frame_seq);
+    reused.clear();
+    encode_framed_into(7, frame_seq, m, reused);
+    const auto view = reused.view();
+    const std::vector<std::byte> bytes(view.begin(), view.end());
+    EXPECT_EQ(bytes, encode_framed(7, frame_seq, m)) << frame_seq;
+    auto frame = decode_framed(bytes);
+    ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+    EXPECT_EQ(frame.value().msg.seq, 100 + frame_seq);
+  }
+}
+
 TEST(ReplProtocol, FramedCrcRejectsBitFlip) {
   auto bytes = encode_framed(7, 12, Message::commit_ack(99));
   for (std::size_t i = 0; i < bytes.size(); ++i) {

@@ -94,6 +94,32 @@ TEST(Replication, MirrorHeartbeatCarriesAppliedSeq) {
   EXPECT_EQ(rig.primary->mirror_applied_seq(), 1u);
 }
 
+TEST(Replication, BatchedCommitsCoalesceToOneCumulativeAck) {
+  Rig rig;
+  rig.mirror->attach_synced(1);
+  rig.writer.set_mode(LogMode::kMirror);
+  log::LogWriter::BatchOptions batch;
+  batch.max_txns = 3;
+  rig.writer.configure_batching(&rig.sim, batch);
+
+  int durable = 0;
+  rig.submit_txn(1, 10, "a", [&] { ++durable; });
+  rig.submit_txn(2, 11, "b", [&] { ++durable; });
+  EXPECT_EQ(rig.writer.batched_txns(), 2u);  // buffered, nothing on the wire
+  rig.submit_txn(3, 12, "c", [&] { ++durable; });  // threshold drains
+  rig.sim.run();
+
+  EXPECT_EQ(durable, 3);
+  EXPECT_EQ(rig.mirror->applied_seq(), 3u);
+  // One frame carried three transactions; the mirror answered with a single
+  // cumulative ack covering all of them.
+  EXPECT_EQ(rig.writer.counters().batches_shipped, 1u);
+  EXPECT_EQ(rig.mirror->stats().acks_sent, 1u);
+  EXPECT_EQ(rig.mirror->stats().ack_commits_covered, 3u);
+  EXPECT_EQ(rig.writer.counters().acks_received, 1u);
+  EXPECT_EQ(rig.writer.counters().ack_released_txns, 3u);
+}
+
 TEST(Replication, JoinShipsSnapshotAndCatchUp) {
   Rig rig;
   // The primary ran alone for a while: 5 committed txns, logged locally.

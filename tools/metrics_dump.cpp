@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
 
   rt::NodeConfig config;
   config.metrics_snapshot_interval = 50_ms;
+  // Enable group commit so the log.batch.* metrics show up in the dump.
+  // The sequential submit loop below mostly produces delay-filled batches.
+  config.log_batch.max_txns = 4;
+  config.log_batch.max_delay = 1_ms;
+  config.log_batch.adaptive_delay = true;
   rt::Node primary(config, "primary");
   rt::Node mirror(config, "mirror");
   for (ObjectId oid = 1; oid <= 1000; ++oid) {
