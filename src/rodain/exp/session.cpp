@@ -93,6 +93,8 @@ SessionResult run_session(const SessionConfig& config) {
       if (auto* mirror = node->mirror_service()) {
         result.mirror_acks_sent += mirror->stats().acks_sent;
         result.mirror_ack_commits += mirror->stats().ack_commits_covered;
+        result.mirror_checkpoints += mirror->stats().checkpoints;
+        result.mirror_log_truncated += mirror->stats().log_truncated;
       }
     }
     if (auto* disk =

@@ -46,6 +46,11 @@ struct SessionResult {
   std::uint64_t log_batch_txns{0};
   std::uint64_t mirror_acks_sent{0};
   std::uint64_t mirror_ack_commits{0};
+  /// Apply-path checkpoints the mirror role wrote during the session and
+  /// the log units its truncations reclaimed (zero when the cluster runs
+  /// without a checkpoint cadence).
+  std::uint64_t mirror_checkpoints{0};
+  std::uint64_t mirror_log_truncated{0};
   /// Virtual-time series (one row per sample_interval when enabled):
   /// committed, missed, miss_ratio, active_txns, pending_acks,
   /// reorder_staged.

@@ -1,0 +1,39 @@
+#include "rodain/log/checkpointer.hpp"
+
+#include "rodain/log/log_storage.hpp"
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::log {
+
+bool Checkpointer::tick(TimePoint now) {
+  if (!enabled()) return false;
+  if (last_run_ && now - *last_run_ < options_.interval) return false;
+  (void)run(now);  // failures are counted in stats; the cadence continues
+  return true;
+}
+
+Status Checkpointer::run(TimePoint now) {
+  if (!options_.boundary || !options_.write) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "checkpointer not configured");
+  }
+  last_run_ = now;
+  const ValidationTs boundary = options_.boundary();
+  if (boundary == 0 ||
+      (stats_.checkpoints > 0 && boundary <= stats_.last_boundary)) {
+    return Status::ok();  // nothing new to cover
+  }
+  Status status = options_.write(boundary);
+  if (!status) {
+    ++stats_.failures;
+    obs::metrics().counter("log.checkpoint_failures").inc();
+    return status;
+  }
+  ++stats_.checkpoints;
+  stats_.last_boundary = boundary;
+  obs::metrics().counter("log.checkpoints").inc();
+  if (options_.log) stats_.truncated += options_.log->truncate_upto(boundary);
+  return Status::ok();
+}
+
+}  // namespace rodain::log

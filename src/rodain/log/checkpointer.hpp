@@ -1,0 +1,68 @@
+// Periodic checkpoint + log-truncation driver (DESIGN.md §10).
+//
+// One small clock-agnostic component shared by every runtime that owns a
+// durable log: the rt::Node timer thread, the simdb::SimNode virtual-time
+// event loop, and the mirror apply path (MirrorService::poll). The owner
+// supplies a consistent boundary (installed low-water mark on a serving
+// node, applied_seq on a mirror) and a write callback; after a successful
+// checkpoint the log is truncated up to that boundary, which is what keeps
+// restart time and disk footprint bounded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "rodain/common/status.hpp"
+#include "rodain/common/time.hpp"
+#include "rodain/common/types.hpp"
+
+namespace rodain::log {
+
+class LogStorage;
+
+class Checkpointer {
+ public:
+  struct Options {
+    Duration interval{Duration::zero()};  ///< non-positive disables tick()
+    /// Highest validation seq the checkpoint may cover consistently.
+    std::function<ValidationTs()> boundary;
+    /// Persist the checkpoint at the given boundary.
+    std::function<Status(ValidationTs)> write;
+    /// Log to truncate after a successful write (optional).
+    LogStorage* log{nullptr};
+  };
+
+  struct Stats {
+    std::uint64_t checkpoints{0};
+    std::uint64_t failures{0};
+    std::uint64_t truncated{0};  ///< units reported by LogStorage::truncate_upto
+    ValidationTs last_boundary{0};
+  };
+
+  Checkpointer() = default;
+  explicit Checkpointer(Options options) : options_(std::move(options)) {}
+
+  void configure(Options options) { options_ = std::move(options); }
+
+  [[nodiscard]] bool enabled() const {
+    return options_.interval.is_positive() && options_.boundary &&
+           options_.write;
+  }
+
+  /// Run a checkpoint when the interval elapsed; returns whether one ran.
+  bool tick(TimePoint now);
+
+  /// Run a checkpoint now (explicit request). Skips the write when the
+  /// boundary has not advanced since the last successful checkpoint.
+  Status run(TimePoint now);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  std::optional<TimePoint> last_run_;
+  Stats stats_;
+};
+
+}  // namespace rodain::log

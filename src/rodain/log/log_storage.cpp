@@ -15,6 +15,23 @@ void MemoryLogStorage::flush(std::function<void(Status)> done) {
   if (done) done(Status::ok());
 }
 
+std::uint64_t MemoryLogStorage::truncate_upto(ValidationTs boundary) {
+  // Drop the durable prefix that ends at the last commit covered by the
+  // checkpoint; commits arrive in seq order on the apply path, so stop at
+  // the first one above the boundary.
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < durable_; ++i) {
+    if (!records_[i].is_commit()) continue;
+    if (records_[i].seq > boundary) break;
+    cut = i + 1;
+  }
+  if (cut == 0) return 0;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(cut));
+  durable_ -= cut;
+  return cut;
+}
+
 // ------------------------------------------------------------------ file
 
 Result<std::unique_ptr<FileLogStorage>> FileLogStorage::open(
@@ -23,6 +40,10 @@ Result<std::unique_ptr<FileLogStorage>> FileLogStorage::open(
   if (!f) {
     return Status::error(ErrorCode::kIoError, "cannot open log " + path);
   }
+  // Unbuffered: fwrite's return value is then authoritative about what
+  // reached the kernel, so a failed flush can retry exactly the unwritten
+  // suffix without duplicating bytes through a half-drained stdio buffer.
+  std::setvbuf(f, nullptr, _IONBF, 0);
   return std::unique_ptr<FileLogStorage>(
       new FileLogStorage(f, fsync_on_flush));
 }
@@ -42,17 +63,36 @@ void FileLogStorage::append(const Record& r) {
 
 void FileLogStorage::flush(std::function<void(Status)> done) {
   Status status = Status::ok();
-  if (pending_.size() > 0) {
-    const auto view = pending_.view();
-    if (std::fwrite(view.data(), 1, view.size(), file_) != view.size() ||
-        std::fflush(file_) != 0) {
+  const auto view = pending_.view();
+  while (pending_written_ < view.size()) {
+    std::size_t n = 0;
+    if (inject_errors_ > 0) {
+      --inject_errors_;
+    } else {
+      n = std::fwrite(view.data() + pending_written_, 1,
+                      view.size() - pending_written_, file_);
+    }
+    pending_written_ += n;
+    if (n == 0) {
+      std::clearerr(file_);
+      status = Status::error(ErrorCode::kIoError, "log write failed");
+      break;
+    }
+  }
+  if (status && pending_.size() > 0) {
+    if (std::fflush(file_) != 0) {
       status = Status::error(ErrorCode::kIoError, "log write failed");
     } else if (fsync_ && ::fsync(::fileno(file_)) != 0) {
       status = Status::error(ErrorCode::kIoError, "log fsync failed");
     }
-    pending_.clear();
   }
   if (status) {
+    // Everything pending reached the file; only now may the records count
+    // as durable. On failure both the bytes and the buffered count stay for
+    // the retry — dropping the bytes while still counting them would let a
+    // later empty flush advance durable_ past records never written.
+    pending_.clear();
+    pending_written_ = 0;
     durable_ += buffered_;
     buffered_ = 0;
   }
@@ -107,6 +147,27 @@ void SimDiskLogStorage::flush(std::function<void(Status)> done) {
   if (done) req.callbacks.push_back(std::move(done));
   queue_.push_back(std::move(req));
   start_next();
+}
+
+std::uint64_t SimDiskLogStorage::truncate_upto(ValidationTs boundary) {
+  // Trim the durable prefix that the checkpoint covers. Only durable
+  // records go: the suffix past durable_ is the data-loss window that the
+  // C5 measurement reads, and in-flight flush requests reference absolute
+  // record counts that are re-based below.
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < durable_; ++i) {
+    if (!records_[i].is_commit()) continue;
+    if (records_[i].seq > boundary) break;
+    cut = i + 1;
+  }
+  if (cut == 0) return 0;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(cut));
+  appended_ -= cut;
+  durable_ -= cut;
+  truncated_ += cut;
+  for (FlushReq& req : queue_) req.upto -= std::min<Lsn>(req.upto, cut);
+  return cut;
 }
 
 void SimDiskLogStorage::start_next() {

@@ -36,6 +36,14 @@ class LogStorage {
 
   [[nodiscard]] virtual Lsn appended() const = 0;  ///< records appended
   [[nodiscard]] virtual Lsn durable() const = 0;   ///< records durable
+
+  /// Drop log state at or below the checkpoint boundary (segment deletion,
+  /// modelled-disk prefix trim). Returns implementation-defined units
+  /// removed; the default keeps the whole log.
+  virtual std::uint64_t truncate_upto(ValidationTs boundary) {
+    (void)boundary;
+    return 0;
+  }
 };
 
 /// In-memory sink with immediate durability; keeps the records inspectable.
@@ -45,6 +53,7 @@ class MemoryLogStorage final : public LogStorage {
   void flush(std::function<void(Status)> done) override;
   [[nodiscard]] Lsn appended() const override { return records_.size(); }
   [[nodiscard]] Lsn durable() const override { return durable_; }
+  std::uint64_t truncate_upto(ValidationTs boundary) override;
 
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
 
@@ -71,6 +80,10 @@ class FileLogStorage final : public LogStorage {
   static Result<std::vector<Record>> read_all(const std::string& path,
                                               bool* torn = nullptr);
 
+  /// Fault-injection hook (tests): the next `n` record-stream writes fail
+  /// as if the device were full.
+  void inject_write_error(std::size_t n) { inject_errors_ = n; }
+
  private:
   FileLogStorage(std::FILE* f, bool fsync_on_flush)
       : file_(f), fsync_(fsync_on_flush) {}
@@ -78,9 +91,11 @@ class FileLogStorage final : public LogStorage {
   std::FILE* file_;
   bool fsync_;
   ByteWriter pending_;
+  std::size_t pending_written_{0};  ///< prefix of pending_ already on disk
   Lsn appended_{0};
   Lsn durable_{0};
   Lsn buffered_{0};
+  std::size_t inject_errors_{0};
 };
 
 /// Disk model on the simulation timeline: each flush operation costs
@@ -105,11 +120,18 @@ class SimDiskLogStorage final : public LogStorage {
   [[nodiscard]] Lsn appended() const override { return appended_; }
   [[nodiscard]] Lsn durable() const override { return durable_; }
 
+  /// Trim the durable prefix up to the last commit at or below `boundary`
+  /// (the modelled analogue of segment truncation). `appended()`/`durable()`
+  /// drop by the removed count so `backlog()` is unchanged.
+  std::uint64_t truncate_upto(ValidationTs boundary) override;
+
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
   [[nodiscard]] std::size_t queued_flushes() const { return queue_.size(); }
   /// Records appended but not yet durable — the data-loss window of claim C5.
   [[nodiscard]] Lsn backlog() const { return appended_ - durable_; }
   [[nodiscard]] Duration total_busy() const { return busy_; }
+  /// Records trimmed away by checkpoint-coordinated truncation so far.
+  [[nodiscard]] Lsn truncated() const { return truncated_; }
 
  private:
   struct FlushReq {
@@ -129,6 +151,7 @@ class SimDiskLogStorage final : public LogStorage {
   std::deque<FlushReq> queue_;
   bool device_busy_{false};
   Duration busy_{Duration::zero()};
+  Lsn truncated_{0};
 };
 
 }  // namespace rodain::log

@@ -1,10 +1,51 @@
 #include "rodain/log/recovery.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <filesystem>
 #include <map>
+#include <thread>
 #include <unordered_map>
 
 #include "rodain/log/log_storage.hpp"
+#include "rodain/log/segment.hpp"
+#include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
+
+namespace rodain::log {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+/// Load the checkpoint; on corruption, clear the target and report fallback
+/// so the caller replays the log from an empty store instead of aborting.
+Result<std::pair<ValidationTs, bool>> load_checkpoint_or_fallback(
+    const std::string& checkpoint_path, bool log_exists,
+    storage::ObjectStore& store, storage::BPlusTree* index) {
+  if (checkpoint_path.empty()) return std::pair<ValidationTs, bool>{0, false};
+  auto meta = storage::read_checkpoint_file(checkpoint_path, store, index);
+  if (meta.is_ok()) {
+    return std::pair<ValidationTs, bool>{meta.value().last_applied, false};
+  }
+  if (meta.status().code() == ErrorCode::kNotFound) {
+    return std::pair<ValidationTs, bool>{0, false};
+  }
+  if (!log_exists) return meta.status();
+  // Unreadable checkpoint (torn rename, bit rot) but the log survives:
+  // every committed transaction is still in the un-truncated log, so a
+  // full replay from empty reconstructs the same state.
+  store.clear();
+  if (index) *index = storage::BPlusTree{};
+  return std::pair<ValidationTs, bool>{0, true};
+}
+
+}  // namespace
+}  // namespace rodain::log
 
 namespace rodain::log {
 
@@ -90,15 +131,15 @@ Result<RecoveryStats> recover_from_file(const std::string& path,
 Result<RecoveryStats> recover_checkpoint_and_log(
     const std::string& checkpoint_path, const std::string& log_path,
     storage::ObjectStore& store, storage::BPlusTree* index) {
-  ValidationTs boundary = 0;
-  if (!checkpoint_path.empty()) {
-    auto meta = storage::read_checkpoint_file(checkpoint_path, store, index);
-    if (meta.is_ok()) {
-      boundary = meta.value().last_applied;
-    } else if (meta.status().code() != ErrorCode::kNotFound) {
-      return meta.status();  // corrupt checkpoint is an error, absence is not
-    }
-  }
+  const auto t_total = SteadyClock::now();
+  std::error_code ec;
+  const bool log_exists =
+      !log_path.empty() && std::filesystem::exists(log_path, ec);
+  auto loaded =
+      load_checkpoint_or_fallback(checkpoint_path, log_exists, store, index);
+  if (!loaded.is_ok()) return loaded.status();
+  const ValidationTs boundary = loaded.value().first;
+
   auto stats = recover_from_file(log_path, store, boundary, index);
   if (!stats.is_ok()) {
     if (stats.status().code() == ErrorCode::kNotFound) {
@@ -109,7 +150,105 @@ Result<RecoveryStats> recover_checkpoint_and_log(
     }
     return stats.status();
   }
+  stats.value().checkpoint_fallback = loaded.value().second;
   if (stats.value().last_seq < boundary) stats.value().last_seq = boundary;
+  obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
+  return stats;
+}
+
+Result<RecoveryStats> recover_checkpoint_and_segments(
+    const std::string& checkpoint_path, const std::string& log_dir,
+    storage::ObjectStore& store, storage::BPlusTree* index,
+    unsigned decode_threads) {
+  const auto t_total = SteadyClock::now();
+  auto segments = SegmentedLogStorage::list_segments(log_dir);
+  if (!segments.is_ok() &&
+      segments.status().code() != ErrorCode::kNotFound) {
+    return segments.status();
+  }
+  const bool log_exists = segments.is_ok() && !segments.value().empty();
+
+  const auto t_ckpt = SteadyClock::now();
+  auto loaded =
+      load_checkpoint_or_fallback(checkpoint_path, log_exists, store, index);
+  if (!loaded.is_ok()) return loaded.status();
+  const ValidationTs boundary = loaded.value().first;
+
+  RecoveryStats stats;
+  stats.checkpoint_load_ms = ms_since(t_ckpt);
+  stats.checkpoint_fallback = loaded.value().second;
+  stats.last_seq = boundary;
+  if (!log_exists) {
+    obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
+    return stats;
+  }
+
+  // Truncation normally deleted segments below the boundary already; skip
+  // any stragglers (a crash between checkpoint write and truncate).
+  std::vector<SegmentedLogStorage::SegmentInfo> survivors;
+  for (const auto& seg : segments.value()) {
+    if (seg.last_seq != 0 && seg.last_seq <= boundary) {
+      ++stats.segments_skipped;
+    } else {
+      survivors.push_back(seg);
+    }
+  }
+
+  const auto t_decode = SteadyClock::now();
+  struct Decoded {
+    Result<std::vector<Record>> records{std::vector<Record>{}};
+    bool torn{false};
+  };
+  std::vector<Decoded> decoded(survivors.size());
+  const auto decode_one = [&](std::size_t i) {
+    decoded[i].records = SegmentedLogStorage::read_segment(
+        survivors[i].path, nullptr, &decoded[i].torn);
+  };
+  const unsigned workers = std::min<unsigned>(
+      std::max(1u, decode_threads), static_cast<unsigned>(survivors.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < survivors.size(); ++i) decode_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < survivors.size();
+             i = next.fetch_add(1)) {
+          decode_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  std::vector<Record> all;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (!decoded[i].records.is_ok()) return decoded[i].records.status();
+    if (decoded[i].torn) {
+      if (survivors[i].last_seq != 0) {
+        return Status::error(ErrorCode::kCorruption,
+                             "torn tail in sealed segment " + survivors[i].path);
+      }
+      stats.torn_tail = true;
+    }
+    stats.log_disk_bytes += survivors[i].bytes;
+    for (auto& r : decoded[i].records.value()) all.push_back(std::move(r));
+  }
+  stats.segments_decoded = survivors.size();
+  stats.decode_ms = ms_since(t_decode);
+
+  const auto t_apply = SteadyClock::now();
+  auto applied = replay_records(all, store, boundary, index);
+  if (!applied.is_ok()) return applied.status();
+  stats.committed_applied = applied.value().committed_applied;
+  stats.writes_applied = applied.value().writes_applied;
+  stats.incomplete_dropped = applied.value().incomplete_dropped;
+  stats.records_read = applied.value().records_read;
+  stats.last_seq = std::max(boundary, applied.value().last_seq);
+  stats.apply_ms = ms_since(t_apply);
+  obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
   return stats;
 }
 

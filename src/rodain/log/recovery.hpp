@@ -25,6 +25,17 @@ struct RecoveryStats {
   std::uint64_t records_read{0};
   ValidationTs last_seq{0};  ///< highest applied validation sequence
   bool torn_tail{false};     ///< log ended mid-record (expected after crash)
+
+  // Segmented restart (recover_checkpoint_and_segments).
+  std::uint64_t segments_decoded{0};
+  std::uint64_t segments_skipped{0};  ///< sealed at/below the boundary
+  std::uint64_t log_disk_bytes{0};    ///< bytes decoded from surviving segments
+  double checkpoint_load_ms{0};
+  double decode_ms{0};
+  double apply_ms{0};
+  /// Checkpoint was present but unreadable; recovery fell back to replaying
+  /// the whole log from an empty store instead of aborting.
+  bool checkpoint_fallback{false};
 };
 
 /// Replay decoded records into `store` (which is NOT cleared — load a
@@ -56,5 +67,18 @@ Result<RecoveryStats> recover_from_file(const std::string& path,
 Result<RecoveryStats> recover_checkpoint_and_log(
     const std::string& checkpoint_path, const std::string& log_path,
     storage::ObjectStore& store, storage::BPlusTree* index = nullptr);
+
+/// Segmented cold start: load the checkpoint, then replay only the
+/// segments in `log_dir` that survive the checkpoint boundary (sealed
+/// segments whose last_seq is at or below it are skipped — truncation
+/// usually deleted them already). Surviving segments decode in parallel
+/// across up to `decode_threads` workers before the ordered
+/// single-threaded apply; per-phase timings land in the stats and the
+/// `log.recovery_replay_ms` gauge. An unreadable checkpoint falls back to
+/// log-only replay, like recover_checkpoint_and_log.
+Result<RecoveryStats> recover_checkpoint_and_segments(
+    const std::string& checkpoint_path, const std::string& log_dir,
+    storage::ObjectStore& store, storage::BPlusTree* index = nullptr,
+    unsigned decode_threads = 4);
 
 }  // namespace rodain::log

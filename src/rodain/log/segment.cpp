@@ -1,0 +1,448 @@
+#include "rodain/log/segment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::log {
+
+namespace {
+
+constexpr std::uint64_t kSegMagic = 0x314745534e444f52ULL;  // "RODNSEG1"
+constexpr std::uint32_t kSegVersion = 1;
+// Header layout: [u64 magic][u32 version][u64 first_seq][u64 last_seq]
+//                [u32 crc32c(previous 28 bytes)]
+constexpr std::size_t kHeaderCrcOffset = 28;
+
+struct SegMetrics {
+  obs::Counter& sealed = obs::metrics().counter("log.segments_sealed");
+  obs::Counter& truncated = obs::metrics().counter("log.segments_truncated");
+  obs::Gauge& disk_bytes = obs::metrics().gauge("log.disk_bytes");
+  obs::Gauge& live = obs::metrics().gauge("log.segments_live");
+  // Registered here so the gauge shows up in exposition even before any
+  // recovery ran in this process; set by the recovery path.
+  obs::Gauge& replay_ms = obs::metrics().gauge("log.recovery_replay_ms");
+};
+
+SegMetrics& seg_metrics() {
+  static SegMetrics m;
+  return m;
+}
+
+std::vector<std::byte> encode_header(ValidationTs first_seq,
+                                     ValidationTs last_seq) {
+  ByteWriter w(SegmentedLogStorage::kHeaderBytes);
+  w.put_u64(kSegMagic);
+  w.put_u32(kSegVersion);
+  w.put_u64(first_seq);
+  w.put_u64(last_seq);
+  w.put_u32(crc32c(w.view().subspan(0, kHeaderCrcOffset)));
+  return w.take();
+}
+
+Status parse_header(std::span<const std::byte> data,
+                    SegmentedLogStorage::SegmentInfo& info) {
+  if (data.size() < SegmentedLogStorage::kHeaderBytes) {
+    return Status::error(ErrorCode::kCorruption, "segment header too short");
+  }
+  const auto header = data.subspan(0, SegmentedLogStorage::kHeaderBytes);
+  ByteReader crc_reader(header.subspan(kHeaderCrcOffset));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(header.subspan(0, kHeaderCrcOffset)) != expect) {
+    return Status::error(ErrorCode::kCorruption, "segment header CRC mismatch");
+  }
+  ByteReader r(header);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  if (auto s = r.get_u64(magic); !s) return s;
+  if (magic != kSegMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad segment magic");
+  }
+  if (auto s = r.get_u32(version); !s) return s;
+  if (version != kSegVersion) {
+    return Status::error(ErrorCode::kCorruption, "unsupported segment version");
+  }
+  if (auto s = r.get_u64(info.first_seq); !s) return s;
+  if (auto s = r.get_u64(info.last_seq); !s) return s;
+  return Status::ok();
+}
+
+std::string segment_name(ValidationTs first_seq) {
+  return "log." + std::to_string(first_seq) + ".seg";
+}
+
+/// Parse `log.<first_seq>.seg`; returns false for unrelated files.
+bool parse_segment_name(const std::string& name, ValidationTs& first_seq) {
+  if (name.size() < 9 || name.rfind("log.", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".seg") != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  ValidationTs v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<ValidationTs>(c - '0');
+  }
+  first_seq = v;
+  return true;
+}
+
+Result<std::vector<std::byte>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::error(ErrorCode::kIoError, "cannot size " + path);
+  }
+  std::vector<std::byte> buf(static_cast<std::size_t>(len));
+  const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return Status::error(ErrorCode::kIoError, "short read " + path);
+  return buf;
+}
+
+Status fsync_file(std::FILE* f) {
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::error(ErrorCode::kIoError, "segment fsync failed");
+  }
+  return Status::ok();
+}
+
+/// Rewrite the 32-byte header in place (sealing) and flush it down.
+Status patch_header(const std::string& path, ValidationTs first_seq,
+                    ValidationTs last_seq, bool fsync_on_flush) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) return Status::error(ErrorCode::kIoError, "cannot reopen " + path);
+  const auto header = encode_header(first_seq, last_seq);
+  Status status = Status::ok();
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    status = Status::error(ErrorCode::kIoError, "segment seal failed");
+  } else if (fsync_on_flush) {
+    status = fsync_file(f);
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace
+
+Result<std::vector<SegmentedLogStorage::SegmentInfo>>
+SegmentedLogStorage::list_segments(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::error(ErrorCode::kNotFound, "no segment dir " + dir);
+  }
+  std::vector<SegmentInfo> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    ValidationTs name_seq = 0;
+    if (!parse_segment_name(name, name_seq)) continue;
+    SegmentInfo info;
+    info.path = entry.path().string();
+    info.first_seq = name_seq;
+    info.bytes = entry.file_size(ec);
+    // The header is authoritative when present; a crash right after fopen
+    // can leave a file shorter than a header (treated as unsealed, empty).
+    if (info.bytes >= kHeaderBytes) {
+      std::FILE* f = std::fopen(info.path.c_str(), "rb");
+      if (f) {
+        std::vector<std::byte> header(kHeaderBytes);
+        const bool ok =
+            std::fread(header.data(), 1, header.size(), f) == header.size();
+        std::fclose(f);
+        if (ok) {
+          if (auto s = parse_header(header, info); !s) return s;
+        }
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  if (ec) return Status::error(ErrorCode::kIoError, "list " + dir);
+  std::sort(out.begin(), out.end(), [](const SegmentInfo& a, const SegmentInfo& b) {
+    return a.first_seq != b.first_seq ? a.first_seq < b.first_seq
+                                      : a.path < b.path;
+  });
+  return out;
+}
+
+Result<std::vector<Record>> SegmentedLogStorage::read_segment(
+    const std::string& path, SegmentInfo* info, bool* torn) {
+  if (torn) *torn = false;
+  auto buf = read_file(path);
+  if (!buf.is_ok()) return buf.status();
+  SegmentInfo parsed;
+  parsed.path = path;
+  parsed.bytes = buf.value().size();
+  if (buf.value().size() < kHeaderBytes) {
+    // Crash window between fopen and the first flush: no header made it
+    // down. Nothing in this segment was ever acknowledged durable.
+    if (torn) *torn = !buf.value().empty();
+    if (info) *info = parsed;
+    return std::vector<Record>{};
+  }
+  if (auto s = parse_header(buf.value(), parsed); !s) return s;
+  if (info) *info = parsed;
+  return decode_records(std::span<const std::byte>{buf.value()}.subspan(kHeaderBytes),
+                        torn);
+}
+
+Result<std::vector<Record>> SegmentedLogStorage::read_all(
+    const std::string& dir, bool* torn) {
+  if (torn) *torn = false;
+  auto segments = list_segments(dir);
+  if (!segments.is_ok()) return segments.status();
+  std::vector<Record> out;
+  for (std::size_t i = 0; i < segments.value().size(); ++i) {
+    const SegmentInfo& seg = segments.value()[i];
+    bool seg_torn = false;
+    auto records = read_segment(seg.path, nullptr, &seg_torn);
+    if (!records.is_ok()) return records.status();
+    if (seg_torn && seg.last_seq != 0) {
+      return Status::error(ErrorCode::kCorruption,
+                           "torn tail in sealed segment " + seg.path);
+    }
+    if (seg_torn && torn) *torn = true;
+    for (auto& r : records.value()) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<SegmentedLogStorage>> SegmentedLogStorage::open(
+    const std::string& dir, Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kIoError, "cannot create " + dir);
+  }
+  auto log = std::unique_ptr<SegmentedLogStorage>(
+      new SegmentedLogStorage(dir, options));
+
+  auto segments = list_segments(dir);
+  if (!segments.is_ok()) return segments.status();
+  for (std::size_t i = 0; i < segments.value().size(); ++i) {
+    SegmentInfo& seg = segments.value()[i];
+    const bool newest = i + 1 == segments.value().size();
+    if (seg.last_seq != 0) {
+      log->sealed_.push_back(seg);
+      log->next_first_hint_ = std::max(log->next_first_hint_, seg.last_seq + 1);
+      continue;
+    }
+    // Unsealed segment. Decode to learn its real extent, and drop any torn
+    // tail so fresh appends never land behind garbage (a torn record
+    // mid-file would truncate every later record at the next recovery).
+    bool torn = false;
+    auto records = read_segment(seg.path, nullptr, &torn);
+    if (!records.is_ok()) return records.status();
+    ValidationTs last_commit = 0;
+    std::size_t good_bytes = kHeaderBytes;
+    {
+      ByteWriter probe;
+      for (const Record& r : records.value()) {
+        if (r.is_commit()) last_commit = std::max(last_commit, r.seq);
+        encode_record(r, probe);
+      }
+      good_bytes += probe.size();
+    }
+    if (seg.bytes < kHeaderBytes) {
+      // Header never hit the disk: the file holds nothing durable.
+      std::filesystem::remove(seg.path, ec);
+      log->tail_trimmed_ |= torn;
+      continue;
+    }
+    if (torn) {
+      if (::truncate(seg.path.c_str(), static_cast<off_t>(good_bytes)) != 0) {
+        return Status::error(ErrorCode::kIoError, "cannot trim torn " + seg.path);
+      }
+      log->tail_trimmed_ = true;
+    }
+    seg.bytes = good_bytes;
+    if (!newest) {
+      // Crash inside the seal-then-create window: seal it now with its
+      // observed extent so truncation can reason about it.
+      const ValidationTs last = last_commit ? last_commit : seg.first_seq;
+      if (auto s = patch_header(seg.path, seg.first_seq, last,
+                                options.fsync_on_flush);
+          !s) {
+        return s;
+      }
+      seg.last_seq = last;
+      log->sealed_.push_back(seg);
+      log->next_first_hint_ = std::max(log->next_first_hint_, last + 1);
+      continue;
+    }
+    // Continue appending to the newest unsealed segment.
+    std::FILE* f = std::fopen(seg.path.c_str(), "ab");
+    if (!f) {
+      return Status::error(ErrorCode::kIoError, "cannot reopen " + seg.path);
+    }
+    std::setvbuf(f, nullptr, _IONBF, 0);
+    log->active_ = f;
+    log->active_info_ = seg;
+    log->active_last_commit_ = last_commit;
+    log->next_first_hint_ =
+        std::max(log->next_first_hint_,
+                 last_commit ? last_commit + 1 : seg.first_seq);
+  }
+  log->publish_gauges();
+  return log;
+}
+
+SegmentedLogStorage::~SegmentedLogStorage() {
+  if (active_) {
+    std::fflush(active_);
+    std::fclose(active_);
+  }
+}
+
+Status SegmentedLogStorage::open_active(ValidationTs first_seq_hint) {
+  const std::string path =
+      (std::filesystem::path(dir_) / segment_name(first_seq_hint)).string();
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return Status::error(ErrorCode::kIoError, "cannot open " + path);
+  // Unbuffered: fwrite's return value is then authoritative about what
+  // reached the kernel, so a failed flush can retry exactly the unwritten
+  // suffix without duplicating bytes through a half-drained stdio buffer.
+  std::setvbuf(f, nullptr, _IONBF, 0);
+  const auto header = encode_header(first_seq_hint, 0);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    std::fclose(f);
+    return Status::error(ErrorCode::kIoError, "cannot write header " + path);
+  }
+  active_ = f;
+  active_info_ = SegmentInfo{path, first_seq_hint, 0, kHeaderBytes};
+  active_last_commit_ = 0;
+  return Status::ok();
+}
+
+void SegmentedLogStorage::append(const Record& r) {
+  encode_record(r, pending_);
+  ++appended_;
+  ++buffered_;
+  if (r.is_commit()) active_last_commit_ = std::max(active_last_commit_, r.seq);
+}
+
+Status SegmentedLogStorage::write_pending() {
+  const auto view = pending_.view();
+  while (pending_written_ < view.size()) {
+    std::size_t n = 0;
+    if (inject_errors_ > 0) {
+      --inject_errors_;
+    } else {
+      n = std::fwrite(view.data() + pending_written_, 1,
+                      view.size() - pending_written_, active_);
+    }
+    pending_written_ += n;
+    if (n == 0) {
+      std::clearerr(active_);
+      return Status::error(ErrorCode::kIoError, "log write failed");
+    }
+  }
+  if (std::fflush(active_) != 0) {
+    return Status::error(ErrorCode::kIoError, "log write failed");
+  }
+  if (options_.fsync_on_flush) return fsync_file(active_);
+  return Status::ok();
+}
+
+void SegmentedLogStorage::flush(std::function<void(Status)> done) {
+  Status status = Status::ok();
+  if (pending_.size() > 0) {
+    if (!active_) status = open_active(next_first_hint_);
+    if (status) {
+      const std::size_t before = pending_written_;
+      status = write_pending();
+      active_info_.bytes += pending_written_ - before;
+    }
+  }
+  if (status) {
+    // Everything pending is on disk; only now may the records count as
+    // durable. On failure both the bytes and the buffered count stay for
+    // the retry — dropping one but not the other is how records get
+    // credited as durable without ever being written.
+    pending_.clear();
+    pending_written_ = 0;
+    durable_ += buffered_;
+    buffered_ = 0;
+    if (active_info_.bytes >= options_.segment_bytes + kHeaderBytes &&
+        active_last_commit_ > 0) {
+      status = seal_active_locked();
+    }
+    publish_gauges();
+  }
+  if (done) done(status);
+}
+
+Status SegmentedLogStorage::seal_active_locked() {
+  std::fflush(active_);
+  std::fclose(active_);
+  active_ = nullptr;
+  SegmentInfo sealed = active_info_;
+  sealed.last_seq = active_last_commit_;
+  if (auto s = patch_header(sealed.path, sealed.first_seq, sealed.last_seq,
+                            options_.fsync_on_flush);
+      !s) {
+    return s;
+  }
+  sealed_.push_back(sealed);
+  next_first_hint_ = std::max(next_first_hint_, sealed.last_seq + 1);
+  active_info_ = SegmentInfo{};
+  active_last_commit_ = 0;
+  seg_metrics().sealed.inc();
+  return Status::ok();
+}
+
+Status SegmentedLogStorage::seal_active() {
+  if (!active_ || active_last_commit_ == 0) return Status::ok();
+  Status status = Status::ok();
+  flush([&](Status s) { status = s; });
+  if (!status) return status;
+  if (!active_) return Status::ok();  // the flush already rotated
+  Status sealed = seal_active_locked();
+  publish_gauges();
+  return sealed;
+}
+
+std::uint64_t SegmentedLogStorage::truncate_upto(ValidationTs boundary) {
+  std::uint64_t removed = 0;
+  std::error_code ec;
+  for (auto it = sealed_.begin(); it != sealed_.end();) {
+    if (it->last_seq != 0 && it->last_seq <= boundary) {
+      std::filesystem::remove(it->path, ec);
+      it = sealed_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) {
+    seg_metrics().truncated.inc(removed);
+    publish_gauges();
+  }
+  return removed;
+}
+
+std::uint64_t SegmentedLogStorage::disk_bytes() const {
+  std::uint64_t total = active_ ? active_info_.bytes : 0;
+  for (const SegmentInfo& s : sealed_) total += s.bytes;
+  return total;
+}
+
+std::size_t SegmentedLogStorage::segment_count() const {
+  return sealed_.size() + (active_ ? 1 : 0);
+}
+
+void SegmentedLogStorage::publish_gauges() const {
+  seg_metrics().disk_bytes.set(static_cast<double>(disk_bytes()));
+  seg_metrics().live.set(static_cast<double>(segment_count()));
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,123 @@
+// Segmented redo log with checkpoint-coordinated truncation (DESIGN.md §10).
+//
+// One ever-growing log file makes restart time and disk footprint grow
+// without bound. SegmentedLogStorage rotates the append stream into sealed
+// segments (`log.<first_seq>.seg`) once the active segment crosses a size
+// threshold. Each segment starts with a fixed header carrying the first and
+// last validation sequence it covers (last == 0 while the segment is still
+// active), so truncation after a checkpoint is a pure filename-level
+// operation: every sealed segment whose last_seq is at or below the
+// checkpoint boundary is deleted, and restart replays only the survivors.
+//
+// Records inside a segment keep the per-record CRC framing of record.hpp;
+// the newest (unsealed) segment may end in a torn record after a crash,
+// sealed segments must decode cleanly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rodain/log/log_storage.hpp"
+
+namespace rodain::log {
+
+/// Size-threshold-rotated, truncatable on-disk redo log.
+class SegmentedLogStorage final : public LogStorage {
+ public:
+  struct Options {
+    /// Seal the active segment once it holds at least this many bytes of
+    /// record data (checked at flush boundaries, so transactions never
+    /// split across segments).
+    std::size_t segment_bytes{4 * 1024 * 1024};
+    bool fsync_on_flush{false};
+  };
+
+  struct SegmentInfo {
+    std::string path;
+    ValidationTs first_seq{0};  ///< header hint: first commit seq expected
+    ValidationTs last_seq{0};   ///< 0 = unsealed (active, or crashed-active)
+    std::uint64_t bytes{0};     ///< file size including the header
+  };
+
+  /// Opens `dir` (created if absent) and continues the newest unsealed
+  /// segment, truncating a torn tail left by a crash so fresh appends never
+  /// land behind garbage. Unsealed segments that are not the newest (a
+  /// crash inside the seal-then-create window) are sealed in place.
+  static Result<std::unique_ptr<SegmentedLogStorage>> open(
+      const std::string& dir, Options options);
+  static Result<std::unique_ptr<SegmentedLogStorage>> open(
+      const std::string& dir) {
+    return open(dir, Options{});
+  }
+  ~SegmentedLogStorage() override;
+
+  void append(const Record& r) override;
+  void flush(std::function<void(Status)> done) override;
+  [[nodiscard]] Lsn appended() const override { return appended_; }
+  [[nodiscard]] Lsn durable() const override { return durable_; }
+
+  /// Delete every sealed segment whose last_seq is at or below `boundary`
+  /// (checkpoint-coordinated truncation). Returns segments deleted.
+  std::uint64_t truncate_upto(ValidationTs boundary) override;
+
+  /// Seal the active segment now regardless of size (shutdown, tests).
+  /// No-op while the active segment holds no commit record.
+  Status seal_active();
+
+  [[nodiscard]] std::uint64_t disk_bytes() const;
+  [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// True when open() found and discarded a torn tail (a crash mid-write).
+  /// The trim happens before any reader sees the directory, so restart
+  /// paths consult this to report the crash artifact they recovered from.
+  [[nodiscard]] bool tail_trimmed_at_open() const { return tail_trimmed_; }
+
+  /// Fault-injection hook (tests): the next `n` record-stream writes fail
+  /// as if the device were full.
+  void inject_write_error(std::size_t n) { inject_errors_ = n; }
+
+  /// All segments in `dir`, ordered by first_seq. Unsealed segments report
+  /// last_seq == 0. A missing directory is kNotFound.
+  static Result<std::vector<SegmentInfo>> list_segments(const std::string& dir);
+
+  /// Decode one segment's records. `torn` reports an incomplete tail —
+  /// tolerated only for unsealed segments (callers decide).
+  static Result<std::vector<Record>> read_segment(const std::string& path,
+                                                  SegmentInfo* info = nullptr,
+                                                  bool* torn = nullptr);
+
+  /// Decode every surviving segment in order (tools, tests).
+  static Result<std::vector<Record>> read_all(const std::string& dir,
+                                              bool* torn = nullptr);
+
+  static constexpr std::size_t kHeaderBytes = 32;
+
+ private:
+  SegmentedLogStorage(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status open_active(ValidationTs first_seq_hint);
+  Status write_pending();
+  Status seal_active_locked();
+  void publish_gauges() const;
+
+  std::string dir_;
+  Options options_;
+  std::vector<SegmentInfo> sealed_;
+
+  std::FILE* active_{nullptr};
+  SegmentInfo active_info_{};
+  ValidationTs active_last_commit_{0};
+  ValidationTs next_first_hint_{1};
+
+  ByteWriter pending_;
+  std::size_t pending_written_{0};  ///< prefix of pending_ already on disk
+  Lsn appended_{0};
+  Lsn durable_{0};
+  Lsn buffered_{0};
+  std::size_t inject_errors_{0};
+  bool tail_trimmed_{false};
+};
+
+}  // namespace rodain::log

@@ -75,7 +75,18 @@ MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
       reorderer_(
           [this](ValidationTs seq, TxnId txn, std::vector<log::Record> recs) {
             release(seq, txn, std::move(recs));
-          }) {}
+          }) {
+  if (options_.write_checkpoint && options_.checkpoint_interval.is_positive()) {
+    log::Checkpointer::Options ckpt;
+    ckpt.interval = options_.checkpoint_interval;
+    // applied_seq_ is the mirror's consistent boundary: every transaction
+    // at or below it is fully installed in the copy, in validation order.
+    ckpt.boundary = [this] { return applied_seq_; };
+    ckpt.write = options_.write_checkpoint;
+    ckpt.log = options_.store_to_disk ? disk_ : nullptr;
+    ckpt_.configure(std::move(ckpt));
+  }
+}
 
 void MirrorService::attach_synced(ValidationTs expected_next) {
   reorderer_.set_expected_next(expected_next);
@@ -127,6 +138,10 @@ void MirrorService::send_heartbeat() {
 
 void MirrorService::poll(TimePoint now) {
   endpoint_.poll(now);
+  if (!awaiting_snapshot_ && ckpt_.enabled() && ckpt_.tick(now)) {
+    stats_.checkpoints = ckpt_.stats().checkpoints;
+    stats_.log_truncated = ckpt_.stats().truncated;
+  }
   if (!awaiting_snapshot_) return;
   if (now - last_join_activity_ <= options_.join_retry_timeout) return;
   // The join stalled: the request, some chunks, or the done marker were

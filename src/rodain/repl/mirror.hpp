@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "rodain/common/clock.hpp"
+#include "rodain/log/checkpointer.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/reorder.hpp"
 #include "rodain/repl/endpoint.hpp"
@@ -47,6 +48,12 @@ class MirrorService {
     /// Ignore kPrimaryAlone heartbeats this soon after syncing — they can
     /// be stale frames that were in flight while our join completed.
     Duration abandon_grace{Duration::millis(150)};
+    /// Periodic checkpoint cadence driven off the apply path (poll): write
+    /// a checkpoint at applied_seq, then truncate the stored log below it.
+    /// Zero (or no write callback) disables it.
+    Duration checkpoint_interval{Duration::zero()};
+    /// Persist a checkpoint consistent with the given applied boundary.
+    std::function<Status(ValidationTs)> write_checkpoint;
   };
 
   struct Stats {
@@ -64,6 +71,9 @@ class MirrorService {
     std::uint64_t join_retries{0};
     std::uint64_t rejoins_after_abandon{0};
     std::uint64_t send_failures{0};
+    std::uint64_t checkpoints{0};
+    /// Log units truncated after checkpoints (LogStorage::truncate_upto).
+    std::uint64_t log_truncated{0};
   };
 
   /// `disk` may be null when store_to_disk is false; `index` (optional)
@@ -130,6 +140,8 @@ class MirrorService {
   log::Reorderer reorderer_;
   ValidationTs applied_seq_{0};
   Stats stats_;
+  /// Apply-path checkpoint cadence (ticked from poll()).
+  log::Checkpointer ckpt_;
 
   bool awaiting_snapshot_{false};
   /// Chunk assembly for the in-progress serve (reset when a chunk from a

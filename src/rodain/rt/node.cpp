@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/log/segment.hpp"
 #include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
 
@@ -68,6 +69,20 @@ Node::Node(NodeConfig config, std::string name)
       overload_(config.overload) {
   if (config_.log_path.empty()) {
     disk_ = std::make_unique<log::MemoryLogStorage>();
+  } else if (config_.log_segment_bytes > 0) {
+    log::SegmentedLogStorage::Options seg;
+    seg.segment_bytes = config_.log_segment_bytes;
+    seg.fsync_on_flush = config_.fsync_log;
+    auto segmented = log::SegmentedLogStorage::open(config_.log_path, seg);
+    if (!segmented.is_ok()) {
+      RODAIN_ERROR("%s: cannot open segmented log %s (%s); using memory log",
+                   name_.c_str(), config_.log_path.c_str(),
+                   segmented.status().to_string().c_str());
+      disk_ = std::make_unique<log::MemoryLogStorage>();
+    } else {
+      log_tail_trimmed_ = segmented.value()->tail_trimmed_at_open();
+      disk_ = std::move(segmented).value();
+    }
   } else {
     auto file = log::FileLogStorage::open(config_.log_path, config_.fsync_log);
     if (!file.is_ok()) {
@@ -79,6 +94,14 @@ Node::Node(NodeConfig config, std::string name)
       disk_ = std::move(file).value();
     }
   }
+  log::Checkpointer::Options ckpt;
+  ckpt.interval = config_.checkpoint_interval;
+  ckpt.boundary = [this] {
+    return engine_ ? engine_->installed_low_water() : ValidationTs{0};
+  };
+  ckpt.write = [this](ValidationTs b) { return write_checkpoint_at_locked(b); };
+  ckpt.log = disk_.get();
+  ckpt_.configure(std::move(ckpt));
 }
 
 Node::~Node() { stop(); }
@@ -213,10 +236,9 @@ void Node::start_primary(LogMode mode, net::Channel* peer) {
         timer_cv_.wait_for(
             ckpt_lock, std::chrono::microseconds(config_.checkpoint_interval.us));
         if (stopping_ || !serving_locked()) continue;
-        if (Status s = write_checkpoint_locked(); !s) {
-          RODAIN_WARN("%s: periodic checkpoint failed: %s", name_.c_str(),
-                      s.to_string().c_str());
-        }
+        // The Checkpointer owns the cadence (the cv also wakes on every
+        // submit) and truncates the log after each successful write.
+        ckpt_.tick(clock_.now());
       }
     });
   }
@@ -252,10 +274,7 @@ bool Node::serving_locked() const {
   return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
 }
 
-Status Node::write_checkpoint_locked() {
-  // Consistent boundary: every transaction up to the installed low-water
-  // mark has its after-images in the store (validation+install is atomic).
-  const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
+Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
   Status s = storage::write_checkpoint_file(store_, boundary,
                                             config_.checkpoint_path, &index_);
   if (s) {
@@ -266,6 +285,15 @@ Status Node::write_checkpoint_locked() {
       obs::tracer().record_instant(obs::Phase::kCheckpoint, boundary);
     }
   }
+  return s;
+}
+
+Status Node::write_checkpoint_locked() {
+  // Consistent boundary: every transaction up to the installed low-water
+  // mark has its after-images in the store (validation+install is atomic).
+  const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
+  Status s = write_checkpoint_at_locked(boundary);
+  if (s && disk_) disk_->truncate_upto(boundary);
   return s;
 }
 
@@ -283,10 +311,18 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
     return Status::error(ErrorCode::kFailedPrecondition,
                          "recover before starting a role");
   }
-  auto stats = log::recover_checkpoint_and_log(config_.checkpoint_path,
-                                               config_.log_path, store_,
-                                               &index_);
+  auto stats =
+      config_.log_segment_bytes > 0
+          ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
+                                                 config_.log_path, store_,
+                                                 &index_)
+          : log::recover_checkpoint_and_log(config_.checkpoint_path,
+                                            config_.log_path, store_, &index_);
   if (stats.is_ok()) {
+    // Opening the segmented log (in the constructor) already trimmed any
+    // torn tail the crash left, so the replay above saw a clean directory;
+    // fold the trim back into the stats the caller sees.
+    stats.value().torn_tail |= log_tail_trimmed_;
     recovered_next_seq_ = stats.value().last_seq + 1;
     RODAIN_INFO("%s: local recovery done (%llu txns replayed, next seq %llu)",
                 name_.c_str(),
@@ -310,6 +346,15 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
   options.store_to_disk = true;
   options.on_synced = [this] { become_locked(NodeRole::kMirror); };
   options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
+  if (!config_.checkpoint_path.empty() &&
+      config_.checkpoint_interval.is_positive()) {
+    // Checkpoints ride the apply path: MirrorService polls the cadence and
+    // truncates the stored log after each write (DESIGN.md §10).
+    options.checkpoint_interval = config_.checkpoint_interval;
+    options.write_checkpoint = [this](ValidationTs boundary) {
+      return write_checkpoint_at_locked(boundary);
+    };
+  }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
                                                   options, &index_);
@@ -329,6 +374,15 @@ void Node::start_rejoin(net::Channel& peer) {
   options.store_to_disk = true;
   options.on_synced = [this] { become_locked(NodeRole::kMirror); };
   options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
+  if (!config_.checkpoint_path.empty() &&
+      config_.checkpoint_interval.is_positive()) {
+    // Checkpoints ride the apply path: MirrorService polls the cadence and
+    // truncates the stored log after each write (DESIGN.md §10).
+    options.checkpoint_interval = config_.checkpoint_interval;
+    options.write_checkpoint = [this](ValidationTs boundary) {
+      return write_checkpoint_at_locked(boundary);
+    };
+  }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
                                                   options, &index_);

@@ -25,6 +25,7 @@
 #include "rodain/obs/series.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/writer.hpp"
+#include "rodain/log/checkpointer.hpp"
 #include "rodain/net/channel.hpp"
 #include "rodain/repl/mirror.hpp"
 #include "rodain/repl/primary.hpp"
@@ -40,6 +41,10 @@ struct NodeConfig {
   /// Redo log file; empty keeps the log in memory (tests, demos).
   std::string log_path{};
   bool fsync_log{false};
+  /// Non-zero switches the redo log to the segmented store: `log_path` is
+  /// then a directory, sealed segments rotate at this size, and every
+  /// successful checkpoint truncates segments below its boundary.
+  std::size_t log_segment_bytes{0};
   /// Periodic full checkpoints (bounding restart-recovery work). Empty
   /// path or zero interval disables the daemon.
   std::string checkpoint_path{};
@@ -157,6 +162,7 @@ class Node {
   void take_over_locked();
   bool serving_locked() const;
   Status write_checkpoint_locked();
+  Status write_checkpoint_at_locked(ValidationTs boundary);
 
   void worker_loop();
   void timer_loop();
@@ -221,6 +227,11 @@ class Node {
   std::thread sampler_;
   obs::TimeSeries series_;
   ValidationTs recovered_next_seq_{1};
+  /// The segmented-log open trimmed a torn tail left by a crash; folded
+  /// into RecoveryStats::torn_tail by recover_from_local_state.
+  bool log_tail_trimmed_{false};
+  /// Cadence + truncation driver behind the checkpointer thread (under mu_).
+  log::Checkpointer ckpt_;
 };
 
 }  // namespace rodain::rt

@@ -21,6 +21,19 @@ SimNode::SimNode(sim::Simulation& sim, std::string name, NodeId id,
   } else {
     disk_ = std::make_unique<log::MemoryLogStorage>();
   }
+  if (config_.checkpoint_interval.is_positive()) {
+    log::Checkpointer::Options ckpt;
+    ckpt.interval = config_.checkpoint_interval;
+    ckpt.boundary = [this] {
+      return engine_ ? engine_->installed_low_water() : ValidationTs{0};
+    };
+    // The simulator has no checkpoint file: the write is modelled as
+    // instantaneous, and the cadence exists for its side effect — the
+    // Checkpointer truncates the modelled log below each boundary.
+    ckpt.write = [](ValidationTs) { return Status::ok(); };
+    ckpt.log = disk_.get();
+    ckpt_.configure(std::move(ckpt));
+  }
 }
 
 SimNode::~SimNode() = default;
@@ -143,6 +156,7 @@ void SimNode::start_as_primary(LogMode mode) {
   become(mode == LogMode::kMirror ? NodeRole::kPrimaryWithMirror
                                   : NodeRole::kPrimaryAlone);
   schedule_heartbeat();
+  schedule_checkpoint();
 }
 
 void SimNode::start_as_mirror(ValidationTs expected_next) {
@@ -154,6 +168,12 @@ void SimNode::start_as_mirror(ValidationTs expected_next) {
   options.store_to_disk = config_.disk_enabled;
   options.on_synced = [this] { become(NodeRole::kMirror); };
   options.on_abandoned = [this] { become(NodeRole::kRecovering); };
+  if (config_.checkpoint_interval.is_positive()) {
+    // Mirror-side checkpoints ride the apply path (MirrorService::poll);
+    // the write is modelled, the truncation of the stored log is real.
+    options.checkpoint_interval = config_.checkpoint_interval;
+    options.write_checkpoint = [](ValidationTs) { return Status::ok(); };
+  }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *channel_, sim_, options,
                                                   &index_);
@@ -168,6 +188,10 @@ void SimNode::fail() {
   if (heartbeat_event_ != sim::kInvalidEvent) {
     sim_.cancel(heartbeat_event_);
     heartbeat_event_ = sim::kInvalidEvent;
+  }
+  if (checkpoint_event_ != sim::kInvalidEvent) {
+    sim_.cancel(checkpoint_event_);
+    checkpoint_event_ = sim::kInvalidEvent;
   }
   takeover_pending_ = false;
   demotion_pending_ = false;
@@ -206,6 +230,10 @@ void SimNode::recover_and_rejoin() {
   options.store_to_disk = config_.disk_enabled;
   options.on_synced = [this] { become(NodeRole::kMirror); };
   options.on_abandoned = [this] { become(NodeRole::kRecovering); };
+  if (config_.checkpoint_interval.is_positive()) {
+    options.checkpoint_interval = config_.checkpoint_interval;
+    options.write_checkpoint = [](ValidationTs) { return Status::ok(); };
+  }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *channel_, sim_, options,
                                                   &index_);
@@ -277,6 +305,20 @@ void SimNode::heartbeat_tick() {
   schedule_heartbeat();
 }
 
+void SimNode::schedule_checkpoint() {
+  if (!ckpt_.enabled()) return;
+  if (checkpoint_event_ != sim::kInvalidEvent) sim_.cancel(checkpoint_event_);
+  checkpoint_event_ = sim_.schedule_after(config_.checkpoint_interval,
+                                          [this] { checkpoint_tick(); });
+}
+
+void SimNode::checkpoint_tick() {
+  checkpoint_event_ = sim::kInvalidEvent;
+  if (!serving()) return;  // mirror-role checkpoints ride MirrorService::poll
+  ckpt_.tick(sim_.now());
+  schedule_checkpoint();
+}
+
 void SimNode::begin_takeover() {
   takeover_pending_ = true;
   sim_.schedule_after(config_.takeover_activation, [this] {
@@ -287,6 +329,7 @@ void SimNode::begin_takeover() {
     build_log_writer(LogMode::kDirectDisk);
     build_engine(takeover.next_seq);
     become(NodeRole::kPrimaryAlone);
+    schedule_checkpoint();
   });
 }
 

@@ -17,6 +17,7 @@
 
 #include "rodain/common/stats.hpp"
 #include "rodain/engine/engine.hpp"
+#include "rodain/log/checkpointer.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/writer.hpp"
 #include "rodain/net/channel.hpp"
@@ -64,6 +65,12 @@ struct SimNodeConfig {
   /// default (max_txns 1, no delay) ships every submission immediately.
   log::LogWriter::BatchOptions log_batch{};
   std::size_t store_capacity_hint{30000};
+  /// Periodic modelled checkpoints on the virtual timeline: the write
+  /// itself is instantaneous (the simulator has no checkpoint file), but
+  /// the cadence truncates the modelled log below each boundary, so disk
+  /// backlog and log-size behaviour match a node with real checkpoints.
+  /// Zero disables the cadence (historical behaviour).
+  Duration checkpoint_interval{Duration::zero()};
 };
 
 class SimNode {
@@ -123,6 +130,11 @@ class SimNode {
   [[nodiscard]] log::LogWriter* log_writer() { return log_writer_.get(); }
   [[nodiscard]] log::LogStorage* disk() { return disk_.get(); }
   [[nodiscard]] repl::MirrorService* mirror_service() { return mirror_.get(); }
+  /// Serving-role checkpoint cadence (mirror-role checkpoints live in
+  /// MirrorService::Stats instead).
+  [[nodiscard]] const log::Checkpointer::Stats& checkpoint_stats() const {
+    return ckpt_.stats();
+  }
   [[nodiscard]] sim::SimCpu& cpu() { return cpu_; }
   [[nodiscard]] sched::OverloadManager& overload() { return overload_; }
 
@@ -147,6 +159,8 @@ class SimNode {
   void begin_takeover();
   void schedule_heartbeat();
   void heartbeat_tick();
+  void schedule_checkpoint();
+  void checkpoint_tick();
 
   void run_step(TxnId id);
   void on_step_done(TxnId id, engine::StepAction action, Duration cost);
@@ -177,6 +191,10 @@ class SimNode {
   NodeRole role_{NodeRole::kDown};
   RoleChangeFn on_role_change_;
   sim::EventId heartbeat_event_{sim::kInvalidEvent};
+  /// Virtual-time checkpoint cadence while serving (armed by the primary
+  /// roles, cancelled on fail()).
+  sim::EventId checkpoint_event_{sim::kInvalidEvent};
+  log::Checkpointer ckpt_;
   bool takeover_pending_{false};
   /// A split-brain demotion is scheduled (deferred off the replicator's
   /// message handler, which the demotion destroys).

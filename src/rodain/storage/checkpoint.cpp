@@ -1,7 +1,9 @@
 #include "rodain/storage/checkpoint.hpp"
 
 #include <cstdio>
+#include <fcntl.h>
 #include <filesystem>
+#include <unistd.h>
 #include <vector>
 
 namespace rodain::storage {
@@ -96,6 +98,22 @@ Result<CheckpointMeta> decode_checkpoint(std::span<const std::byte> data,
   return meta;
 }
 
+namespace {
+/// Flush directory metadata so a rename survives power loss.
+Status fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::error(ErrorCode::kIoError, "cannot open dir " + dir);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::error(ErrorCode::kIoError, "dir fsync " + dir);
+  return Status::ok();
+}
+}  // namespace
+
 Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,
                              const std::string& path, const BPlusTree* index) {
   ByteWriter w(store.size() * 80 + 64);
@@ -104,9 +122,13 @@ Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::error(ErrorCode::kIoError, "cannot open " + tmp);
   const auto view = w.view();
+  // The tmp file must be on stable storage BEFORE the rename: rename is
+  // atomic for the directory entry only, so without the fsync a crash can
+  // expose `path` pointing at an empty or torn file — corruption where the
+  // old checkpoint used to be.
   const bool ok =
       std::fwrite(view.data(), 1, view.size(), f) == view.size() &&
-      std::fflush(f) == 0;
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
   if (!ok) {
     std::remove(tmp.c_str());
@@ -115,7 +137,7 @@ Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::error(ErrorCode::kIoError, "rename: " + ec.message());
-  return Status::ok();
+  return fsync_parent_dir(path);
 }
 
 Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
@@ -125,8 +147,18 @@ Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
   if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
   std::fseek(f, 0, SEEK_END);
   const long len = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::byte> buf(static_cast<std::size_t>(len < 0 ? 0 : len));
+  if (len < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::error(ErrorCode::kIoError, "cannot size " + path);
+  }
+  if (len == 0) {
+    // A zero-length file is what a crash between create and first write
+    // leaves behind — recovery treats it like no checkpoint at all, not
+    // like corruption.
+    std::fclose(f);
+    return Status::error(ErrorCode::kNotFound, "empty checkpoint " + path);
+  }
+  std::vector<std::byte> buf(static_cast<std::size_t>(len));
   const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
   std::fclose(f);
   if (!ok) return Status::error(ErrorCode::kIoError, "short checkpoint read");

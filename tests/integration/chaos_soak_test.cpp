@@ -107,6 +107,9 @@ void run_soak(const SoakOptions& opt) {
   config.node.log_batch.max_txns = 4;
   config.node.log_batch.max_delay = 2_ms;
   config.node.log_batch.adaptive_delay = true;
+  // Checkpoint cadence on, so the soak also exercises apply-path
+  // checkpoints and log truncation racing crashes, takeovers and rejoins.
+  config.node.checkpoint_interval = 120_ms;
   config.faults = faults;
   simdb::SimCluster cluster(sim, config);
   cluster.populate([&](storage::ObjectStore& s, storage::BPlusTree& i) {

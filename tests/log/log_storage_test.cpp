@@ -104,6 +104,74 @@ TEST_F(FileLogTest, MissingFileIsNotFound) {
   EXPECT_EQ(records.status().code(), ErrorCode::kNotFound);
 }
 
+TEST_F(FileLogTest, FailedFlushKeepsBytesForRetry) {
+  auto file = FileLogStorage::open(path_);
+  ASSERT_TRUE(file.is_ok());
+  file.value()->append(Record::write_image(1, 10, val("a")));
+  file.value()->append(Record::commit(1, 1, 100, 1));
+  file.value()->inject_write_error(1);
+
+  Status status = Status::ok();
+  file.value()->flush([&](Status s) { status = s; });
+  EXPECT_FALSE(status);
+  EXPECT_EQ(file.value()->durable(), 0u);
+
+  // Regression: the failed flush used to clear the pending buffer while
+  // leaving the buffered count, so this retry (with nothing left to write)
+  // would credit durable_ for records that never reached the file.
+  file.value()->flush([&](Status s) { status = s; });
+  ASSERT_TRUE(status) << status.to_string();
+  EXPECT_EQ(file.value()->durable(), 2u);
+
+  auto records = FileLogStorage::read_all(path_);
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_TRUE(records.value()[1].is_commit());
+}
+
+TEST(MemoryLogStorage, TruncateUptoTrimsDurableCommitPrefix) {
+  MemoryLogStorage mem;
+  for (TxnId t = 1; t <= 4; ++t) {
+    mem.append(Record::write_image(t, t * 10, val("x")));
+    mem.append(Record::commit(t, t, t * 100, 1));
+  }
+  mem.flush({});
+  // Boundary mid-history: exactly the first two transactions are covered.
+  EXPECT_EQ(mem.truncate_upto(2), 4u);
+  EXPECT_EQ(mem.durable(), 4u);
+  ASSERT_EQ(mem.records().size(), 4u);
+  EXPECT_EQ(mem.records()[0].oid, 30u);
+  // A boundary below every remaining commit removes nothing.
+  EXPECT_EQ(mem.truncate_upto(2), 0u);
+}
+
+TEST(SimDiskLogStorage, TruncateUptoPreservesBacklogAccounting) {
+  sim::Simulation sim;
+  SimDiskLogStorage disk(sim, {});
+  for (TxnId t = 1; t <= 3; ++t) {
+    disk.append(Record::commit(t, t, t * 100, 0));
+  }
+  disk.flush({});
+  sim.run();
+  // Two more appended but not yet durable.
+  disk.append(Record::commit(4, 4, 400, 0));
+  disk.append(Record::commit(5, 5, 500, 0));
+  EXPECT_EQ(disk.backlog(), 2u);
+
+  EXPECT_EQ(disk.truncate_upto(2), 2u);
+  EXPECT_EQ(disk.truncated(), 2u);
+  EXPECT_EQ(disk.backlog(), 2u) << "truncation only trims the durable prefix";
+  EXPECT_EQ(disk.durable(), 1u);
+  EXPECT_EQ(disk.appended(), 3u);
+
+  disk.flush({});
+  sim.run();
+  EXPECT_EQ(disk.backlog(), 0u);
+  EXPECT_EQ(disk.durable(), 3u);
+  ASSERT_EQ(disk.records().size(), 3u);
+  EXPECT_EQ(disk.records()[0].seq, 3u);
+}
+
 TEST(SimDiskLogStorage, FlushCostsSeekPlusTransfer) {
   sim::Simulation sim;
   SimDiskLogStorage::Options options;

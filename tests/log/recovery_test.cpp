@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <map>
 
 #include "rodain/common/rng.hpp"
 #include "rodain/log/log_storage.hpp"
+#include "rodain/log/segment.hpp"
+#include "rodain/storage/checkpoint.hpp"
 
 namespace rodain::log {
 namespace {
@@ -158,6 +162,168 @@ TEST(Recovery, PropertyPrefixConsistencyAtEveryCrashPoint) {
     });
     EXPECT_EQ(found, expect.size()) << "cut=" << cut;
   }
+}
+
+// ---- segmented cold start ------------------------------------------------
+
+class SegmentedRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rodain_segrec_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    log_dir_ = (dir_ / "log").string();
+    ckpt_path_ = (dir_ / "db.ckpt").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Log committed txns [1, txns] into small segments, mirroring them into
+  /// `state` and `expect` so tests can checkpoint / verify any boundary.
+  void build_segments(std::size_t txns,
+                      std::map<ObjectId, std::uint64_t>& expect,
+                      storage::ObjectStore* state = nullptr) {
+    SegmentedLogStorage::Options opt;
+    opt.segment_bytes = 256;
+    auto log = SegmentedLogStorage::open(log_dir_, opt);
+    ASSERT_TRUE(log.is_ok());
+    for (ValidationTs seq = 1; seq <= txns; ++seq) {
+      const ObjectId oid = 1 + (seq % 7);
+      log.value()->append(Record::write_image(seq, oid, counter_val(seq)));
+      log.value()->append(Record::commit(seq, seq, seq * 1000, 1));
+      Status status = Status::ok();
+      log.value()->flush([&](Status s) { status = s; });
+      ASSERT_TRUE(status) << status.to_string();
+      expect[oid] = seq;
+      if (state) state->upsert(oid, counter_val(seq), seq);
+    }
+  }
+
+  void verify_state(const storage::ObjectStore& store,
+                    const std::map<ObjectId, std::uint64_t>& expect) {
+    for (const auto& [oid, v] : expect) {
+      ASSERT_NE(store.find(oid), nullptr) << oid;
+      EXPECT_EQ(store.find(oid)->value.read_u64(0), v) << oid;
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::string log_dir_;
+  std::string ckpt_path_;
+};
+
+TEST_F(SegmentedRecoveryTest, SkipsSegmentsTheCheckpointCovers) {
+  std::map<ObjectId, std::uint64_t> expect;
+  storage::ObjectStore state(16);
+  storage::ObjectStore snapshot(16);
+  // Checkpoint the state as of seq 20, then keep logging to 40 WITHOUT
+  // truncating — recovery itself must skip the fully covered segments.
+  build_segments(40, expect, &state);
+  storage::ObjectStore at_20(16);
+  std::map<ObjectId, std::uint64_t> expect_20;
+  for (ValidationTs seq = 1; seq <= 20; ++seq) {
+    at_20.upsert(1 + (seq % 7), counter_val(seq), seq);
+  }
+  ASSERT_TRUE(storage::write_checkpoint_file(at_20, 20, ckpt_path_));
+
+  storage::ObjectStore recovered(16);
+  auto stats = recover_checkpoint_and_segments(ckpt_path_, log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_GT(stats.value().segments_skipped, 0u);
+  EXPECT_GT(stats.value().segments_decoded, 0u);
+  EXPECT_EQ(stats.value().last_seq, 40u);
+  // Commits at or below the boundary that survive in straddling segments
+  // replay as no-ops: only the tail past 20 is applied.
+  EXPECT_EQ(stats.value().committed_applied, 20u);
+  verify_state(recovered, expect);
+}
+
+TEST_F(SegmentedRecoveryTest, CommitExactlyAtBoundaryIsSkipped) {
+  std::map<ObjectId, std::uint64_t> expect;
+  storage::ObjectStore state(16);
+  build_segments(10, expect, &state);
+  // Boundary lands exactly on commit seq 10 — the newest commit must NOT
+  // replay (r.seq <= already_applied), and last_seq still reports 10.
+  ASSERT_TRUE(storage::write_checkpoint_file(state, 10, ckpt_path_));
+  storage::ObjectStore recovered(16);
+  auto stats = recover_checkpoint_and_segments(ckpt_path_, log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().committed_applied, 0u);
+  EXPECT_EQ(stats.value().last_seq, 10u);
+  verify_state(recovered, expect);
+}
+
+TEST_F(SegmentedRecoveryTest, BoundaryPastTheLogClampsLastSeq) {
+  std::map<ObjectId, std::uint64_t> expect;
+  storage::ObjectStore state(16);
+  build_segments(5, expect, &state);
+  // The checkpoint is AHEAD of the surviving log (truncation deleted
+  // everything it covered plus the node crashed before logging more):
+  // last_seq must be the checkpoint boundary, never the older log tail.
+  ASSERT_TRUE(storage::write_checkpoint_file(state, 50, ckpt_path_));
+  storage::ObjectStore recovered(16);
+  auto stats = recover_checkpoint_and_segments(ckpt_path_, log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().committed_applied, 0u);
+  EXPECT_EQ(stats.value().last_seq, 50u);
+}
+
+TEST_F(SegmentedRecoveryTest, TornTailInNewestSegmentTolerated) {
+  std::map<ObjectId, std::uint64_t> expect;
+  build_segments(12, expect);
+  // Crash artifact: garbage after the last whole record of the unsealed
+  // (newest) segment.
+  auto segments = SegmentedLogStorage::list_segments(log_dir_);
+  ASSERT_TRUE(segments.is_ok());
+  const auto& newest = segments.value().back();
+  ASSERT_EQ(newest.last_seq, 0u) << "newest segment should be unsealed";
+  {
+    std::FILE* f = std::fopen(newest.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x40\x00\x00\x00half-a-record";
+    std::fwrite(garbage, 1, sizeof garbage, f);
+    std::fclose(f);
+  }
+  storage::ObjectStore recovered(16);
+  auto stats = recover_checkpoint_and_segments("", log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_TRUE(stats.value().torn_tail);
+  EXPECT_EQ(stats.value().committed_applied, 12u);
+  verify_state(recovered, expect);
+}
+
+TEST_F(SegmentedRecoveryTest, CorruptCheckpointFallsBackToLogOnlyReplay) {
+  std::map<ObjectId, std::uint64_t> expect;
+  storage::ObjectStore state(16);
+  build_segments(15, expect, &state);
+  ASSERT_TRUE(storage::write_checkpoint_file(state, 15, ckpt_path_));
+  // Flip a payload byte: the checkpoint CRC fails, but the full log still
+  // exists, so recovery restarts from an empty store and replays it all.
+  {
+    std::FILE* f = std::fopen(ckpt_path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+  }
+  storage::ObjectStore recovered(16);
+  auto stats = recover_checkpoint_and_segments(ckpt_path_, log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_TRUE(stats.value().checkpoint_fallback);
+  EXPECT_EQ(stats.value().committed_applied, 15u);
+  EXPECT_EQ(stats.value().last_seq, 15u);
+  verify_state(recovered, expect);
+}
+
+TEST_F(SegmentedRecoveryTest, NoCheckpointNoLogIsCleanEmptyStart) {
+  storage::ObjectStore recovered(4);
+  auto stats = recover_checkpoint_and_segments(ckpt_path_, log_dir_, recovered);
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().last_seq, 0u);
+  EXPECT_EQ(recovered.size(), 0u);
 }
 
 }  // namespace

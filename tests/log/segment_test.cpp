@@ -1,0 +1,270 @@
+#include "rodain/log/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "rodain/storage/value.hpp"
+
+namespace rodain::log {
+namespace {
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rodain_seg_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir() const { return dir_.string(); }
+
+  std::filesystem::path dir_;
+};
+
+storage::Value payload() {
+  return storage::Value{std::string_view{"payload-bytes-0123456789abcdef", 30}};
+}
+
+/// Append committed txns [from, to] (one write + one commit each), flushing
+/// after every transaction so rotation points are exercised.
+void append_txns(SegmentedLogStorage& log, ValidationTs from, ValidationTs to) {
+  for (ValidationTs seq = from; seq <= to; ++seq) {
+    log.append(Record::write_image(seq, 1 + seq % 7, payload()));
+    log.append(Record::commit(seq, seq, seq * 1000, 1));
+    Status status = Status::ok();
+    log.flush([&](Status s) { status = s; });
+    ASSERT_TRUE(status) << status.to_string();
+  }
+}
+
+TEST_F(SegmentTest, RotatesAtThresholdAndKeepsEveryRecord) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 512;  // a handful of txns per segment
+  auto log = SegmentedLogStorage::open(dir(), opt);
+  ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+  append_txns(*log.value(), 1, 40);
+  EXPECT_GT(log.value()->segment_count(), 3u);
+  EXPECT_EQ(log.value()->appended(), 80u);
+  EXPECT_EQ(log.value()->durable(), 80u);
+
+  auto segments = SegmentedLogStorage::list_segments(dir());
+  ASSERT_TRUE(segments.is_ok());
+  // Sealed seq ranges tile the history without gaps or overlap.
+  ValidationTs expect_next = 1;
+  for (const auto& seg : segments.value()) {
+    if (seg.last_seq == 0) continue;  // active
+    EXPECT_GE(seg.first_seq, expect_next) << seg.path;
+    EXPECT_GE(seg.last_seq, seg.first_seq) << seg.path;
+    expect_next = seg.last_seq + 1;
+  }
+
+  bool torn = true;
+  auto records = SegmentedLogStorage::read_all(dir(), &torn);
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records.value().size(), 80u);
+  ValidationTs next_commit = 1;
+  for (const Record& r : records.value()) {
+    if (r.is_commit()) {
+      EXPECT_EQ(r.seq, next_commit++);
+    }
+  }
+  EXPECT_EQ(next_commit, 41u);
+}
+
+TEST_F(SegmentTest, TruncateDeletesOnlyCoveredSegments) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 512;
+  auto log = SegmentedLogStorage::open(dir(), opt);
+  ASSERT_TRUE(log.is_ok());
+  append_txns(*log.value(), 1, 40);
+  const std::size_t before = log.value()->segment_count();
+  const std::uint64_t bytes_before = log.value()->disk_bytes();
+  ASSERT_GT(before, 3u);
+
+  const std::uint64_t removed = log.value()->truncate_upto(20);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(log.value()->segment_count(), before - removed);
+  EXPECT_LT(log.value()->disk_bytes(), bytes_before);
+
+  // Survivors: no sealed segment fully at or below the boundary remains,
+  // and every commit past the boundary is still replayable.
+  auto segments = SegmentedLogStorage::list_segments(dir());
+  ASSERT_TRUE(segments.is_ok());
+  for (const auto& seg : segments.value()) {
+    if (seg.last_seq != 0) {
+      EXPECT_GT(seg.last_seq, 20u) << seg.path;
+    }
+  }
+  auto records = SegmentedLogStorage::read_all(dir());
+  ASSERT_TRUE(records.is_ok());
+  ValidationTs max_surviving_commit = 0;
+  std::uint64_t commits_past = 0;
+  for (const Record& r : records.value()) {
+    if (!r.is_commit()) continue;
+    max_surviving_commit = std::max(max_surviving_commit, r.seq);
+    commits_past += r.seq > 20;
+  }
+  EXPECT_EQ(max_surviving_commit, 40u);
+  EXPECT_EQ(commits_past, 20u);
+}
+
+TEST_F(SegmentTest, ReopenContinuesWhereTheLogLeftOff) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 512;
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 1, 10);
+  }
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 11, 20);
+  }
+  auto records = SegmentedLogStorage::read_all(dir());
+  ASSERT_TRUE(records.is_ok());
+  std::uint64_t commits = 0;
+  for (const Record& r : records.value()) commits += r.is_commit();
+  EXPECT_EQ(commits, 20u);
+}
+
+TEST_F(SegmentTest, TornTailIsTrimmedAtOpenSoAppendsStayClean) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 1 << 20;  // keep everything in one unsealed segment
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 1, 5);
+  }
+  // Crash model: half a record made it to the device.
+  std::string newest;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    newest = entry.path().string();
+  }
+  ASSERT_FALSE(newest.empty());
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x40\x00\x00\x00partial-record";
+    std::fwrite(garbage, 1, sizeof garbage, f);
+    std::fclose(f);
+  }
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+    append_txns(*log.value(), 6, 8);
+  }
+  bool torn = true;
+  auto records = SegmentedLogStorage::read_all(dir(), &torn);
+  ASSERT_TRUE(records.is_ok()) << records.status().to_string();
+  EXPECT_FALSE(torn);  // the trim removed the tail for good
+  std::uint64_t commits = 0;
+  for (const Record& r : records.value()) commits += r.is_commit();
+  EXPECT_EQ(commits, 8u);
+}
+
+TEST_F(SegmentTest, CrashBetweenSealAndCreateSealsTheOrphanAtOpen) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 1 << 20;
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 1, 3);
+  }
+  // A second unsealed segment newer than the first: the mid-rotation crash
+  // left both with last_seq == 0 in their headers.
+  {
+    auto log = SegmentedLogStorage::open((dir_ / "staging").string(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 4, 6);
+  }
+  std::filesystem::rename(dir_ / "staging" / "log.1.seg", dir_ / "log.4.seg");
+  std::filesystem::remove_all(dir_ / "staging");
+
+  auto log = SegmentedLogStorage::open(dir(), opt);
+  ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+  auto segments = SegmentedLogStorage::list_segments(dir());
+  ASSERT_TRUE(segments.is_ok());
+  ASSERT_EQ(segments.value().size(), 2u);
+  // The older orphan was sealed in place with its observed extent; the
+  // newest stays unsealed (it is the active segment again).
+  EXPECT_EQ(segments.value()[0].last_seq, 3u);
+  EXPECT_EQ(segments.value()[1].last_seq, 0u);
+
+  auto records = SegmentedLogStorage::read_all(dir());
+  ASSERT_TRUE(records.is_ok());
+  std::uint64_t commits = 0;
+  for (const Record& r : records.value()) commits += r.is_commit();
+  EXPECT_EQ(commits, 6u);
+}
+
+TEST_F(SegmentTest, FailedFlushKeepsBytesAndSucceedsOnRetry) {
+  auto log = SegmentedLogStorage::open(dir());
+  ASSERT_TRUE(log.is_ok());
+  log.value()->append(Record::write_image(1, 10, payload()));
+  log.value()->append(Record::commit(1, 1, 1000, 1));
+  log.value()->inject_write_error(1);
+
+  Status status = Status::ok();
+  log.value()->flush([&](Status s) { status = s; });
+  EXPECT_FALSE(status);
+  EXPECT_EQ(log.value()->durable(), 0u) << "failed flush must not credit";
+
+  log.value()->flush([&](Status s) { status = s; });
+  ASSERT_TRUE(status) << status.to_string();
+  EXPECT_EQ(log.value()->durable(), 2u);
+
+  // The retry wrote each byte exactly once: the log decodes cleanly with
+  // a single commit.
+  auto records = SegmentedLogStorage::read_all(dir());
+  ASSERT_TRUE(records.is_ok()) << records.status().to_string();
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_TRUE(records.value()[1].is_commit());
+}
+
+TEST_F(SegmentTest, SealActiveSealsOnDemand) {
+  auto log = SegmentedLogStorage::open(dir());
+  ASSERT_TRUE(log.is_ok());
+  append_txns(*log.value(), 1, 3);
+  ASSERT_TRUE(log.value()->seal_active());
+  auto segments = SegmentedLogStorage::list_segments(dir());
+  ASSERT_TRUE(segments.is_ok());
+  ASSERT_EQ(segments.value().size(), 1u);
+  EXPECT_EQ(segments.value()[0].first_seq, 1u);
+  EXPECT_EQ(segments.value()[0].last_seq, 3u);
+  // Everything sealed and covered: a checkpoint at 3 empties the directory.
+  EXPECT_EQ(log.value()->truncate_upto(3), 1u);
+  EXPECT_EQ(log.value()->segment_count(), 0u);
+}
+
+TEST_F(SegmentTest, SealedSegmentWithTornTailIsCorruption) {
+  SegmentedLogStorage::Options opt;
+  opt.segment_bytes = 1 << 20;
+  {
+    auto log = SegmentedLogStorage::open(dir(), opt);
+    ASSERT_TRUE(log.is_ok());
+    append_txns(*log.value(), 1, 3);
+    ASSERT_TRUE(log.value()->seal_active());
+  }
+  // Bit rot after sealing: a sealed segment must decode cleanly, so a torn
+  // tail there is corruption, not a tolerated crash artifact.
+  {
+    std::FILE* f = std::fopen((dir_ / "log.1.seg").string().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x40\x00\x00\x00torn";
+    std::fwrite(garbage, 1, sizeof garbage, f);
+    std::fclose(f);
+  }
+  auto records = SegmentedLogStorage::read_all(dir());
+  ASSERT_FALSE(records.is_ok());
+  EXPECT_EQ(records.status().code(), ErrorCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace rodain::log

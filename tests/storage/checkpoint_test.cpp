@@ -125,6 +125,46 @@ TEST_F(CheckpointTest, MissingFileIsNotFound) {
   EXPECT_EQ(meta.status().code(), ErrorCode::kNotFound);
 }
 
+TEST_F(CheckpointTest, ZeroLengthFileIsNotFoundNotCorruption) {
+  // Crash window between creating the file and the first write: treat it
+  // as "no checkpoint yet" so recovery falls back to log-only replay
+  // instead of refusing to start.
+  const std::string p = path("empty.ckpt");
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  ObjectStore dst;
+  auto meta = read_checkpoint_file(p, dst);
+  ASSERT_FALSE(meta.is_ok());
+  EXPECT_EQ(meta.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, CorruptFileLeavesStoreUntouched) {
+  // The CRC is verified before any object is installed, so a corrupt
+  // checkpoint never clobbers the store the caller passed in — that is
+  // what makes the log-only recovery fallback safe.
+  ObjectStore src;
+  Rng rng(5);
+  fill(src, 50, rng);
+  ASSERT_TRUE(write_checkpoint_file(src, 9, path("db.ckpt")));
+  {
+    std::FILE* f = std::fopen(path("db.ckpt").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+  }
+  ObjectStore dst;
+  dst.upsert(1234, Value{std::string_view{"keep"}}, 1);
+  auto meta = read_checkpoint_file(path("db.ckpt"), dst);
+  ASSERT_FALSE(meta.is_ok());
+  EXPECT_EQ(meta.status().code(), ErrorCode::kCorruption);
+  ASSERT_NE(dst.find(1234), nullptr);
+  EXPECT_EQ(dst.find(1234)->value, Value{std::string_view{"keep"}});
+}
+
 TEST_F(CheckpointTest, OverwriteIsAtomicStyle) {
   ObjectStore a, b, dst;
   a.upsert(1, Value{std::string_view{"v1"}}, 1);

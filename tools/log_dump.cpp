@@ -1,18 +1,22 @@
-// rodain_log_dump — print a redo log file in human-readable form.
+// rodain_log_dump — print a redo log in human-readable form.
 //
-//   rodain_log_dump <log-file> [--stats]
+//   rodain_log_dump <log-file-or-segment-dir> [--stats]
 //
 // The paper (§3) notes the stored logs can be used "for, for example,
-// off-line analysis of the database usage" — this is that tool. With
+// off-line analysis of the database usage" — this is that tool. A
+// directory argument is treated as a segmented log: the per-segment
+// inventory is printed first, then the concatenated records. With
 // --stats it prints only the aggregate: record counts, committed vs open
 // transactions, seq range, torn-tail status.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 
 #include "rodain/log/log_storage.hpp"
+#include "rodain/log/segment.hpp"
 
 using namespace rodain;
 
@@ -24,11 +28,33 @@ int main(int argc, char** argv) {
   const bool stats_only = argc > 2 && std::strcmp(argv[2], "--stats") == 0;
 
   bool torn = false;
-  auto records = log::FileLogStorage::read_all(argv[1], &torn);
+  const bool is_dir = std::filesystem::is_directory(argv[1]);
+  auto records = is_dir ? log::SegmentedLogStorage::read_all(argv[1], &torn)
+                        : log::FileLogStorage::read_all(argv[1], &torn);
   if (!records.is_ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
                  records.status().to_string().c_str());
     return 1;
+  }
+  if (is_dir) {
+    auto segments = log::SegmentedLogStorage::list_segments(argv[1]);
+    if (segments.is_ok()) {
+      std::printf("%zu segments in %s:\n", segments.value().size(), argv[1]);
+      for (const auto& seg : segments.value()) {
+        if (seg.last_seq == 0) {
+          std::printf("  %-32s  first_seq=%-8" PRIu64 " (unsealed) %" PRIu64
+                      " bytes\n",
+                      std::filesystem::path(seg.path).filename().c_str(),
+                      seg.first_seq, seg.bytes);
+        } else {
+          std::printf("  %-32s  seq [%" PRIu64 ", %" PRIu64 "] %" PRIu64
+                      " bytes\n",
+                      std::filesystem::path(seg.path).filename().c_str(),
+                      seg.first_seq, seg.last_seq, seg.bytes);
+        }
+      }
+      std::printf("\n");
+    }
   }
 
   std::uint64_t writes = 0;

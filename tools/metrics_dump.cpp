@@ -8,10 +8,12 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/log/recovery.hpp"
 #include "rodain/obs/obs.hpp"
 #include "rodain/rodain.hpp"
 
@@ -50,7 +52,18 @@ int main(int argc, char** argv) {
   config.log_batch.max_delay = 1_ms;
   config.log_batch.adaptive_delay = true;
   rt::Node primary(config, "primary");
-  rt::Node mirror(config, "mirror");
+  // The mirror stores the ordered log to a segmented store with a tiny
+  // rotation threshold and a fast checkpoint cadence, so the log lifecycle
+  // metrics (log_segments_*, log_disk_bytes) show up in the dump.
+  const auto seg_dir =
+      std::filesystem::temp_directory_path() / "rodain_metrics_dump";
+  std::filesystem::remove_all(seg_dir);
+  rt::NodeConfig mirror_config = config;
+  mirror_config.log_path = (seg_dir / "log").string();
+  mirror_config.log_segment_bytes = 16 * 1024;
+  mirror_config.checkpoint_path = (seg_dir / "db.ckpt").string();
+  mirror_config.checkpoint_interval = 25_ms;
+  rt::Node mirror(mirror_config, "mirror");
   for (ObjectId oid = 1; oid <= 1000; ++oid) {
     storage::Value zero{std::string_view{"\0\0\0\0\0\0\0\0", 8}};
     primary.store().upsert(oid, zero, 0);
@@ -80,6 +93,27 @@ int main(int argc, char** argv) {
                committed);
   primary.stop();
   mirror.stop();
+
+  // Cold-restart the mirror's state from its checkpoint + surviving
+  // segments so the recovery-path gauge (log_recovery_replay_ms) is live.
+  {
+    storage::ObjectStore recovered(1024);
+    storage::BPlusTree rec_index;
+    auto stats = log::recover_checkpoint_and_segments(
+        mirror_config.checkpoint_path, mirror_config.log_path, recovered,
+        &rec_index);
+    if (stats.is_ok()) {
+      std::fprintf(stderr,
+                   "recovered %llu committed txns from %zu segments\n",
+                   static_cast<unsigned long long>(
+                       stats.value().committed_applied),
+                   stats.value().segments_decoded);
+    } else {
+      std::fprintf(stderr, "segment recovery failed: %s\n",
+                   stats.status().to_string().c_str());
+    }
+  }
+  std::filesystem::remove_all(seg_dir);
 
   // ---- expositions --------------------------------------------------------
   std::printf("%s", obs::metrics().render_text().c_str());
