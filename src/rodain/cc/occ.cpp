@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace rodain::cc {
 
@@ -10,8 +11,13 @@ void OccController::on_begin(txn::Transaction& t) {
 }
 
 AccessResult OccController::on_read(txn::Transaction& t, ObjectId oid,
-                                    const storage::ObjectRecord* rec) {
+                                    const storage::ObjectRecord* rec,
+                                    bool optimistic) {
   const ValidationTs observed = rec ? rec->wts : 0;
+  // The owner may be in an unlocked read phase while a validator (holding
+  // the commit mutex) scans this transaction's sets in Step 2; the leaf
+  // mutex makes scan-vs-append atomic.
+  std::lock_guard lock(t.access_mu());
   // Re-read of an object whose committed version changed since the first
   // observation: the store is single-version, so this transaction would see
   // two different versions of one object — no serialization point exists.
@@ -25,7 +31,7 @@ AccessResult OccController::on_read(txn::Transaction& t, ObjectId oid,
       return {};
     }
   }
-  t.note_read(oid, observed);
+  t.note_read(oid, observed, optimistic);
   if (policy_.eager_self_adjust) {
     // OCC-TI clamps the interval the moment the read happens. The committed
     // writer may validate later with a *smaller* logical timestamp than the
@@ -40,6 +46,7 @@ AccessResult OccController::on_write(txn::Transaction& t, ObjectId oid,
                                      const storage::ObjectRecord* rec) {
   (void)oid;
   if (policy_.eager_self_adjust && rec) {
+    std::lock_guard lock(t.access_mu());
     t.interval().after(rec->rts);
     t.interval().after(rec->wts);
   }
@@ -79,6 +86,21 @@ ValidationResult OccController::validate(txn::Transaction& t,
   // floors too; re-applying fresher values here is strictly tighter.)
   txn::TsInterval iv = t.interval();
   for (const txn::ReadEntry& r : t.read_set()) {
+    if (r.optimistic) {
+      // Seqlock-snapshot read taken outside the commit mutex. A writer that
+      // validated *while this entry was being appended* may have missed it
+      // in its forward scan (Step 2 below) — the one ordering edge forward
+      // validation cannot see. Committed wts only grows (writers floor
+      // their ts above it in this loop), so an unchanged wts proves no
+      // writer installed over the observed version and the read is still
+      // the committed state; a changed wts is indistinguishable from a
+      // missed adjustment, so restart.
+      const storage::ObjectRecord* rec = store.find(r.oid);
+      if ((rec ? rec->wts : 0) != r.observed_wts) {
+        result.ok = false;
+        return result;
+      }
+    }
     iv.after(r.observed_wts);
   }
   for (const txn::WriteEntry& w : t.write_set()) {
@@ -103,41 +125,51 @@ ValidationResult OccController::validate(txn::Transaction& t,
   t.interval() = iv;
 
   // --- Step 2: forward adjustment of every conflicting active transaction.
-  for (auto& [id, other] : active_) {
-    if (id == t.id()) continue;
-    txn::Transaction& o = *other;
-    bool conflict_read_my_write = false;   // o read something I wrote
-    bool conflict_wrote_my_read = false;   // o writes something I read
-    bool conflict_wrote_my_write = false;  // write-write overlap
-    for (const txn::WriteEntry& w : t.write_set()) {
-      if (o.in_read_set(w.oid)) conflict_read_my_write = true;
-      if (o.in_write_set(w.oid)) conflict_wrote_my_write = true;
-    }
-    for (const txn::ReadEntry& r : t.read_set()) {
-      if (o.in_write_set(r.oid)) conflict_wrote_my_read = true;
-    }
-    if (!(conflict_read_my_write || conflict_wrote_my_read ||
-          conflict_wrote_my_write)) {
-      continue;
-    }
-
-    if (policy_.broadcast) {
-      // OCC-BC: any reader of my writes dies; writers into my read set are
-      // fine (they serialize after me), write-write also forces a restart
-      // in the classical broadcast scheme.
-      if (conflict_read_my_write || conflict_wrote_my_write) {
-        result.victims.push_back(id);
+  // A read-only validator adjusts nobody: it wrote nothing (no reader of
+  // its writes, no write-write edge), and writers into its read set
+  // serialize after it via the object rts floors on_installed maintains.
+  // Skipping the scan keeps read-heavy multicore validation O(read set).
+  if (!t.write_set().empty()) {
+    for (auto& [id, other] : active_) {
+      if (id == t.id()) continue;
+      txn::Transaction& o = *other;
+      // o's owner may be appending to its sets in an unlocked read phase.
+      std::lock_guard o_lock(o.access_mu());
+      bool conflict_read_my_write = false;   // o read something I wrote
+      bool conflict_wrote_my_read = false;   // o writes something I read
+      bool conflict_wrote_my_write = false;  // write-write overlap
+      for (const txn::WriteEntry& w : t.write_set()) {
+        if (o.in_read_set(w.oid)) conflict_read_my_write = true;
+        if (o.in_write_set(w.oid)) conflict_wrote_my_write = true;
       }
-      continue;
-    }
+      for (const txn::ReadEntry& r : t.read_set()) {
+        if (o.in_write_set(r.oid)) conflict_wrote_my_read = true;
+      }
+      if (!(conflict_read_my_write || conflict_wrote_my_read ||
+            conflict_wrote_my_write)) {
+        continue;
+      }
 
-    // Interval adjustment (OCC-DA / OCC-TI / OCC-DATI):
-    //   o read my write        -> o serializes BEFORE me
-    //   o writes into my reads -> o serializes AFTER me
-    //   write-write            -> o serializes AFTER me
-    if (conflict_read_my_write) o.interval().before(ts);
-    if (conflict_wrote_my_read || conflict_wrote_my_write) o.interval().after(ts);
-    if (o.interval().empty()) result.victims.push_back(id);
+      if (policy_.broadcast) {
+        // OCC-BC: any reader of my writes dies; writers into my read set are
+        // fine (they serialize after me), write-write also forces a restart
+        // in the classical broadcast scheme.
+        if (conflict_read_my_write || conflict_wrote_my_write) {
+          result.victims.push_back(id);
+        }
+        continue;
+      }
+
+      // Interval adjustment (OCC-DA / OCC-TI / OCC-DATI):
+      //   o read my write        -> o serializes BEFORE me
+      //   o writes into my reads -> o serializes AFTER me
+      //   write-write            -> o serializes AFTER me
+      if (conflict_read_my_write) o.interval().before(ts);
+      if (conflict_wrote_my_read || conflict_wrote_my_write) {
+        o.interval().after(ts);
+      }
+      if (o.interval().empty()) result.victims.push_back(id);
+    }
   }
 
   // Victims are restarted by the engine (which calls on_abort for each);
@@ -152,14 +184,16 @@ ValidationResult OccController::validate(txn::Transaction& t,
 void OccController::on_installed(txn::Transaction& t,
                                  storage::ObjectStore& store) {
   const ValidationTs ts = t.serial_ts();
+  // Atomic bumps: optimistic readers snapshot rts/wts outside the commit
+  // mutex, so these stores may race their relaxed loads.
   for (const txn::ReadEntry& r : t.read_set()) {
     if (storage::ObjectRecord* rec = store.find_mutable(r.oid)) {
-      rec->rts = std::max(rec->rts, ts);
+      rec->bump_rts(ts);
     }
   }
   for (const txn::WriteEntry& w : t.write_set()) {
     if (storage::ObjectRecord* rec = store.find_mutable(w.oid)) {
-      rec->wts = std::max(rec->wts, ts);
+      rec->bump_wts(ts);
     }
   }
 }

@@ -7,7 +7,9 @@ void TwoPlController::on_begin(txn::Transaction& t) {
 }
 
 AccessResult TwoPlController::on_read(txn::Transaction& t, ObjectId oid,
-                                      const storage::ObjectRecord* rec) {
+                                      const storage::ObjectRecord* rec,
+                                      bool optimistic) {
+  (void)optimistic;  // 2PL never runs outside the commit mutex
   auto r = lock_manager_.acquire(oid, t.id(), LockMode::kShared, t.priority());
   if (r.decision == Access::kGranted) {
     t.note_read(oid, rec ? rec->wts : 0);
@@ -37,14 +39,16 @@ ValidationResult TwoPlController::validate(txn::Transaction& t,
 void TwoPlController::on_installed(txn::Transaction& t,
                                    storage::ObjectStore& store) {
   const ValidationTs ts = t.serial_ts();
+  // Atomic bumps: the db-layer optimistic fast path snapshots rts/wts
+  // without the commit mutex regardless of protocol.
   for (const txn::ReadEntry& r : t.read_set()) {
     if (storage::ObjectRecord* rec = store.find_mutable(r.oid)) {
-      rec->rts = std::max(rec->rts, ts);
+      rec->bump_rts(ts);
     }
   }
   for (const txn::WriteEntry& w : t.write_set()) {
     if (storage::ObjectRecord* rec = store.find_mutable(w.oid)) {
-      rec->wts = std::max(rec->wts, ts);
+      rec->bump_wts(ts);
     }
   }
   dispatch(lock_manager_.release_all(t.id()));

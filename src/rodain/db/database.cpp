@@ -33,12 +33,22 @@ rt::CommitInfo Database::execute(txn::TxnProgram program) {
   return node_->execute(std::move(program));
 }
 
-Result<storage::Value> Database::get(ObjectId oid) { return node_->get(oid); }
+Result<storage::Value> Database::get(ObjectId oid) {
+  // Fast path: a lock-free seqlock snapshot of the committed record — no
+  // transaction, no commit mutex. Only retry exhaustion or a role flip
+  // (kUnavailable) falls back to the fully transactional read; kNotFound is
+  // a committed answer and is returned as-is.
+  Result<storage::Value> fast = node_->read_committed(oid);
+  if (fast.is_ok() || fast.status().code() == ErrorCode::kNotFound) {
+    return fast;
+  }
+  return node_->get(oid);
+}
 
 Result<storage::Value> Database::get_by_key(const storage::IndexKey& key) {
   const auto oid = node_->index().find(key);
   if (!oid) return Status::error(ErrorCode::kNotFound, "key not indexed");
-  return node_->get(*oid);
+  return get(*oid);
 }
 
 rt::CommitInfo Database::put(ObjectId oid, storage::Value value) {

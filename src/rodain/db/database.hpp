@@ -44,7 +44,10 @@ class Database {
   // ---- transactions -----------------------------------------------------
   /// Run a transaction program to completion (blocking).
   rt::CommitInfo execute(txn::TxnProgram program);
-  /// Committed read of one object.
+  /// Committed read of one object. Served by a lock-free seqlock snapshot
+  /// (rt::Node::read_committed); falls back to a transactional read when the
+  /// snapshot is contended away or a role flip races it, so the result is
+  /// always committed state (DESIGN.md §11).
   [[nodiscard]] Result<storage::Value> get(ObjectId oid);
   /// Committed read through the secondary index.
   [[nodiscard]] Result<storage::Value> get_by_key(const storage::IndexKey& key);

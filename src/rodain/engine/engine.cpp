@@ -1,6 +1,7 @@
 #include "rodain/engine/engine.hpp"
 
 #include <cassert>
+#include <mutex>
 
 #include "rodain/common/diag.hpp"
 #include "rodain/obs/obs.hpp"
@@ -18,6 +19,8 @@ struct EngineMetrics {
   obs::Counter& validation_rejects =
       obs::metrics().counter("engine.validation_rejects");
   obs::Counter& installs = obs::metrics().counter("engine.installs");
+  /// Torn seqlock snapshots discarded by optimistic read-phase fetches.
+  obs::Counter& read_retries = obs::metrics().counter("engine.read_retries");
 };
 EngineMetrics& em() {
   static EngineMetrics m;
@@ -52,6 +55,13 @@ Engine::Engine(EngineConfig config, storage::ObjectStore& store,
   cc_->set_victim_handler([this](TxnId id) {
     if (txn::Transaction* t = find(id)) {
       if (!can_abort(*t)) return;  // already validated: grant was moot
+      if (t->lock_free_executing()) {
+        // The owner worker is mid-read outside the commit mutex; restarting
+        // under it would race the owner's set mutations. Defer: the owner
+        // consumes the request at its next step boundary.
+        t->request_restart();
+        return;
+      }
       restart(*t);
       if (hooks_.on_victim_restart) hooks_.on_victim_restart(id);
     }
@@ -103,6 +113,14 @@ void Engine::restart_victims(const std::vector<TxnId>& victims) {
     // A transaction past validation is immune: its sequence number is
     // assigned and its writes are (being) installed.
     assert(can_abort(*v) && "victimized a validated transaction");
+    if (v->lock_free_executing()) {
+      // Same deferral as the victim handler: the owner worker is running
+      // the read phase unlocked and self-restarts at its next boundary.
+      // Its interval was already adjusted under its leaf mutex, so the
+      // conflict is recorded either way.
+      v->request_restart();
+      continue;
+    }
     restart(*v);
     if (hooks_.on_victim_restart) hooks_.on_victim_restart(id);
   }
@@ -121,6 +139,16 @@ StepResult Engine::restart_or_abort(txn::Transaction& t, Duration cost) {
 }
 
 StepResult Engine::step(txn::Transaction& t) {
+  // A deferred victimization (requested while the owner ran the read phase
+  // outside the commit mutex) is honoured here, at the first serial step
+  // boundary, before the transaction may enter validation with an interval
+  // a committed writer already emptied. No on_victim_restart hook: the
+  // owner is *this* caller, mid-drive — the hook protocol is for waking a
+  // transaction some other thread owns.
+  if (t.phase() == txn::Phase::kReadPhase && t.consume_restart_request()) {
+    restart(t);
+    return {StepAction::kRestarted, Duration::zero()};
+  }
   switch (t.phase()) {
     case txn::Phase::kReadPhase:
       if (t.program_done()) {
@@ -135,7 +163,7 @@ StepResult Engine::step(txn::Transaction& t) {
         w.cost += r.cost;
         return w;
       }
-      return step_read_phase(t);
+      return step_read_phase(t, /*optimistic=*/false, /*fallback=*/nullptr);
     case txn::Phase::kWaitLogAck:
       return step_finalize(t);
     case txn::Phase::kValidating:
@@ -149,20 +177,50 @@ StepResult Engine::step(txn::Transaction& t) {
   return {StepAction::kAborted, Duration::zero()};
 }
 
-StepResult Engine::step_read_phase(txn::Transaction& t) {
+std::optional<StepResult> Engine::step_read_unlocked(txn::Transaction& t) {
+  assert(t.lock_free_executing());
+  assert(t.phase() == txn::Phase::kReadPhase);
+  if (t.program_done() || t.restart_requested()) {
+    // Validation (or a deferred victimization) is next — both are serial.
+    return std::nullopt;
+  }
+  bool fallback = false;
+  StepResult r = step_read_phase(t, /*optimistic=*/true, &fallback);
+  if (fallback) return std::nullopt;
+  return r;
+}
+
+const storage::ObjectRecord* Engine::fetch(ObjectId oid,
+                                           storage::ObjectRecord& snap,
+                                           bool optimistic, bool* fallback) {
+  if (!optimistic) return store_.find(oid);
+  std::uint32_t retries = 0;
+  const storage::OptimisticRead r = store_.read_optimistic(oid, snap, retries);
+  if (retries != 0) em().read_retries.inc(retries);
+  if (r == storage::OptimisticRead::kContended) {
+    *fallback = true;
+    return nullptr;
+  }
+  return r == storage::OptimisticRead::kHit ? &snap : nullptr;
+}
+
+StepResult Engine::step_read_phase(txn::Transaction& t, bool optimistic,
+                                   bool* fallback) {
   obs::ScopedSpan span(obs::tracer(), obs::Phase::kExecute, t.id());
   const Duration first_step_cost =
       (t.pc() == 0) ? config_.costs.txn_fixed : Duration::zero();
   const txn::Op& op = t.program().ops[t.pc()];
 
   if (const auto* read = std::get_if<txn::ReadOp>(&op)) {
-    return exec_read(t, read->oid, first_step_cost + config_.costs.per_read);
+    return exec_read(t, read->oid, first_step_cost + config_.costs.per_read,
+                     optimistic, fallback);
   }
   if (const auto* read_key = std::get_if<txn::ReadKeyOp>(&op)) {
     const Duration cost = first_step_cost + config_.costs.per_index_lookup +
                           config_.costs.per_read;
     ObjectId oid = kInvalidObject;
     if (index_) {
+      // Safe unlocked: the tree's own RW lock covers structural changes.
       if (auto found = index_->find(read_key->key)) oid = *found;
     }
     if (oid == kInvalidObject) {
@@ -170,20 +228,20 @@ StepResult Engine::step_read_phase(txn::Transaction& t) {
       t.advance_pc();
       return {StepAction::kContinue, cost};
     }
-    return exec_read(t, oid, cost);
+    return exec_read(t, oid, cost, optimistic, fallback);
   }
   if (const auto* update = std::get_if<txn::UpdateOp>(&op)) {
-    StepResult r = exec_update(t, *update);
+    StepResult r = exec_update(t, *update, optimistic, fallback);
     r.cost += first_step_cost;
     return r;
   }
   if (const auto* insert = std::get_if<txn::InsertOp>(&op)) {
-    StepResult r = exec_insert(t, *insert);
+    StepResult r = exec_insert(t, *insert, optimistic, fallback);
     r.cost += first_step_cost;
     return r;
   }
   if (const auto* erase = std::get_if<txn::DeleteOp>(&op)) {
-    StepResult r = exec_delete(t, *erase);
+    StepResult r = exec_delete(t, *erase, optimistic, fallback);
     r.cost += first_step_cost;
     return r;
   }
@@ -193,7 +251,8 @@ StepResult Engine::step_read_phase(txn::Transaction& t) {
 }
 
 StepResult Engine::exec_read(txn::Transaction& t, ObjectId oid,
-                             Duration base_cost) {
+                             Duration base_cost, bool optimistic,
+                             bool* fallback) {
   // Read-your-own-write: the private copy, no concurrency-control tracking.
   // A private delete reads as missing.
   if (const txn::WriteEntry* own = t.find_write(oid)) {
@@ -205,8 +264,16 @@ StepResult Engine::exec_read(txn::Transaction& t, ObjectId oid,
     return {StepAction::kContinue, base_cost};
   }
 
-  const storage::ObjectRecord* rec = store_.find(oid);
-  cc::AccessResult access = cc_->on_read(t, oid, rec);
+  storage::ObjectRecord snap;
+  const storage::ObjectRecord* rec = fetch(oid, snap, optimistic, fallback);
+  if (optimistic && *fallback) return {StepAction::kContinue, base_cost};
+  cc::AccessResult access = cc_->on_read(t, oid, rec, optimistic);
+  if (optimistic && access.decision != cc::Access::kGranted) {
+    // Engine-state mutation (restart bookkeeping) needs the commit mutex;
+    // nothing was recorded, so the serial re-run decides the same way.
+    *fallback = true;
+    return {StepAction::kContinue, base_cost};
+  }
   restart_victims(access.victims);
   switch (access.decision) {
     case cc::Access::kGranted:
@@ -226,10 +293,17 @@ StepResult Engine::exec_read(txn::Transaction& t, ObjectId oid,
   return {StepAction::kContinue, base_cost};
 }
 
-StepResult Engine::exec_insert(txn::Transaction& t, const txn::InsertOp& op) {
+StepResult Engine::exec_insert(txn::Transaction& t, const txn::InsertOp& op,
+                               bool optimistic, bool* fallback) {
   const Duration cost = config_.costs.per_update;
-  const storage::ObjectRecord* rec = store_.find(op.oid);
+  storage::ObjectRecord snap;
+  const storage::ObjectRecord* rec = fetch(op.oid, snap, optimistic, fallback);
+  if (optimistic && *fallback) return {StepAction::kContinue, cost};
   cc::AccessResult access = cc_->on_write(t, op.oid, rec);
+  if (optimistic && access.decision != cc::Access::kGranted) {
+    *fallback = true;
+    return {StepAction::kContinue, cost};
+  }
   restart_victims(access.victims);
   switch (access.decision) {
     case cc::Access::kGranted:
@@ -240,17 +314,28 @@ StepResult Engine::exec_insert(txn::Transaction& t, const txn::InsertOp& op) {
     case cc::Access::kRestartSelf:
       return restart_or_abort(t, cost);
   }
-  // Blind put of the full value (revives a private or committed delete).
-  t.write_copy(op.oid, storage::Value{}) = op.value;
-  if (op.has_key) t.set_entry_key(op.oid, op.key);
+  {
+    // Write-set appends are scanned by concurrent validators (Step 2).
+    std::lock_guard lock(t.access_mu());
+    // Blind put of the full value (revives a private or committed delete).
+    t.write_copy(op.oid, storage::Value{}) = op.value;
+    if (op.has_key) t.set_entry_key(op.oid, op.key);
+  }
   t.advance_pc();
   return {StepAction::kContinue, cost};
 }
 
-StepResult Engine::exec_delete(txn::Transaction& t, const txn::DeleteOp& op) {
+StepResult Engine::exec_delete(txn::Transaction& t, const txn::DeleteOp& op,
+                               bool optimistic, bool* fallback) {
   const Duration cost = config_.costs.per_update;
-  const storage::ObjectRecord* rec = store_.find(op.oid);
+  storage::ObjectRecord snap;
+  const storage::ObjectRecord* rec = fetch(op.oid, snap, optimistic, fallback);
+  if (optimistic && *fallback) return {StepAction::kContinue, cost};
   cc::AccessResult access = cc_->on_write(t, op.oid, rec);
+  if (optimistic && access.decision != cc::Access::kGranted) {
+    *fallback = true;
+    return {StepAction::kContinue, cost};
+  }
   restart_victims(access.victims);
   switch (access.decision) {
     case cc::Access::kGranted:
@@ -261,19 +346,29 @@ StepResult Engine::exec_delete(txn::Transaction& t, const txn::DeleteOp& op) {
     case cc::Access::kRestartSelf:
       return restart_or_abort(t, cost);
   }
-  t.delete_entry(op.oid, op.has_key, op.key);
+  {
+    std::lock_guard lock(t.access_mu());
+    t.delete_entry(op.oid, op.has_key, op.key);
+  }
   t.advance_pc();
   return {StepAction::kContinue, cost};
 }
 
-StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op) {
+StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op,
+                               bool optimistic, bool* fallback) {
   const Duration cost = config_.costs.per_update;
-  const storage::ObjectRecord* rec = store_.find(op.oid);
+  storage::ObjectRecord snap;
+  const storage::ObjectRecord* rec = fetch(op.oid, snap, optimistic, fallback);
+  if (optimistic && *fallback) return {StepAction::kContinue, cost};
 
   // Read-modify-write updates observe the current value: track the read.
   if (op.kind == txn::UpdateOp::Kind::kAddToField &&
       !t.in_write_set(op.oid)) {
-    cc::AccessResult access = cc_->on_read(t, op.oid, rec);
+    cc::AccessResult access = cc_->on_read(t, op.oid, rec, optimistic);
+    if (optimistic && access.decision != cc::Access::kGranted) {
+      *fallback = true;
+      return {StepAction::kContinue, cost};
+    }
     restart_victims(access.victims);
     switch (access.decision) {
       case cc::Access::kGranted:
@@ -287,6 +382,12 @@ StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op) {
   }
 
   cc::AccessResult access = cc_->on_write(t, op.oid, rec);
+  if (optimistic && access.decision != cc::Access::kGranted) {
+    // The on_read above may already have recorded the observation; that is
+    // fine — the serial re-run of this pc will find the entry unchanged.
+    *fallback = true;
+    return {StepAction::kContinue, cost};
+  }
   restart_victims(access.victims);
   switch (access.decision) {
     case cc::Access::kGranted:
@@ -298,22 +399,26 @@ StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op) {
       return restart_or_abort(t, cost);
   }
 
-  // Deferred write: mutate the private copy only (paper §2).
-  storage::Value& copy =
-      t.write_copy(op.oid, rec ? rec->value : storage::Value{});
-  switch (op.kind) {
-    case txn::UpdateOp::Kind::kSetValue:
-      copy = op.value;
-      break;
-    case txn::UpdateOp::Kind::kAddToField: {
-      if (copy.size() < op.field_offset + 8) {
-        // Auto-extend so counters can live in fresh objects.
-        std::vector<std::byte> grown(op.field_offset + 8);
-        std::memcpy(grown.data(), copy.data(), copy.size());
-        copy.assign(grown);
+  {
+    std::lock_guard lock(t.access_mu());
+    // Deferred write: mutate the private copy only (paper §2).
+    storage::Value& copy =
+        t.write_copy(op.oid, rec ? rec->value : storage::Value{});
+    switch (op.kind) {
+      case txn::UpdateOp::Kind::kSetValue:
+        copy = op.value;
+        break;
+      case txn::UpdateOp::Kind::kAddToField: {
+        if (copy.size() < op.field_offset + 8) {
+          // Auto-extend so counters can live in fresh objects.
+          std::vector<std::byte> grown(op.field_offset + 8);
+          std::memcpy(grown.data(), copy.data(), copy.size());
+          copy.assign(grown);
+        }
+        copy.write_u64(op.field_offset,
+                       copy.read_u64(op.field_offset) + op.delta);
+        break;
       }
-      copy.write_u64(op.field_offset, copy.read_u64(op.field_offset) + op.delta);
-      break;
     }
   }
   t.advance_pc();

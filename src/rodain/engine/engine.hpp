@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -90,6 +91,21 @@ class Engine {
   /// Advance the transaction by one unit of work.
   StepResult step(txn::Transaction& t);
 
+  /// Whether the controller permits read-phase steps outside the commit
+  /// mutex (OCC family; 2PL mutates its lock table on every access).
+  [[nodiscard]] bool lock_free_reads() const {
+    return cc_->lock_free_read_phase();
+  }
+
+  /// Advance one read-phase step WITHOUT the commit mutex (DESIGN.md §11).
+  /// Reads come from seqlock snapshots; CC bookkeeping goes through the
+  /// transaction's leaf mutex. Returns nullopt when the step must run
+  /// serially instead: program done (validation is next), a deferred
+  /// restart is pending, or the optimistic read exhausted its retries.
+  /// Only the owner worker may call this, with t.lock_free_executing() set.
+  [[nodiscard]] std::optional<StepResult> step_read_unlocked(
+      txn::Transaction& t);
+
   /// True while the transaction has not passed validation (only such
   /// transactions may be aborted — deferred writes make that free).
   [[nodiscard]] bool can_abort(const txn::Transaction& t) const;
@@ -117,15 +133,31 @@ class Engine {
   }
 
  private:
-  StepResult step_read_phase(txn::Transaction& t);
+  // `optimistic` routes committed-state reads through seqlock snapshots and
+  // forbids engine-state mutation (restart, abort, victim dispatch): those
+  // paths set `*fallback` and leave the transaction unchanged so the caller
+  // can re-run the same pc serially under the commit mutex.
+  StepResult step_read_phase(txn::Transaction& t, bool optimistic,
+                             bool* fallback);
   StepResult step_validate(txn::Transaction& t);
   StepResult step_write_phase(txn::Transaction& t);
   StepResult step_finalize(txn::Transaction& t);
 
-  StepResult exec_read(txn::Transaction& t, ObjectId oid, Duration base_cost);
-  StepResult exec_update(txn::Transaction& t, const txn::UpdateOp& op);
-  StepResult exec_insert(txn::Transaction& t, const txn::InsertOp& op);
-  StepResult exec_delete(txn::Transaction& t, const txn::DeleteOp& op);
+  /// Committed-record fetch for one read-phase access. Serial mode returns
+  /// the store record; optimistic mode copies a seqlock snapshot into
+  /// `snap` and returns &snap (nullptr on miss; sets `*fallback` and
+  /// returns nullptr on retry exhaustion).
+  const storage::ObjectRecord* fetch(ObjectId oid, storage::ObjectRecord& snap,
+                                     bool optimistic, bool* fallback);
+
+  StepResult exec_read(txn::Transaction& t, ObjectId oid, Duration base_cost,
+                       bool optimistic, bool* fallback);
+  StepResult exec_update(txn::Transaction& t, const txn::UpdateOp& op,
+                         bool optimistic, bool* fallback);
+  StepResult exec_insert(txn::Transaction& t, const txn::InsertOp& op,
+                         bool optimistic, bool* fallback);
+  StepResult exec_delete(txn::Transaction& t, const txn::DeleteOp& op,
+                         bool optimistic, bool* fallback);
 
   /// Reset a transaction to its read phase (self restart or victim).
   void restart(txn::Transaction& t);

@@ -22,6 +22,7 @@ struct NodeMetrics {
   obs::Counter& role_transitions =
       obs::metrics().counter("node.role_transitions");
   obs::Timer& commit_latency = obs::metrics().timer("node.commit_latency_us");
+  obs::Timer& commit_mu_wait = obs::metrics().timer("node.commit_mu_wait");
   obs::Gauge& role = obs::metrics().gauge("node.role");
   obs::Gauge& active_txns = obs::metrics().gauge("node.active_txns");
   obs::Gauge& miss_ratio = obs::metrics().gauge("node.miss_ratio");
@@ -30,22 +31,32 @@ NodeMetrics& nm() {
   static NodeMetrics m;
   return m;
 }
+
+// The lock-free read path shares the engine's retry counter: a snapshot
+// retry costs the same whether a worker or a client-side get() paid it.
+obs::Counter& read_retry_counter() {
+  static obs::Counter& c = obs::metrics().counter("engine.read_retries");
+  return c;
+}
 }  // namespace
 
 // ----------------------------------------------------- guarded channel ---
 
 void Node::GuardedChannel::set_message_handler(MessageHandler handler) {
   // Do not capture `this`: the wrapper outlives the GuardedChannel inside
-  // the socket's handler slot. The epoch check (under the node mutex) makes
-  // sure `h` is only invoked while the objects it points into still exist.
+  // the socket's handler slot. The epoch check (under the commit mutex)
+  // makes sure `h` is only invoked while the objects it points into still
+  // exist.
   Node* node = &node_;
   const std::uint64_t epoch = node_.channel_epoch_;
   inner_.set_message_handler(
       [node, epoch, h = std::move(handler)](std::vector<std::byte> frame) {
-        std::unique_lock lock(node->mu_);
+        std::unique_lock lock(node->commit_mu_);
         if (node->channel_epoch_ != epoch) return;  // role torn down
         if (h) h(std::move(frame));
         // Frames can complete transactions (commit acks): wake workers.
+        // (The resume itself went through push_ready above, under
+        // commit_mu_, so parked owners cannot miss it.)
         node->ready_cv_.notify_all();
       });
 }
@@ -54,7 +65,7 @@ void Node::GuardedChannel::set_disconnect_handler(DisconnectHandler handler) {
   Node* node = &node_;
   const std::uint64_t epoch = node_.channel_epoch_;
   inner_.set_disconnect_handler([node, epoch, h = std::move(handler)] {
-    std::unique_lock lock(node->mu_);
+    std::unique_lock lock(node->commit_mu_);
     if (node->channel_epoch_ != epoch) return;
     if (h) h();
   });
@@ -106,22 +117,20 @@ Node::Node(NodeConfig config, std::string name)
 
 Node::~Node() { stop(); }
 
-NodeRole Node::role() const {
-  std::lock_guard lock(mu_);
-  return role_;
-}
+NodeRole Node::role() const { return role_.load(std::memory_order_acquire); }
 
 bool Node::serving() const {
-  std::lock_guard lock(mu_);
-  return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
+  const NodeRole r = role_.load(std::memory_order_acquire);
+  return r == NodeRole::kPrimaryWithMirror || r == NodeRole::kPrimaryAlone;
 }
 
 void Node::become_locked(NodeRole role) {
-  if (role_ == role) return;
+  const NodeRole old = role_.load(std::memory_order_relaxed);
+  if (old == role) return;
   RODAIN_INFO("%s: role %s -> %s", name_.c_str(),
-              std::string(to_string(role_)).c_str(),
+              std::string(to_string(old)).c_str(),
               std::string(to_string(role)).c_str());
-  role_ = role;
+  role_.store(role, std::memory_order_release);
   nm().role_transitions.inc();
   nm().role.set(static_cast<double>(static_cast<int>(role)));
   if (obs::tracing_enabled()) {
@@ -131,7 +140,9 @@ void Node::become_locked(NodeRole role) {
 }
 
 void Node::escalate_mirror_lost_locked(const char* why) {
-  if (role_ != NodeRole::kPrimaryWithMirror) return;
+  if (role_.load(std::memory_order_relaxed) != NodeRole::kPrimaryWithMirror) {
+    return;
+  }
   RODAIN_INFO("%s: mirror lost (%s)", name_.c_str(), why);
   link_down_since_.reset();
   log_writer_->on_mirror_lost();
@@ -156,7 +167,10 @@ void Node::build_primary_locked(LogMode mode) {
       become_locked(NodeRole::kPrimaryWithMirror);
     };
     hooks.on_disconnect = [this] {
-      if (role_ != NodeRole::kPrimaryWithMirror) return;
+      if (role_.load(std::memory_order_relaxed) !=
+          NodeRole::kPrimaryWithMirror) {
+        return;
+      }
       if (!config_.disconnect_grace.is_positive()) {
         escalate_mirror_lost_locked("link lost");
       } else if (!link_down_since_) {
@@ -194,8 +208,8 @@ void Node::build_primary_locked(LogMode mode) {
     log_writer_->configure_ack_timeout(&clock_, config_.ack_timeout, [this] {
       escalate_mirror_lost_locked("commit ack timeout");
     });
-    // The schedule hook runs under mu_ (every submit path holds it);
-    // flush_batch() is then driven by the timer thread, also under mu_.
+    // The schedule hook runs under commit_mu_ (every submit path holds it);
+    // flush_batch() is then driven by the timer thread, also under it.
     log_flush_at_.reset();
     log_writer_->configure_batching(
         &clock_, config_.log_batch, [this](Duration d) {
@@ -206,19 +220,25 @@ void Node::build_primary_locked(LogMode mode) {
   }
   log_writer_->set_mode(mode);
 
+  // Every engine hook fires with commit_mu_ held (worker serial sections,
+  // channel handlers, the timer's flush path), so push_ready's park-resume
+  // handshake is race-free by construction.
   engine::Engine::Hooks hooks;
-  hooks.on_victim_restart = [this](TxnId id) { push_ready_locked(id); };
-  hooks.on_lock_granted = [this](TxnId id) { push_ready_locked(id); };
-  hooks.on_log_durable = [this](TxnId id) { push_ready_locked(id); };
+  hooks.on_victim_restart = [this](TxnId id) { push_ready(id); };
+  hooks.on_lock_granted = [this](TxnId id) { push_ready(id); };
+  hooks.on_log_durable = [this](TxnId id) { push_ready(id); };
   engine_ = std::make_unique<engine::Engine>(config_.engine, store_, &index_,
                                              *log_writer_, std::move(hooks));
 }
 
 void Node::start_primary(LogMode mode, net::Channel* peer) {
-  std::unique_lock lock(mu_);
-  assert(role_ == NodeRole::kDown);
+  std::unique_lock lock(commit_mu_);
+  assert(role_.load(std::memory_order_relaxed) == NodeRole::kDown);
   peer_ = peer;
-  stopping_ = false;
+  {
+    std::lock_guard q(queue_mu_);
+    stopping_.store(false, std::memory_order_relaxed);
+  }
   build_primary_locked(mode);
   engine_->set_next_validation_seq(recovered_next_seq_);
   become_locked(mode == LogMode::kMirror ? NodeRole::kPrimaryWithMirror
@@ -231,11 +251,13 @@ void Node::start_primary(LogMode mode, net::Channel* peer) {
   if (!config_.checkpoint_path.empty() &&
       config_.checkpoint_interval.is_positive()) {
     checkpointer_ = std::thread([this] {
-      std::unique_lock ckpt_lock(mu_);
-      while (!stopping_) {
+      std::unique_lock ckpt_lock(commit_mu_);
+      while (!stopping_.load(std::memory_order_relaxed)) {
         timer_cv_.wait_for(
             ckpt_lock, std::chrono::microseconds(config_.checkpoint_interval.us));
-        if (stopping_ || !serving_locked()) continue;
+        if (stopping_.load(std::memory_order_relaxed) || !serving_locked()) {
+          continue;
+        }
         // The Checkpointer owns the cadence (the cv also wakes on every
         // submit) and truncates the log after each successful write.
         ckpt_.tick(clock_.now());
@@ -250,12 +272,12 @@ void Node::start_sampler_locked() {
     return;
   }
   sampler_ = std::thread([this] {
-    std::unique_lock lock(mu_);
-    while (!stopping_) {
+    std::unique_lock lock(commit_mu_);
+    while (!stopping_.load(std::memory_order_relaxed)) {
       timer_cv_.wait_for(
           lock,
           std::chrono::microseconds(config_.metrics_snapshot_interval.us));
-      if (stopping_) break;
+      if (stopping_.load(std::memory_order_relaxed)) break;
       sample_metrics_locked();
     }
   });
@@ -264,14 +286,16 @@ void Node::start_sampler_locked() {
 void Node::sample_metrics_locked() {
   if (!obs::enabled()) return;
   // Refresh the point-in-time gauges right before the registry snapshot so
-  // the sampled row is internally consistent.
+  // the sampled row is internally consistent. active_ structure is written
+  // under both mutexes, so reading its size under commit_mu_ is safe.
   nm().active_txns.set(static_cast<double>(active_.size()));
   nm().miss_ratio.set(counters_.miss_ratio());
   obs::metrics().sample_into(series_, obs::now_us());
 }
 
 bool Node::serving_locked() const {
-  return role_ == NodeRole::kPrimaryWithMirror || role_ == NodeRole::kPrimaryAlone;
+  const NodeRole r = role_.load(std::memory_order_relaxed);
+  return r == NodeRole::kPrimaryWithMirror || r == NodeRole::kPrimaryAlone;
 }
 
 Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
@@ -298,7 +322,7 @@ Status Node::write_checkpoint_locked() {
 }
 
 Status Node::write_checkpoint() {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   if (config_.checkpoint_path.empty()) {
     return Status::error(ErrorCode::kFailedPrecondition, "no checkpoint path");
   }
@@ -306,8 +330,8 @@ Status Node::write_checkpoint() {
 }
 
 Result<log::RecoveryStats> Node::recover_from_local_state() {
-  std::lock_guard lock(mu_);
-  if (role_ != NodeRole::kDown) {
+  std::lock_guard lock(commit_mu_);
+  if (role_.load(std::memory_order_relaxed) != NodeRole::kDown) {
     return Status::error(ErrorCode::kFailedPrecondition,
                          "recover before starting a role");
   }
@@ -337,10 +361,13 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
 }
 
 void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
-  std::unique_lock lock(mu_);
-  assert(role_ == NodeRole::kDown);
+  std::unique_lock lock(commit_mu_);
+  assert(role_.load(std::memory_order_relaxed) == NodeRole::kDown);
   peer_ = &peer;
-  stopping_ = false;
+  {
+    std::lock_guard q(queue_mu_);
+    stopping_.store(false, std::memory_order_relaxed);
+  }
   guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
   repl::MirrorService::Options options;
   options.store_to_disk = true;
@@ -365,10 +392,13 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
 }
 
 void Node::start_rejoin(net::Channel& peer) {
-  std::unique_lock lock(mu_);
-  assert(role_ == NodeRole::kDown);
+  std::unique_lock lock(commit_mu_);
+  assert(role_.load(std::memory_order_relaxed) == NodeRole::kDown);
   peer_ = &peer;
-  stopping_ = false;
+  {
+    std::lock_guard q(queue_mu_);
+    stopping_.store(false, std::memory_order_relaxed);
+  }
   guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
   repl::MirrorService::Options options;
   options.store_to_disk = true;
@@ -394,7 +424,9 @@ void Node::start_rejoin(net::Channel& peer) {
 }
 
 void Node::take_over_locked() {
-  if (role_ != NodeRole::kMirror || !mirror_) return;
+  if (role_.load(std::memory_order_relaxed) != NodeRole::kMirror || !mirror_) {
+    return;
+  }
   auto takeover = mirror_->take_over();
   ++channel_epoch_;
   link_down_since_.reset();
@@ -413,11 +445,30 @@ void Node::take_over_locked() {
 }
 
 void Node::stop() {
+  {
+    std::scoped_lock lock(commit_mu_, queue_mu_);
+    if (stopping_.load(std::memory_order_relaxed) &&
+        role_.load(std::memory_order_relaxed) == NodeRole::kDown) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    become_locked(NodeRole::kDown);
+  }
+  ready_cv_.notify_all();
+  timer_cv_.notify_all();
+  // Join BEFORE sweeping active_: a worker in the lock-free read phase holds
+  // a raw Transaction pointer with no mutex, so the entries must outlive it.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (timer_.joinable()) timer_.join();
+  if (heartbeater_.joinable()) heartbeater_.join();
+  if (checkpointer_.joinable()) checkpointer_.join();
+  if (sampler_.joinable()) sampler_.join();
   std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
   {
-    std::unique_lock lock(mu_);
-    if (stopping_ && role_ == NodeRole::kDown) return;
-    stopping_ = true;
+    std::scoped_lock lock(commit_mu_, queue_mu_);
     // In-flight transactions die with the node.
     for (auto& [id, a] : active_) {
       if (a.done) {
@@ -430,26 +481,14 @@ void Node::stop() {
     active_.clear();
     ready_.clear();
     deadlines_.clear();
-    become_locked(NodeRole::kDown);
+    ++channel_epoch_;
+    engine_.reset();
+    replicator_.reset();
+    mirror_.reset();
+    log_writer_.reset();
+    guarded_channel_.reset();
   }
-  ready_cv_.notify_all();
-  timer_cv_.notify_all();
   for (auto& [cb, info] : callbacks) cb(info);
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
-  if (timer_.joinable()) timer_.join();
-  if (heartbeater_.joinable()) heartbeater_.join();
-  if (checkpointer_.joinable()) checkpointer_.join();
-  if (sampler_.joinable()) sampler_.join();
-  std::unique_lock lock(mu_);
-  ++channel_epoch_;
-  engine_.reset();
-  replicator_.reset();
-  mirror_.reset();
-  log_writer_.reset();
-  guarded_channel_.reset();
 }
 
 // ------------------------------------------------------------ client ----
@@ -457,12 +496,12 @@ void Node::stop() {
 void Node::submit(txn::TxnProgram program, DoneFn done) {
   std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
   {
-    std::unique_lock lock(mu_);
+    std::unique_lock lock(commit_mu_);
     ++counters_.submitted;
     nm().submitted.inc();
     const TimePoint now = clock_.now();
     CommitInfo info;
-    if (role_ != NodeRole::kPrimaryWithMirror && role_ != NodeRole::kPrimaryAlone) {
+    if (!serving_locked()) {
       ++counters_.system_aborted;
       info.outcome = TxnOutcome::kSystemAborted;
       if (done) callbacks.emplace_back(std::move(done), info);
@@ -482,11 +521,13 @@ void Node::submit(txn::TxnProgram program, DoneFn done) {
       a.done = std::move(done);
       engine_->begin(*a.txn);
       if (deadline != TimePoint::max()) deadlines_.emplace(deadline, id);
-      active_.emplace(id, std::move(a));
-      push_ready_locked(id);
+      {
+        std::lock_guard q(queue_mu_);
+        active_.emplace(id, std::move(a));
+      }
+      push_ready(id);
     }
   }
-  ready_cv_.notify_one();
   timer_cv_.notify_one();
   for (auto& [cb, info] : callbacks) cb(info);
 }
@@ -507,19 +548,45 @@ Result<storage::Value> Node::get(ObjectId oid) {
   if (info.outcome != TxnOutcome::kCommitted) {
     return Status::error(ErrorCode::kAborted, "read transaction aborted");
   }
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   const storage::ObjectRecord* rec = store_.find(oid);
   if (!rec) return Status::error(ErrorCode::kNotFound, "no such object");
   return rec->value;
 }
 
+Result<storage::Value> Node::read_committed(ObjectId oid) {
+  if (!serving()) {
+    return Status::error(ErrorCode::kUnavailable, "not serving");
+  }
+  storage::ObjectRecord snap;
+  std::uint32_t retries = 0;
+  const storage::OptimisticRead r = store_.read_optimistic(oid, snap, retries);
+  if (retries != 0) read_retry_counter().inc(retries);
+  if (r == storage::OptimisticRead::kContended) {
+    return Status::error(ErrorCode::kUnavailable, "seqlock contention");
+  }
+  // Re-check the role AFTER the snapshot: a takeover/demotion that raced the
+  // read invalidates it (the value may predate the new primary's installs).
+  if (!serving()) {
+    return Status::error(ErrorCode::kUnavailable, "not serving");
+  }
+  if (r == storage::OptimisticRead::kMiss || snap.deleted) {
+    return Status::error(ErrorCode::kNotFound, "no such object");
+  }
+  return std::move(snap.value);
+}
+
 // ------------------------------------------------------------ workers ---
 
-void Node::push_ready_locked(TxnId id) {
+void Node::push_ready(TxnId id) {
+  std::lock_guard q(queue_mu_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
   Active& a = it->second;
   if (a.owned_by_worker) {
+    // The owner worker is driving it right now; it re-checks this flag at
+    // its next park point (under commit_mu_ + queue_mu_, both held by every
+    // caller of this path, so the handshake cannot be missed).
     a.resume_pending = true;
     return;
   }
@@ -527,79 +594,141 @@ void Node::push_ready_locked(TxnId id) {
   ready_cv_.notify_one();
 }
 
+void Node::lock_commit(std::unique_lock<std::mutex>& lock) {
+  assert(lock.mutex() == &commit_mu_ && !lock.owns_lock());
+  if (lock.try_lock()) return;
+  obs::ScopedTimer wait(nm().commit_mu_wait);
+  lock.lock();
+}
+
 void Node::worker_loop() {
-  std::unique_lock lock(mu_);
+  std::unique_lock qlock(queue_mu_);
   while (true) {
-    ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
-    if (stopping_) return;
+    ready_cv_.wait(qlock, [this] {
+      return stopping_.load(std::memory_order_relaxed) || !ready_.empty();
+    });
+    if (stopping_.load(std::memory_order_relaxed)) return;
     const TxnId id = ready_.begin()->second;
     ready_.erase(ready_.begin());
-    drive(id, lock);
+    drive(id, qlock);
   }
 }
 
-void Node::drive(TxnId id, std::unique_lock<std::mutex>& lock) {
+void Node::drive(TxnId id, std::unique_lock<std::mutex>& qlock) {
   auto it = active_.find(id);
   if (it == active_.end()) return;
   it->second.owned_by_worker = true;
+  // The entry (and the Transaction it owns) is stable while owned: only
+  // finish_locked (called by this worker) or stop() — which joins workers
+  // before sweeping — erases it.
+  txn::Transaction* t = it->second.txn.get();
+  qlock.unlock();
 
   std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
-  while (true) {
-    it = active_.find(id);
-    if (it == active_.end()) break;  // aborted under us (deadline timer)
-    Active& a = it->second;
-    const engine::StepResult r = engine_->step(*a.txn);
+  std::unique_lock commit(commit_mu_, std::defer_lock);
+  // While true, t->lock_free_executing() is set and commit_mu_ is released:
+  // the worker streams read-phase steps against seqlock snapshots while
+  // other workers validate/install. Victimizers see the flag (they hold
+  // commit_mu_) and defer the restart; we consume it at the next step.
+  bool unlocked_reads = false;
+  bool done = false;
+  while (!done) {
+    const bool want_unlocked = engine_->lock_free_reads() &&
+                               t->phase() == txn::Phase::kReadPhase &&
+                               !t->program_done();
+    if (want_unlocked && !unlocked_reads) {
+      if (!commit.owns_lock()) lock_commit(commit);
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // Flag flips happen only under commit_mu_, so a victimizer can never
+      // observe a half-entered lock-free section.
+      t->set_lock_free_executing(true);
+      unlocked_reads = true;
+      commit.unlock();
+    }
+    if (unlocked_reads) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (std::optional<engine::StepResult> r = engine_->step_read_unlocked(*t)) {
+        if (r->cost.is_positive() &&
+            config_.engine.costs.per_read.is_positive()) {
+          // Optional fidelity mode: burn the modelled CPU cost for real
+          // (outside every lock — that is the whole point).
+          const TimePoint until = clock_.now() + r->cost;
+          while (clock_.now() < until) {
+          }
+        }
+        continue;
+      }
+      // The next step must run serially: validation is up, a deferred
+      // victim-restart is pending, or the optimistic read hit contention.
+      lock_commit(commit);
+      t->set_lock_free_executing(false);
+      unlocked_reads = false;
+      if (stopping_.load(std::memory_order_relaxed)) break;
+    } else if (!commit.owns_lock()) {
+      lock_commit(commit);
+      if (stopping_.load(std::memory_order_relaxed)) break;
+    }
+    const engine::StepResult r = engine_->step(*t);
     if (r.cost.is_positive() && config_.engine.costs.per_read.is_positive()) {
       // Optional fidelity mode: burn the modelled CPU cost for real.
       const TimePoint until = clock_.now() + r.cost;
       while (clock_.now() < until) {
       }
     }
-    bool parked = false;
     switch (r.action) {
       case engine::StepAction::kContinue:
       case engine::StepAction::kRestarted:
         continue;
       case engine::StepAction::kBlocked:
-      case engine::StepAction::kWaitLogAck:
-        if (a.resume_pending) {
-          a.resume_pending = false;
+      case engine::StepAction::kWaitLogAck: {
+        // Every resume path (lock grant, log ack, victim restart) runs under
+        // commit_mu_, which we hold: checking resume_pending and parking are
+        // one atomic decision — the historical re-check race is gone.
+        std::lock_guard q(queue_mu_);
+        auto it2 = active_.find(id);
+        if (it2 == active_.end()) {
+          done = true;
+          break;
+        }
+        if (it2->second.resume_pending) {
+          it2->second.resume_pending = false;
           continue;  // the grant/ack already arrived
         }
-        a.owned_by_worker = false;
-        parked = true;
+        it2->second.owned_by_worker = false;
+        done = true;
         break;
+      }
       case engine::StepAction::kCommitted:
         finish_locked(id, TxnOutcome::kCommitted, callbacks);
+        done = true;
         break;
       case engine::StepAction::kAborted:
-        finish_locked(id, a.txn->outcome(), callbacks);
+        finish_locked(id, t->outcome(), callbacks);
+        done = true;
         break;
     }
-    if (parked) {
-      // The ack may race in between the step and the park flag: re-check.
-      auto it2 = active_.find(id);
-      if (it2 != active_.end() && it2->second.resume_pending) {
-        it2->second.resume_pending = false;
-        it2->second.owned_by_worker = true;
-        continue;
-      }
-    }
-    break;
   }
-  if (!callbacks.empty()) {
-    lock.unlock();
-    for (auto& [cb, info] : callbacks) cb(info);
-    lock.lock();
+  if (unlocked_reads) {
+    // Shutdown path: clear the flag under commit_mu_ so the sweep in stop()
+    // never sees a phantom lock-free owner.
+    if (!commit.owns_lock()) lock_commit(commit);
+    t->set_lock_free_executing(false);
   }
+  if (commit.owns_lock()) commit.unlock();
+  for (auto& [cb, info] : callbacks) cb(info);
+  qlock.lock();
 }
 
 void Node::finish_locked(TxnId id, TxnOutcome outcome,
                          std::vector<std::pair<DoneFn, CommitInfo>>& callbacks) {
-  auto it = active_.find(id);
-  if (it == active_.end()) return;
-  Active a = std::move(it->second);
-  active_.erase(it);
+  Active a;
+  {
+    std::lock_guard q(queue_mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) return;
+    a = std::move(it->second);
+    active_.erase(it);
+  }
   overload_.on_finish();
 
   const TimePoint now = clock_.now();
@@ -607,6 +736,7 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
   info.latency = now - a.txn->arrival();
   info.restarts = a.txn->restarts();
   info.late = a.late;
+  info.captured_reads = std::move(a.txn->captured_reads);
   counters_.restarts += static_cast<std::uint64_t>(a.txn->restarts());
 
   if (outcome == TxnOutcome::kCommitted && a.late) {
@@ -646,8 +776,8 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
 // -------------------------------------------------------------- timers ---
 
 void Node::timer_loop() {
-  std::unique_lock lock(mu_);
-  while (!stopping_) {
+  std::unique_lock lock(commit_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
     // Wake for whichever comes first: the next txn deadline or a pending
     // group-commit flush.
     std::optional<TimePoint> next;
@@ -657,7 +787,8 @@ void Node::timer_loop() {
     }
     if (!next) {
       timer_cv_.wait(lock, [this] {
-        return stopping_ || !deadlines_.empty() || log_flush_at_.has_value();
+        return stopping_.load(std::memory_order_relaxed) ||
+               !deadlines_.empty() || log_flush_at_.has_value();
       });
       continue;
     }
@@ -675,17 +806,26 @@ void Node::timer_loop() {
     while (!deadlines_.empty() && deadlines_.begin()->first <= clock_.now()) {
       const TxnId id = deadlines_.begin()->second;
       deadlines_.erase(deadlines_.begin());
-      auto it = active_.find(id);
-      if (it == active_.end()) continue;
-      Active& a = it->second;
-      if (a.txn->criticality() == Criticality::kFirm &&
-          engine_->can_abort(*a.txn) && !a.owned_by_worker) {
-        ready_.erase({a.txn->priority(), id});
-        engine_->abort(*a.txn, TxnOutcome::kMissedDeadline);
+      txn::Transaction* expired = nullptr;
+      {
+        std::lock_guard q(queue_mu_);
+        auto it = active_.find(id);
+        if (it == active_.end()) continue;
+        Active& a = it->second;
+        if (a.txn->criticality() == Criticality::kFirm &&
+            engine_->can_abort(*a.txn) && !a.owned_by_worker) {
+          // Not owned: no worker can pick it up once it leaves ready_
+          // (push_ready callers hold commit_mu_, which we hold).
+          ready_.erase({a.txn->priority(), id});
+          expired = a.txn.get();
+        } else {
+          // Soft deadline, running, or already validated: it completes late.
+          a.late = true;
+        }
+      }
+      if (expired) {
+        engine_->abort(*expired, TxnOutcome::kMissedDeadline);
         finish_locked(id, TxnOutcome::kMissedDeadline, callbacks);
-      } else {
-        // Soft deadline, running, or already validated: it completes late.
-        a.late = true;
       }
     }
     if (!callbacks.empty()) {
@@ -699,17 +839,17 @@ void Node::timer_loop() {
 // ---------------------------------------------------------- heartbeats ---
 
 void Node::heartbeat_loop() {
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(commit_mu_);
   const repl::Watchdog watchdog(config_.watchdog_timeout);
-  while (!stopping_) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
     timer_cv_.wait_for(
         lock, std::chrono::microseconds(config_.heartbeat_interval.us));
-    if (stopping_) return;
-    switch (role_) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    switch (role_.load(std::memory_order_relaxed)) {
       case NodeRole::kPrimaryWithMirror:
         if (replicator_) {
           replicator_->send_heartbeat(
-              role_, engine_ ? engine_->installed_low_water() : 0);
+              role(), engine_ ? engine_->installed_low_water() : 0);
           replicator_->poll(clock_.now());
           if (link_down_since_ && replicator_->channel_connected()) {
             link_down_since_.reset();
@@ -720,7 +860,8 @@ void Node::heartbeat_loop() {
             break;
           }
           if (log_writer_ && log_writer_->check_ack_timeouts()) break;
-          if (role_ == NodeRole::kPrimaryWithMirror &&
+          if (role_.load(std::memory_order_relaxed) ==
+                  NodeRole::kPrimaryWithMirror &&
               watchdog.expired(clock_.now(), replicator_->last_heard())) {
             RODAIN_INFO("%s: watchdog expired for mirror", name_.c_str());
             escalate_mirror_lost_locked("watchdog expired");
@@ -730,7 +871,7 @@ void Node::heartbeat_loop() {
       case NodeRole::kPrimaryAlone:
         if (replicator_) {
           replicator_->send_heartbeat(
-              role_, engine_ ? engine_->installed_low_water() : 0);
+              role(), engine_ ? engine_->installed_low_water() : 0);
           replicator_->poll(clock_.now());
         }
         break;
@@ -766,22 +907,22 @@ void Node::heartbeat_loop() {
 // ------------------------------------------------------------ telemetry --
 
 TxnCounters Node::counters() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   return counters_;
 }
 
 LatencyHistogram Node::commit_latency() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   return commit_latency_;
 }
 
 ValidationTs Node::mirror_applied_seq() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   return mirror_ ? mirror_->applied_seq() : 0;
 }
 
 obs::TimeSeries Node::metrics_series() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(commit_mu_);
   return series_;
 }
 

@@ -4,12 +4,22 @@
 // virtual time: an EDF-ordered ready queue feeds workers, a timer thread
 // enforces firm deadlines, the Log Writer ships redo records over TCP to a
 // peer node running the Mirror role, and a heartbeat/watchdog thread drives
-// the §2 role transitions. Engine state is guarded by one node mutex —
-// transaction steps are microseconds, so the single lock is not the
-// bottleneck at the throughputs this runtime targets.
+// the §2 role transitions.
+//
+// Locking (DESIGN.md §11): two node-level mutexes instead of the historical
+// single lock. `commit_mu_` serializes everything that mutates engine or
+// replication state — validation, write phase, log emission, role flips,
+// admission, deadline aborts. `queue_mu_` guards only the EDF ready queue
+// and the per-transaction worker-ownership flags, so workers can pop work
+// and park without convoying on committers. OCC read-phase steps run with
+// NEITHER mutex held (Engine::step_read_unlocked): reads come from
+// per-record seqlock snapshots and the B+-tree's reader lock. Lock order:
+// commit_mu_ -> queue_mu_ -> per-transaction leaf mutexes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <future>
 #include <map>
 #include <memory>
@@ -67,7 +77,18 @@ struct NodeConfig {
   /// interval (zero disables the sampler; requires obs::init enabled).
   Duration metrics_snapshot_interval{Duration::zero()};
 
-  NodeConfig() { engine.costs = engine::CostModel::zero(); }
+  NodeConfig() {
+    engine.costs = engine::CostModel::zero();
+    // CI runs the whole integration tier a second time with RODAIN_WORKERS=4
+    // so every test exercises the parallel read phase.
+    if (const char* env = std::getenv("RODAIN_WORKERS")) {
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      if (end != env && n > 0 && n <= 256) {
+        worker_threads = static_cast<std::size_t>(n);
+      }
+    }
+  }
 };
 
 struct CommitInfo {
@@ -75,6 +96,9 @@ struct CommitInfo {
   bool late{false};
   Duration latency{Duration::zero()};
   int restarts{0};
+  /// The values every read observed, in program order (only populated when
+  /// EngineConfig::capture_reads is on — serializability tests).
+  std::vector<storage::Value> captured_reads;
 };
 
 class Node {
@@ -118,6 +142,13 @@ class Node {
   /// One-shot read of a single object's committed value.
   [[nodiscard]] Result<storage::Value> get(ObjectId oid);
 
+  /// Lock-free committed read via the store's seqlock (no transaction, no
+  /// commit mutex). kNotFound: absent or tombstoned. kUnavailable: not
+  /// serving (checked before AND after the snapshot, so a value read across
+  /// a role flip is discarded), or seqlock retries exhausted — the caller
+  /// falls back to the transactional path.
+  [[nodiscard]] Result<storage::Value> read_committed(ObjectId oid);
+
   // ---- telemetry --------------------------------------------------------
   [[nodiscard]] TxnCounters counters() const;
   [[nodiscard]] LatencyHistogram commit_latency() const;
@@ -135,7 +166,7 @@ class Node {
   };
 
   /// Wraps the raw channel so every inbound frame and disconnect runs
-  /// under the node mutex (replication state is not thread-safe). Handlers
+  /// under the commit mutex (replication state is not thread-safe). Handlers
   /// capture the node and the epoch at install time: when the node tears a
   /// role down it bumps the epoch under the mutex, so a late callback from
   /// the socket reader thread is dropped instead of touching freed
@@ -167,8 +198,16 @@ class Node {
   void worker_loop();
   void timer_loop();
   void heartbeat_loop();
-  void push_ready_locked(TxnId id);
-  void drive(TxnId id, std::unique_lock<std::mutex>& lock);
+  /// Queue a transaction for a worker (takes queue_mu_ itself). Callers on
+  /// resume paths (log-durable, lock-granted, victim-restart hooks) hold
+  /// commit_mu_, which is what makes park-vs-resume race-free.
+  void push_ready(TxnId id);
+  /// Acquire commit_mu_ into `lock`, timing contended waits.
+  void lock_commit(std::unique_lock<std::mutex>& lock);
+  /// Drive one owned transaction to a boundary. Entered with queue_mu_
+  /// held (via `qlock`); returns with it held again.
+  void drive(TxnId id, std::unique_lock<std::mutex>& qlock);
+  /// Requires commit_mu_; takes queue_mu_ internally for the active_ erase.
   void finish_locked(TxnId id, TxnOutcome outcome,
                      std::vector<std::pair<DoneFn, CommitInfo>>& callbacks);
 
@@ -176,10 +215,17 @@ class Node {
   std::string name_;
   RealClock clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::condition_variable timer_cv_;
-  bool stopping_{false};
+  /// Serializes engine mutation, replication, role flips, admission and
+  /// telemetry. Narrow by design: the OCC read phase never holds it.
+  mutable std::mutex commit_mu_;
+  /// Guards ready_ and the Active worker-ownership flags; active_ map
+  /// structure is written under BOTH mutexes, so either lock may read it.
+  mutable std::mutex queue_mu_;
+  std::condition_variable ready_cv_;  ///< pairs with queue_mu_
+  std::condition_variable timer_cv_;  ///< pairs with commit_mu_
+  /// Written under commit_mu_ AND queue_mu_ together (so both cv waits see
+  /// it); atomic because unlocked read-phase workers poll it with no lock.
+  std::atomic<bool> stopping_{false};
 
   storage::ObjectStore store_;
   storage::BPlusTree index_;
@@ -192,12 +238,14 @@ class Node {
   net::Channel* peer_{nullptr};
 
   sched::OverloadManager overload_;
-  NodeRole role_{NodeRole::kDown};
-  /// Bumped (under mu_) whenever replication objects are torn down; stale
-  /// channel callbacks compare against it and bail out.
+  /// Written under commit_mu_; atomic so role()/serving() and the unlocked
+  /// read_committed fast path never touch the commit mutex.
+  std::atomic<NodeRole> role_{NodeRole::kDown};
+  /// Bumped (under commit_mu_) whenever replication objects are torn down;
+  /// stale channel callbacks compare against it and bail out.
   std::uint64_t channel_epoch_{0};
-  /// When the mirror link dropped (primary side, under mu_); escalation
-  /// waits out config_.disconnect_grace.
+  /// When the mirror link dropped (primary side, under commit_mu_);
+  /// escalation waits out config_.disconnect_grace.
   std::optional<TimePoint> link_down_since_;
 
   std::unordered_map<TxnId, Active> active_;
@@ -212,7 +260,7 @@ class Node {
   std::set<std::pair<PriorityKey, TxnId>, ReadyOrder> ready_;
   std::multimap<TimePoint, TxnId> deadlines_;
   /// Earliest requested group-commit flush; the timer thread calls
-  /// LogWriter::flush_batch() when it comes due (under mu_).
+  /// LogWriter::flush_batch() when it comes due (under commit_mu_).
   std::optional<TimePoint> log_flush_at_;
 
   std::uint64_t next_local_txn_{1};
@@ -230,7 +278,8 @@ class Node {
   /// The segmented-log open trimmed a torn tail left by a crash; folded
   /// into RecoveryStats::torn_tail by recover_from_local_state.
   bool log_tail_trimmed_{false};
-  /// Cadence + truncation driver behind the checkpointer thread (under mu_).
+  /// Cadence + truncation driver behind the checkpointer thread (under
+  /// commit_mu_).
   log::Checkpointer ckpt_;
 };
 

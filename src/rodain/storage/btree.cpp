@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 namespace rodain::storage {
@@ -115,6 +117,7 @@ BPlusTree::Node* BPlusTree::leaf_for(const IndexKey& key) const {
 }
 
 std::optional<ObjectId> BPlusTree::find(const IndexKey& key) const {
+  std::shared_lock lock(mu_);
   const Node* n = leaf_for(key);
   const std::size_t i = lower_bound_in(n->keys, key);
   if (i < n->count() && n->keys[i] == key) return n->values[i];
@@ -122,6 +125,7 @@ std::optional<ObjectId> BPlusTree::find(const IndexKey& key) const {
 }
 
 bool BPlusTree::insert(const IndexKey& key, ObjectId value) {
+  std::unique_lock lock(mu_);
   InsertResult r = insert_rec(root_, key, value);
   if (!r.inserted) return false;
   if (r.split_right) {
@@ -182,6 +186,7 @@ BPlusTree::InsertResult BPlusTree::insert_rec(Node* n, const IndexKey& key,
 }
 
 bool BPlusTree::update(const IndexKey& key, ObjectId value) {
+  std::unique_lock lock(mu_);
   Node* n = leaf_for(key);
   const std::size_t i = lower_bound_in(n->keys, key);
   if (i < n->count() && n->keys[i] == key) {
@@ -192,6 +197,7 @@ bool BPlusTree::update(const IndexKey& key, ObjectId value) {
 }
 
 bool BPlusTree::erase(const IndexKey& key) {
+  std::unique_lock lock(mu_);
   if (!erase_rec(root_, key)) return false;
   if (!root_->leaf && root_->count() == 0) {
     Node* old = root_;
@@ -286,6 +292,7 @@ void BPlusTree::rebalance_child(Node* parent, std::size_t idx) {
 void BPlusTree::range_scan(
     const IndexKey& lo, const IndexKey& hi,
     const std::function<bool(const IndexKey&, ObjectId)>& fn) const {
+  std::shared_lock lock(mu_);
   const Node* n = leaf_for(lo);
   std::size_t i = lower_bound_in(n->keys, lo);
   while (n) {
@@ -299,6 +306,11 @@ void BPlusTree::range_scan(
 }
 
 std::size_t BPlusTree::height() const {
+  std::shared_lock lock(mu_);
+  return height_unlocked();
+}
+
+std::size_t BPlusTree::height_unlocked() const {
   std::size_t h = 1;
   const Node* n = root_;
   while (!n->leaf) {
@@ -309,7 +321,8 @@ std::size_t BPlusTree::height() const {
 }
 
 Status BPlusTree::validate() const {
-  std::size_t leaf_depth = height();
+  std::shared_lock lock(mu_);
+  std::size_t leaf_depth = height_unlocked();
   if (auto s = validate_rec(root_, nullptr, nullptr, 1, leaf_depth); !s) return s;
 
   // Leaf chain must enumerate exactly size() entries in strict key order.

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -63,6 +64,12 @@ class BPlusTree {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t height() const;
 
+  // Readers (find/range_scan/height/validate) take mu_ shared; structural
+  // mutators (insert/update/erase) take it unique. Mutators are already
+  // serialized by the engine's commit mutex, so the unique acquisition only
+  // fences optimistic read-phase lookups during splits/merges (DESIGN.md
+  // §11); readers never block each other.
+
   /// Check every structural invariant (key order, fill factors, leaf links,
   /// separator correctness). Test/debug aid; O(n).
   [[nodiscard]] Status validate() const;
@@ -71,6 +78,7 @@ class BPlusTree {
   struct Node;
   struct InsertResult;
 
+  [[nodiscard]] std::size_t height_unlocked() const;
   Node* leaf_for(const IndexKey& key) const;
   InsertResult insert_rec(Node* n, const IndexKey& key, ObjectId value);
   bool erase_rec(Node* n, const IndexKey& key);
@@ -81,6 +89,7 @@ class BPlusTree {
 
   Node* root_{nullptr};
   std::size_t size_{0};
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace rodain::storage

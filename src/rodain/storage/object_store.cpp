@@ -2,13 +2,24 @@
 
 #include <bit>
 #include <cassert>
+#include <mutex>
 #include <utility>
+
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::storage {
 
 namespace {
 std::size_t next_pow2(std::size_t n) {
   return std::bit_ceil(n < 16 ? std::size_t{16} : n);
+}
+
+struct StoreMetrics {
+  obs::Counter& rehash_fences = obs::metrics().counter("store.rehash_fences");
+};
+StoreMetrics& sm() {
+  static StoreMetrics m;
+  return m;
 }
 }  // namespace
 
@@ -30,40 +41,80 @@ Status ObjectStore::insert(ObjectId id, Value value) {
   }
   ObjectRecord rec;
   rec.value = std::move(value);
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   insert_internal(id, std::move(rec));
   return Status::ok();
 }
 
 ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
   if (Slot* s = locate(id)) {
-    s->record.value = std::move(value);
-    if (wts > s->record.wts) s->record.wts = wts;
-    if (s->record.deleted) {
-      s->record.deleted = false;  // revived
+    ObjectRecord& rec = s->record;
+    // The fast path overwrites the record in place under its seqlock so
+    // optimistic readers never fence. Only possible when neither the old
+    // nor the new payload owns heap memory: freeing (or publishing) a heap
+    // buffer while a racing reader may be mid-copy needs the table lock.
+    if (rec.value.is_inline() && value.is_inline()) {
+      rec.write_begin();
+      rec.value.store_inline_relaxed(value.view());
+      rec.bump_wts(wts);
+      if (rec.deleted) {
+        std::atomic_ref<bool>(rec.deleted).store(false,
+                                                 std::memory_order_relaxed);
+        --tombstones_;  // revived
+      }
+      rec.write_end();
+      return rec;
+    }
+    std::unique_lock fence(table_mu_);
+    sm().rehash_fences.inc();
+    rec.value = std::move(value);
+    if (wts > rec.wts) rec.wts = wts;
+    if (rec.deleted) {
+      rec.deleted = false;  // revived
       --tombstones_;
     }
-    return s->record;
+    return rec;
   }
   ObjectRecord rec;
   rec.value = std::move(value);
   rec.wts = wts;
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   return insert_internal(id, std::move(rec));
 }
 
 ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
   if (Slot* s = locate(id)) {
-    s->record.value.clear();
-    if (wts > s->record.wts) s->record.wts = wts;
-    if (!s->record.deleted) {
-      s->record.deleted = true;
+    ObjectRecord& rec = s->record;
+    if (rec.value.is_inline()) {
+      rec.write_begin();
+      rec.value.store_inline_relaxed({});
+      rec.bump_wts(wts);
+      if (!rec.deleted) {
+        std::atomic_ref<bool>(rec.deleted).store(true,
+                                                 std::memory_order_relaxed);
+        ++tombstones_;
+      }
+      rec.write_end();
+      return rec;
+    }
+    std::unique_lock fence(table_mu_);
+    sm().rehash_fences.inc();
+    rec.value.clear();
+    if (wts > rec.wts) rec.wts = wts;
+    if (!rec.deleted) {
+      rec.deleted = true;
       ++tombstones_;
     }
-    return s->record;
+    return rec;
   }
   ObjectRecord rec;
   rec.wts = wts;
   rec.deleted = true;
   ++tombstones_;
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   return insert_internal(id, std::move(rec));
 }
 
@@ -77,9 +128,63 @@ ObjectRecord* ObjectStore::find_mutable(ObjectId id) {
   return s ? &s->record : nullptr;
 }
 
+OptimisticRead ObjectStore::read_optimistic(ObjectId id, ObjectRecord& out,
+                                            std::uint32_t& retries,
+                                            std::uint32_t max_retries) const {
+  std::shared_lock table(table_mu_);
+  const Slot* s = locate(id);
+  if (s == nullptr) {
+    retries = 0;
+    return OptimisticRead::kMiss;
+  }
+  const ObjectRecord& rec = s->record;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (attempt > max_retries) {
+      retries = attempt;
+      return OptimisticRead::kContended;
+    }
+    const std::uint32_t s1 = rec.seq_acquire();
+    if (s1 & 1u) continue;  // writer mid-update
+    std::uint64_t words[Value::kInlineWords];
+    std::size_t value_size = 0;
+    ValidationTs rts = 0;
+    ValidationTs wts = 0;
+    bool deleted = false;
+    bool inline_payload = rec.value.load_inline_relaxed(words, value_size);
+    Value heap_copy;
+    if (!inline_payload) {
+      // Heap payloads only mutate under the unique table lock, which we
+      // exclude by holding the shared lock — the buffer is stable even if
+      // the seqlock says a (necessarily inline-path) writer is active.
+      heap_copy = rec.value;
+    }
+    // atomic_ref<const T> arrives in C++26; const_cast for the loads.
+    rts = std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(rec.rts))
+              .load(std::memory_order_relaxed);
+    wts = std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(rec.wts))
+              .load(std::memory_order_relaxed);
+    deleted = std::atomic_ref<bool>(const_cast<bool&>(rec.deleted))
+                  .load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rec.seq_relaxed() != s1) continue;  // torn — retry
+    if (inline_payload) {
+      out.value.assign(std::as_bytes(std::span{words}).first(value_size));
+    } else {
+      out.value = std::move(heap_copy);
+    }
+    out.rts = rts;
+    out.wts = wts;
+    out.deleted = deleted;
+    retries = attempt;
+    return OptimisticRead::kHit;
+  }
+}
+
 bool ObjectStore::erase(ObjectId id) {
   Slot* s = locate(id);
   if (!s) return false;
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   if (s->record.deleted) --tombstones_;
   // Backward-shift deletion keeps probe sequences contiguous.
   std::size_t i = static_cast<std::size_t>(s - slots_.data());
@@ -103,12 +208,15 @@ void ObjectStore::for_each(
 }
 
 void ObjectStore::clear() {
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   for (Slot& s : slots_) s = Slot{};
   size_ = 0;
   tombstones_ = 0;
 }
 
 void ObjectStore::grow() {
+  // Callers already hold table_mu_ exclusively (every insert path fences).
   std::vector<Slot> old = std::move(slots_);
   slots_.clear();
   slots_.resize(old.size() * 2);

@@ -1,10 +1,21 @@
 // The main-memory object store: a robin-hood open-addressing table mapping
 // ObjectId to the object's payload plus the OCC timestamps (largest committed
 // reader / writer) the concurrency controllers consult at validation.
+//
+// Concurrency (DESIGN.md §11): mutators must be externally serialized (the
+// engine's commit mutex does this — the write phase, mirror apply, and
+// recovery never overlap), but optimistic readers may race them freely.
+// Structural changes (new slots, robin-hood displacement, growth, erase,
+// anything touching a heap-allocated payload) take the unique table lock;
+// in-place updates of existing records with inline payloads bump only the
+// record's seqlock, so the common telecom-record update never fences the
+// reader side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <vector>
 
 #include "rodain/common/status.hpp"
@@ -26,16 +37,102 @@ struct ObjectRecord {
   bool deleted{false};
 
   [[nodiscard]] bool live() const { return !deleted; }
+
+  ObjectRecord() = default;
+  // The seq counter is transferred with relaxed loads/stores: copies and
+  // moves only happen in structural store operations (grow, slot shifts)
+  // under the unique table lock, or on private engine-side snapshots.
+  ObjectRecord(const ObjectRecord& o)
+      : value(o.value), rts(o.rts), wts(o.wts), deleted(o.deleted),
+        seq_(o.seq_.load(std::memory_order_relaxed)) {}
+  ObjectRecord& operator=(const ObjectRecord& o) {
+    if (this != &o) {
+      value = o.value;
+      rts = o.rts;
+      wts = o.wts;
+      deleted = o.deleted;
+      seq_.store(o.seq_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  ObjectRecord(ObjectRecord&& o) noexcept
+      : value(std::move(o.value)), rts(o.rts), wts(o.wts), deleted(o.deleted),
+        seq_(o.seq_.load(std::memory_order_relaxed)) {}
+  ObjectRecord& operator=(ObjectRecord&& o) noexcept {
+    if (this != &o) {
+      value = std::move(o.value);
+      rts = o.rts;
+      wts = o.wts;
+      deleted = o.deleted;
+      seq_.store(o.seq_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  // ---- per-record seqlock ------------------------------------------------
+  // Odd while an in-place writer is mid-update. The writer sequence is the
+  // standard C++ seqlock idiom: odd store, release fence, relaxed payload
+  // stores, even release store. Readers pair it with an acquire load, relaxed
+  // payload loads, an acquire fence, and a relaxed re-check.
+  [[nodiscard]] std::uint32_t seq_acquire() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t seq_relaxed() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  void write_begin() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void write_end() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  }
+
+  /// Timestamp bumps that race optimistic readers (cc::on_installed runs
+  /// under the commit mutex, not the table lock). A lone u64 store cannot
+  /// tear, so no seqlock round-trip is needed; readers tolerate a stale
+  /// rts/wts the same way they tolerate one read a microsecond earlier.
+  void bump_rts(ValidationTs ts) {
+    std::atomic_ref<ValidationTs> r(rts);
+    if (ts > r.load(std::memory_order_relaxed)) {
+      r.store(ts, std::memory_order_relaxed);
+    }
+  }
+  void bump_wts(ValidationTs ts) {
+    std::atomic_ref<ValidationTs> w(wts);
+    if (ts > w.load(std::memory_order_relaxed)) {
+      w.store(ts, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+};
+
+/// Result of an optimistic (seqlock) read.
+enum class OptimisticRead : std::uint8_t {
+  kHit = 0,    ///< `out` holds a consistent committed snapshot
+  kMiss,       ///< no record for the id
+  kContended,  ///< retry budget exhausted — take the transactional path
 };
 
 class ObjectStore {
  public:
+  /// Per-attempt retry budget of read_optimistic callers that have a cheap
+  /// serial fallback (writer sections are a few dozen instructions, so any
+  /// retry at all is rare).
+  static constexpr std::uint32_t kDefaultOptimisticRetries = 64;
+
   explicit ObjectStore(std::size_t expected_objects = 1024);
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
-  ObjectStore(ObjectStore&&) = default;
-  ObjectStore& operator=(ObjectStore&&) = default;
+  ObjectStore(ObjectStore&&) = delete;
+  ObjectStore& operator=(ObjectStore&&) = delete;
 
   /// Insert a new object; fails with kAlreadyExists if the id is taken.
   Status insert(ObjectId id, Value value);
@@ -54,9 +151,20 @@ class ObjectStore {
   [[nodiscard]] std::size_t live_size() const { return size_ - tombstones_; }
   [[nodiscard]] std::size_t tombstone_count() const { return tombstones_; }
 
-  /// Lookup; nullptr when absent.
+  /// Lookup; nullptr when absent. Serial contexts only (the caller holds
+  /// the commit mutex, or no concurrent mutator exists).
   [[nodiscard]] const ObjectRecord* find(ObjectId id) const;
   [[nodiscard]] ObjectRecord* find_mutable(ObjectId id);
+
+  /// Lock-free committed read: copies a consistent snapshot of the record
+  /// into `out` (value, rts, wts, deleted), retrying while an in-place
+  /// writer holds the record's seqlock. Holds the shared table lock for the
+  /// duration, so structural changes (rehash, slot shifts, heap payload
+  /// swaps) cannot move the record underneath the copy. `retries` reports
+  /// how many torn attempts were discarded.
+  OptimisticRead read_optimistic(
+      ObjectId id, ObjectRecord& out, std::uint32_t& retries,
+      std::uint32_t max_retries = kDefaultOptimisticRetries) const;
 
   bool erase(ObjectId id);
 
@@ -90,6 +198,11 @@ class ObjectStore {
   std::vector<Slot> slots_;
   std::size_t size_{0};
   std::size_t tombstones_{0};
+
+  /// Writer-side unique acquisitions fence every optimistic reader out of
+  /// the table; shared acquisitions (readers) ride alongside in-place
+  /// seqlocked updates. Counted into `store.rehash_fences`.
+  mutable std::shared_mutex table_mu_;
 };
 
 }  // namespace rodain::storage

@@ -6,6 +6,8 @@
 // objects (deferred write, paper §2).
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -17,6 +19,7 @@ namespace rodain::storage {
 class Value {
  public:
   static constexpr std::size_t kInlineCapacity = 48;
+  static constexpr std::size_t kInlineWords = kInlineCapacity / 8;
 
   Value() = default;
   explicit Value(std::span<const std::byte> bytes) { assign(bytes); }
@@ -62,6 +65,23 @@ class Value {
   [[nodiscard]] std::uint64_t read_u64(std::size_t offset) const;
   void write_u64(std::size_t offset, std::uint64_t v);
 
+  // ---- seqlock plumbing (ObjectStore::read_optimistic) -------------------
+  // Inline payloads are written and read as relaxed word-size atomics so an
+  // optimistic reader may race the single in-place writer without UB; the
+  // record's seqlock decides whether the copy was consistent. Payloads
+  // above kInlineCapacity never take these paths: they mutate only under
+  // the store's unique table lock.
+
+  /// In-place overwrite with word-atomic stores. Requires the value to be
+  /// inline before the call and `bytes.size() <= kInlineCapacity`.
+  void store_inline_relaxed(std::span<const std::byte> bytes);
+
+  /// Word-atomic copy of the inline payload into `words` (size in bytes via
+  /// `size`). Returns false when the observed size says the payload is on
+  /// the heap — the caller must copy through a locked path instead.
+  bool load_inline_relaxed(std::uint64_t (&words)[kInlineWords],
+                           std::size_t& size) const;
+
   friend bool operator==(const Value& a, const Value& b) {
     return a.size_ == b.size_ &&
            std::memcmp(a.data(), b.data(), a.size_) == 0;
@@ -74,8 +94,35 @@ class Value {
   std::size_t size_{0};
   union {
     std::byte inline_[kInlineCapacity];
+    std::uint64_t words_[kInlineWords];  // word view for the atomic paths
     std::byte* heap_;
   };
 };
+
+inline void Value::store_inline_relaxed(std::span<const std::byte> bytes) {
+  assert(is_inline() && bytes.size() <= kInlineCapacity);
+  std::uint64_t tmp[kInlineWords] = {};
+  if (!bytes.empty()) std::memcpy(tmp, bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < kInlineWords; ++i) {
+    std::atomic_ref<std::uint64_t>(words_[i]).store(tmp[i],
+                                                    std::memory_order_relaxed);
+  }
+  std::atomic_ref<std::size_t>(size_).store(bytes.size(),
+                                            std::memory_order_relaxed);
+}
+
+inline bool Value::load_inline_relaxed(std::uint64_t (&words)[kInlineWords],
+                                       std::size_t& size) const {
+  const std::size_t s =
+      std::atomic_ref<std::size_t>(const_cast<std::size_t&>(size_))
+          .load(std::memory_order_relaxed);
+  if (s > kInlineCapacity) return false;
+  for (std::size_t i = 0; i < kInlineWords; ++i) {
+    words[i] = std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(words_[i]))
+                   .load(std::memory_order_relaxed);
+  }
+  size = s;
+  return true;
+}
 
 }  // namespace rodain::storage

@@ -16,11 +16,12 @@ bool Transaction::in_write_set(ObjectId oid) const {
   return false;
 }
 
-void Transaction::note_read(ObjectId oid, ValidationTs observed_wts) {
+void Transaction::note_read(ObjectId oid, ValidationTs observed_wts,
+                            bool optimistic) {
   for (const ReadEntry& e : read_set_) {
     if (e.oid == oid) return;  // first observation wins
   }
-  read_set_.push_back(ReadEntry{oid, observed_wts});
+  read_set_.push_back(ReadEntry{oid, observed_wts, optimistic});
 }
 
 storage::Value& Transaction::write_copy(ObjectId oid, const storage::Value& base) {
@@ -91,6 +92,7 @@ void Transaction::prepare_restart() {
   validation_seq_ = kInvalidValidationTs;
   serial_ts_ = kInvalidValidationTs;
   captured_reads.clear();
+  restart_requested_.store(false, std::memory_order_release);
   ++restarts_;
 }
 
