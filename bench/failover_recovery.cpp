@@ -20,6 +20,7 @@
 #include "rodain/exp/session.hpp"
 #include "rodain/log/recovery.hpp"
 #include "rodain/log/segment.hpp"
+#include "rodain/rt/node.hpp"
 #include "rodain/storage/checkpoint.hpp"
 
 using namespace rodain;
@@ -316,6 +317,120 @@ void measure_segmented_restart(const exp::BenchArgs& args,
   std::filesystem::remove_all(dir);
 }
 
+// ---------------------------------------------------------------- C7 ----
+
+// Availability flight recorder: the same outages as C4, but measured by the
+// AvailabilityTimeline — downtime per outage plus time-to-first-commit,
+// anchored at the moment service was lost (the client-observed gap).
+void measure_availability_timeline(const exp::BenchArgs& args,
+                                   exp::BenchReport& rep) {
+  std::printf("\n--- C7: availability flight recorder "
+              "(downtime + time to first commit) ---\n");
+
+  // Kill -> takeover on the virtual timeline: fully deterministic, so the
+  // downtime and time-to-first-commit fields gate the trend check.
+  {
+    sim::Simulation sim;
+    auto cluster_config = workload::PaperSetup::two_node(true);
+    simdb::SimCluster cluster(sim, cluster_config);
+    auto db = workload::PaperSetup::database();
+    cluster.populate([&](storage::ObjectStore& s, storage::BPlusTree& i) {
+      workload::load_database(db, s, i);
+    });
+    cluster.start();
+    auto trace = workload::Trace::generate(
+        db, workload::PaperSetup::workload(0.5), 300.0, args.txns, args.seed);
+    for (const auto& e : trace.entries()) {
+      sim.schedule_after(e.offset,
+                         [&cluster, &e] { cluster.submit(e.program, {}); });
+    }
+    // Kill the primary halfway through the trace so the surviving half of
+    // the load exercises the takeover primary (and stamps the outage's
+    // time-to-first-commit).
+    const TimePoint fail_at =
+        TimePoint::origin() + Duration::micros(trace.duration().us / 2);
+    sim.schedule_at(fail_at, [&] { cluster.fail_node(cluster.node_a()); });
+    sim.run_until(TimePoint::origin() + trace.duration() + 5_s);
+
+    const obs::AvailabilityTimeline& avail = cluster.availability();
+    const double downtime_ms =
+        static_cast<double>(avail.last_downtime_us(sim.now().us)) / 1000.0;
+    const double ttfc_ms =
+        avail.outages().empty()
+            ? -1.0
+            : static_cast<double>(
+                  avail.outages().back().time_to_first_commit_us) /
+                  1000.0;
+    std::printf("  kill->takeover: outages=%zu downtime=%.2f ms "
+                "time-to-first-commit=%.2f ms\n",
+                avail.outages().size(), downtime_ms, ttfc_ms);
+    rep.begin_result("C7 avail_kill_takeover");
+    rep.field("outages", static_cast<std::int64_t>(avail.outages().size()));
+    rep.field("downtime_ms", downtime_ms);
+    rep.field("time_to_first_commit_ms", ttfc_ms);
+    rep.field("total_downtime_ms", cluster.total_downtime().to_ms());
+  }
+
+  // Restart -> recovery on a real node: the outage opens when local
+  // recovery starts and closes at the first post-restart commit. Wall
+  // clock, so informational (not trend-gated).
+  {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "rodain_avail_bench";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    rt::NodeConfig config;
+    config.log_path = (dir / "log").string();
+    config.log_segment_bytes = 256 * 1024;
+    config.checkpoint_path = (dir / "db.ckpt").string();
+    const storage::Value zeros{std::string_view{"\0\0\0\0\0\0\0\0", 8}};
+    {
+      rt::Node node(config, "avail-gen1");
+      node.store().upsert(1, zeros, 0);
+      node.start_primary(LogMode::kDirectDisk);
+      for (int i = 0; i < 200; ++i) {
+        txn::TxnProgram p;
+        p.add_to_field(1, 0, 1);
+        p.relative_deadline = 5_s;
+        node.execute(std::move(p));
+      }
+      node.stop();
+    }
+    rt::Node node(config, "avail-gen2");
+    node.store().upsert(1, zeros, 0);
+    auto stats = node.recover_from_local_state();
+    if (!stats.is_ok()) {
+      std::printf("  restart recovery failed: %s\n",
+                  stats.status().to_string().c_str());
+      std::filesystem::remove_all(dir);
+      return;
+    }
+    node.start_primary(LogMode::kDirectDisk);
+    txn::TxnProgram p;
+    p.add_to_field(1, 0, 1);
+    p.relative_deadline = 5_s;
+    node.execute(std::move(p));
+    const obs::AvailabilityTimeline avail = node.availability();
+    const double downtime_ms =
+        static_cast<double>(avail.last_downtime_us(0)) / 1000.0;
+    const double ttfc_ms =
+        static_cast<double>(avail.last_time_to_first_commit_us()) / 1000.0;
+    std::printf("  restart->recovery: %llu txns replayed, downtime=%.2f ms "
+                "time-to-first-commit=%.2f ms\n",
+                static_cast<unsigned long long>(stats.value().committed_applied),
+                downtime_ms, ttfc_ms);
+    rep.begin_result("C7 avail_restart_recovery");
+    rep.field("txns_replayed",
+              static_cast<std::int64_t>(stats.value().committed_applied));
+    rep.field("downtime_ms", downtime_ms);
+    rep.field("time_to_first_commit_ms", ttfc_ms);
+    node.stop();
+    std::filesystem::remove_all(dir);
+  }
+  std::printf("  => every outage carries its downtime and time-to-first-"
+              "commit in BENCH_failover_recovery.json.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,6 +444,7 @@ int main(int argc, char** argv) {
   measure_recovery(args, rep);
   measure_sequential_failure(args, rep);
   measure_segmented_restart(args, rep);
+  measure_availability_timeline(args, rep);
   rep.write_file();
   return 0;
 }

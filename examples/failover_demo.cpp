@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -53,7 +54,18 @@ int main() {
   config.heartbeat_interval = 50_ms;
   config.metrics_snapshot_interval = 100_ms;
   auto primary = std::make_unique<rt::Node>(config, "primary");
-  rt::Node mirror(config, "mirror");
+  // The survivor carries the live endpoint: RODAIN_HTTP_PORT pins the port
+  // (default: pick a free one). Watch it during the run:
+  //   curl localhost:<port>/metrics   curl localhost:<port>/healthz
+  rt::NodeConfig mirror_node_config = config;
+  mirror_node_config.http_port = 0;
+  if (const char* env = std::getenv("RODAIN_HTTP_PORT")) {
+    mirror_node_config.http_port = std::atoi(env);
+  }
+  rt::Node mirror(mirror_node_config, "mirror");
+  std::printf("== mirror observability endpoint: "
+              "curl localhost:%u/{metrics,vars,trace,healthz}\n",
+              mirror.http_port());
   for (ObjectId account = 1; account <= 1000; ++account) {
     storage::Value zero{std::string_view{"\0\0\0\0\0\0\0\0", 8}};
     primary->store().upsert(account, zero, 0);
@@ -117,6 +129,19 @@ int main() {
   after.with_deadline(150_ms);
   std::printf("== new transaction on survivor: %s\n",
               std::string(to_string(mirror.execute(std::move(after)).outcome)).c_str());
+  // RODAIN_DEMO_HOLD_SECS keeps the survivor (and its HTTP endpoint) alive
+  // for a while, so the availability gauges can be inspected live.
+  if (const char* env = std::getenv("RODAIN_DEMO_HOLD_SECS")) {
+    const int secs = std::atoi(env);
+    const obs::AvailabilityTimeline avail = mirror.availability();
+    std::printf("== holding %d s: takeover gap %.0f ms, first commit %.2f ms "
+                "after serving resumed — curl localhost:%u/metrics\n",
+                secs, gap.count(),
+                static_cast<double>(avail.last_time_to_first_commit_us()) /
+                    1000.0,
+                mirror.http_port());
+    std::this_thread::sleep_for(std::chrono::seconds(secs));
+  }
   const obs::TimeSeries series = mirror.metrics_series();
   mirror.stop();
 

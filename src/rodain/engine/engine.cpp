@@ -89,6 +89,12 @@ bool Engine::can_abort(const txn::Transaction& t) const {
   }
 }
 
+void Engine::mark_stage(txn::Transaction& t, obs::Stage s) const {
+  if (config_.clock && obs::enabled()) {
+    t.stages.enter(s, config_.clock->now().us);
+  }
+}
+
 void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
   assert(can_abort(t));
   em().aborts.inc();
@@ -96,6 +102,7 @@ void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
   txns_.erase(t.id());
   t.set_phase(txn::Phase::kAborted);
   t.set_outcome(reason);
+  mark_stage(t, obs::Stage::kDone);
 }
 
 void Engine::restart(txn::Transaction& t) {
@@ -104,6 +111,8 @@ void Engine::restart(txn::Transaction& t) {
   cc_->on_abort(t);
   t.prepare_restart();
   cc_->on_begin(t);
+  // The retry re-enters the read phase; its stage buckets keep accruing.
+  mark_stage(t, obs::Stage::kReadPhase);
 }
 
 void Engine::restart_victims(const std::vector<TxnId>& victims) {
@@ -207,6 +216,7 @@ const storage::ObjectRecord* Engine::fetch(ObjectId oid,
 StepResult Engine::step_read_phase(txn::Transaction& t, bool optimistic,
                                    bool* fallback) {
   obs::ScopedSpan span(obs::tracer(), obs::Phase::kExecute, t.id());
+  mark_stage(t, obs::Stage::kReadPhase);
   const Duration first_step_cost =
       (t.pc() == 0) ? config_.costs.txn_fixed : Duration::zero();
   const txn::Op& op = t.program().ops[t.pc()];
@@ -427,6 +437,7 @@ StepResult Engine::exec_update(txn::Transaction& t, const txn::UpdateOp& op,
 
 StepResult Engine::step_validate(txn::Transaction& t) {
   obs::ScopedSpan span(obs::tracer(), obs::Phase::kValidate, t.id());
+  mark_stage(t, obs::Stage::kValidate);
   const Duration cost = config_.costs.validate;
   em().validations.inc();
   cc::ValidationResult result = cc_->validate(t, next_seq_, store_);
@@ -444,6 +455,7 @@ StepResult Engine::step_validate(txn::Transaction& t) {
 
 StepResult Engine::step_write_phase(txn::Transaction& t) {
   obs::ScopedSpan span(obs::tracer(), obs::Phase::kWritePhase, t.id());
+  mark_stage(t, obs::Stage::kWritePhase);
   const auto& writes = t.write_set();
   em().installs.inc(writes.size());
   const bool logging = log_writer_.mode() != LogMode::kOff;
@@ -475,6 +487,7 @@ StepResult Engine::step_write_phase(txn::Transaction& t) {
 
   mark_installed(t.validation_seq());
   t.set_phase(txn::Phase::kWaitLogAck);
+  mark_stage(t, obs::Stage::kLogFlush);
   const TxnId id = t.id();
   if (!logging) {
     // "No logs" configuration: nothing to marshal or wait for.
@@ -497,9 +510,12 @@ StepResult Engine::step_write_phase(txn::Transaction& t) {
   records.push_back(log::Record::commit(
       t.id(), t.validation_seq(), t.serial_ts(),
       static_cast<std::uint32_t>(writes.size())));
-  log_writer_.submit(t.validation_seq(), std::move(records), [this, id] {
-    if (hooks_.on_log_durable) hooks_.on_log_durable(id);
-  });
+  log_writer_.submit(
+      t.validation_seq(), std::move(records),
+      [this, id] {
+        if (hooks_.on_log_durable) hooks_.on_log_durable(id);
+      },
+      config_.clock ? &t.stages : nullptr);
   return {StepAction::kWaitLogAck, cost};
 }
 
@@ -521,6 +537,7 @@ StepResult Engine::step_finalize(txn::Transaction& t) {
   t.set_phase(txn::Phase::kCommitted);
   t.set_outcome(TxnOutcome::kCommitted);
   txns_.erase(t.id());
+  mark_stage(t, obs::Stage::kDone);
   return {StepAction::kCommitted, config_.costs.commit_finalize};
 }
 

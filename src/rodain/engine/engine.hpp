@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "rodain/cc/controller.hpp"
+#include "rodain/common/clock.hpp"
 #include "rodain/common/types.hpp"
 #include "rodain/log/writer.hpp"
 #include "rodain/storage/btree.hpp"
@@ -53,6 +54,10 @@ struct EngineConfig {
   int max_restarts{-1};
   /// Capture every read value on the transaction (serializability tests).
   bool capture_reads{false};
+  /// Driver clock for lifecycle stage stamps (obs/lifecycle.hpp): the
+  /// real-time node passes its steady clock, the simulator passes itself.
+  /// Null disables stage accounting.
+  const Clock* clock{nullptr};
 };
 
 enum class StepAction : std::uint8_t {
@@ -158,6 +163,10 @@ class Engine {
                          bool optimistic, bool* fallback);
   StepResult exec_delete(txn::Transaction& t, const txn::DeleteOp& op,
                          bool optimistic, bool* fallback);
+
+  /// Stamp the transaction's lifecycle stage clock (no-op without a
+  /// driver clock or with obs disabled).
+  void mark_stage(txn::Transaction& t, obs::Stage s) const;
 
   /// Reset a transaction to its read phase (self restart or victim).
   void restart(txn::Transaction& t);

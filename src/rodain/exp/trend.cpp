@@ -1,0 +1,383 @@
+#include "rodain/exp/trend.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rodain::exp::trend {
+
+namespace {
+
+// ---- recursive-descent JSON parser --------------------------------------
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos{0};
+  std::string error;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u':
+          // Bench reports are ASCII; a \uXXXX escape decodes to '?' rather
+          // than pulling in full UTF-16 handling.
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          pos += 4;
+          out.push_back('?');
+          break;
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.string);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected a value");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    out.type = JsonValue::Type::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool regressed(double baseline, double current, const Tolerance& tol) {
+  const double allowed = std::max(tol.abs, tol.rel * std::fabs(baseline));
+  const double delta = current - baseline;
+  switch (tol.direction) {
+    case Tolerance::Direction::kUp: return delta > allowed;
+    case Tolerance::Direction::kDown: return -delta > allowed;
+    case Tolerance::Direction::kBoth: return std::fabs(delta) > allowed;
+  }
+  return false;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> parse_json(std::string_view text) {
+  Parser p{text, 0, {}};
+  JsonValue root;
+  if (!p.parse_value(root)) {
+    return Status::error(ErrorCode::kCorruption, "JSON parse: " + p.error);
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    return Status::error(ErrorCode::kCorruption,
+                         "JSON parse: trailing data at offset " +
+                             std::to_string(p.pos));
+  }
+  return root;
+}
+
+std::map<std::string, double> flatten_report(const JsonValue& report) {
+  std::map<std::string, double> flat;
+  if (report.type != JsonValue::Type::kObject) return flat;
+  const JsonValue* bench = report.find("bench");
+  const std::string prefix =
+      bench && bench->type == JsonValue::Type::kString ? bench->string
+                                                       : "unknown";
+  for (const auto& [key, value] : report.object) {
+    if (value.type == JsonValue::Type::kNumber) {
+      flat[prefix + "." + key] = value.number;
+    }
+  }
+  const JsonValue* results = report.find("results");
+  if (!results || results->type != JsonValue::Type::kArray) return flat;
+  for (const JsonValue& entry : results->array) {
+    const JsonValue* label = entry.find("label");
+    if (!label || label->type != JsonValue::Type::kString) continue;
+    for (const auto& [key, value] : entry.object) {
+      if (value.type == JsonValue::Type::kNumber) {
+        flat[prefix + "." + label->string + "." + key] = value.number;
+      }
+    }
+  }
+  return flat;
+}
+
+Result<std::map<std::string, Tolerance>> parse_tolerances(
+    const JsonValue& config) {
+  const JsonValue* fields = config.find("fields");
+  if (!fields || fields->type != JsonValue::Type::kObject) {
+    return Status::error(ErrorCode::kCorruption,
+                         "tolerance config: missing \"fields\" object");
+  }
+  std::map<std::string, Tolerance> out;
+  for (const auto& [pattern, spec] : fields->object) {
+    Tolerance tol;
+    if (const JsonValue* rel = spec.find("rel");
+        rel && rel->type == JsonValue::Type::kNumber) {
+      tol.rel = rel->number;
+    }
+    if (const JsonValue* abs = spec.find("abs");
+        abs && abs->type == JsonValue::Type::kNumber) {
+      tol.abs = abs->number;
+    }
+    if (const JsonValue* dir = spec.find("direction");
+        dir && dir->type == JsonValue::Type::kString) {
+      if (dir->string == "up") {
+        tol.direction = Tolerance::Direction::kUp;
+      } else if (dir->string == "down") {
+        tol.direction = Tolerance::Direction::kDown;
+      } else if (dir->string == "both") {
+        tol.direction = Tolerance::Direction::kBoth;
+      } else {
+        return Status::error(ErrorCode::kCorruption,
+                             "tolerance config: bad direction for " + pattern);
+      }
+    }
+    out.emplace(pattern, tol);
+  }
+  return out;
+}
+
+const Tolerance* match_tolerance(
+    const std::map<std::string, Tolerance>& tolerances, std::string_view key) {
+  if (auto it = tolerances.find(std::string(key)); it != tolerances.end()) {
+    return &it->second;
+  }
+  // "<bench>.<label>.<field>" also matches the "<bench>.*.<field>" wildcard.
+  const std::size_t first = key.find('.');
+  const std::size_t last = key.rfind('.');
+  if (first == std::string_view::npos || last <= first) return nullptr;
+  const std::string wildcard = std::string(key.substr(0, first)) + ".*" +
+                               std::string(key.substr(last));
+  if (auto it = tolerances.find(wildcard); it != tolerances.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+TrendResult compare_reports(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& current,
+    const std::map<std::string, Tolerance>& tolerances) {
+  TrendResult result;
+  for (const auto& [key, base_value] : baseline) {
+    const Tolerance* tol = match_tolerance(tolerances, key);
+    if (!tol) continue;
+    Comparison cmp;
+    cmp.key = key;
+    cmp.baseline = base_value;
+    const auto cur = current.find(key);
+    if (cur == current.end()) {
+      cmp.missing = true;
+      cmp.regressed = true;
+    } else {
+      cmp.current = cur->second;
+      cmp.regressed = regressed(base_value, cur->second, *tol);
+    }
+    if (cmp.regressed) result.ok = false;
+    result.compared.push_back(std::move(cmp));
+  }
+  return result;
+}
+
+Result<TrendResult> check_trend(const std::string& baseline_dir,
+                                const std::string& current_dir,
+                                const std::string& tolerances_path) {
+  auto tol_text = read_file(tolerances_path);
+  if (!tol_text.is_ok()) return tol_text.status();
+  auto tol_doc = parse_json(tol_text.value());
+  if (!tol_doc.is_ok()) return tol_doc.status();
+  auto tolerances = parse_tolerances(tol_doc.value());
+  if (!tolerances.is_ok()) return tolerances.status();
+
+  TrendResult total;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(baseline_dir, ec);
+  if (ec) {
+    return Status::error(ErrorCode::kNotFound,
+                         "cannot list " + baseline_dir + ": " + ec.message());
+  }
+  std::size_t benches = 0;
+  for (const auto& entry : it) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    ++benches;
+    auto base_text = read_file(entry.path().string());
+    if (!base_text.is_ok()) return base_text.status();
+    auto base_doc = parse_json(base_text.value());
+    if (!base_doc.is_ok()) {
+      return Status::error(ErrorCode::kCorruption,
+                           filename + ": " + base_doc.status().message());
+    }
+    const std::string current_path =
+        (std::filesystem::path(current_dir) / filename).string();
+    auto cur_text = read_file(current_path);
+    if (!cur_text.is_ok()) {
+      total.ok = false;
+      total.notes.push_back(filename + ": missing from current run");
+      continue;
+    }
+    auto cur_doc = parse_json(cur_text.value());
+    if (!cur_doc.is_ok()) {
+      return Status::error(ErrorCode::kCorruption,
+                           current_path + ": " + cur_doc.status().message());
+    }
+    TrendResult one =
+        compare_reports(flatten_report(base_doc.value()),
+                        flatten_report(cur_doc.value()), tolerances.value());
+    if (!one.ok) total.ok = false;
+    for (auto& cmp : one.compared) total.compared.push_back(std::move(cmp));
+  }
+  if (benches == 0) {
+    return Status::error(ErrorCode::kNotFound,
+                         "no BENCH_*.json baselines in " + baseline_dir);
+  }
+  return total;
+}
+
+}  // namespace rodain::exp::trend

@@ -1,0 +1,111 @@
+// Trend gate for bench reports: compare the BENCH_*.json files of a fresh
+// run against committed baselines, field by field, with explicit
+// per-field tolerances.
+//
+// Gating is opt-in: only fields named in the tolerance config are compared
+// (noisy wall-clock numbers stay informational; the deterministic sim-time
+// fields — virtual downtime, lost transactions, failover gaps — gate CI).
+// A configured field that regresses beyond its tolerance, or disappears
+// from the current run, fails the check.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rodain/common/status.hpp"
+
+namespace rodain::exp::trend {
+
+/// Minimal JSON document model — just enough for bench reports and the
+/// tolerance config (objects, arrays, strings, numbers, bools, null).
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Rejects trailing garbage.
+Result<JsonValue> parse_json(std::string_view text);
+
+/// Flatten a BenchReport document into comparable numbers:
+///   top-level numeric scalar  ->  "<bench>.<key>"
+///   results[] entry field     ->  "<bench>.<label>.<field>"
+/// Non-numeric fields and the "results"/"bench"/"git_describe" plumbing are
+/// skipped.
+std::map<std::string, double> flatten_report(const JsonValue& report);
+
+struct Tolerance {
+  /// Allowed relative drift (fraction of |baseline|) and absolute drift;
+  /// the allowance is max(abs, rel * |baseline|).
+  double rel{0.0};
+  double abs{0.0};
+  /// Which direction counts as a regression: "up" = an increase is bad
+  /// (downtime, misses), "down" = a decrease is bad (throughput), "both".
+  enum class Direction : std::uint8_t { kBoth, kUp, kDown };
+  Direction direction{Direction::kBoth};
+};
+
+struct Comparison {
+  std::string key;
+  double baseline{0.0};
+  double current{0.0};
+  bool regressed{false};
+  /// Regressions where the field vanished from the current run have no
+  /// current value; `missing` marks them.
+  bool missing{false};
+};
+
+struct TrendResult {
+  bool ok{true};
+  std::vector<Comparison> compared;
+  /// Human-readable commentary (files skipped, benches without baselines).
+  std::vector<std::string> notes;
+};
+
+/// Parse a tolerance config document:
+///   { "fields": { "<key-pattern>": {"rel":0.2,"abs":1.0,"direction":"up"} } }
+/// Patterns are exact flattened keys, or "<bench>.*.<field>" to cover every
+/// result label of one bench.
+Result<std::map<std::string, Tolerance>> parse_tolerances(
+    const JsonValue& config);
+
+/// Look up the tolerance for a flattened key: exact match first, then the
+/// "<bench>.*.<field>" wildcard. Returns nullptr when the field is not
+/// gated.
+const Tolerance* match_tolerance(
+    const std::map<std::string, Tolerance>& tolerances, std::string_view key);
+
+/// Compare two flattened reports under a tolerance map. Only keys with a
+/// matching tolerance participate; a gated key present in the baseline but
+/// absent from `current` is a regression.
+TrendResult compare_reports(const std::map<std::string, double>& baseline,
+                            const std::map<std::string, double>& current,
+                            const std::map<std::string, Tolerance>& tolerances);
+
+/// Directory-level driver: for every BENCH_*.json in `baseline_dir`, find
+/// the same filename in `current_dir` and compare under the config at
+/// `tolerances_path`. Missing current files fail; extra current files are
+/// noted but do not gate (they have no baseline yet).
+Result<TrendResult> check_trend(const std::string& baseline_dir,
+                                const std::string& current_dir,
+                                const std::string& tolerances_path);
+
+}  // namespace rodain::exp::trend

@@ -22,6 +22,21 @@ double ms_since(SteadyClock::time_point start) {
       .count();
 }
 
+/// Recovery-progress gauges: an operator watching /metrics during a restart
+/// sees replay advance (replayed climbs toward total) instead of a blank
+/// gap until the node serves again.
+struct RecoveryProgress {
+  obs::Gauge& segments_total = obs::metrics().gauge("recovery.segments_total");
+  obs::Gauge& segments_replayed =
+      obs::metrics().gauge("recovery.segments_replayed");
+  obs::Gauge& txns_total = obs::metrics().gauge("recovery.txns_total");
+  obs::Gauge& txns_replayed = obs::metrics().gauge("recovery.txns_replayed");
+};
+RecoveryProgress& progress() {
+  static RecoveryProgress p;
+  return p;
+}
+
 /// Load the checkpoint; on corruption, clear the target and report fallback
 /// so the caller replays the log from an empty store instead of aborting.
 Result<std::pair<ValidationTs, bool>> load_checkpoint_or_fallback(
@@ -84,6 +99,8 @@ Result<RecoveryStats> replay_records(std::span<const Record> records,
     committed.emplace(r.seq, Committed{r.serial_ts, std::move(writes)});
   }
 
+  progress().txns_total.set(static_cast<double>(committed.size()));
+  progress().txns_replayed.set(0.0);
   for (auto& [seq, c] : committed) {
     for (const Record* w : c.writes) {
       if (w->type == RecordType::kDelete) {
@@ -99,7 +116,12 @@ Result<RecoveryStats> replay_records(std::span<const Record> records,
     }
     ++stats.committed_applied;
     stats.last_seq = seq;
+    if ((stats.committed_applied & 0x3ff) == 0) {
+      progress().txns_replayed.set(
+          static_cast<double>(stats.committed_applied));
+    }
   }
+  progress().txns_replayed.set(static_cast<double>(stats.committed_applied));
   stats.incomplete_dropped = open.size();
   return stats;
 }
@@ -195,6 +217,8 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
   }
 
   const auto t_decode = SteadyClock::now();
+  progress().segments_total.set(static_cast<double>(survivors.size()));
+  progress().segments_replayed.set(0.0);
   struct Decoded {
     Result<std::vector<Record>> records{std::vector<Record>{}};
     bool torn{false};
@@ -203,6 +227,7 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
   const auto decode_one = [&](std::size_t i) {
     decoded[i].records = SegmentedLogStorage::read_segment(
         survivors[i].path, nullptr, &decoded[i].torn);
+    progress().segments_replayed.add(1.0);  // Gauge::add is a CAS loop
   };
   const unsigned workers = std::min<unsigned>(
       std::max(1u, decode_threads), static_cast<unsigned>(survivors.size()));

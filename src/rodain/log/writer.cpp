@@ -66,8 +66,15 @@ void LogWriter::configure_batching(
   batch_delay_ = options.max_delay;
 }
 
+void LogWriter::mark_stage(obs::StageClock* stages, obs::Stage s) const {
+  if (stages && stage_clock_ && obs::enabled()) {
+    stages->enter(s, stage_clock_->now().us);
+  }
+}
+
 void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
-                       std::function<void()> on_durable) {
+                       std::function<void()> on_durable,
+                       obs::StageClock* stages) {
   tail_[seq] = records;
   while (tail_.size() > kTailRetention) tail_.erase(tail_.begin());
   switch (mode_) {
@@ -86,10 +93,11 @@ void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
       // the pending entry, or the durable callback would be lost.
       batch_records_.insert(batch_records_.end(), records.begin(),
                             records.end());
+      batch_stages_.push_back(stages);
       pending_.emplace(seq,
                        Pending{std::move(records), std::move(on_durable),
                                shipped_at,
-                               clock_ ? clock_->now() : TimePoint{}});
+                               clock_ ? clock_->now() : TimePoint{}, stages});
       wm().pending_acks.set(static_cast<double>(pending_.size()));
       ++batch_txns_;
       batch_bytes_ += bytes;
@@ -111,7 +119,7 @@ void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
     case LogMode::kDirectDisk:
       ++counters_.via_disk;
       wm().via_disk.inc();
-      submit_to_disk(std::move(records), std::move(on_durable));
+      submit_to_disk(std::move(records), std::move(on_durable), stages);
       return;
   }
 }
@@ -167,6 +175,9 @@ void LogWriter::drain_batch(FillCause cause) {
       wm().batch_fill_forced.inc();
       break;
   }
+  for (obs::StageClock* stages : batch_stages_) {
+    mark_stage(stages, obs::Stage::kShip);
+  }
   {
     // Ship from the writer-owned buffer: a synchronous ack may erase
     // pending_ entries while the shipper is still iterating the span.
@@ -179,6 +190,7 @@ void LogWriter::drain_batch(FillCause cause) {
 
 void LogWriter::clear_batch() {
   batch_records_.clear();
+  batch_stages_.clear();
   batch_txns_ = 0;
   batch_bytes_ = 0;
   batch_deadline_.reset();
@@ -186,7 +198,10 @@ void LogWriter::clear_batch() {
 }
 
 void LogWriter::submit_to_disk(std::vector<Record> records,
-                               std::function<void()> on_durable) {
+                               std::function<void()> on_durable,
+                               obs::StageClock* stages) {
+  // No mirror round-trip: the flush is the ship for attribution purposes.
+  mark_stage(stages, obs::Stage::kShip);
   for (const Record& r : records) disk_->append(r);
   disk_->flush([cb = std::move(on_durable)](Status s) {
     if (!s) RODAIN_ERROR("log flush failed: %s", s.to_string().c_str());
@@ -201,6 +216,7 @@ void LogWriter::on_mirror_ack(ValidationTs seq) {
   std::uint64_t released = 0;
   while (!pending_.empty() && pending_.begin()->first <= seq) {
     auto it = pending_.begin();
+    mark_stage(it->second.stages, obs::Stage::kMirrorAck);
     if (it->second.shipped_at_us != 0) {
       const std::int64_t now = obs::now_us();
       if (obs::tracing_enabled()) {
@@ -298,7 +314,7 @@ void LogWriter::on_mirror_lost() {
   for (auto& [seq, p] : pending) {
     ++counters_.rerouted;
     wm().rerouted.inc();
-    submit_to_disk(std::move(p.records), std::move(p.on_durable));
+    submit_to_disk(std::move(p.records), std::move(p.on_durable), p.stages);
   }
 }
 

@@ -30,6 +30,7 @@
 #include "rodain/common/types.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/record.hpp"
+#include "rodain/obs/lifecycle.hpp"
 
 namespace rodain::log {
 
@@ -79,9 +80,18 @@ class LogWriter {
 
   /// Submit one validated transaction's records (after-images then the
   /// commit record, already in that order). `on_durable` fires when the
-  /// commit rule of the current mode is satisfied.
+  /// commit rule of the current mode is satisfied. `stages`, when non-null,
+  /// is the transaction's lifecycle stage clock: the writer stamps kShip
+  /// when the records leave the batch buffer and kMirrorAck when the
+  /// covering acknowledgment arrives. The pointer must stay valid until
+  /// `on_durable` fires or the writer is destroyed.
   void submit(ValidationTs seq, std::vector<Record> records,
-              std::function<void()> on_durable);
+              std::function<void()> on_durable,
+              obs::StageClock* stages = nullptr);
+
+  /// Clock used for lifecycle stage stamps (independent of the ack-timeout
+  /// and batching clocks, which are optional features).
+  void set_stage_clock(const Clock* clock) { stage_clock_ = clock; }
 
   /// Cumulative mirror acknowledgment: every pending transaction with
   /// validation seq <= `seq` is durable on the mirror. Callbacks fire in
@@ -178,12 +188,17 @@ class LogWriter {
     /// so the ack timeout measures the current link attempt, not the total
     /// time-to-durable across reconnects.
     TimePoint shipped_at{};
+    /// Lifecycle stage clock of the submitting transaction (may be null).
+    obs::StageClock* stages{nullptr};
   };
 
   enum class FillCause { kTxns, kBytes, kDelay, kForced };
 
   void submit_to_disk(std::vector<Record> records,
-                      std::function<void()> on_durable);
+                      std::function<void()> on_durable,
+                      obs::StageClock* stages);
+  /// Stamp a stage on a transaction's clock using the stage clock.
+  void mark_stage(obs::StageClock* stages, obs::Stage s) const;
   void drain_batch(FillCause cause);
   void clear_batch();
 
@@ -191,6 +206,7 @@ class LogWriter {
   LogStorage* disk_;
   Shipper* shipper_;
   const Clock* clock_{nullptr};
+  const Clock* stage_clock_{nullptr};
   Duration ack_timeout_{Duration::zero()};
   std::function<void()> on_ack_timeout_;
   std::map<ValidationTs, Pending> pending_;  // unacked, in seq order
@@ -201,6 +217,9 @@ class LogWriter {
   const Clock* batch_clock_{nullptr};
   std::function<void(Duration)> schedule_flush_;
   std::vector<Record> batch_records_;
+  /// Stage clocks of the buffered transactions (parallel bookkeeping, may
+  /// hold nulls); stamped kShip when the batch drains.
+  std::vector<obs::StageClock*> batch_stages_;
   std::size_t batch_txns_{0};
   std::size_t batch_bytes_{0};
   Duration batch_delay_{Duration::zero()};  // adaptive effective delay

@@ -1,0 +1,141 @@
+#include "rodain/net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rodain::net {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(int fd, std::uint16_t port, Handler handler)
+    : listen_fd_(fd), port_(port), handler_(std::move(handler)) {
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::listen(std::uint16_t port,
+                                                       Handler handler) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::error(ErrorCode::kIoError, "socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::error(ErrorCode::kIoError,
+                         std::string("bind/listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(fd, ntohs(addr.sin_port), std::move(handler)));
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (server_.joinable()) server_.join();
+  ::close(listen_fd_);
+}
+
+void HttpServer::stop() {
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void HttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Bound the whole request read so a stalled client cannot wedge the
+  // (single) server thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n") == std::string::npos) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    request.append(buf, static_cast<std::size_t>(r));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // malformed or timed out
+  const std::string line = request.substr(0, line_end);
+
+  Response resp;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = Response{405, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = Response{405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);  // the routes take no query parameters
+    }
+    resp = handler_ ? handler_(path)
+                    : Response{404, "text/plain; charset=utf-8", "no routes\n"};
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                     reason_phrase(resp.status) + "\r\nContent-Type: " +
+                     resp.content_type + "\r\nContent-Length: " +
+                     std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size())) {
+    send_all(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+}  // namespace rodain::net

@@ -1,0 +1,55 @@
+// Minimal embedded HTTP/1.0 server for live observability exposition.
+//
+// One accept thread serves requests serially: read the request line, route
+// the path through the handler, write the response, close. That is all a
+// diagnostics endpoint needs — `curl localhost:PORT/metrics` while a node
+// runs — and it keeps the server to a single thread with no connection
+// state. Listens on 127.0.0.1 only, like TcpServer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "rodain/common/status.hpp"
+
+namespace rodain::net {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status{200};
+    std::string content_type{"text/plain; charset=utf-8"};
+    std::string body;
+  };
+
+  /// Routes a request path ("/metrics") to a response. Runs on the server
+  /// thread; must be callable until stop()/destruction.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  /// Listen on 127.0.0.1:`port` (0 picks a free port).
+  static Result<std::unique_ptr<HttpServer>> listen(std::uint16_t port,
+                                                    Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  HttpServer(int fd, std::uint16_t port, Handler handler);
+  void serve_loop();
+  void handle_connection(int fd);
+
+  int listen_fd_;
+  std::uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  Handler handler_;
+  std::thread server_;
+};
+
+}  // namespace rodain::net

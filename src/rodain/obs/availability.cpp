@@ -1,0 +1,89 @@
+#include "rodain/obs/availability.hpp"
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+
+void AvailabilityTimeline::set_serving(bool serving, std::int64_t now_us) {
+  if (closed_) return;
+  if (serving) {
+    if (state_ == State::kServing) return;
+    if (state_ == State::kNotServing && !outages_.empty() &&
+        outages_.back().open()) {
+      outages_.back().end_us = now_us;
+      window_anchor_us_ = outages_.back().begin_us;
+    } else {
+      window_anchor_us_ = now_us;
+    }
+    state_ = State::kServing;
+    serving_since_us_ = now_us;
+    window_has_commit_ = false;
+    return;
+  }
+  if (state_ == State::kNotServing) return;
+  outages_.push_back(Outage{now_us, -1, -1});
+  state_ = State::kNotServing;
+}
+
+void AvailabilityTimeline::on_commit(std::int64_t now_us) {
+  if (closed_ || state_ != State::kServing || window_has_commit_) return;
+  window_has_commit_ = true;
+  const std::int64_t ttfc =
+      now_us > window_anchor_us_ ? now_us - window_anchor_us_ : 0;
+  last_ttfc_us_ = ttfc;
+  // Attach to the outage this window recovered from, if there was one.
+  if (!outages_.empty() && !outages_.back().open() &&
+      outages_.back().begin_us == window_anchor_us_) {
+    outages_.back().time_to_first_commit_us = ttfc;
+  }
+}
+
+void AvailabilityTimeline::close(std::int64_t now_us) {
+  if (closed_) return;
+  closed_ = true;
+  if (state_ == State::kNotServing && !outages_.empty() &&
+      outages_.back().open()) {
+    // Freeze the accrual point but keep end_us < 0 so the window still
+    // reports as open (the node shut down mid-outage).
+    frozen_at_us_ = now_us;
+  }
+}
+
+std::int64_t AvailabilityTimeline::total_downtime_us(
+    std::int64_t now_us) const {
+  const std::int64_t upto = closed_ && frozen_at_us_ >= 0 ? frozen_at_us_
+                                                          : now_us;
+  std::int64_t total = 0;
+  for (const Outage& o : outages_) total += o.downtime_us(upto);
+  return total;
+}
+
+std::int64_t AvailabilityTimeline::last_downtime_us(
+    std::int64_t now_us) const {
+  if (outages_.empty()) return 0;
+  const std::int64_t upto = closed_ && frozen_at_us_ >= 0 ? frozen_at_us_
+                                                          : now_us;
+  return outages_.back().downtime_us(upto);
+}
+
+std::int64_t AvailabilityTimeline::last_time_to_first_commit_us() const {
+  return last_ttfc_us_;
+}
+
+void AvailabilityTimeline::publish_metrics(const std::string& prefix,
+                                           std::int64_t now_us) const {
+  if (!enabled()) return;
+  auto& m = metrics();
+  m.gauge(prefix + ".serving").set(serving() ? 1.0 : 0.0);
+  m.gauge(prefix + ".outages").set(static_cast<double>(outages_.size()));
+  m.gauge(prefix + ".downtime_ms_total")
+      .set(static_cast<double>(total_downtime_us(now_us)) / 1000.0);
+  m.gauge(prefix + ".last_downtime_ms")
+      .set(static_cast<double>(last_downtime_us(now_us)) / 1000.0);
+  if (last_ttfc_us_ >= 0) {
+    m.gauge(prefix + ".time_to_first_commit_ms")
+        .set(static_cast<double>(last_ttfc_us_) / 1000.0);
+  }
+}
+
+}  // namespace rodain::obs

@@ -1,0 +1,89 @@
+// Availability timeline: when was this node (or cluster) actually serving,
+// and how long did each outage cost?
+//
+// The timeline is a tiny state machine fed by the role/lifecycle hooks:
+// set_serving(true/false) opens and closes outage windows, on_commit() marks
+// the first commit of each serving window. From those events it derives the
+// paper's availability curves: downtime per outage, time-to-first-commit
+// after an outage (measured from the moment service was lost, so it bounds
+// what a client actually observed), and the cumulative unavailability
+// budget. It runs in both real time (rt::Node) and virtual time
+// (simdb::SimCluster) — callers supply the microsecond timestamps.
+//
+// The struct itself is plain data with no locking; callers serialize access
+// (rt::Node under its commit mutex, the simulator on its single thread).
+// Metric publication goes through the gated registry, so the timeline stays
+// usable (e.g. for SimCluster::total_downtime) even with obs disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rodain::obs {
+
+class AvailabilityTimeline {
+ public:
+  struct Outage {
+    std::int64_t begin_us{0};
+    std::int64_t end_us{-1};  ///< -1 while the outage is still open
+    /// First commit after service resumed, measured from begin_us; -1 until
+    /// a commit lands (or forever, if the node never commits again).
+    std::int64_t time_to_first_commit_us{-1};
+
+    [[nodiscard]] bool open() const { return end_us < 0; }
+    [[nodiscard]] std::int64_t downtime_us(std::int64_t now_us) const {
+      const std::int64_t end = open() ? now_us : end_us;
+      return end > begin_us ? end - begin_us : 0;
+    }
+  };
+
+  /// Record a serving-state transition at `now_us`. Transitioning to
+  /// non-serving opens an outage; back to serving closes it. Repeated
+  /// transitions to the same state are idempotent. The first transition
+  /// ever defines the timeline origin (a node that starts as mirror begins
+  /// in a non-serving window — that window is *not* an outage unless the
+  /// caller opened one explicitly via set_serving(false)).
+  void set_serving(bool serving, std::int64_t now_us);
+
+  /// Record a committed transaction at `now_us`; sets the enclosing serving
+  /// window's time-to-first-commit (anchored at the preceding outage begin,
+  /// or at the serving start for the first window).
+  void on_commit(std::int64_t now_us);
+
+  /// Shutdown: freeze an outage that is still open so it is reported with
+  /// `end_us = now_us` but stays marked open (the node never came back).
+  void close(std::int64_t now_us);
+
+  [[nodiscard]] bool serving() const { return state_ == State::kServing; }
+  [[nodiscard]] const std::vector<Outage>& outages() const { return outages_; }
+
+  /// Sum of all outage windows; an open outage accrues up to `now_us`.
+  [[nodiscard]] std::int64_t total_downtime_us(std::int64_t now_us) const;
+  [[nodiscard]] std::int64_t last_downtime_us(std::int64_t now_us) const;
+  /// Time-to-first-commit of the most recent window that has one; -1 if no
+  /// commit was ever recorded.
+  [[nodiscard]] std::int64_t last_time_to_first_commit_us() const;
+
+  /// Publish the timeline into the process-wide registry as gauges under
+  /// `<prefix>.` (serving, outages, downtime_ms_total, last_downtime_ms,
+  /// time_to_first_commit_ms). No-op while obs is disabled.
+  void publish_metrics(const std::string& prefix, std::int64_t now_us) const;
+
+ private:
+  enum class State : std::uint8_t { kUnknown, kServing, kNotServing };
+
+  State state_{State::kUnknown};
+  std::vector<Outage> outages_;
+  std::int64_t serving_since_us_{-1};
+  /// Anchor for the current window's time-to-first-commit: the begin of the
+  /// outage this window recovered from, else the serving start.
+  std::int64_t window_anchor_us_{-1};
+  bool window_has_commit_{false};
+  std::int64_t last_ttfc_us_{-1};
+  bool closed_{false};
+  /// Accrual stop for an outage still open at close(); -1 when unused.
+  std::int64_t frozen_at_us_{-1};
+};
+
+}  // namespace rodain::obs

@@ -1,0 +1,118 @@
+#include "rodain/obs/lifecycle.hpp"
+
+#include <string>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+
+namespace {
+
+constexpr std::array<Stage, kStageCount> kStageOrder = {
+    Stage::kAdmit,     Stage::kQueueWait, Stage::kReadPhase,
+    Stage::kValidate,  Stage::kWritePhase, Stage::kLogFlush,
+    Stage::kShip,      Stage::kMirrorAck, Stage::kDone,
+};
+
+/// Per-stage metric handles resolved once (registry lookups take a mutex).
+struct StageMetrics {
+  std::array<Timer*, kStageCount> stage_us{};
+  std::array<Counter*, kStageCount> miss_by_stage{};
+  Counter* miss_total{nullptr};
+
+  StageMetrics() {
+    auto& m = metrics();
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const char* name = stage_name(static_cast<Stage>(i));
+      stage_us[i] =
+          &m.timer(std::string("lifecycle.stage.") + name + "_us");
+      miss_by_stage[i] =
+          &m.counter(std::string("deadline_miss.by_stage.") + name);
+    }
+    miss_total = &m.counter("deadline_miss.total");
+  }
+};
+
+StageMetrics& sm() {
+  static StageMetrics metrics;
+  return metrics;
+}
+
+/// Stage buckets with the open stage's in-progress slice folded in.
+std::array<std::int64_t, kStageCount> closed_buckets(const StageClock& clock,
+                                                     std::int64_t now_us) {
+  std::array<std::int64_t, kStageCount> spent{};
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    spent[i] = clock.spent_us(static_cast<Stage>(i));
+  }
+  if (clock.started()) {
+    StageClock copy = clock;
+    copy.enter(clock.current(), now_us);  // accrue the open slice
+    spent[static_cast<std::size_t>(clock.current())] =
+        copy.spent_us(clock.current());
+  }
+  return spent;
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kAdmit: return "admit";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kReadPhase: return "read_phase";
+    case Stage::kValidate: return "validate";
+    case Stage::kWritePhase: return "write_phase";
+    case Stage::kLogFlush: return "log_flush";
+    case Stage::kShip: return "ship";
+    case Stage::kMirrorAck: return "mirror_ack";
+    case Stage::kDone: return "done";
+  }
+  return "?";
+}
+
+std::int64_t StageClock::spent_until_us(Stage s, std::int64_t now_us) const {
+  std::int64_t v = spent_us(s);
+  if (started() && current_ == s && now_us > since_us_) {
+    v += now_us - since_us_;
+  }
+  return v;
+}
+
+std::int64_t StageClock::total_us(std::int64_t now_us) const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < kStageCount; ++i) total += spent_[i];
+  if (started() && now_us > since_us_) total += now_us - since_us_;
+  return total;
+}
+
+void observe_stages(const StageClock& clock, std::int64_t now_us) {
+  if (!enabled() || !clock.started()) return;
+  const auto spent = closed_buckets(clock, now_us);
+  auto& metrics = sm();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (spent[i] > 0) metrics.stage_us[i]->observe(Duration::micros(spent[i]));
+  }
+}
+
+Stage charge_deadline_miss(const StageClock& clock, std::int64_t budget_us,
+                           std::int64_t now_us) {
+  const auto spent = closed_buckets(clock, now_us);
+  Stage charged = clock.current();
+  std::int64_t cumulative = 0;
+  for (Stage s : kStageOrder) {
+    cumulative += spent[static_cast<std::size_t>(s)];
+    if (cumulative > budget_us) {
+      charged = s;
+      break;
+    }
+  }
+  if (enabled()) {
+    auto& metrics = sm();
+    metrics.miss_total->inc();
+    metrics.miss_by_stage[static_cast<std::size_t>(charged)]->inc();
+  }
+  return charged;
+}
+
+}  // namespace rodain::obs

@@ -1,0 +1,92 @@
+// Per-transaction lifecycle stage accounting (the "flight recorder").
+//
+// A StageClock rides inside each transaction and is stamped along the commit
+// path: admit → queue wait → read phase → validate → write phase → log flush
+// → ship → mirror ack → done. Every enter() closes the stage that was open
+// and opens the next, so the per-stage microsecond buckets always sum to the
+// transaction's total residence time. Both drivers use the same clock — the
+// real-time node stamps steady-clock time, the simulator stamps virtual time.
+//
+// When a transaction misses its deadline the clock answers *which stage ate
+// the slack*: walk the stages in commit-path order, accumulate the spent
+// time, and charge the first stage whose cumulative total crosses the
+// deadline budget (deadline − arrival). The charge lands in the
+// `deadline_miss.by_stage.<stage>` counter family; the by-stage counters sum
+// to `deadline_miss.total` by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rodain::obs {
+
+/// Commit-path stages in canonical order. The order matters: deadline-miss
+/// attribution walks it front to back when deciding which stage exhausted
+/// the budget.
+enum class Stage : std::uint8_t {
+  kAdmit = 0,   ///< admission control + transaction construction
+  kQueueWait,   ///< waiting in the ready queue for a worker / CPU
+  kReadPhase,   ///< program execution (OCC read phase)
+  kValidate,    ///< validation scan
+  kWritePhase,  ///< installing deferred writes + building redo records
+  kLogFlush,    ///< waiting in the group-commit buffer
+  kShip,        ///< commit record in flight to the mirror / disk
+  kMirrorAck,   ///< ack received, finalization pending
+  kDone,        ///< terminal (committed or aborted)
+};
+
+inline constexpr std::size_t kStageCount = 9;
+
+[[nodiscard]] const char* stage_name(Stage s);
+
+/// Compact per-transaction stage stopwatch. Not thread-safe on its own; the
+/// commit path guarantees a single writer at a time (the submitting thread,
+/// then the owning worker, then ack/finalize under the commit mutex).
+class StageClock {
+ public:
+  /// Close the currently open stage (accruing `now_us - since`) and open
+  /// `s`. The first call opens the clock without accruing anything.
+  void enter(Stage s, std::int64_t now_us) {
+    if (since_us_ >= 0 && now_us > since_us_) {
+      spent_[static_cast<std::size_t>(current_)] += now_us - since_us_;
+    }
+    current_ = s;
+    since_us_ = now_us >= 0 ? now_us : 0;
+  }
+
+  [[nodiscard]] Stage current() const { return current_; }
+  [[nodiscard]] bool started() const { return since_us_ >= 0; }
+
+  /// Time accrued in `s` by completed enter() transitions (the open stage's
+  /// in-progress slice is not included).
+  [[nodiscard]] std::int64_t spent_us(Stage s) const {
+    return spent_[static_cast<std::size_t>(s)];
+  }
+
+  /// spent_us(s) plus the open slice of the current stage as of `now_us`.
+  [[nodiscard]] std::int64_t spent_until_us(Stage s, std::int64_t now_us) const;
+
+  /// Total residence time across all stages as of `now_us`.
+  [[nodiscard]] std::int64_t total_us(std::int64_t now_us) const;
+
+ private:
+  std::array<std::int64_t, kStageCount> spent_{};
+  Stage current_{Stage::kAdmit};
+  std::int64_t since_us_{-1};
+};
+
+/// Fold a finished transaction's stage buckets into the process-wide
+/// `lifecycle.stage.<stage>_us` Timer family (no-op while obs is disabled).
+/// `now_us` closes the open stage's in-progress slice.
+void observe_stages(const StageClock& clock, std::int64_t now_us);
+
+/// Attribute a missed deadline to the stage that exhausted the slack: the
+/// first stage (in canonical order) whose cumulative spent time crosses
+/// `budget_us` (deadline − arrival). Falls back to the stage that was open
+/// at `now_us` when the buckets do not reach the budget (clock skew, zero
+/// budget). Increments `deadline_miss.total` and
+/// `deadline_miss.by_stage.<stage>`; returns the charged stage.
+Stage charge_deadline_miss(const StageClock& clock, std::int64_t budget_us,
+                           std::int64_t now_us);
+
+}  // namespace rodain::obs

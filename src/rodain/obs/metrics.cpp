@@ -18,7 +18,9 @@ decltype(auto) lookup(std::mutex& mu, Map& map, std::string_view name,
 }
 
 /// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — map anything else
-/// (our dots in particular) to '_'.
+/// (our dots in particular, but also quotes, spaces, control bytes from a
+/// hostile name) to '_', so a bad registration can never corrupt the text
+/// exposition. The `rodain_` prefix keeps a leading digit legal.
 std::string prom_name(std::string_view name) {
   std::string out;
   out.reserve(name.size() + 7);
@@ -27,6 +29,32 @@ std::string prom_name(std::string_view name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_';
     out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// JSON string escaping for metric names: quotes, backslashes, and control
+/// characters would otherwise break render_json()'s hand-built output.
+std::string json_escape(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }
@@ -91,14 +119,14 @@ std::string MetricsRegistry::render_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) out += ',';
     first = false;
-    out += '"' + name + "\":" + std::to_string(c->value());
+    out += '"' + json_escape(name) + "\":" + std::to_string(c->value());
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
     if (!first) out += ',';
     first = false;
-    out += '"' + name + "\":";
+    out += '"' + json_escape(name) + "\":";
     append_double(out, g->value());
   }
   out += "},\"timers\":{";
@@ -107,7 +135,7 @@ std::string MetricsRegistry::render_json() const {
     if (!first) out += ',';
     first = false;
     const LatencyHistogram h = t->merged();
-    out += '"' + name + "\":{\"count\":" + std::to_string(h.count());
+    out += '"' + json_escape(name) + "\":{\"count\":" + std::to_string(h.count());
     out += ",\"p50_us\":" + std::to_string(h.quantile(0.5).us);
     out += ",\"p95_us\":" + std::to_string(h.quantile(0.95).us);
     out += ",\"p99_us\":" + std::to_string(h.quantile(0.99).us);

@@ -1,9 +1,23 @@
 #include "rodain/obs/trace.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
+#include "rodain/obs/obs.hpp"
+
 namespace rodain::obs {
+
+namespace {
+
+/// Count a wrap-loss in the registry. The handle is resolved once; the
+/// counter itself no-ops while obs is disabled.
+void count_dropped_event() {
+  static Counter& dropped = metrics().counter("trace.events_dropped");
+  dropped.inc();
+}
+
+}  // namespace
 
 const char* phase_name(Phase p) {
   switch (p) {
@@ -37,6 +51,7 @@ void SpanTracer::reset(std::size_t capacity) {
 void SpanTracer::record_span(Phase phase, std::int64_t begin_us,
                              std::int64_t end_us, std::uint64_t arg) {
   const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= ring_.size()) count_dropped_event();
   TraceEvent& e = ring_[slot & mask_];
   e.ts_us = begin_us;
   e.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
@@ -47,6 +62,7 @@ void SpanTracer::record_span(Phase phase, std::int64_t begin_us,
 
 void SpanTracer::record_instant(Phase phase, std::uint64_t arg) {
   const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= ring_.size()) count_dropped_event();
   TraceEvent& e = ring_[slot & mask_];
   e.ts_us = now_us();
   e.dur_us = -1;
@@ -67,12 +83,32 @@ std::vector<TraceEvent> SpanTracer::snapshot() const {
 
 std::string SpanTracer::dump_json() const {
   const std::uint64_t total = recorded();
+  const std::uint64_t lost = dropped();
   const std::vector<TraceEvent> events = snapshot();
   std::string out = "{\"traceEvents\":[";
   char buf[256];
+  // Chrome metadata events: name the process and every thread that shows
+  // up in the retained window, so the viewer labels the tracks.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"rodain\"}}";
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (std::uint32_t tid : tids) {
+    std::snprintf(buf, sizeof buf,
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"rodain thread %u\"}}",
+                  tid, tid);
+    out += buf;
+  }
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    if (i) out += ',';
+    out += ',';
     if (e.dur_us < 0) {
       std::snprintf(buf, sizeof buf,
                     "{\"name\":\"%s\",\"cat\":\"rodain\",\"ph\":\"i\","
@@ -95,6 +131,8 @@ std::string SpanTracer::dump_json() const {
   out += std::to_string(total);
   out += ",\"retained\":";
   out += std::to_string(events.size());
+  out += ",\"events_dropped\":";
+  out += std::to_string(lost);
   out += "}}";
   return out;
 }

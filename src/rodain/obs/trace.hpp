@@ -69,6 +69,13 @@ class SpanTracer {
   [[nodiscard]] std::uint64_t recorded() const {
     return next_.load(std::memory_order_relaxed);
   }
+  /// Events lost to ring wrap since the last reset. Also surfaced as the
+  /// `trace.events_dropped` counter so dashboards can see the loss without
+  /// taking a dump.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > ring_.size() ? n - ring_.size() : 0;
+  }
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
 
   /// Retained events, oldest first.

@@ -113,6 +113,53 @@ Node::Node(NodeConfig config, std::string name)
   ckpt.write = [this](ValidationTs b) { return write_checkpoint_at_locked(b); };
   ckpt.log = disk_.get();
   ckpt_.configure(std::move(ckpt));
+  // Lifecycle stage clocks read this node's steady clock; the engine stamps
+  // read/validate/write transitions, the log writer ship/ack.
+  config_.engine.clock = &clock_;
+  if (config_.http_port >= 0) start_http();
+}
+
+void Node::start_http() {
+  auto server = net::HttpServer::listen(
+      static_cast<std::uint16_t>(config_.http_port),
+      [this](const std::string& path) { return route_http(path); });
+  if (!server.is_ok()) {
+    RODAIN_ERROR("%s: observability endpoint failed: %s", name_.c_str(),
+                 server.status().to_string().c_str());
+    return;
+  }
+  http_ = std::move(server).value();
+  RODAIN_INFO("%s: observability endpoint on 127.0.0.1:%u", name_.c_str(),
+              static_cast<unsigned>(http_->port()));
+}
+
+net::HttpServer::Response Node::route_http(const std::string& path) {
+  // Runs on the HTTP server thread. Touches only the process-wide obs
+  // registries and this node's atomics — no node mutex, so a wedged commit
+  // path can still be inspected live.
+  net::HttpServer::Response r;
+  if (path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::metrics().render_text();
+  } else if (path == "/vars") {
+    r.content_type = "application/json";
+    r.body = obs::metrics().render_json();
+  } else if (path == "/trace") {
+    r.content_type = "application/json";
+    r.body = obs::tracer().dump_json();
+  } else if (path == "/healthz") {
+    const NodeRole current = role();
+    const bool up = serving();
+    r.status = up ? 200 : 503;
+    r.content_type = "application/json";
+    r.body = "{\"node\":\"" + name_ + "\",\"role\":\"" +
+             std::string(to_string(current)) +
+             "\",\"serving\":" + (up ? "true" : "false") + "}\n";
+  } else {
+    r.status = 404;
+    r.body = "unknown path; routes: /metrics /vars /trace /healthz\n";
+  }
+  return r;
 }
 
 Node::~Node() { stop(); }
@@ -137,6 +184,18 @@ void Node::become_locked(NodeRole role) {
     obs::tracer().record_instant(obs::Phase::kRoleChange,
                                  static_cast<std::uint64_t>(role));
   }
+  // Availability timeline: serving roles open a serving window; leaving one
+  // opens an outage. A node that was never serving (fresh mirror, rejoin)
+  // does not log an outage for its mirror tenure.
+  const std::int64_t t = clock_.now().us;
+  const bool now_serving =
+      role == NodeRole::kPrimaryWithMirror || role == NodeRole::kPrimaryAlone;
+  if (now_serving) {
+    availability_.set_serving(true, t);
+  } else if (availability_.serving()) {
+    availability_.set_serving(false, t);
+  }
+  availability_.publish_metrics("node.avail", t);
 }
 
 void Node::escalate_mirror_lost_locked(const char* why) {
@@ -156,6 +215,7 @@ void Node::build_primary_locked(LogMode mode) {
   mirror_.reset();
   replicator_.reset();
   log_writer_ = std::make_unique<log::LogWriter>(LogMode::kOff, disk_.get(), nullptr);
+  log_writer_->set_stage_clock(&clock_);
   if (peer_) {
     guarded_channel_ = std::make_unique<GuardedChannel>(*this, *peer_);
     repl::PrimaryReplicator::Hooks hooks;
@@ -335,6 +395,10 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
     return Status::error(ErrorCode::kFailedPrecondition,
                          "recover before starting a role");
   }
+  // A recovering node is in an outage until a serving role closes it: the
+  // window from here to the first post-restart commit is the restart
+  // downtime the flight recorder reports.
+  availability_.set_serving(false, clock_.now().us);
   auto stats =
       config_.log_segment_bytes > 0
           ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
@@ -453,6 +517,9 @@ void Node::stop() {
     }
     stopping_.store(true, std::memory_order_relaxed);
     become_locked(NodeRole::kDown);
+    // Freeze the outage become_locked just opened: downtime accrual stops at
+    // shutdown, but the outage stays reported as open (never re-served).
+    availability_.close(clock_.now().us);
   }
   ready_cv_.notify_all();
   timer_cv_.notify_all();
@@ -488,6 +555,7 @@ void Node::stop() {
     log_writer_.reset();
     guarded_channel_.reset();
   }
+  http_.reset();
   for (auto& [cb, info] : callbacks) cb(info);
 }
 
@@ -519,8 +587,14 @@ void Node::submit(txn::TxnProgram program, DoneFn done) {
       a.txn = std::make_unique<txn::Transaction>(id, ++admission_seq_,
                                                  std::move(program), now, deadline);
       a.done = std::move(done);
+      if (obs::enabled()) a.txn->stages.enter(obs::Stage::kAdmit, now.us);
       engine_->begin(*a.txn);
       if (deadline != TimePoint::max()) deadlines_.emplace(deadline, id);
+      if (obs::enabled()) {
+        // Admission work done; the clock ticks in kQueueWait until a worker
+        // picks the transaction up (step_read_phase stamps kReadPhase).
+        a.txn->stages.enter(obs::Stage::kQueueWait, clock_.now().us);
+      }
       {
         std::lock_guard q(queue_mu_);
         active_.emplace(id, std::move(a));
@@ -739,6 +813,19 @@ void Node::finish_locked(TxnId id, TxnOutcome outcome,
   info.captured_reads = std::move(a.txn->captured_reads);
   counters_.restarts += static_cast<std::uint64_t>(a.txn->restarts());
 
+  if (obs::enabled()) {
+    obs::observe_stages(a.txn->stages, now.us);
+    const bool missed = (outcome == TxnOutcome::kCommitted && a.late) ||
+                        outcome == TxnOutcome::kMissedDeadline;
+    if (missed && a.txn->deadline() != TimePoint::max()) {
+      // Charge the miss to the lifecycle stage that exhausted the slack.
+      obs::charge_deadline_miss(a.txn->stages,
+                                (a.txn->deadline() - a.txn->arrival()).us,
+                                now.us);
+    }
+  }
+  if (outcome == TxnOutcome::kCommitted) availability_.on_commit(now.us);
+
   if (outcome == TxnOutcome::kCommitted && a.late) {
     ++counters_.missed_deadline;
     nm().missed_deadline.inc();
@@ -925,5 +1012,12 @@ obs::TimeSeries Node::metrics_series() const {
   std::lock_guard lock(commit_mu_);
   return series_;
 }
+
+obs::AvailabilityTimeline Node::availability() const {
+  std::lock_guard lock(commit_mu_);
+  return availability_;
+}
+
+std::uint16_t Node::http_port() const { return http_ ? http_->port() : 0; }
 
 }  // namespace rodain::rt

@@ -37,6 +37,8 @@
 #include "rodain/log/writer.hpp"
 #include "rodain/log/checkpointer.hpp"
 #include "rodain/net/channel.hpp"
+#include "rodain/net/http.hpp"
+#include "rodain/obs/availability.hpp"
 #include "rodain/repl/mirror.hpp"
 #include "rodain/repl/primary.hpp"
 #include "rodain/log/recovery.hpp"
@@ -76,6 +78,11 @@ struct NodeConfig {
   /// Sample the process metrics registry into a time-series on this
   /// interval (zero disables the sampler; requires obs::init enabled).
   Duration metrics_snapshot_interval{Duration::zero()};
+  /// Live observability endpoint on 127.0.0.1: serves /metrics (Prometheus
+  /// text), /vars (JSON), /trace (Chrome trace dump) and /healthz (role +
+  /// serving). 0 picks a free port (Node::http_port() tells which); a
+  /// negative value (the default) disables the server.
+  int http_port{-1};
 
   NodeConfig() {
     engine.costs = engine::CostModel::zero();
@@ -155,6 +162,10 @@ class Node {
   [[nodiscard]] ValidationTs mirror_applied_seq() const;
   /// Rows sampled by the periodic metrics sampler (copy; thread-safe).
   [[nodiscard]] obs::TimeSeries metrics_series() const;
+  /// Snapshot of this node's serving/outage timeline (copy; thread-safe).
+  [[nodiscard]] obs::AvailabilityTimeline availability() const;
+  /// Port of the live observability endpoint (0 when disabled).
+  [[nodiscard]] std::uint16_t http_port() const;
 
  private:
   struct Active {
@@ -186,6 +197,8 @@ class Node {
   };
 
   void build_primary_locked(LogMode mode);
+  void start_http();
+  [[nodiscard]] net::HttpServer::Response route_http(const std::string& path);
   void start_sampler_locked();
   void sample_metrics_locked();
   void become_locked(NodeRole role);
@@ -238,6 +251,10 @@ class Node {
   net::Channel* peer_{nullptr};
 
   sched::OverloadManager overload_;
+  /// Serving/outage timeline (under commit_mu_): role flips feed it, every
+  /// first-commit-of-a-window stamps time-to-first-commit.
+  obs::AvailabilityTimeline availability_;
+  std::unique_ptr<net::HttpServer> http_;
   /// Written under commit_mu_; atomic so role()/serving() and the unlocked
   /// read_committed fast path never touch the commit mutex.
   std::atomic<NodeRole> role_{NodeRole::kDown};

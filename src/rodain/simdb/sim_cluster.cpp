@@ -65,7 +65,15 @@ void SimCluster::submit(txn::TxnProgram program, SimNode::DoneFn done) {
     }
     return;
   }
-  primary->submit(std::move(program), std::move(done));
+  // Wrap the completion so the first commit after an outage stamps the
+  // timeline's time-to-first-commit — the client-observed recovery point.
+  primary->submit(std::move(program),
+                  [this, done = std::move(done)](const TxnResult& r) {
+                    if (r.outcome == TxnOutcome::kCommitted) {
+                      availability_.on_commit(sim_.now().us);
+                    }
+                    if (done) done(r);
+                  });
 }
 
 void SimCluster::fail_node(SimNode& node) {
@@ -73,7 +81,7 @@ void SimCluster::fail_node(SimNode& node) {
   node.fail();
   if (link_) link_->sever();
   if (was_serving && !serving_node()) {
-    outage_start_ = sim_.now();
+    availability_.set_serving(false, sim_.now().us);
   }
 }
 
@@ -84,12 +92,17 @@ void SimCluster::recover_node(SimNode& node) {
 }
 
 void SimCluster::on_role_change(NodeRole role) {
-  if ((role == NodeRole::kPrimaryAlone || role == NodeRole::kPrimaryWithMirror) &&
-      outage_start_) {
-    const Duration gap = sim_.now() - *outage_start_;
-    downtime_ += gap;
-    last_failover_gap_ = gap;
-    outage_start_.reset();
+  if (role != NodeRole::kPrimaryAlone && role != NodeRole::kPrimaryWithMirror) {
+    return;
+  }
+  const std::int64_t now = sim_.now().us;
+  const bool outage_open =
+      !availability_.outages().empty() && availability_.outages().back().open();
+  availability_.set_serving(true, now);
+  if (outage_open) {
+    last_failover_gap_ =
+        Duration::micros(availability_.outages().back().downtime_us(now));
+    availability_.publish_metrics("cluster.avail", now);
   }
 }
 
@@ -101,9 +114,7 @@ TxnCounters SimCluster::counters() const {
 }
 
 Duration SimCluster::total_downtime() const {
-  Duration d = downtime_;
-  if (outage_start_) d += sim_.now() - *outage_start_;
-  return d;
+  return Duration::micros(availability_.total_downtime_us(sim_.now().us));
 }
 
 }  // namespace rodain::simdb

@@ -11,6 +11,7 @@
 
 #include "rodain/net/faulty_link.hpp"
 #include "rodain/net/sim_link.hpp"
+#include "rodain/obs/availability.hpp"
 #include "rodain/simdb/sim_node.hpp"
 
 namespace rodain::simdb {
@@ -65,6 +66,11 @@ class SimCluster {
   [[nodiscard]] std::optional<Duration> last_failover_gap() const {
     return last_failover_gap_;
   }
+  /// Cluster-level serving/outage timeline: every outage with its downtime
+  /// and time-to-first-commit after the peer (or a restart) serves again.
+  [[nodiscard]] const obs::AvailabilityTimeline& availability() const {
+    return availability_;
+  }
 
  private:
   void on_role_change(NodeRole role);
@@ -78,8 +84,8 @@ class SimCluster {
   SimNode* preferred_{nullptr};
   TxnCounters routing_counters_;
 
-  std::optional<TimePoint> outage_start_;
-  Duration downtime_{Duration::zero()};
+  /// Source of truth for the outage bookkeeping the accessors above expose.
+  obs::AvailabilityTimeline availability_;
   std::optional<Duration> last_failover_gap_;
 };
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/obs/obs.hpp"
 
 namespace rodain::simdb {
 
@@ -16,6 +17,9 @@ SimNode::SimNode(sim::Simulation& sim, std::string name, NodeId id,
       cpu_(sim),
       overload_(config.overload),
       reservation_(config.nonrt_fraction) {
+  // Lifecycle stage clocks tick in virtual time: the simulation is the
+  // Clock the engine and log writer stamp transitions with.
+  config_.engine.clock = &sim_;
   if (config_.disk_enabled) {
     disk_ = std::make_unique<log::SimDiskLogStorage>(sim_, config_.disk);
   } else {
@@ -49,6 +53,7 @@ void SimNode::escalate_mirror_lost(const char* why) {
 void SimNode::build_log_writer(LogMode mode) {
   log_writer_ = std::make_unique<log::LogWriter>(LogMode::kOff, disk_.get(),
                                                  nullptr);
+  log_writer_->set_stage_clock(&sim_);
   if (channel_) {
     repl::PrimaryReplicator::Hooks hooks;
     hooks.snapshot_boundary = [this] {
@@ -396,11 +401,13 @@ void SimNode::submit(txn::TxnProgram program, DoneFn done) {
   Active a;
   a.txn = std::move(txn);
   a.done = std::move(done);
+  if (obs::enabled()) a.txn->stages.enter(obs::Stage::kAdmit, now.us);
   if (deadline != TimePoint::max()) {
     a.deadline_event =
         sim_.schedule_at(deadline, [this, id] { on_deadline(id); });
   }
   engine_->begin(*a.txn);
+  if (obs::enabled()) a.txn->stages.enter(obs::Stage::kQueueWait, now.us);
   active_.emplace(id, std::move(a));
   run_step(id);
 }
@@ -538,6 +545,17 @@ void SimNode::finish(TxnId id, TxnOutcome outcome) {
   result.restarts = a.txn->restarts();
   result.late = a.late;
   counters_.restarts += static_cast<std::uint64_t>(a.txn->restarts());
+
+  if (obs::enabled()) {
+    obs::observe_stages(a.txn->stages, now.us);
+    const bool missed = (outcome == TxnOutcome::kCommitted && a.late) ||
+                        outcome == TxnOutcome::kMissedDeadline;
+    if (missed && a.txn->deadline() != TimePoint::max()) {
+      obs::charge_deadline_miss(a.txn->stages,
+                                (a.txn->deadline() - a.txn->arrival()).us,
+                                now.us);
+    }
+  }
 
   if (outcome == TxnOutcome::kCommitted && a.late) {
     // Committed after its deadline: the update is durable, but the client

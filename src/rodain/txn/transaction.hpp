@@ -12,6 +12,7 @@
 
 #include "rodain/common/time.hpp"
 #include "rodain/common/types.hpp"
+#include "rodain/obs/lifecycle.hpp"
 #include "rodain/storage/value.hpp"
 #include "rodain/txn/program.hpp"
 
@@ -166,6 +167,12 @@ class Transaction {
 
   /// Captured read values (enabled by tests to check serializability).
   std::vector<storage::Value> captured_reads;
+
+  /// Lifecycle stage clock (obs/lifecycle.hpp), stamped by the driver and
+  /// engine along the commit path. Single-writer by protocol: whichever
+  /// thread currently drives the transaction stamps it. Survives restarts —
+  /// buckets accumulate across retries of the same transaction.
+  obs::StageClock stages;
 
   // ---- multicore read phase (DESIGN.md §11) ------------------------------
   // A transaction whose owner worker executes the read phase outside the

@@ -1,0 +1,194 @@
+// Scripted role-flip/takeover/restart scenarios in virtual time: the
+// cluster availability timeline must report exact downtime and
+// time-to-first-commit figures, and an overloaded run must charge every
+// deadline miss to exactly one lifecycle stage.
+#include <gtest/gtest.h>
+
+#include "rodain/exp/session.hpp"
+#include "rodain/obs/lifecycle.hpp"
+#include "rodain/obs/obs.hpp"
+#include "rodain/simdb/sim_cluster.hpp"
+#include "rodain/workload/calibration.hpp"
+
+namespace rodain {
+namespace {
+
+using namespace rodain::literals;
+using workload::PaperSetup;
+
+class ObsEnabledScope {
+ public:
+  explicit ObsEnabledScope(bool on) : prev_(obs::enabled()) {
+    obs::detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+  ~ObsEnabledScope() {
+    obs::detail::g_enabled.store(prev_, std::memory_order_relaxed);
+  }
+
+ private:
+  bool prev_;
+};
+
+/// Two-node rig with a small database and a 50 ms probe cadence: each probe
+/// is one committed write whose virtual completion time is recorded, so the
+/// tests can compute exact time-to-first-commit figures.
+struct ClusterRig {
+  sim::Simulation sim;
+  workload::DatabaseConfig db;
+  std::unique_ptr<simdb::SimCluster> cluster;
+  std::vector<std::int64_t> commit_times_us;
+
+  ClusterRig() {
+    auto config = PaperSetup::two_node(true);
+    config.node.store_capacity_hint = 200;
+    db.num_objects = 200;
+    cluster = std::make_unique<simdb::SimCluster>(sim, config);
+    cluster->populate([&](storage::ObjectStore& s, storage::BPlusTree& i) {
+      workload::load_database(db, s, i);
+    });
+    cluster->start();
+  }
+
+  void probe_every(Duration period, TimePoint until) {
+    for (TimePoint t = TimePoint::origin() + period; t < until; t += period) {
+      sim.schedule_at(t, [this] {
+        txn::TxnProgram p;
+        p.add_to_field(workload::oid_for(7), workload::kCounterOffset, 1);
+        p.with_deadline(150_ms);
+        cluster->submit(std::move(p), [this](const simdb::TxnResult& r) {
+          if (r.outcome == TxnOutcome::kCommitted) {
+            commit_times_us.push_back(sim.now().us);
+          }
+        });
+      });
+    }
+  }
+
+  /// First probe commit at or after `t_us`; -1 when none.
+  [[nodiscard]] std::int64_t first_commit_after(std::int64_t t_us) const {
+    for (const std::int64_t c : commit_times_us) {
+      if (c >= t_us) return c;
+    }
+    return -1;
+  }
+};
+
+TEST(AvailabilityTimeline, FailoverDowntimeAndTtfcAreExact) {
+  ClusterRig rig;
+  rig.probe_every(50_ms, TimePoint{10'000'000});
+  constexpr std::int64_t kFailUs = 2'000'000;
+  rig.sim.schedule_at(TimePoint{kFailUs},
+                      [&] { rig.cluster->fail_node(rig.cluster->node_a()); });
+  rig.sim.run_until(TimePoint{12'000'000});
+
+  const obs::AvailabilityTimeline& avail = rig.cluster->availability();
+  ASSERT_EQ(avail.outages().size(), 1u);
+  const obs::AvailabilityTimeline::Outage& outage = avail.outages()[0];
+  // The outage opens at the exact virtual instant the primary died.
+  EXPECT_EQ(outage.begin_us, kFailUs);
+  EXPECT_FALSE(outage.open());
+  // Downtime is the failover gap the cluster measured: identical numbers.
+  ASSERT_TRUE(rig.cluster->last_failover_gap().has_value());
+  EXPECT_EQ(outage.downtime_us(0), rig.cluster->last_failover_gap()->us);
+  EXPECT_EQ(avail.total_downtime_us(rig.sim.now().us),
+            rig.cluster->total_downtime().us);
+  // Detection (watchdog) + activation bound the outage well under 400 ms.
+  EXPECT_GT(outage.downtime_us(0), 0);
+  EXPECT_LT(outage.downtime_us(0), 400'000);
+  // Time-to-first-commit: exactly the gap from the failure instant to the
+  // first probe the takeover primary committed.
+  const std::int64_t first = rig.first_commit_after(kFailUs);
+  ASSERT_GE(first, 0);
+  EXPECT_EQ(outage.time_to_first_commit_us, first - kFailUs);
+  EXPECT_EQ(avail.last_time_to_first_commit_us(), first - kFailUs);
+  EXPECT_GE(outage.time_to_first_commit_us, outage.downtime_us(0));
+}
+
+TEST(AvailabilityTimeline, BackToBackOutagesAndOpenOutageAtEnd) {
+  ClusterRig rig;
+  rig.probe_every(50_ms, TimePoint{11'000'000});
+  // Script: A dies at 2 s (B takes over), A rejoins at 4 s, B dies at 6 s
+  // (A takes over again), A dies at 8 s with no survivor — the third
+  // outage never closes.
+  rig.sim.schedule_at(TimePoint{2'000'000},
+                      [&] { rig.cluster->fail_node(rig.cluster->node_a()); });
+  rig.sim.schedule_at(TimePoint{4'000'000}, [&] {
+    rig.cluster->recover_node(rig.cluster->node_a());
+  });
+  rig.sim.schedule_at(TimePoint{6'000'000},
+                      [&] { rig.cluster->fail_node(rig.cluster->node_b()); });
+  rig.sim.schedule_at(TimePoint{8'000'000},
+                      [&] { rig.cluster->fail_node(rig.cluster->node_a()); });
+  rig.sim.run_until(TimePoint{12'000'000});
+
+  const obs::AvailabilityTimeline& avail = rig.cluster->availability();
+  ASSERT_EQ(avail.outages().size(), 3u);
+  const auto& o1 = avail.outages()[0];
+  const auto& o2 = avail.outages()[1];
+  const auto& o3 = avail.outages()[2];
+  EXPECT_EQ(o1.begin_us, 2'000'000);
+  EXPECT_EQ(o2.begin_us, 6'000'000);
+  EXPECT_EQ(o3.begin_us, 8'000'000);
+  EXPECT_FALSE(o1.open());
+  EXPECT_FALSE(o2.open());
+  EXPECT_TRUE(o3.open());
+  EXPECT_FALSE(avail.serving());
+
+  // Each closed outage has an exact ttfc anchored at its begin instant.
+  const std::int64_t c1 = rig.first_commit_after(2'000'000);
+  const std::int64_t c2 = rig.first_commit_after(6'000'000);
+  ASSERT_GE(c1, 0);
+  ASSERT_GE(c2, 0);
+  EXPECT_EQ(o1.time_to_first_commit_us, c1 - 2'000'000);
+  EXPECT_EQ(o2.time_to_first_commit_us, c2 - 6'000'000);
+  // The open outage has no commit: ttfc unset, downtime still accruing.
+  EXPECT_EQ(o3.time_to_first_commit_us, -1);
+  const std::int64_t now = rig.sim.now().us;
+  EXPECT_EQ(o3.downtime_us(now), now - 8'000'000);
+  EXPECT_EQ(avail.total_downtime_us(now),
+            o1.downtime_us(now) + o2.downtime_us(now) + o3.downtime_us(now));
+  EXPECT_EQ(avail.last_downtime_us(now), o3.downtime_us(now));
+}
+
+TEST(DeadlineMissAttribution, ByStageCountersSumToSessionMisses) {
+  ObsEnabledScope scope(true);
+
+  auto stage_sum = [] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+      sum += obs::metrics()
+                 .counter(std::string("deadline_miss.by_stage.") +
+                          obs::stage_name(static_cast<obs::Stage>(i)))
+                 .value();
+    }
+    return sum;
+  };
+  const std::uint64_t by_stage_before = stage_sum();
+  const std::uint64_t total_before =
+      obs::metrics().counter("deadline_miss.total").value();
+
+  // A lone direct-disk node at 200 txn/s saturates its disk: a large share
+  // of the load misses deadlines (same setup as SingleNodeDiskSaturatesEarly).
+  exp::SessionConfig c;
+  c.cluster = PaperSetup::single_node(true);
+  c.database = PaperSetup::database();
+  c.database.num_objects = 2000;
+  c.cluster.node.store_capacity_hint = 2000;
+  c.workload = PaperSetup::workload(0.5);
+  c.arrival_rate_tps = 200;
+  c.txn_count = 1000;
+  c.seed = 7;
+  auto result = exp::run_session(c);
+  ASSERT_GT(result.counters.missed_deadline, 0u);
+
+  // Every miss is charged to exactly one stage: the by-stage counters and
+  // the total advance in lockstep with the session's miss count.
+  const std::uint64_t by_stage_delta = stage_sum() - by_stage_before;
+  const std::uint64_t total_delta =
+      obs::metrics().counter("deadline_miss.total").value() - total_before;
+  EXPECT_EQ(by_stage_delta, result.counters.missed_deadline);
+  EXPECT_EQ(total_delta, result.counters.missed_deadline);
+}
+
+}  // namespace
+}  // namespace rodain

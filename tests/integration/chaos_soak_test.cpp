@@ -15,9 +15,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "rodain/common/diag.hpp"
 #include "rodain/common/rng.hpp"
+#include "rodain/obs/obs.hpp"
 #include "rodain/simdb/sim_cluster.hpp"
 #include "rodain/workload/calibration.hpp"
 #include "rodain/workload/number_translation.hpp"
@@ -26,6 +29,42 @@ namespace rodain {
 namespace {
 
 using namespace rodain::literals;
+
+/// Run the soak with the observability layer live (metrics + tracing), so a
+/// failing seed leaves a full flight recording behind; restores the global
+/// flags afterwards.
+class ObsScope {
+ public:
+  ObsScope() : prev_on_(obs::enabled()), prev_tr_(obs::tracing_enabled()) {
+    obs::detail::g_enabled.store(true, std::memory_order_relaxed);
+    obs::detail::g_tracing.store(true, std::memory_order_relaxed);
+  }
+  ~ObsScope() {
+    obs::detail::g_enabled.store(prev_on_, std::memory_order_relaxed);
+    obs::detail::g_tracing.store(prev_tr_, std::memory_order_relaxed);
+  }
+
+ private:
+  bool prev_on_;
+  bool prev_tr_;
+};
+
+/// With RODAIN_CHAOS_ARTIFACT_DIR set, a failed soak drops the span-trace
+/// ring (Chrome JSON) and both metric expositions there so CI can attach
+/// them to the failing run.
+void dump_artifacts_on_failure(std::uint64_t seed) {
+  if (!::testing::Test::HasFailure()) return;
+  const char* dir = std::getenv("RODAIN_CHAOS_ARTIFACT_DIR");
+  if (!dir || !*dir) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string stem =
+      std::string(dir) + "/chaos_seed_" + std::to_string(seed);
+  obs::tracer().dump_to_file(stem + ".trace.json");
+  std::ofstream(stem + ".metrics.prom") << obs::metrics().render_text();
+  std::ofstream(stem + ".vars.json") << obs::metrics().render_json();
+  std::printf("[chaos] failure artifacts written to %s.*\n", stem.c_str());
+}
 
 /// Marker objects live far above the workload database's id range; each
 /// transaction inserts exactly one, so presence is a commit witness.
@@ -64,6 +103,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 
 void run_soak(const SoakOptions& opt) {
   SCOPED_TRACE("chaos seed " + std::to_string(opt.seed));
+  ObsScope obs_scope;
   // RODAIN_CHAOS_VERBOSE=1 narrates every role transition, rejoin and
   // escalation — the first tool to reach for when a seed fails.
   // RODAIN_CHAOS_VERBOSE=2 adds per-record replication tracing.
@@ -144,6 +184,7 @@ void run_soak(const SoakOptions& opt) {
   // ---- chaos director ------------------------------------------------
   simdb::SimNode* downed = nullptr;
   std::uint64_t crashes = 0, flaps = 0, partitions = 0, script_severs = 0;
+  std::uint64_t primary_crashes = 0;
 
   auto both_paired = [&] {
     simdb::SimNode* s = cluster.serving_node();
@@ -162,6 +203,7 @@ void run_soak(const SoakOptions& opt) {
           simdb::SimNode* s = cluster.serving_node();
           downed = s;
           ++crashes;
+          ++primary_crashes;
           cluster.fail_node(*s);
           simdb::SimNode* expect = s;
           sim.schedule_after(
@@ -321,6 +363,27 @@ void run_soak(const SoakOptions& opt) {
 
   // The run must have made real progress through the chaos.
   EXPECT_GT(acked, opt.txns / 3);
+
+  // Availability flight recorder: every crash of the serving node opened
+  // exactly one outage, the takeovers closed them all (the pair converged),
+  // and each closed outage saw a first commit.
+  const obs::AvailabilityTimeline& avail = cluster.availability();
+  EXPECT_TRUE(avail.serving());
+  EXPECT_EQ(avail.outages().size(), primary_crashes);
+  std::int64_t downtime_sum = 0;
+  for (const auto& outage : avail.outages()) {
+    EXPECT_FALSE(outage.open());
+    downtime_sum += outage.downtime_us(0);
+  }
+  EXPECT_EQ(cluster.total_downtime().us, downtime_sum);
+  if (primary_crashes > 0) {
+    EXPECT_GE(avail.last_time_to_first_commit_us(), 0);
+  }
+  std::printf("[chaos] availability: %zu outages, %.1f ms total downtime\n",
+              avail.outages().size(),
+              static_cast<double>(downtime_sum) / 1000.0);
+
+  dump_artifacts_on_failure(opt.seed);
 }
 
 TEST(ChaosSoak, SeededSoak) {

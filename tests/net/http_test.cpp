@@ -1,0 +1,151 @@
+// HttpServer: ephemeral-port listen, request routing through the handler,
+// method/path error responses, and the rt::Node endpoint wiring.
+#include "rodain/net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "rodain/obs/obs.hpp"
+#include "rodain/rt/node.hpp"
+
+namespace rodain::net {
+namespace {
+
+/// Blocking one-shot HTTP client: send `request` verbatim, read to EOF.
+std::string http_roundtrip(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_roundtrip(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(Http, EphemeralPortAndHandlerRouting) {
+  auto server = HttpServer::listen(0, [](const std::string& path) {
+    HttpServer::Response r;
+    r.body = "echo:" + path + "\n";
+    return r;
+  });
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  const std::uint16_t port = server.value()->port();
+  EXPECT_GT(port, 0);
+
+  const std::string resp = get(port, "/hello");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 12"), std::string::npos);
+  EXPECT_NE(resp.find("echo:/hello\n"), std::string::npos);
+  // The server handles connections serially; a second request works.
+  EXPECT_NE(get(port, "/again").find("echo:/again"), std::string::npos);
+}
+
+TEST(Http, QueryStringIsStripped) {
+  auto server = HttpServer::listen(0, [](const std::string& path) {
+    HttpServer::Response r;
+    r.body = path;
+    return r;
+  });
+  ASSERT_TRUE(server.is_ok());
+  const std::string resp = get(server.value()->port(), "/metrics?x=1&y=2");
+  EXPECT_NE(resp.find("/metrics"), std::string::npos) << resp;
+  EXPECT_EQ(resp.find("x=1"), std::string::npos);
+}
+
+TEST(Http, NonGetIsRejectedWith405) {
+  auto server = HttpServer::listen(0, [](const std::string&) {
+    return HttpServer::Response{};
+  });
+  ASSERT_TRUE(server.is_ok());
+  const std::string resp = http_roundtrip(
+      server.value()->port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("405"), std::string::npos) << resp;
+}
+
+TEST(Http, HandlerStatusPropagates) {
+  auto server = HttpServer::listen(0, [](const std::string& path) {
+    HttpServer::Response r;
+    if (path != "/ok") {
+      r.status = 404;
+      r.body = "nope\n";
+    }
+    return r;
+  });
+  ASSERT_TRUE(server.is_ok());
+  const std::uint16_t port = server.value()->port();
+  EXPECT_NE(get(port, "/ok").find("200 OK"), std::string::npos);
+  EXPECT_NE(get(port, "/missing").find("404 Not Found"), std::string::npos);
+}
+
+TEST(Http, NodeServesObservabilityEndpoints) {
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs::init(obs_config);
+  obs::metrics().counter("http_test.marker").inc(3);
+
+  rt::NodeConfig config;
+  config.http_port = 0;  // pick a free port
+  rt::Node node(config, "http-test-node");
+  const std::uint16_t port = node.http_port();
+  ASSERT_GT(port, 0);
+
+  // Not serving yet: /healthz reports 503 with the role.
+  std::string health = get(port, "/healthz");
+  EXPECT_NE(health.find("503"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"serving\":false"), std::string::npos);
+
+  node.start_primary(LogMode::kOff);
+  health = get(port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"serving\":true"), std::string::npos);
+  EXPECT_NE(health.find("http-test-node"), std::string::npos);
+
+  const std::string metrics = get(port, "/metrics");
+  EXPECT_NE(metrics.find("rodain_http_test_marker 3"), std::string::npos)
+      << metrics.substr(0, 400);
+  const std::string vars = get(port, "/vars");
+  EXPECT_NE(vars.find("\"counters\""), std::string::npos);
+  const std::string trace = get(port, "/trace");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  const std::string missing = get(port, "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  node.stop();
+
+  obs_config.enabled = false;
+  obs::init(obs_config);
+}
+
+}  // namespace
+}  // namespace rodain::net

@@ -1,0 +1,101 @@
+// AvailabilityTimeline: exact downtime and time-to-first-commit bookkeeping
+// under scripted serving/outage sequences.
+#include "rodain/obs/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rodain::obs {
+namespace {
+
+TEST(Availability, SingleOutageDowntimeAndTtfc) {
+  AvailabilityTimeline t;
+  t.set_serving(true, 1000);
+  t.on_commit(1500);  // first-ever commit: ttfc from serving start
+  EXPECT_EQ(t.last_time_to_first_commit_us(), 500);
+
+  t.set_serving(false, 10'000);  // outage opens
+  EXPECT_FALSE(t.serving());
+  EXPECT_EQ(t.total_downtime_us(12'000), 2000);  // accrues while open
+
+  t.set_serving(true, 15'000);  // outage closes: 5ms downtime
+  ASSERT_EQ(t.outages().size(), 1u);
+  EXPECT_FALSE(t.outages()[0].open());
+  EXPECT_EQ(t.outages()[0].downtime_us(99'999), 5000);
+  EXPECT_EQ(t.last_downtime_us(99'999), 5000);
+
+  // ttfc anchored at the outage *begin*: the client lost service at 10ms
+  // and saw the first commit at 17ms.
+  t.on_commit(17'000);
+  EXPECT_EQ(t.last_time_to_first_commit_us(), 7000);
+  EXPECT_EQ(t.outages()[0].time_to_first_commit_us, 7000);
+  // Later commits in the same window do not move it.
+  t.on_commit(30'000);
+  EXPECT_EQ(t.last_time_to_first_commit_us(), 7000);
+}
+
+TEST(Availability, BackToBackOutages) {
+  AvailabilityTimeline t;
+  t.set_serving(true, 0);
+  t.set_serving(false, 100);
+  t.set_serving(true, 150);
+  t.on_commit(160);
+  t.set_serving(false, 200);  // second outage right after
+  t.set_serving(true, 290);
+  t.on_commit(300);
+  ASSERT_EQ(t.outages().size(), 2u);
+  EXPECT_EQ(t.outages()[0].downtime_us(999), 50);
+  EXPECT_EQ(t.outages()[0].time_to_first_commit_us, 60);
+  EXPECT_EQ(t.outages()[1].downtime_us(999), 90);
+  EXPECT_EQ(t.outages()[1].time_to_first_commit_us, 100);
+  EXPECT_EQ(t.total_downtime_us(999), 140);
+  EXPECT_EQ(t.last_downtime_us(999), 90);
+  EXPECT_EQ(t.last_time_to_first_commit_us(), 100);
+}
+
+TEST(Availability, RepeatedTransitionsAreIdempotent) {
+  AvailabilityTimeline t;
+  t.set_serving(true, 0);
+  t.set_serving(true, 50);    // no-op
+  t.set_serving(false, 100);
+  t.set_serving(false, 120);  // no-op: the outage keeps its begin
+  t.set_serving(true, 200);
+  ASSERT_EQ(t.outages().size(), 1u);
+  EXPECT_EQ(t.outages()[0].begin_us, 100);
+  EXPECT_EQ(t.outages()[0].downtime_us(999), 100);
+}
+
+TEST(Availability, OutageOpenAtShutdownFreezesButStaysOpen) {
+  AvailabilityTimeline t;
+  t.set_serving(true, 0);
+  t.set_serving(false, 1000);
+  t.close(1500);  // node shut down mid-outage
+  ASSERT_EQ(t.outages().size(), 1u);
+  // Reported open (the node never served again) ...
+  EXPECT_TRUE(t.outages()[0].open());
+  // ... but accrual stops at the close stamp, whatever "now" is.
+  EXPECT_EQ(t.total_downtime_us(50'000), 500);
+  EXPECT_EQ(t.last_downtime_us(50'000), 500);
+}
+
+TEST(Availability, MirrorTenureIsNotAnOutage) {
+  AvailabilityTimeline t;
+  // First transition ever is to serving (e.g. a mirror promoted): the
+  // preceding unknown window is not an outage.
+  t.set_serving(true, 5000);
+  EXPECT_TRUE(t.outages().empty());
+  EXPECT_EQ(t.total_downtime_us(9000), 0);
+  t.on_commit(5100);
+  EXPECT_EQ(t.last_time_to_first_commit_us(), 100);
+}
+
+TEST(Availability, NoCommitMeansNoTtfc) {
+  AvailabilityTimeline t;
+  t.set_serving(true, 0);
+  t.set_serving(false, 10);
+  t.set_serving(true, 20);
+  EXPECT_EQ(t.last_time_to_first_commit_us(), -1);
+  EXPECT_EQ(t.outages()[0].time_to_first_commit_us, -1);
+}
+
+}  // namespace
+}  // namespace rodain::obs

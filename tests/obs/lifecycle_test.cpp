@@ -1,0 +1,157 @@
+// StageClock accrual, observe_stages folding, and deadline-miss
+// attribution (which stage exhausted the slack).
+#include "rodain/obs/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::obs {
+namespace {
+
+class ObsEnabledScope {
+ public:
+  explicit ObsEnabledScope(bool on) : prev_(enabled()) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+  ~ObsEnabledScope() {
+    detail::g_enabled.store(prev_, std::memory_order_relaxed);
+  }
+
+ private:
+  bool prev_;
+};
+
+TEST(StageClock, AccruesIntoTheStageThatWasOpen) {
+  StageClock c;
+  EXPECT_FALSE(c.started());
+  c.enter(Stage::kAdmit, 100);
+  c.enter(Stage::kQueueWait, 150);   // kAdmit open for 50
+  c.enter(Stage::kReadPhase, 400);   // kQueueWait open for 250
+  c.enter(Stage::kValidate, 1000);   // kReadPhase open for 600
+  EXPECT_TRUE(c.started());
+  EXPECT_EQ(c.current(), Stage::kValidate);
+  EXPECT_EQ(c.spent_us(Stage::kAdmit), 50);
+  EXPECT_EQ(c.spent_us(Stage::kQueueWait), 250);
+  EXPECT_EQ(c.spent_us(Stage::kReadPhase), 600);
+  EXPECT_EQ(c.spent_us(Stage::kValidate), 0);  // still open
+  EXPECT_EQ(c.spent_until_us(Stage::kValidate, 1200), 200);
+  EXPECT_EQ(c.total_us(1200), 1100);
+}
+
+TEST(StageClock, RestartAccumulatesAcrossPasses) {
+  StageClock c;
+  c.enter(Stage::kAdmit, 0);
+  c.enter(Stage::kReadPhase, 10);
+  c.enter(Stage::kValidate, 110);   // first read pass: 100
+  c.enter(Stage::kReadPhase, 120);  // validation failed, restart
+  c.enter(Stage::kValidate, 200);   // second read pass: 80
+  EXPECT_EQ(c.spent_us(Stage::kReadPhase), 180);
+  EXPECT_EQ(c.spent_us(Stage::kValidate), 10);
+}
+
+TEST(StageClock, NonMonotonicStampsNeverAccrueNegative) {
+  StageClock c;
+  c.enter(Stage::kAdmit, 1000);
+  c.enter(Stage::kQueueWait, 900);  // clock went backwards
+  EXPECT_EQ(c.spent_us(Stage::kAdmit), 0);
+  c.enter(Stage::kReadPhase, 950);
+  EXPECT_EQ(c.spent_us(Stage::kQueueWait), 50);
+}
+
+TEST(Lifecycle, ChargeWalksStagesInCanonicalOrder) {
+  ObsEnabledScope scope(true);
+  StageClock c;
+  c.enter(Stage::kAdmit, 0);
+  c.enter(Stage::kQueueWait, 10);     // admit: 10
+  c.enter(Stage::kReadPhase, 30);     // queue: 20
+  c.enter(Stage::kValidate, 930);     // read: 900
+  c.enter(Stage::kWritePhase, 940);   // validate: 10
+  c.enter(Stage::kLogFlush, 950);     // write: 10
+  c.enter(Stage::kDone, 1000);        // flush: 50
+
+  // Budget 25us: admit(10) + queue(cum 30) crosses it -> queue wait.
+  EXPECT_EQ(charge_deadline_miss(c, 25, 1000), Stage::kQueueWait);
+  // Budget 500us: the read phase's 900us crosses it -> read phase.
+  EXPECT_EQ(charge_deadline_miss(c, 500, 1000), Stage::kReadPhase);
+  // Budget 945us: the write phase's cumulative 950us crosses it.
+  EXPECT_EQ(charge_deadline_miss(c, 945, 1000), Stage::kWritePhase);
+  // Budget 955us: crossing happens inside the log flush bucket.
+  EXPECT_EQ(charge_deadline_miss(c, 955, 1000), Stage::kLogFlush);
+}
+
+TEST(Lifecycle, ChargeFallsBackToTheOpenStage) {
+  ObsEnabledScope scope(true);
+  StageClock c;
+  c.enter(Stage::kAdmit, 0);
+  c.enter(Stage::kShip, 5);
+  // Buckets (5us total) never reach the budget: charge whatever is open.
+  EXPECT_EQ(charge_deadline_miss(c, 1'000'000, 6), Stage::kShip);
+}
+
+TEST(Lifecycle, ByStageCountersSumToTotal) {
+  ObsEnabledScope scope(true);
+  // The registry is process-wide and other tests also charge misses, so
+  // assert on deltas.
+  std::uint64_t by_stage_before = 0;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    by_stage_before +=
+        metrics()
+            .counter(std::string("deadline_miss.by_stage.") +
+                     stage_name(static_cast<Stage>(i)))
+            .value();
+  }
+  const std::uint64_t total_before =
+      metrics().counter("deadline_miss.total").value();
+
+  StageClock c;
+  c.enter(Stage::kAdmit, 0);
+  c.enter(Stage::kReadPhase, 10);
+  c.enter(Stage::kDone, 500);
+  charge_deadline_miss(c, 100, 500);
+  charge_deadline_miss(c, 5, 500);
+  charge_deadline_miss(c, 1'000'000, 500);
+
+  std::uint64_t by_stage_after = 0;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    by_stage_after +=
+        metrics()
+            .counter(std::string("deadline_miss.by_stage.") +
+                     stage_name(static_cast<Stage>(i)))
+            .value();
+  }
+  const std::uint64_t total_after =
+      metrics().counter("deadline_miss.total").value();
+  EXPECT_EQ(by_stage_after - by_stage_before, 3u);
+  EXPECT_EQ(total_after - total_before, 3u);
+}
+
+TEST(Lifecycle, ObserveStagesFoldsBucketsIntoTimers) {
+  ObsEnabledScope scope(true);
+  Timer& read_timer = metrics().timer("lifecycle.stage.read_phase_us");
+  const std::uint64_t before = read_timer.merged().count();
+  StageClock c;
+  c.enter(Stage::kAdmit, 0);
+  c.enter(Stage::kReadPhase, 10);
+  observe_stages(c, 300);  // read phase open slice: 290us
+  EXPECT_EQ(read_timer.merged().count(), before + 1);
+}
+
+TEST(Lifecycle, ObserveStagesSkipsUnstartedClocks) {
+  ObsEnabledScope scope(true);
+  Timer& admit_timer = metrics().timer("lifecycle.stage.admit_us");
+  const std::uint64_t before = admit_timer.merged().count();
+  StageClock c;  // never entered
+  observe_stages(c, 1000);
+  EXPECT_EQ(admit_timer.merged().count(), before);
+}
+
+TEST(Lifecycle, StageNamesAreStable) {
+  EXPECT_STREQ(stage_name(Stage::kAdmit), "admit");
+  EXPECT_STREQ(stage_name(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(stage_name(Stage::kMirrorAck), "mirror_ack");
+  EXPECT_STREQ(stage_name(Stage::kDone), "done");
+}
+
+}  // namespace
+}  // namespace rodain::obs

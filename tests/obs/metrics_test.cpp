@@ -155,6 +155,45 @@ TEST(Metrics, TimeSeriesExports) {
   EXPECT_NE(json.find("\"rows\""), std::string::npos);
 }
 
+TEST(Metrics, HostileNamesAreSanitizedForPrometheus) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  // Names a careless caller could produce: spaces, quotes, unicode, a
+  // leading digit. Prometheus allows only [a-zA-Z0-9_:] (we use '_').
+  reg.counter("weird name/with spaces").inc(1);
+  reg.counter("quote\"brace{}newline\n").inc(2);
+  reg.counter("7starts.with.digit").inc(3);
+  reg.gauge("über-gauge").set(4.0);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("rodain_weird_name_with_spaces 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rodain_quote_brace__newline_ 2"), std::string::npos);
+  // The rodain_ prefix keeps a leading digit legal.
+  EXPECT_NE(text.find("rodain_7starts_with_digit 3"), std::string::npos);
+  for (const char c : text) {
+    EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7f))
+        << "unsanitized byte in exposition: " << static_cast<int>(c);
+  }
+}
+
+TEST(Metrics, HostileNamesAreEscapedInJson) {
+  ObsEnabledScope scope(true);
+  MetricsRegistry reg;
+  reg.counter("quote\"and\\backslash").inc(1);
+  reg.gauge("new\nline").set(2.0);
+  reg.timer("tab\there").observe(Duration::millis(1));
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"quote\\\"and\\\\backslash\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"new\\nline\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tab\\there\""), std::string::npos) << json;
+  // No raw control characters may survive into the document.
+  for (const char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20)
+        << "raw control char in JSON: " << static_cast<int>(c);
+  }
+}
+
 TEST(Metrics, GlobalRegistryAccessor) {
   // The process-wide singleton exists and hands out stable references.
   Counter& c1 = metrics().counter("global.test_counter");

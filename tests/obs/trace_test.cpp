@@ -97,6 +97,42 @@ TEST(Trace, ScopedSpanGatedByFlags) {
   EXPECT_EQ(tracer.snapshot()[0].arg, 3u);
 }
 
+TEST(Trace, WrapReportsDroppedEvents) {
+  ObsScope scope(true, true);
+  const std::uint64_t counter_before =
+      metrics().counter("trace.events_dropped").value();
+  SpanTracer tracer(8);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tracer.record_span(Phase::kExecute, 0, 1, i);
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);  // exactly full: nothing lost yet
+  for (std::uint64_t i = 8; i < 13; ++i) {
+    tracer.record_span(Phase::kExecute, 0, 1, i);
+  }
+  EXPECT_EQ(tracer.recorded(), 13u);
+  EXPECT_EQ(tracer.dropped(), 5u);
+  // Wrap losses also land on the process-wide counter so dashboards can
+  // see truncation without pulling a dump.
+  EXPECT_EQ(metrics().counter("trace.events_dropped").value() - counter_before,
+            5u);
+  const std::string json = tracer.dump_json();
+  EXPECT_NE(json.find("\"events_dropped\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retained\":8"), std::string::npos);
+  tracer.reset(8);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, DumpJsonCarriesProcessAndThreadMetadata) {
+  SpanTracer tracer(16);
+  tracer.record_span(Phase::kApply, 5, 9, 1);
+  const std::string json = tracer.dump_json();
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"name\":\"rodain\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
 TEST(Trace, PhaseNamesCoverTaxonomy) {
   EXPECT_STREQ(phase_name(Phase::kExecute), "execute");
   EXPECT_STREQ(phase_name(Phase::kValidate), "validate");

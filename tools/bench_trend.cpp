@@ -1,0 +1,43 @@
+// Trend gate CLI: compare a fresh bench run against committed baselines.
+//
+//   rodain_bench_trend <baseline_dir> <current_dir> <tolerances.json>
+//
+// Exit 0 when every gated field is within tolerance, 1 on regression, 2 on
+// usage or parse errors. Only fields named in the tolerance config gate
+// (see bench/baselines/tolerances.json); everything else is informational.
+#include <cstdio>
+
+#include "rodain/exp/trend.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline_dir> <current_dir> <tolerances.json>\n",
+                 argv[0]);
+    return 2;
+  }
+  using rodain::exp::trend::check_trend;
+  auto result = check_trend(argv[1], argv[2], argv[3]);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "bench_trend: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
+  const auto& trend = result.value();
+  for (const auto& note : trend.notes) {
+    std::printf("NOTE        %s\n", note.c_str());
+  }
+  for (const auto& cmp : trend.compared) {
+    if (cmp.missing) {
+      std::printf("REGRESSION  %-52s baseline=%.4g current=<missing>\n",
+                  cmp.key.c_str(), cmp.baseline);
+    } else {
+      std::printf("%-11s %-52s baseline=%.4g current=%.4g\n",
+                  cmp.regressed ? "REGRESSION" : "ok", cmp.key.c_str(),
+                  cmp.baseline, cmp.current);
+    }
+  }
+  std::printf("bench_trend: %zu gated fields, %s\n", trend.compared.size(),
+              trend.ok ? "all within tolerance" : "REGRESSION detected");
+  return trend.ok ? 0 : 1;
+}

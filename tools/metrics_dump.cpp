@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
 
   obs::ObsConfig obs_config;
   obs_config.enabled = true;
+  // A deliberately tiny ring: the workload wraps it, so the dump shows the
+  // trace.events_dropped counter doing its job.
+  obs_config.trace_capacity = 256;
   obs::init(obs_config);
 
   // ---- wire a primary/mirror pair over loopback --------------------------
@@ -86,11 +89,26 @@ int main(int argc, char** argv) {
     p.with_deadline(200_ms);
     committed += (primary.execute(std::move(p)).outcome == TxnOutcome::kCommitted);
   }
+  // A handful of hopeless deadlines: each one misses and gets charged to
+  // the lifecycle stage that exhausted its slack, so the
+  // deadline_miss.by_stage.* family shows up populated.
+  for (int i = 0; i < 5; ++i) {
+    txn::TxnProgram p;
+    p.add_to_field(static_cast<ObjectId>(1 + i), 0, 1);
+    p.with_deadline(Duration::micros(20));
+    primary.execute(std::move(p));
+  }
   // Let the heartbeat/acks drain so replication gauges settle.
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
 
   std::fprintf(stderr, "ran %d txns (%d committed) through the pair\n", txns,
                committed);
+  const obs::AvailabilityTimeline primary_avail = primary.availability();
+  std::fprintf(stderr,
+               "primary availability: serving=%d outages=%zu ttfc_us=%lld\n",
+               primary_avail.serving() ? 1 : 0, primary_avail.outages().size(),
+               static_cast<long long>(
+                   primary_avail.last_time_to_first_commit_us()));
   primary.stop();
   mirror.stop();
 
@@ -118,8 +136,10 @@ int main(int argc, char** argv) {
   // ---- expositions --------------------------------------------------------
   std::printf("%s", obs::metrics().render_text().c_str());
   std::printf("\n-- json --\n%s\n", obs::metrics().render_json().c_str());
-  std::fprintf(stderr, "\ntrace events recorded: %llu (dump with "
-               "failover_demo for a Chrome trace)\n",
-               static_cast<unsigned long long>(obs::tracer().recorded()));
+  std::fprintf(stderr,
+               "\ntrace events recorded: %llu, dropped to ring wrap: %llu "
+               "(dump with failover_demo for a Chrome trace)\n",
+               static_cast<unsigned long long>(obs::tracer().recorded()),
+               static_cast<unsigned long long>(obs::tracer().dropped()));
   return 0;
 }
