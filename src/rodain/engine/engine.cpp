@@ -202,7 +202,22 @@ std::optional<StepResult> Engine::step_read_unlocked(txn::Transaction& t) {
 const storage::ObjectRecord* Engine::fetch(ObjectId oid,
                                            storage::ObjectRecord& snap,
                                            bool optimistic, bool* fallback) {
-  if (!optimistic) return store_.find(oid);
+  if (!optimistic) {
+    // Instant recovery: the serial path (under the node's commit mutex) is
+    // where first touch replays an object's deferred redo chain before the
+    // transaction observes it.
+    if (recovery_ && recovery_->active()) {
+      recovery_->ensure_recovered(oid, store_, index_);
+    }
+    return store_.find(oid);
+  }
+  if (recovery_ && recovery_->active()) {
+    // Unlocked read phases cannot consult the redo index (its chains mutate
+    // under commit_mu_); fall back to the serial path for the short
+    // recovery window.
+    *fallback = true;
+    return nullptr;
+  }
   std::uint32_t retries = 0;
   const storage::OptimisticRead r = store_.read_optimistic(oid, snap, retries);
   if (retries != 0) em().read_retries.inc(retries);
@@ -228,6 +243,15 @@ StepResult Engine::step_read_phase(txn::Transaction& t, bool optimistic,
   if (const auto* read_key = std::get_if<txn::ReadKeyOp>(&op)) {
     const Duration cost = first_step_cost + config_.costs.per_index_lookup +
                           config_.costs.per_read;
+    if (recovery_ && recovery_->active()) {
+      if (optimistic) {
+        *fallback = true;
+        return {StepAction::kContinue, cost};
+      }
+      // A deferred insert/delete may not have reached the index yet: replay
+      // whatever this key could observe before the lookup.
+      recovery_->ensure_recovered_key(read_key->key, store_, index_);
+    }
     ObjectId oid = kInvalidObject;
     if (index_) {
       // Safe unlocked: the tree's own RW lock covers structural changes.

@@ -22,6 +22,7 @@
 #include "rodain/cc/controller.hpp"
 #include "rodain/common/clock.hpp"
 #include "rodain/common/types.hpp"
+#include "rodain/log/redo_index.hpp"
 #include "rodain/log/writer.hpp"
 #include "rodain/storage/btree.hpp"
 #include "rodain/storage/object_store.hpp"
@@ -137,6 +138,13 @@ class Engine {
     installed_low_water_ = seq - 1;
   }
 
+  /// Instant recovery (DESIGN.md §12): while `redo` is active, serial
+  /// fetches replay an object's deferred chain on first touch, and
+  /// optimistic read phases always fall back to the serial path (the index
+  /// mutates under the driver's commit mutex). Pass nullptr to detach; the
+  /// pointer must outlive the engine or a later detach.
+  void set_recovery(log::RedoIndex* redo) { recovery_ = redo; }
+
  private:
   // `optimistic` routes committed-state reads through seqlock snapshots and
   // forbids engine-state mutation (restart, abort, victim dispatch): those
@@ -180,6 +188,7 @@ class Engine {
   log::LogWriter& log_writer_;
   Hooks hooks_;
   std::unique_ptr<cc::ConcurrencyController> cc_;
+  log::RedoIndex* recovery_{nullptr};
   void mark_installed(ValidationTs seq);
 
   std::unordered_map<TxnId, txn::Transaction*> txns_;

@@ -178,11 +178,18 @@ Result<RecoveryStats> recover_checkpoint_and_log(
   return stats;
 }
 
-Result<RecoveryStats> recover_checkpoint_and_segments(
+namespace {
+
+/// Shared front half of the segmented restart paths: load the checkpoint
+/// (with corrupt-checkpoint fallback), decode the surviving segments in
+/// parallel, and concatenate the records. Fills the checkpoint/decode
+/// fields of `stats` — including which segment supplied the oldest commit
+/// the replay will have to reach back to — and returns the record stream
+/// past the boundary (empty when no log survives).
+Result<std::vector<Record>> load_and_decode_segments(
     const std::string& checkpoint_path, const std::string& log_dir,
     storage::ObjectStore& store, storage::BPlusTree* index,
-    unsigned decode_threads) {
-  const auto t_total = SteadyClock::now();
+    unsigned decode_threads, RecoveryStats& stats, ValidationTs& boundary) {
   auto segments = SegmentedLogStorage::list_segments(log_dir);
   if (!segments.is_ok() &&
       segments.status().code() != ErrorCode::kNotFound) {
@@ -194,16 +201,11 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
   auto loaded =
       load_checkpoint_or_fallback(checkpoint_path, log_exists, store, index);
   if (!loaded.is_ok()) return loaded.status();
-  const ValidationTs boundary = loaded.value().first;
-
-  RecoveryStats stats;
+  boundary = loaded.value().first;
   stats.checkpoint_load_ms = ms_since(t_ckpt);
   stats.checkpoint_fallback = loaded.value().second;
   stats.last_seq = boundary;
-  if (!log_exists) {
-    obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
-    return stats;
-  }
+  if (!log_exists) return std::vector<Record>{};
 
   // Truncation normally deleted segments below the boundary already; skip
   // any stragglers (a crash between checkpoint write and truncate).
@@ -259,13 +261,47 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
       stats.torn_tail = true;
     }
     stats.log_disk_bytes += survivors[i].bytes;
-    for (auto& r : decoded[i].records.value()) all.push_back(std::move(r));
+    // Attribute the oldest seq the replay reaches back to: the smallest
+    // commit past the boundary, and the segment it came from. After a
+    // corrupt-checkpoint fallback this names how far back the log-only
+    // replay had to go — previously only torn_tail was surfaced.
+    for (auto& r : decoded[i].records.value()) {
+      if (r.is_commit() && r.seq > boundary &&
+          (stats.oldest_replayed_seq == 0 ||
+           r.seq < stats.oldest_replayed_seq)) {
+        stats.oldest_replayed_seq = r.seq;
+        stats.oldest_seq_segment = survivors[i].path;
+      }
+      all.push_back(std::move(r));
+    }
   }
   stats.segments_decoded = survivors.size();
   stats.decode_ms = ms_since(t_decode);
+  obs::metrics()
+      .gauge("recovery.oldest_replayed_seq")
+      .set(static_cast<double>(stats.oldest_replayed_seq));
+  return all;
+}
+
+}  // namespace
+
+Result<RecoveryStats> recover_checkpoint_and_segments(
+    const std::string& checkpoint_path, const std::string& log_dir,
+    storage::ObjectStore& store, storage::BPlusTree* index,
+    unsigned decode_threads) {
+  const auto t_total = SteadyClock::now();
+  RecoveryStats stats;
+  ValidationTs boundary = 0;
+  auto all = load_and_decode_segments(checkpoint_path, log_dir, store, index,
+                                      decode_threads, stats, boundary);
+  if (!all.is_ok()) return all.status();
+  if (all.value().empty() && stats.segments_decoded == 0) {
+    obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
+    return stats;
+  }
 
   const auto t_apply = SteadyClock::now();
-  auto applied = replay_records(all, store, boundary, index);
+  auto applied = replay_records(all.value(), store, boundary, index);
   if (!applied.is_ok()) return applied.status();
   stats.committed_applied = applied.value().committed_applied;
   stats.writes_applied = applied.value().writes_applied;
@@ -273,6 +309,30 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
   stats.records_read = applied.value().records_read;
   stats.last_seq = std::max(boundary, applied.value().last_seq);
   stats.apply_ms = ms_since(t_apply);
+  obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
+  return stats;
+}
+
+Result<RecoveryStats> recover_instant_segments(
+    const std::string& checkpoint_path, const std::string& log_dir,
+    storage::ObjectStore& store, RedoIndex& redo, storage::BPlusTree* index,
+    unsigned decode_threads) {
+  const auto t_total = SteadyClock::now();
+  RecoveryStats stats;
+  stats.instant = true;
+  ValidationTs boundary = 0;
+  auto all = load_and_decode_segments(checkpoint_path, log_dir, store, index,
+                                      decode_threads, stats, boundary);
+  if (!all.is_ok()) return all.status();
+  stats.records_read = all.value().size();
+
+  const auto t_apply = SteadyClock::now();
+  if (auto s = redo.build(all.value(), boundary); !s) return s;
+  stats.incomplete_dropped = redo.incomplete_dropped();
+  stats.deferred_txns = redo.deferred_txns();
+  stats.deferred_writes = redo.deferred_writes();
+  stats.last_seq = std::max(boundary, redo.last_seq());
+  stats.apply_ms = ms_since(t_apply);  // index build, not installs
   obs::metrics().gauge("log.recovery_replay_ms").set(ms_since(t_total));
   return stats;
 }

@@ -13,6 +13,7 @@
 
 #include "rodain/common/status.hpp"
 #include "rodain/log/record.hpp"
+#include "rodain/log/redo_index.hpp"
 #include "rodain/storage/btree.hpp"
 #include "rodain/storage/object_store.hpp"
 
@@ -36,6 +37,19 @@ struct RecoveryStats {
   /// Checkpoint was present but unreadable; recovery fell back to replaying
   /// the whole log from an empty store instead of aborting.
   bool checkpoint_fallback{false};
+  /// Smallest commit seq actually replayed past the boundary, and the
+  /// segment file that supplied it — when a recovery is long (especially a
+  /// checkpoint_fallback replay-from-empty), this names which segment the
+  /// replay had to reach back to. Zero / empty when nothing was replayed.
+  ValidationTs oldest_replayed_seq{0};
+  std::string oldest_seq_segment;
+
+  // Instant recovery (recover_instant_segments): installs are deferred into
+  // a RedoIndex instead of applied, so committed_applied stays 0 and these
+  // report the parked backlog.
+  bool instant{false};
+  std::uint64_t deferred_txns{0};
+  std::uint64_t deferred_writes{0};
 };
 
 /// Replay decoded records into `store` (which is NOT cleared — load a
@@ -80,5 +94,16 @@ Result<RecoveryStats> recover_checkpoint_and_segments(
     const std::string& checkpoint_path, const std::string& log_dir,
     storage::ObjectStore& store, storage::BPlusTree* index = nullptr,
     unsigned decode_threads = 4);
+
+/// Instant restart (DESIGN.md §12): load the checkpoint and decode the
+/// surviving segments exactly like recover_checkpoint_and_segments, but
+/// build `redo` — the per-record deferred-replay index — instead of
+/// applying anything. The caller serves immediately and replays on demand /
+/// in the background. stats.last_seq still covers checkpoint + log, so the
+/// validation sequence continues from last_seq + 1 as with a full replay.
+Result<RecoveryStats> recover_instant_segments(
+    const std::string& checkpoint_path, const std::string& log_dir,
+    storage::ObjectStore& store, RedoIndex& redo,
+    storage::BPlusTree* index = nullptr, unsigned decode_threads = 4);
 
 }  // namespace rodain::log

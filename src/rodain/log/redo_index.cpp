@@ -1,0 +1,188 @@
+#include "rodain/log/redo_index.hpp"
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::log {
+namespace {
+
+/// Instant-recovery telemetry: how much replay the foreground paid for
+/// (ondemand) versus what the sweeper absorbed (background), plus the same
+/// txns_total/txns_replayed pair the full-replay path publishes, so one
+/// /metrics query shows progress regardless of recovery mode.
+struct RedoObs {
+  obs::Counter& ondemand = obs::metrics().counter("recovery.ondemand_replays");
+  obs::Counter& background =
+      obs::metrics().counter("recovery.background_replays");
+  obs::Gauge& txns_total = obs::metrics().gauge("recovery.txns_total");
+  obs::Gauge& txns_replayed = obs::metrics().gauge("recovery.txns_replayed");
+  obs::Gauge& pending = obs::metrics().gauge("recovery.pending_writes");
+};
+RedoObs& redo_obs() {
+  static RedoObs o;
+  return o;
+}
+
+}  // namespace
+
+Status RedoIndex::build(std::span<const Record> records,
+                        ValidationTs already_applied) {
+  last_seq_ = already_applied;
+
+  // Same single forward pass as replay_records: writes buffer per
+  // transaction, a commit record stages them under its validation seq.
+  std::unordered_map<TxnId, std::vector<const Record*>> open;
+  struct Committed {
+    ValidationTs serial_ts;
+    std::vector<const Record*> writes;
+  };
+  std::map<ValidationTs, Committed> committed;  // ordered by seq
+
+  for (const Record& r : records) {
+    if (r.type != RecordType::kCommit) {
+      open[r.txn].push_back(&r);
+      continue;
+    }
+    std::vector<const Record*> writes;
+    if (auto it = open.find(r.txn); it != open.end()) {
+      writes = std::move(it->second);
+      open.erase(it);
+    }
+    if (writes.size() != r.write_count) {
+      return Status::error(ErrorCode::kCorruption,
+                           "redo index: commit write-count mismatch");
+    }
+    if (r.seq <= already_applied) continue;  // covered by the checkpoint
+    committed.emplace(r.seq, Committed{r.serial_ts, std::move(writes)});
+  }
+  incomplete_dropped_ = open.size();
+
+  for (auto& [seq, c] : committed) {
+    last_seq_ = seq;
+    if (c.writes.empty()) continue;  // nothing to defer (read-only commit)
+    for (const Record* w : c.writes) {
+      const auto idx = static_cast<std::uint32_t>(writes_.size());
+      writes_.push_back(PendingWrite{*w, seq, c.serial_ts, false});
+      chains_[w->oid].push_back(idx);
+      if (w->has_key) key_writers_[w->key] = w->oid;  // last writer wins
+    }
+    remaining_[seq] = static_cast<std::uint32_t>(c.writes.size());
+    deferred_writes_ += c.writes.size();
+    ++deferred_txns_;
+  }
+  pending_writes_.store(deferred_writes_, std::memory_order_release);
+  redo_obs().txns_total.set(static_cast<double>(deferred_txns_));
+  redo_obs().txns_replayed.set(0.0);
+  redo_obs().pending.set(static_cast<double>(deferred_writes_));
+  return Status::ok();
+}
+
+void RedoIndex::apply(PendingWrite& w, storage::ObjectStore& store,
+                      storage::BPlusTree* index, bool ondemand) {
+  if (w.applied) return;
+  w.applied = true;  // the watermark: set exactly once, under commit_mu_
+  if (w.rec.type == RecordType::kDelete) {
+    store.tombstone(w.rec.oid, w.serial_ts);
+    if (w.rec.has_key && index) index->erase(w.rec.key);
+  } else {
+    store.upsert(w.rec.oid, w.rec.after, w.serial_ts);
+    if (w.rec.has_key && index) {
+      if (!index->insert(w.rec.key, w.rec.oid)) {
+        index->update(w.rec.key, w.rec.oid);
+      }
+    }
+  }
+  if (ondemand) {
+    ++ondemand_applied_;
+    redo_obs().ondemand.inc();
+  } else {
+    ++background_applied_;
+    redo_obs().background.inc();
+  }
+  if (auto it = remaining_.find(w.seq);
+      it != remaining_.end() && --it->second == 0) {
+    remaining_.erase(it);
+    ++txns_done_;
+    if ((txns_done_ & 0xff) == 0 || remaining_.empty()) {
+      redo_obs().txns_replayed.set(static_cast<double>(txns_done_));
+    }
+  }
+  const auto left = pending_writes_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if ((left & 0xff) == 0) redo_obs().pending.set(static_cast<double>(left));
+}
+
+void RedoIndex::ensure_recovered(ObjectId oid, storage::ObjectStore& store,
+                                 storage::BPlusTree* index) {
+  if (!active()) return;
+  auto it = chains_.find(oid);
+  if (it == chains_.end()) return;
+  for (const std::uint32_t idx : it->second) {
+    apply(writes_[idx], store, index, /*ondemand=*/true);
+  }
+  chains_.erase(it);
+}
+
+void RedoIndex::ensure_recovered_key(const storage::IndexKey& key,
+                                     storage::ObjectStore& store,
+                                     storage::BPlusTree* index) {
+  if (!active()) return;
+  if (auto kit = key_writers_.find(key); kit != key_writers_.end()) {
+    ensure_recovered(kit->second, store, index);
+  }
+  if (index) {
+    if (const auto oid = index->find(key)) {
+      ensure_recovered(*oid, store, index);
+    }
+  }
+}
+
+std::size_t RedoIndex::sweep(std::size_t max_txns,
+                             storage::ObjectStore& store,
+                             storage::BPlusTree* index) {
+  std::size_t txns = 0;
+  ValidationTs cur = 0;
+  while (sweep_pos_ < writes_.size()) {
+    PendingWrite& w = writes_[sweep_pos_];
+    if (w.seq != cur) {
+      if (txns >= max_txns) break;
+      cur = w.seq;
+      ++txns;
+    }
+    apply(w, store, index, /*ondemand=*/false);
+    ++sweep_pos_;
+  }
+  if (sweep_pos_ == writes_.size()) {
+    chains_.clear();
+    key_writers_.clear();
+    redo_obs().txns_replayed.set(static_cast<double>(txns_done_));
+    redo_obs().pending.set(0.0);
+  }
+  return txns;
+}
+
+void RedoIndex::drain(storage::ObjectStore& store, storage::BPlusTree* index) {
+  while (sweep(1024, store, index) != 0) {
+  }
+}
+
+void RedoIndex::retire() {
+  if (active()) return;
+  writes_.clear();
+  writes_.shrink_to_fit();
+  chains_.clear();
+  key_writers_.clear();
+  remaining_.clear();
+  sweep_pos_ = 0;
+}
+
+void RedoIndex::abandon() {
+  pending_writes_.store(0, std::memory_order_release);
+  writes_.clear();
+  writes_.shrink_to_fit();
+  chains_.clear();
+  key_writers_.clear();
+  remaining_.clear();
+  sweep_pos_ = 0;
+  redo_obs().pending.set(0.0);
+}
+
+}  // namespace rodain::log

@@ -47,6 +47,7 @@ ValidationTs Reorderer::received_commit_floor() const {
 }
 
 void Reorderer::set_expected_next(ValidationTs seq) {
+  holding_ = false;
   expected_ = seq;
   // Commits staged in a previous incarnation can sit below the new floor
   // when the transactions between them and the old floor were rerouted to
@@ -57,6 +58,7 @@ void Reorderer::set_expected_next(ValidationTs seq) {
 }
 
 void Reorderer::release_ready() {
+  if (holding_) return;
   while (!staged_.empty()) {
     auto it = staged_.begin();
     if (it->first != expected_) break;
@@ -74,6 +76,7 @@ std::size_t Reorderer::drop_open_txns() {
 }
 
 std::size_t Reorderer::force_release_staged() {
+  holding_ = false;
   std::size_t released = 0;
   while (!staged_.empty()) {
     auto it = staged_.begin();

@@ -60,6 +60,14 @@ class Reorderer {
   /// — and releases any staged run that now starts at `seq`.
   void set_expected_next(ValidationTs seq);
 
+  /// Suspend releases while a snapshot installs (mirror join): complete
+  /// transactions keep staging in seq order, but nothing is applied to the
+  /// store the snapshot is about to replace. set_expected_next() resumes —
+  /// it moves the floor to the snapshot boundary, purges what the snapshot
+  /// covers, and cascades whatever staged above it.
+  void hold_releases() { holding_ = true; }
+  [[nodiscard]] bool holding() const { return holding_; }
+
   /// Drop transactions that never received a commit record — on primary
   /// failure they are "considered aborted, and their modifications ... are
   /// not performed on the database copy" (paper §3). Returns how many.
@@ -85,6 +93,7 @@ class Reorderer {
 
   ReleaseFn release_;
   ValidationTs expected_;
+  bool holding_{false};
   std::uint64_t batch_epoch_{0};
   std::unordered_map<TxnId, OpenTxn> open_;
   std::map<ValidationTs, Staged> staged_;

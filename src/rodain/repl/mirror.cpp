@@ -76,6 +76,7 @@ MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
           [this](ValidationTs seq, TxnId txn, std::vector<log::Record> recs) {
             release(seq, txn, std::move(recs));
           }) {
+  serving_last_heard_ = clock_.now();
   if (options_.write_checkpoint && options_.checkpoint_interval.is_positive()) {
     log::Checkpointer::Options ckpt;
     ckpt.interval = options_.checkpoint_interval;
@@ -119,12 +120,14 @@ void MirrorService::request_join(ValidationTs have) {
       std::max({min_snapshot_id_, snapshot_id_,
                 static_cast<std::uint64_t>(clock_.now().us) << 16});
   reset_assembly();
-  // The stash survives join retries. Dropping it here would lose delivered
-  // transactions if a retry races with the previous serve: that serve's
-  // late chunks can resurrect its assembly and install the OLDER boundary,
-  // and only the stash replay covers the commits in between — the
-  // post-install cumulative ack acknowledges them. Stale entries are cheap
-  // — the reorderer drops them on replay.
+  // Hold the reorderer: live deliveries keep staging in seq order but
+  // nothing applies to the store the snapshot is about to replace. Staged
+  // transactions survive join retries — dropping them would lose delivered
+  // commits if a retry races with the previous serve (that serve's late
+  // chunks can resurrect its assembly and install the OLDER boundary, and
+  // only the staged run covers the commits in between). Stale entries are
+  // cheap — set_expected_next purges what the snapshot covers.
+  reorderer_.hold_releases();
   stalled_retries_ = 0;
   last_join_activity_ = clock_.now();
   if (!endpoint_.send(Message::join_request(have))) ++stats_.send_failures;
@@ -176,6 +179,9 @@ void MirrorService::poll(TimePoint now) {
 
 void MirrorService::on_heartbeat(NodeRole role, ValidationTs applied) {
   (void)applied;
+  if (role == NodeRole::kPrimaryAlone || role == NodeRole::kPrimaryWithMirror) {
+    serving_last_heard_ = clock_.now();
+  }
   if (role != NodeRole::kPrimaryAlone || awaiting_snapshot_) return;
   // The primary serves alone while we believe we are its synced mirror: it
   // falsely declared us lost (ack timeout / watchdog during a link flap)
@@ -192,6 +198,7 @@ void MirrorService::on_heartbeat(NodeRole role, ValidationTs applied) {
 }
 
 void MirrorService::on_log_batch(std::vector<log::Record> records) {
+  serving_last_heard_ = clock_.now();  // only a serving primary ships redo
   stats_.records_received += records.size();
   mm().records_received.inc(records.size());
   std::size_t commits = 0;
@@ -205,8 +212,14 @@ void MirrorService::on_log_batch(std::vector<log::Record> records) {
   }
   if (awaiting_snapshot_) {
     // No acks while joining: the floor is unknowable until the snapshot
-    // installs; the post-install cumulative ack covers everything stashed.
-    stashed_.push_back(std::move(records));
+    // installs; the post-install cumulative ack covers everything staged.
+    // Records feed the *held* reorderer directly (request_join called
+    // hold_releases), so duplicate detection runs on arrival and nothing
+    // applies until set_expected_next moves the floor to the boundary.
+    ++stats_.held_batches;
+    held_commits_ += commits;
+    reorderer_.begin_batch();
+    for (log::Record& r : records) feed(std::move(r));
     return;
   }
   // "When the Mirror Node receives a commit record, it immediately sends
@@ -311,6 +324,7 @@ void MirrorService::on_snapshot_chunk(std::uint64_t snapshot_id,
                                       std::uint32_t index,
                                       std::uint32_t total,
                                       std::vector<std::byte> blob) {
+  serving_last_heard_ = clock_.now();  // only a serving node answers joins
   if (!awaiting_snapshot_) return;
   if (snapshot_id <= min_snapshot_id_ || snapshot_id < snapshot_id_) {
     // Chunk of a serve older than our latest join request (or than the
@@ -347,6 +361,7 @@ void MirrorService::on_snapshot_chunk(std::uint64_t snapshot_id,
 
 void MirrorService::on_snapshot_done(ValidationTs boundary,
                                      std::uint64_t snapshot_id) {
+  serving_last_heard_ = clock_.now();
   if (!awaiting_snapshot_) return;
   if (snapshot_id <= min_snapshot_id_) {
     return;  // done marker of a serve older than our latest join request
@@ -394,27 +409,20 @@ void MirrorService::on_snapshot_done(ValidationTs boundary,
               static_cast<unsigned long long>(boundary));
   awaiting_snapshot_ = false;
   synced_at_ = clock_.now();
-  // applied_seq_ first: set_expected_next can synchronously release staged
-  // transactions above the boundary, and release() advances applied_seq_ —
-  // assigning afterwards would roll it back.
+  // applied_seq_ first: set_expected_next releases the staged run above the
+  // boundary synchronously (it also clears the hold and purges what the
+  // snapshot covers), and release() advances applied_seq_ — assigning
+  // afterwards would roll it back.
   applied_seq_ = boundary;
+  const std::size_t held = held_commits_;
+  held_commits_ = 0;
   reorderer_.set_expected_next(boundary + 1);
-  auto stashed = std::move(stashed_);
-  stashed_.clear();
-  RODAIN_DEBUG("mirror: replaying %zu stashed batches after install",
-               stashed.size());
-  std::size_t stash_commits = 0;
-  for (std::vector<log::Record>& batch : stashed) {
-    reorderer_.begin_batch();
-    for (log::Record& r : batch) {
-      if (r.is_commit()) ++stash_commits;
-      feed(std::move(r));
-    }
-  }
+  mm().reorder_staged.set(static_cast<double>(reorderer_.staged_commits()));
+  mm().reorder_open.set(static_cast<double>(reorderer_.open_txns()));
   // The join sent no acks (the floor was unknown): one cumulative ack now
-  // covers the snapshot boundary and the replayed stash, releasing every
-  // transaction the primary kept pending across the join.
-  send_cumulative_ack(stash_commits);
+  // covers the snapshot boundary and the run staged while it assembled,
+  // releasing every transaction the primary kept pending across the join.
+  send_cumulative_ack(held);
   if (options_.on_synced) options_.on_synced();
 }
 

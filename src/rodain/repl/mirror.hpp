@@ -67,6 +67,9 @@ class MirrorService {
     std::uint64_t stale_duplicates{0};
     std::uint64_t snapshot_chunks{0};
     std::uint64_t duplicate_chunks{0};
+    /// Live batches staged in the held reorderer while a snapshot was
+    /// assembling (the join path keeps no separate record stash).
+    std::uint64_t held_batches{0};
     std::uint64_t chunk_retries_sent{0};
     std::uint64_t join_retries{0};
     std::uint64_t rejoins_after_abandon{0};
@@ -110,6 +113,15 @@ class MirrorService {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] bool snapshot_in_progress() const { return awaiting_snapshot_; }
   [[nodiscard]] TimePoint last_heard() const { return endpoint_.last_heard(); }
+  /// When we last heard from a *serving* primary (serving-role heartbeat,
+  /// log batch, or snapshot traffic). The takeover watchdog must use this,
+  /// not last_heard(): a recovering peer also heartbeats (role kMirror),
+  /// and those frames must not convince a lone mirror its primary is alive
+  /// — two non-serving nodes feeding each other's watchdogs would deadlock
+  /// the pair with no server.
+  [[nodiscard]] TimePoint serving_last_heard() const {
+    return serving_last_heard_;
+  }
   [[nodiscard]] std::size_t reorder_staged() const { return reorderer_.staged_commits(); }
   [[nodiscard]] std::size_t reorder_open() const { return reorderer_.open_txns(); }
   [[nodiscard]] const Endpoint::Stats& endpoint_stats() const {
@@ -139,6 +151,9 @@ class MirrorService {
   Endpoint endpoint_;
   log::Reorderer reorderer_;
   ValidationTs applied_seq_{0};
+  /// See serving_last_heard(); starts at construction time so a fresh
+  /// mirror grants the primary one full watchdog window to speak.
+  TimePoint serving_last_heard_;
   Stats stats_;
   /// Apply-path checkpoint cadence (ticked from poll()).
   log::Checkpointer ckpt_;
@@ -162,10 +177,12 @@ class MirrorService {
   ValidationTs join_have_{0};
   TimePoint last_join_activity_{};
   TimePoint synced_at_{};
-  /// Live batches held during snapshot assembly, batch boundaries intact:
-  /// the replay runs the reorderer's per-batch duplicate detection exactly
-  /// as a live delivery would.
-  std::vector<std::vector<log::Record>> stashed_;
+  /// Commit records staged while the snapshot assembled (telemetry for the
+  /// post-install cumulative ack). Live batches themselves go straight into
+  /// the held reorderer — per-batch duplicate detection runs on arrival and
+  /// set_expected_next() releases the survivors after install; there is no
+  /// separate record stash.
+  std::size_t held_commits_{0};
 };
 
 }  // namespace rodain::repl

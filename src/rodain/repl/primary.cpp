@@ -15,6 +15,8 @@ struct PrimaryMetrics {
       obs::metrics().counter("repl.heartbeats_sent");
   obs::Counter& snapshots_served =
       obs::metrics().counter("repl.snapshots_served");
+  obs::Counter& snapshots_from_disk =
+      obs::metrics().counter("repl.snapshots_from_disk");
   obs::Counter& chunks_resent =
       obs::metrics().counter("repl.snapshot_chunks_resent");
   obs::Gauge& mirror_applied_seq =
@@ -28,6 +30,9 @@ PrimaryMetrics& pm() {
 /// Snapshot-serve ids must be monotone across replicator rebuilds so the
 /// joiner can order serves (clock microseconds high, process counter low —
 /// same scheme as endpoint epochs).
+/// Catch-up batches cut at commit boundaries at roughly this many records.
+constexpr std::size_t kCatchUpBatchRecords = 256;
+
 std::uint64_t next_snapshot_id(const Clock& clock) {
   static std::atomic<std::uint64_t> counter{1};
   const auto us = static_cast<std::uint64_t>(clock.now().us);
@@ -145,13 +150,33 @@ Status PrimaryReplicator::send_chunk(std::uint32_t index) {
 
 void PrimaryReplicator::on_join_request(ValidationTs have) {
   (void)have;  // a full snapshot is always shipped; `have` is advisory
-  const ValidationTs boundary =
+  ValidationTs boundary =
       hooks_.snapshot_boundary ? hooks_.snapshot_boundary() : 0;
 
-  // Encode a consistent snapshot of the database copy at the boundary.
-  ByteWriter w(store_.size() * 80 + 64);
-  storage::encode_checkpoint(store_, boundary, w, index_);
-  auto bytes = w.take();
+  // Prefer the on-disk artifacts (checkpoint + stored log) when the node
+  // can vouch they densely cover up to the boundary; otherwise encode a
+  // consistent snapshot of the live copy.
+  std::vector<std::byte> bytes;
+  std::vector<log::Record> tail;
+  bool from_disk = false;
+  if (hooks_.join_artifacts) {
+    if (auto artifacts = hooks_.join_artifacts()) {
+      boundary = artifacts->boundary;
+      bytes = std::move(artifacts->checkpoint_bytes);
+      tail = std::move(artifacts->catch_up);
+      from_disk = true;
+      ++snapshots_from_disk_;
+      pm().snapshots_from_disk.inc();
+    }
+  }
+  if (!from_disk) {
+    ByteWriter w(store_.size() * 80 + 64);
+    storage::encode_checkpoint(store_, boundary, w, index_);
+    bytes = w.take();
+    // Catch-up: committed transactions past the boundary that were logged
+    // before the mode switch (the joiner drops any overlap as stale).
+    tail = writer_.tail_since(boundary);
+  }
 
   const std::size_t chunk = options_.snapshot_chunk_bytes;
   const auto total = static_cast<std::uint32_t>(
@@ -160,22 +185,35 @@ void PrimaryReplicator::on_join_request(ValidationTs have) {
                                   std::move(bytes)};
   for (std::uint32_t i = 0; i < total; ++i) (void)send_chunk(i);
 
-  // Catch-up: committed transactions past the boundary that were logged
-  // before the mode switch (the joiner drops any overlap as stale).
-  auto tail = writer_.tail_since(boundary);
   // Switch to mirror mode *before* SnapshotDone so no commit can slip
   // between the tail and the live stream.
   if (hooks_.on_mirror_joined) hooks_.on_mirror_joined();
   if (!tail.empty()) {
-    (void)send_counted(Message::log_batch(std::move(tail)));
+    // Ship in slices cut at commit boundaries: a transaction's records
+    // never span batches (Shipper contract the reorderer relies on).
+    std::vector<log::Record> batch;
+    batch.reserve(std::min<std::size_t>(tail.size(), kCatchUpBatchRecords));
+    for (log::Record& r : tail) {
+      const bool commit = r.is_commit();
+      batch.push_back(std::move(r));
+      if (commit && batch.size() >= kCatchUpBatchRecords) {
+        (void)send_counted(Message::log_batch(std::move(batch)));
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      (void)send_counted(Message::log_batch(std::move(batch)));
+    }
   }
   (void)send_counted(Message::snapshot_done(boundary, last_snapshot_->id));
   ++snapshots_served_;
   pm().snapshots_served.inc();
-  RODAIN_INFO("primary: served snapshot %llu at boundary %llu (%zu bytes, %u chunks)",
-              static_cast<unsigned long long>(last_snapshot_->id),
-              static_cast<unsigned long long>(boundary),
-              last_snapshot_->bytes.size(), total);
+  RODAIN_INFO(
+      "primary: served snapshot %llu at boundary %llu (%zu bytes, %u chunks, "
+      "%s)",
+      static_cast<unsigned long long>(last_snapshot_->id),
+      static_cast<unsigned long long>(boundary), last_snapshot_->bytes.size(),
+      total, from_disk ? "from disk" : "live encode");
 }
 
 void PrimaryReplicator::on_chunk_retry(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "rodain/common/clock.hpp"
 #include "rodain/log/writer.hpp"
@@ -18,6 +19,17 @@
 
 namespace rodain::repl {
 
+/// Disk-served join (instant rejoin, DESIGN.md §12): the on-disk checkpoint
+/// plus the log records that densely cover (boundary, installed_low_water],
+/// already deduplicated and in validation-seq order. Serving these instead
+/// of encoding the live store keeps the join off the commit path's cache
+/// and skips the snapshot encode entirely.
+struct JoinArtifacts {
+  std::vector<std::byte> checkpoint_bytes;
+  ValidationTs boundary{0};
+  std::vector<log::Record> catch_up;
+};
+
 class PrimaryReplicator final : public log::Shipper {
  public:
   struct Hooks {
@@ -25,6 +37,11 @@ class PrimaryReplicator final : public log::Shipper {
     /// transaction with seq <= v has installed its writes (the engine's
     /// installed low-water mark).
     std::function<ValidationTs()> snapshot_boundary;
+    /// Optional disk-based join serving. Return artifacts to ship the
+    /// stored checkpoint + log instead of a live snapshot encode; return
+    /// nullopt to fall back to the live path (no checkpoint on disk, log
+    /// coverage gap, non-segmented log, ...).
+    std::function<std::optional<JoinArtifacts>()> join_artifacts;
     /// A mirror finished joining (snapshot + catch-up shipped): the node
     /// should switch the LogWriter to kMirror mode and update its role.
     std::function<void()> on_mirror_joined;
@@ -68,6 +85,10 @@ class PrimaryReplicator final : public log::Shipper {
   [[nodiscard]] bool channel_connected() const { return endpoint_.connected(); }
   [[nodiscard]] ValidationTs mirror_applied_seq() const { return mirror_applied_; }
   [[nodiscard]] std::uint64_t snapshots_served() const { return snapshots_served_; }
+  /// How many of those were served from the on-disk artifacts.
+  [[nodiscard]] std::uint64_t snapshots_from_disk() const {
+    return snapshots_from_disk_;
+  }
   [[nodiscard]] std::uint64_t send_failures() const { return send_failures_; }
   [[nodiscard]] std::uint64_t snapshot_chunks_resent() const {
     return snapshot_chunks_resent_;
@@ -110,6 +131,7 @@ class PrimaryReplicator final : public log::Shipper {
   Options options_;
   ValidationTs mirror_applied_{0};
   std::uint64_t snapshots_served_{0};
+  std::uint64_t snapshots_from_disk_{0};
   std::uint64_t send_failures_{0};
   std::uint64_t snapshot_chunks_resent_{0};
   std::optional<CachedSnapshot> last_snapshot_;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "rodain/common/diag.hpp"
+#include "rodain/log/reorder.hpp"
 #include "rodain/log/segment.hpp"
 #include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
@@ -154,7 +155,10 @@ net::HttpServer::Response Node::route_http(const std::string& path) {
     r.content_type = "application/json";
     r.body = "{\"node\":\"" + name_ + "\",\"role\":\"" +
              std::string(to_string(current)) +
-             "\",\"serving\":" + (up ? "true" : "false") + "}\n";
+             "\",\"serving\":" + (up ? "true" : "false") +
+             ",\"recovery_mode\":" +
+             std::to_string(recovery_mode_.load(std::memory_order_acquire)) +
+             "}\n";
   } else {
     r.status = 404;
     r.body = "unknown path; routes: /metrics /vars /trace /healthz\n";
@@ -222,6 +226,8 @@ void Node::build_primary_locked(LogMode mode) {
     hooks.snapshot_boundary = [this] {
       return engine_ ? engine_->installed_low_water() : ValidationTs{0};
     };
+    // Runs under commit_mu_ (GuardedChannel wraps every inbound frame).
+    hooks.join_artifacts = [this] { return join_artifacts_locked(); };
     hooks.on_mirror_joined = [this] {
       log_writer_->set_mode(LogMode::kMirror);
       become_locked(NodeRole::kPrimaryWithMirror);
@@ -289,6 +295,9 @@ void Node::build_primary_locked(LogMode mode) {
   hooks.on_log_durable = [this](TxnId id) { push_ready(id); };
   engine_ = std::make_unique<engine::Engine>(config_.engine, store_, &index_,
                                              *log_writer_, std::move(hooks));
+  if (recovery_ && recovery_->active()) {
+    engine_->set_recovery(recovery_.get());
+  }
 }
 
 void Node::start_primary(LogMode mode, net::Channel* peer) {
@@ -318,13 +327,58 @@ void Node::start_primary(LogMode mode, net::Channel* peer) {
         if (stopping_.load(std::memory_order_relaxed) || !serving_locked()) {
           continue;
         }
+        if (recovery_ && recovery_->active()) {
+          // A checkpoint at the installed low-water would claim to cover
+          // deferred commits whose after-images are still parked in the
+          // redo index; wait for the sweep to drain it.
+          continue;
+        }
         // The Checkpointer owns the cadence (the cv also wakes on every
         // submit) and truncates the log after each successful write.
         ckpt_.tick(clock_.now());
       }
     });
   }
+  if (recovery_ && recovery_->active()) {
+    sweeper_ = std::thread([this] { sweeper_loop(); });
+  }
   start_sampler_locked();
+}
+
+void Node::sweeper_loop() {
+  std::unique_lock lock(commit_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (!recovery_) break;
+    if (recovery_->active()) {
+      recovery_->sweep(config_.recovery_sweep_txns, store_, &index_);
+    }
+    if (!recovery_->active()) {
+      // Drained — by this sweep, the on-demand path, or an explicit
+      // checkpoint drain (then finish already ran and this is a no-op).
+      finish_recovery_locked("background sweep drained");
+      break;
+    }
+    timer_cv_.wait_for(
+        lock, std::chrono::microseconds(config_.recovery_sweep_interval.us));
+  }
+}
+
+void Node::finish_recovery_locked(const char* how) {
+  if (!recovery_ || recovery_mode_.load(std::memory_order_relaxed) == 0) {
+    return;  // never entered recovery mode, or already finished
+  }
+  if (engine_) engine_->set_recovery(nullptr);
+  recovery_->retire();
+  recovery_mode_.store(0, std::memory_order_release);
+  obs::metrics().gauge("recovery.mode").set(0.0);
+  RODAIN_INFO("%s: instant recovery complete: %s (%llu on-demand, "
+              "%llu background replays)",
+              name_.c_str(), how,
+              static_cast<unsigned long long>(recovery_->ondemand_applied()),
+              static_cast<unsigned long long>(recovery_->background_applied()));
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kRecovery, recovery_->last_seq());
+  }
 }
 
 void Node::start_sampler_locked() {
@@ -373,6 +427,13 @@ Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
 }
 
 Status Node::write_checkpoint_locked() {
+  if (recovery_ && recovery_->active()) {
+    // The boundary below claims every commit up to the installed low-water
+    // is in the store; deferred redo chains would make that a lie. Drain
+    // them first (an explicit checkpoint request ends instant recovery).
+    recovery_->drain(store_, &index_);
+    finish_recovery_locked("drained for checkpoint");
+  }
   // Consistent boundary: every transaction up to the installed low-water
   // mark has its after-images in the store (validation+install is atomic).
   const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
@@ -389,6 +450,58 @@ Status Node::write_checkpoint() {
   return write_checkpoint_locked();
 }
 
+std::optional<repl::JoinArtifacts> Node::join_artifacts_locked() {
+  if (config_.log_segment_bytes == 0 || config_.checkpoint_path.empty()) {
+    return std::nullopt;
+  }
+  auto ckpt = storage::read_checkpoint_bytes(config_.checkpoint_path);
+  if (!ckpt.is_ok()) return std::nullopt;
+  const ValidationTs boundary = ckpt.value().meta.last_applied;
+  const ValidationTs low_water = engine_ ? engine_->installed_low_water() : 0;
+  if (boundary > low_water) {
+    // Never serve a snapshot claiming more than the engine installed.
+    return std::nullopt;
+  }
+  repl::JoinArtifacts artifacts;
+  artifacts.boundary = boundary;
+  if (low_water > boundary) {
+    // Catch-up candidates: the surviving segments plus the writer's
+    // in-memory tail; a collector reorderer dedups the overlap and orders
+    // them. Dense coverage of (boundary, low_water] is proven by the
+    // released floor reaching low_water — after a kMirror epoch the local
+    // segments can have holes (records shipped to the mirror never hit
+    // this disk), and then the live-encode path must take over.
+    auto all = log::SegmentedLogStorage::read_all(config_.log_path);
+    if (!all.is_ok()) return std::nullopt;
+    ValidationTs released = boundary;
+    log::Reorderer collector(
+        [&](ValidationTs seq, TxnId, std::vector<log::Record> records) {
+          released = seq;
+          for (log::Record& r : records) {
+            artifacts.catch_up.push_back(std::move(r));
+          }
+        },
+        boundary + 1);
+    collector.begin_batch();
+    for (log::Record& r : all.value()) (void)collector.add(std::move(r));
+    if (log_writer_) {
+      auto tail = log_writer_->tail_since(boundary);
+      collector.begin_batch();
+      for (log::Record& r : tail) (void)collector.add(std::move(r));
+    }
+    if (released != low_water) {
+      RODAIN_INFO(
+          "%s: disk join artifacts cover to seq %llu < low water %llu; "
+          "falling back to live encode",
+          name_.c_str(), static_cast<unsigned long long>(released),
+          static_cast<unsigned long long>(low_water));
+      return std::nullopt;
+    }
+  }
+  artifacts.checkpoint_bytes = std::move(ckpt.value().bytes);
+  return artifacts;
+}
+
 Result<log::RecoveryStats> Node::recover_from_local_state() {
   std::lock_guard lock(commit_mu_);
   if (role_.load(std::memory_order_relaxed) != NodeRole::kDown) {
@@ -399,23 +512,50 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
   // window from here to the first post-restart commit is the restart
   // downtime the flight recorder reports.
   availability_.set_serving(false, clock_.now().us);
-  auto stats =
-      config_.log_segment_bytes > 0
-          ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
-                                                 config_.log_path, store_,
-                                                 &index_)
-          : log::recover_checkpoint_and_log(config_.checkpoint_path,
-                                            config_.log_path, store_, &index_);
+  const bool instant = config_.instant_recovery && config_.log_segment_bytes > 0;
+  Result<log::RecoveryStats> stats = Status::ok();
+  if (instant) {
+    // Instant recovery (DESIGN.md §12): load the checkpoint, index the
+    // surviving segments, and let start_primary serve immediately — first
+    // touch replays on demand, the sweeper thread drains the rest.
+    recovery_ = std::make_unique<log::RedoIndex>();
+    stats = log::recover_instant_segments(config_.checkpoint_path,
+                                          config_.log_path, store_, *recovery_,
+                                          &index_);
+    if (!stats.is_ok() || !recovery_->active()) {
+      // Error, or nothing to defer (empty log / checkpoint covers it all):
+      // no recovery phase to run.
+      recovery_.reset();
+    } else {
+      recovery_mode_.store(1, std::memory_order_release);
+      obs::metrics().gauge("recovery.mode").set(1.0);
+    }
+  } else {
+    stats = config_.log_segment_bytes > 0
+                ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
+                                                       config_.log_path, store_,
+                                                       &index_)
+                : log::recover_checkpoint_and_log(
+                      config_.checkpoint_path, config_.log_path, store_, &index_);
+  }
   if (stats.is_ok()) {
     // Opening the segmented log (in the constructor) already trimmed any
     // torn tail the crash left, so the replay above saw a clean directory;
     // fold the trim back into the stats the caller sees.
     stats.value().torn_tail |= log_tail_trimmed_;
     recovered_next_seq_ = stats.value().last_seq + 1;
-    RODAIN_INFO("%s: local recovery done (%llu txns replayed, next seq %llu)",
-                name_.c_str(),
-                static_cast<unsigned long long>(stats.value().committed_applied),
-                static_cast<unsigned long long>(recovered_next_seq_));
+    if (instant) {
+      RODAIN_INFO(
+          "%s: instant recovery ready (%llu txns deferred, next seq %llu)",
+          name_.c_str(),
+          static_cast<unsigned long long>(stats.value().deferred_txns),
+          static_cast<unsigned long long>(recovered_next_seq_));
+    } else {
+      RODAIN_INFO("%s: local recovery done (%llu txns replayed, next seq %llu)",
+                  name_.c_str(),
+                  static_cast<unsigned long long>(stats.value().committed_applied),
+                  static_cast<unsigned long long>(recovered_next_seq_));
+    }
     if (obs::tracing_enabled()) {
       obs::tracer().record_instant(obs::Phase::kRecovery,
                                    stats.value().last_seq);
@@ -445,6 +585,11 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
     options.write_checkpoint = [this](ValidationTs boundary) {
       return write_checkpoint_at_locked(boundary);
     };
+  }
+  if (recovery_ && recovery_->active()) {
+    // The peer's stream supersedes whatever the local log still owed.
+    recovery_->abandon();
+    finish_recovery_locked("superseded by mirror role");
   }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
@@ -476,6 +621,12 @@ void Node::start_rejoin(net::Channel& peer) {
     options.write_checkpoint = [this](ValidationTs boundary) {
       return write_checkpoint_at_locked(boundary);
     };
+  }
+  if (recovery_ && recovery_->active()) {
+    // The snapshot about to install supersedes the local log's deferred
+    // chains; applying them afterwards would clobber newer state.
+    recovery_->abandon();
+    finish_recovery_locked("superseded by snapshot rejoin");
   }
   mirror_ = std::make_unique<repl::MirrorService>(store_, disk_.get(),
                                                   *guarded_channel_, clock_,
@@ -533,6 +684,7 @@ void Node::stop() {
   if (heartbeater_.joinable()) heartbeater_.join();
   if (checkpointer_.joinable()) checkpointer_.join();
   if (sampler_.joinable()) sampler_.join();
+  if (sweeper_.joinable()) sweeper_.join();
   std::vector<std::pair<DoneFn, CommitInfo>> callbacks;
   {
     std::scoped_lock lock(commit_mu_, queue_mu_);
@@ -631,6 +783,14 @@ Result<storage::Value> Node::get(ObjectId oid) {
 Result<storage::Value> Node::read_committed(ObjectId oid) {
   if (!serving()) {
     return Status::error(ErrorCode::kUnavailable, "not serving");
+  }
+  // serving() ordered the role_ acquire before this: recovery_ was set (if
+  // at all) before the node started serving and is never re-assigned until
+  // the destructor, so the unlocked pointer read is safe. While the index
+  // is active the store may lack deferred commits for this object; the
+  // transactional fallback path replays them on first touch.
+  if (recovery_ && recovery_->active()) {
+    return Status::error(ErrorCode::kUnavailable, "instant recovery draining");
   }
   storage::ObjectRecord snap;
   std::uint32_t retries = 0;

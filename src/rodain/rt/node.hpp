@@ -61,6 +61,17 @@ struct NodeConfig {
   /// path or zero interval disables the daemon.
   std::string checkpoint_path{};
   Duration checkpoint_interval{Duration::zero()};
+  /// Instant recovery (DESIGN.md §12, segmented log only):
+  /// recover_from_local_state loads the checkpoint and *indexes* the
+  /// surviving segments instead of replaying them, so start_primary serves
+  /// immediately; first touch replays an object's redo chain on demand and
+  /// a background sweeper drains the rest. Off by default: a full replay
+  /// reports exact committed_applied counts and leaves nothing deferred.
+  bool instant_recovery{false};
+  /// Background-sweep cadence and per-slice transaction budget while the
+  /// redo index drains (each slice runs under the commit mutex).
+  Duration recovery_sweep_interval{Duration::millis(1)};
+  std::size_t recovery_sweep_txns{256};
   Duration heartbeat_interval{Duration::millis(100)};
   Duration watchdog_timeout{Duration::millis(500)};
   /// Oldest unacked mirror shipment older than this declares the mirror
@@ -207,10 +218,19 @@ class Node {
   bool serving_locked() const;
   Status write_checkpoint_locked();
   Status write_checkpoint_at_locked(ValidationTs boundary);
+  /// Disk-served join (DESIGN.md §12): checkpoint bytes + the log records
+  /// covering (boundary, installed_low_water], or nullopt when the on-disk
+  /// artifacts cannot vouch for dense coverage (then the replicator falls
+  /// back to a live snapshot encode). Requires commit_mu_.
+  std::optional<repl::JoinArtifacts> join_artifacts_locked();
 
   void worker_loop();
   void timer_loop();
   void heartbeat_loop();
+  /// Background replay while the redo index drains (under commit_mu_).
+  void sweeper_loop();
+  /// Detach + retire a drained/abandoned redo index (requires commit_mu_).
+  void finish_recovery_locked(const char* how);
   /// Queue a transaction for a worker (takes queue_mu_ itself). Callers on
   /// resume paths (log-durable, lock-granted, victim-restart hooks) hold
   /// commit_mu_, which is what makes park-vs-resume race-free.
@@ -290,6 +310,15 @@ class Node {
   std::thread heartbeater_;
   std::thread checkpointer_;
   std::thread sampler_;
+  std::thread sweeper_;
+  /// Instant-recovery redo index (DESIGN.md §12). Created under commit_mu_
+  /// only while the node is kDown and destroyed only by the destructor, so
+  /// serving-time readers may test `recovery_ && recovery_->active()`
+  /// without the mutex (active() is the one member that allows that).
+  std::unique_ptr<log::RedoIndex> recovery_;
+  /// 1 while deferred redo chains remain (mirrors the recovery.mode gauge);
+  /// atomic so the HTTP thread can report it regardless of node state.
+  std::atomic<int> recovery_mode_{0};
   obs::TimeSeries series_;
   ValidationTs recovered_next_seq_{1};
   /// The segmented-log open trimmed a torn tail left by a crash; folded

@@ -198,6 +198,13 @@ void SimNode::fail() {
     sim_.cancel(checkpoint_event_);
     checkpoint_event_ = sim::kInvalidEvent;
   }
+  if (sweep_event_ != sim::kInvalidEvent) {
+    sim_.cancel(sweep_event_);
+    sweep_event_ = sim::kInvalidEvent;
+  }
+  // Parked redo dies with the node; the next restart_from_disk re-indexes
+  // the surviving log (crash mid-sweep is the re-restart test's territory).
+  recovery_.reset();
   takeover_pending_ = false;
   demotion_pending_ = false;
   link_down_since_.reset();
@@ -288,8 +295,10 @@ void SimNode::heartbeat_tick() {
       if (mirror_) {
         mirror_->send_heartbeat();
         mirror_->poll(sim_.now());
+        // serving_last_heard, not last_heard: a recovering peer heartbeats
+        // too, and its frames must not convince us the primary is alive.
         if (!takeover_pending_ &&
-            watchdog.expired(sim_.now(), mirror_->last_heard())) {
+            watchdog.expired(sim_.now(), mirror_->serving_last_heard())) {
           RODAIN_INFO("%s: watchdog expired for primary, taking over",
                       name_.c_str());
           begin_takeover();
@@ -320,14 +329,118 @@ void SimNode::schedule_checkpoint() {
 void SimNode::checkpoint_tick() {
   checkpoint_event_ = sim::kInvalidEvent;
   if (!serving()) return;  // mirror-role checkpoints ride MirrorService::poll
+  if (recovery_ && recovery_->active()) {
+    // A boundary taken now would truncate log the redo index still needs;
+    // re-arm (unlike the !serving() return) and wait out the drain.
+    schedule_checkpoint();
+    return;
+  }
   ckpt_.tick(sim_.now());
   schedule_checkpoint();
+}
+
+SimNode::RestartStats SimNode::restart_from_disk(LogMode mode) {
+  assert(role_ == NodeRole::kDown && "restart only from a crashed state");
+  // The surviving store stands in for the checkpoint file (the simulator
+  // never writes one): redo replay is idempotent, so what the two modes
+  // model differently is only the *work* before and after serving resumes.
+  std::vector<log::Record> stored;
+  if (auto* d = dynamic_cast<log::SimDiskLogStorage*>(disk_.get())) {
+    stored = d->records();
+  } else if (auto* m = dynamic_cast<log::MemoryLogStorage*>(disk_.get())) {
+    stored = m->records();
+  }
+  ValidationTs last_seq = 0;
+  std::uint64_t committed = 0;
+  for (const log::Record& r : stored) {
+    if (r.is_commit() && r.seq != kInvalidValidationTs) {
+      ++committed;
+      if (r.seq > last_seq) last_seq = r.seq;
+    }
+  }
+  RestartStats stats;
+  stats.replayable_txns = committed;
+
+  if (!config_.instant_recovery) {
+    // Classical restart: the node is silent while every stored transaction
+    // replays, then activates — TTFC grows linearly with the log.
+    become(NodeRole::kRecovering);
+    stats.time_to_serve = config_.takeover_activation +
+                          config_.replay_cost_per_txn *
+                              static_cast<std::int64_t>(committed);
+    sim_.schedule_after(stats.time_to_serve, [this, mode, last_seq] {
+      if (role_ != NodeRole::kRecovering) return;  // raced with fail()
+      build_log_writer(mode);
+      build_engine(last_seq + 1);
+      become(NodeRole::kPrimaryAlone);
+      schedule_heartbeat();
+      schedule_checkpoint();
+    });
+    return stats;
+  }
+
+  // Instant restart (DESIGN.md §12): index the log without applying it and
+  // serve after the bare activation delay; deferred chains replay on first
+  // touch plus background sweep events.
+  recovery_ = std::make_unique<log::RedoIndex>();
+  if (auto s = recovery_->build(stored, 0); !s) {
+    RODAIN_WARN("%s: redo index build failed (%s); restarting with empty log",
+                name_.c_str(), s.message().c_str());
+    recovery_.reset();
+  }
+  build_log_writer(mode);
+  build_engine(last_seq + 1);
+  if (recovery_ && recovery_->active()) {
+    engine_->set_recovery(recovery_.get());
+  }
+  become(NodeRole::kRecovering);
+  stats.instant = true;
+  stats.deferred_txns = recovery_ ? recovery_->pending_txns() : 0;
+  stats.time_to_serve = config_.takeover_activation;
+  sim_.schedule_after(config_.takeover_activation, [this] {
+    if (role_ != NodeRole::kRecovering) return;  // raced with fail()
+    become(NodeRole::kPrimaryAlone);
+    schedule_heartbeat();
+    schedule_checkpoint();
+    if (recovery_ && recovery_->active()) schedule_recovery_sweep();
+  });
+  return stats;
+}
+
+void SimNode::schedule_recovery_sweep() {
+  if (sweep_event_ != sim::kInvalidEvent) sim_.cancel(sweep_event_);
+  sweep_event_ =
+      sim_.schedule_after(config_.recovery_sweep_interval, [this] {
+        sweep_event_ = sim::kInvalidEvent;
+        if (!recovery_ || !serving()) return;
+        if (recovery_->active()) {
+          recovery_->sweep(config_.recovery_sweep_txns, store_, &index_);
+        }
+        if (!recovery_->active()) {
+          // On-demand touches may have finished the drain between events.
+          if (engine_) engine_->set_recovery(nullptr);
+          recovery_->retire();
+          RODAIN_INFO(
+              "%s: instant recovery drained (%llu on-demand, %llu background)",
+              name_.c_str(),
+              static_cast<unsigned long long>(recovery_->ondemand_applied()),
+              static_cast<unsigned long long>(recovery_->background_applied()));
+          return;
+        }
+        schedule_recovery_sweep();
+      });
 }
 
 void SimNode::begin_takeover() {
   takeover_pending_ = true;
   sim_.schedule_after(config_.takeover_activation, [this] {
-    if (role_ != NodeRole::kMirror || !mirror_) return;  // raced with rejoin
+    if (role_ != NodeRole::kMirror || !mirror_) {
+      // Raced with a rejoin or an abandon: the takeover is off, and the
+      // latch MUST clear — a stuck takeover_pending_ would mute the
+      // watchdog forever, so the next real primary death never promotes us.
+      takeover_pending_ = false;
+      return;
+    }
     takeover_pending_ = false;
     auto takeover = mirror_->take_over();
     mirror_.reset();

@@ -71,6 +71,20 @@ struct SimNodeConfig {
   /// backlog and log-size behaviour match a node with real checkpoints.
   /// Zero disables the cadence (historical behaviour).
   Duration checkpoint_interval{Duration::zero()};
+  /// Instant restart (DESIGN.md §12): restart_from_disk() indexes the
+  /// stored log and serves after takeover_activation, replaying deferred
+  /// chains on first touch plus background sweep events. False models the
+  /// classical full replay, which blocks serving for
+  /// replay_cost_per_txn * logged transactions.
+  bool instant_recovery{false};
+  /// Background-sweep cadence and per-event transaction budget while the
+  /// redo index drains (effective background replay rate =
+  /// recovery_sweep_txns / recovery_sweep_interval).
+  Duration recovery_sweep_interval{Duration::millis(2)};
+  std::size_t recovery_sweep_txns{64};
+  /// Modelled CPU cost to replay one logged transaction during a full
+  /// (non-instant) restart.
+  Duration replay_cost_per_txn{Duration::micros(40)};
 };
 
 class SimNode {
@@ -99,6 +113,28 @@ class SimNode {
   void fail();
   /// Come back from a crash and rejoin as Mirror via snapshot + catch-up.
   void recover_and_rejoin();
+
+  /// Restart alone from the surviving local disk (no peer involved). The
+  /// surviving store stands in for the checkpoint file — redo replay is
+  /// idempotent, so what the two modes model differently is the *work*:
+  /// with instant_recovery the node serves after takeover_activation and
+  /// drains a redo index via on-demand + sweep events; without it, serving
+  /// is delayed by replay_cost_per_txn for every logged transaction.
+  struct RestartStats {
+    std::uint64_t replayable_txns{0};  ///< committed txns in the stored log
+    std::uint64_t deferred_txns{0};    ///< parked in the redo index (instant)
+    Duration time_to_serve{};          ///< virtual delay until serving
+    bool instant{false};
+  };
+  RestartStats restart_from_disk(LogMode mode = LogMode::kDirectDisk);
+
+  /// True while instant-restart redo chains are still draining.
+  [[nodiscard]] bool recovering() const {
+    return recovery_ && recovery_->active();
+  }
+  /// The redo index of the last instant restart (counters survive the
+  /// drain); null before the first restart_from_disk.
+  [[nodiscard]] log::RedoIndex* recovery() { return recovery_.get(); }
 
   [[nodiscard]] NodeRole role() const { return role_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -161,6 +197,7 @@ class SimNode {
   void heartbeat_tick();
   void schedule_checkpoint();
   void checkpoint_tick();
+  void schedule_recovery_sweep();
 
   void run_step(TxnId id);
   void on_step_done(TxnId id, engine::StepAction action, Duration cost);
@@ -195,6 +232,10 @@ class SimNode {
   /// roles, cancelled on fail()).
   sim::EventId checkpoint_event_{sim::kInvalidEvent};
   log::Checkpointer ckpt_;
+  /// Deferred-redo index while an instant restart drains (DESIGN.md §12);
+  /// kept after the drain so benches can read its counters.
+  std::unique_ptr<log::RedoIndex> recovery_;
+  sim::EventId sweep_event_{sim::kInvalidEvent};
   bool takeover_pending_{false};
   /// A split-brain demotion is scheduled (deferred off the replicator's
   /// message handler, which the demotion destroys).

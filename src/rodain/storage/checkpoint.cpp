@@ -140,9 +140,8 @@ Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied
   return fsync_parent_dir(path);
 }
 
-Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
-                                            ObjectStore& store,
-                                            BPlusTree* index) {
+namespace {
+Result<std::vector<std::byte>> read_whole_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
   std::fseek(f, 0, SEEK_END);
@@ -162,7 +161,56 @@ Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
   const bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
   std::fclose(f);
   if (!ok) return Status::error(ErrorCode::kIoError, "short checkpoint read");
-  return decode_checkpoint(buf, store, index);
+  return buf;
+}
+}  // namespace
+
+Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
+                                            ObjectStore& store,
+                                            BPlusTree* index) {
+  auto buf = read_whole_file(path);
+  if (!buf.is_ok()) return buf.status();
+  return decode_checkpoint(buf.value(), store, index);
+}
+
+Result<CheckpointMeta> peek_checkpoint(std::span<const std::byte> data) {
+  if (data.size() < 4) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint too short");
+  }
+  const auto body = data.subspan(0, data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(body) != expect) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint CRC mismatch");
+  }
+  ByteReader r(body);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  CheckpointMeta meta;
+  if (auto s = r.get_u64(magic); !s) return s;
+  if (magic != kMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad checkpoint magic");
+  }
+  if (auto s = r.get_u32(version); !s) return s;
+  if (version != 1 && version != kVersion) {
+    return Status::error(ErrorCode::kCorruption,
+                         "unsupported checkpoint version");
+  }
+  if (auto s = r.get_u64(meta.last_applied); !s) return s;
+  if (auto s = r.get_u64(meta.object_count); !s) return s;
+  return meta;
+}
+
+Result<CheckpointBytes> read_checkpoint_bytes(const std::string& path) {
+  auto buf = read_whole_file(path);
+  if (!buf.is_ok()) return buf.status();
+  CheckpointBytes out;
+  out.bytes = std::move(buf).value();
+  auto meta = peek_checkpoint(out.bytes);
+  if (!meta.is_ok()) return meta.status();
+  out.meta = meta.value();
+  return out;
 }
 
 }  // namespace rodain::storage

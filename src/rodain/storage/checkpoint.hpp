@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "rodain/common/serialization.hpp"
 #include "rodain/common/status.hpp"
@@ -43,5 +44,18 @@ Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied
 Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
                                             ObjectStore& store,
                                             BPlusTree* index = nullptr);
+
+/// Validate (CRC + header) and parse only the metadata of an encoded
+/// checkpoint — no store rebuild. Cheap enough for the join-serving path.
+Result<CheckpointMeta> peek_checkpoint(std::span<const std::byte> data);
+
+/// The raw on-disk checkpoint plus its peeked metadata, for serving a join
+/// directly from the artifact instead of re-encoding the live store.
+/// kNotFound for a missing or zero-length file (same as read_checkpoint_file).
+struct CheckpointBytes {
+  std::vector<std::byte> bytes;
+  CheckpointMeta meta;
+};
+Result<CheckpointBytes> read_checkpoint_bytes(const std::string& path);
 
 }  // namespace rodain::storage

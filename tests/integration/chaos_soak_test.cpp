@@ -94,6 +94,11 @@ Fate fate_of(TxnOutcome o) {
 struct SoakOptions {
   std::uint64_t seed{0xC0FFEE};
   std::size_t txns{1200};
+  /// Adds the restart-during-recovery director action (kill a node again
+  /// while it is mid-rejoin). Opt-in (RODAIN_CHAOS_RECOVERY_KILLS=1, the
+  /// nightly sweep) because enabling it widens the director's action draw
+  /// and so changes every seed's trajectory.
+  bool recovery_kills{false};
 };
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
@@ -183,8 +188,13 @@ void run_soak(const SoakOptions& opt) {
 
   // ---- chaos director ------------------------------------------------
   simdb::SimNode* downed = nullptr;
+  /// Each kill bumps the generation and its recover callback captures it:
+  /// with mid-recovery kills the same node can be killed again while an
+  /// older recover is still pending, and `downed == expect` alone would let
+  /// that stale callback revive the fresh corpse instantly.
+  std::uint64_t kill_gen = 0;
   std::uint64_t crashes = 0, flaps = 0, partitions = 0, script_severs = 0;
-  std::uint64_t primary_crashes = 0;
+  std::uint64_t primary_crashes = 0, recovery_kills = 0;
 
   auto both_paired = [&] {
     simdb::SimNode* s = cluster.serving_node();
@@ -196,19 +206,21 @@ void run_soak(const SoakOptions& opt) {
 
   std::function<void()> director = [&] {
     if (sim.now() >= quiesce_at) return;
-    switch (director_rng.next_below(6)) {
+    switch (director_rng.next_below(opt.recovery_kills ? 8 : 6)) {
       case 0: {  // crash the serving node — only when both believe paired,
                  // so every acked commit is already on the mirror
         if (!downed && both_paired()) {
           simdb::SimNode* s = cluster.serving_node();
           downed = s;
+          const std::uint64_t gen = ++kill_gen;
           ++crashes;
           ++primary_crashes;
           cluster.fail_node(*s);
           simdb::SimNode* expect = s;
           sim.schedule_after(
-              Duration::millis(director_rng.next_in(300, 800)), [&, expect] {
-                if (downed == expect) {
+              Duration::millis(director_rng.next_in(300, 800)),
+              [&, expect, gen] {
+                if (downed == expect && gen == kill_gen) {
                   cluster.recover_node(*expect);
                   downed = nullptr;
                 }
@@ -224,13 +236,14 @@ void run_soak(const SoakOptions& opt) {
           if (m.role() == NodeRole::kMirror ||
               m.role() == NodeRole::kRecovering) {
             downed = &m;
+            const std::uint64_t gen = ++kill_gen;
             ++crashes;
             cluster.fail_node(m);
             simdb::SimNode* expect = &m;
             sim.schedule_after(
                 Duration::millis(director_rng.next_in(300, 800)),
-                [&, expect] {
-                  if (downed == expect) {
+                [&, expect, gen] {
+                  if (downed == expect && gen == kill_gen) {
                     cluster.recover_node(*expect);
                     downed = nullptr;
                   }
@@ -272,6 +285,49 @@ void run_soak(const SoakOptions& opt) {
             link->set_script({});
             if (!downed) link->restore();
           });
+        }
+        break;
+      }
+      case 6:
+      case 7: {  // restart-during-recovery: kill a node again while it is
+                 // mid-rejoin (snapshot install or catch-up), so the next
+                 // rejoin starts over on whatever the first one left behind.
+        auto kill_mid_recovery = [&](simdb::SimNode* rec) {
+          downed = rec;
+          const std::uint64_t gen = ++kill_gen;
+          ++crashes;
+          ++recovery_kills;
+          cluster.fail_node(*rec);
+          sim.schedule_after(
+              Duration::millis(director_rng.next_in(100, 400)), [&, rec, gen] {
+                if (downed == rec && gen == kill_gen) {
+                  cluster.recover_node(*rec);
+                  downed = nullptr;
+                }
+              });
+        };
+        simdb::SimNode* rec = nullptr;
+        if (cluster.node_a().role() == NodeRole::kRecovering) {
+          rec = &cluster.node_a();
+        } else if (cluster.node_b().role() == NodeRole::kRecovering) {
+          rec = &cluster.node_b();
+        }
+        if (!downed && rec) {
+          kill_mid_recovery(rec);
+        } else if (downed) {
+          // Nothing recovering right now, but a node is down: bring it back
+          // early (the pending recover no-ops on the downed != expect check)
+          // and strike again a few ms into its rejoin.
+          simdb::SimNode* expect = downed;
+          cluster.recover_node(*expect);
+          downed = nullptr;
+          sim.schedule_after(
+              Duration::millis(director_rng.next_in(5, 40)), [&, expect,
+                                                              kill_mid_recovery] {
+                if (!downed && expect->role() == NodeRole::kRecovering) {
+                  kill_mid_recovery(expect);
+                }
+              });
         }
         break;
       }
@@ -348,10 +404,12 @@ void run_soak(const SoakOptions& opt) {
 
   std::printf(
       "[chaos] seed=%llu: %zu acked, %zu aborted, %zu indeterminate | "
-      "%llu crashes, %llu flaps, %llu partitions, %llu script severs | "
+      "%llu crashes (%llu mid-recovery), %llu flaps, %llu partitions, "
+      "%llu script severs | "
       "link: %llu fwd %llu drop %llu dup %llu corrupt %llu reorder\n",
       static_cast<unsigned long long>(opt.seed), acked, definite,
       indeterminate, static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(recovery_kills),
       static_cast<unsigned long long>(flaps),
       static_cast<unsigned long long>(partitions),
       static_cast<unsigned long long>(script_severs),
@@ -390,6 +448,7 @@ TEST(ChaosSoak, SeededSoak) {
   SoakOptions opt;
   opt.seed = env_u64("RODAIN_CHAOS_SEED", 0xC0FFEE);
   opt.txns = static_cast<std::size_t>(env_u64("RODAIN_CHAOS_TXNS", 1200));
+  opt.recovery_kills = env_u64("RODAIN_CHAOS_RECOVERY_KILLS", 0) != 0;
   run_soak(opt);
 }
 

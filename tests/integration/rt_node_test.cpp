@@ -11,6 +11,7 @@
 
 #include "rodain/db/database.hpp"
 #include "rodain/net/tcp.hpp"
+#include "rodain/obs/obs.hpp"
 #include "rodain/rt/node.hpp"
 #include "rodain/workload/number_translation.hpp"
 
@@ -203,6 +204,72 @@ TEST(RtNode, MirrorTakesOverWhenPrimaryStops) {
   q.relative_deadline = 5_s;
   EXPECT_EQ(mirror.execute(std::move(q)).outcome, TxnOutcome::kCommitted);
   mirror.stop();
+}
+
+TEST(RtNode, RejoinIsServedFromDiskArtifacts) {
+  // A restarted peer rejoins via checkpoint bytes + surviving log segments
+  // (DESIGN.md §12) instead of a live store encode: the primary's commit
+  // path never pauses to serialize its state. The bespoke live-record stash
+  // is gone — records arriving during the join stage in the mirror's held
+  // reorderer and apply after the snapshot boundary installs.
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs::init(obs_config);
+  const std::uint64_t disk_serves_before =
+      obs::metrics().counter("repl.snapshots_from_disk").value();
+
+  const auto dir = std::filesystem::temp_directory_path() / "rodain_rejoin_disk";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto tcp = TcpPair::make();
+
+  rt::NodeConfig config;
+  config.log_path = (dir / "segments").string();
+  config.log_segment_bytes = 2048;
+  config.checkpoint_path = (dir / "db.ckpt").string();
+  rt::Node primary(config, "primary");
+  for (ObjectId oid = 1; oid <= 20; ++oid) primary.store().upsert(oid, zeros8(), 0);
+
+  primary.start_primary(LogMode::kDirectDisk, tcp.client_end.get());
+  tcp.client_end->start();
+  auto commit_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(static_cast<ObjectId>(1 + i % 20), 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(primary.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+  };
+  commit_n(30);
+  ASSERT_TRUE(primary.write_checkpoint().is_ok());  // covers seq 1..30
+  commit_n(10);  // the tail lives only in the segments + writer tail
+
+  // The restarted peer joins with an empty store: everything it learns
+  // comes from the disk artifacts and the streamed catch-up.
+  rt::NodeConfig rc;
+  rt::Node rejoiner(rc, "rejoiner");
+  rejoiner.start_rejoin(*tcp.server_end);
+  tcp.server_end->start();
+  commit_n(5);  // live traffic during the join rides the held reorderer
+
+  for (int waited = 0; waited < 500 && rejoiner.mirror_applied_seq() < 45;
+       ++waited) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(rejoiner.mirror_applied_seq(), 45u);
+  EXPECT_EQ(primary.role(), NodeRole::kPrimaryWithMirror);
+  EXPECT_EQ(obs::metrics().counter("repl.snapshots_from_disk").value(),
+            disk_serves_before + 1);
+
+  std::uint64_t total = 0;
+  rejoiner.store().for_each([&](ObjectId, const storage::ObjectRecord& rec) {
+    total += rec.value.read_u64(0);
+  });
+  EXPECT_EQ(total, 45u);
+
+  primary.stop();
+  rejoiner.stop();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Database, EmbeddedQuickstartFlow) {

@@ -2,6 +2,7 @@
 // sequence continuation, and the periodic checkpoint daemon.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -217,6 +218,187 @@ TEST_F(RtRecoveryTest, RecoverAfterStartIsRejected) {
   auto stats = node.recover_from_local_state();
   ASSERT_FALSE(stats.is_ok());
   EXPECT_EQ(stats.status().code(), ErrorCode::kFailedPrecondition);
+  node.stop();
+}
+
+// ---- instant recovery (DESIGN.md §12) ------------------------------------
+
+class RtInstantRecoveryTest : public RtRecoveryTest {
+ protected:
+  /// Segmented log + instant restart; the sweep interval is cranked up so
+  /// the background sweeper never races the assertions — everything the
+  /// tests observe is first-touch on-demand replay.
+  rt::NodeConfig instant_config() {
+    rt::NodeConfig c = config();
+    c.log_path = (dir_ / "segments").string();
+    c.log_segment_bytes = 512;
+    c.instant_recovery = true;
+    c.recovery_sweep_interval = 5_s;
+    c.recovery_sweep_txns = 1;
+    return c;
+  }
+
+  /// 60 committed txns round-robin over 20 objects: each object ends at 3.
+  void populate(const rt::NodeConfig& c) {
+    rt::Node node(c, "gen1");
+    node.start_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 60; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(static_cast<ObjectId>(1 + i % 20), 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    node.stop();
+  }
+};
+
+TEST_F(RtInstantRecoveryTest, ServesImmediatelyAndReplaysOnFirstTouchRead) {
+  rt::NodeConfig c = instant_config();
+  populate(c);
+
+  rt::Node node(c, "gen2");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_TRUE(stats.value().instant);
+  EXPECT_EQ(stats.value().committed_applied, 0u);  // nothing replayed yet
+  EXPECT_EQ(stats.value().deferred_txns, 60u);
+  EXPECT_EQ(stats.value().last_seq, 60u);
+
+  node.start_primary(LogMode::kDirectDisk);
+  ASSERT_TRUE(node.serving());
+  // The lock-free path refuses while chains are draining (callers fall
+  // back to the transactional path, which replays on first touch)...
+  auto fast = node.read_committed(5);
+  ASSERT_FALSE(fast.is_ok());
+  EXPECT_EQ(fast.status().code(), ErrorCode::kUnavailable);
+  // ...and the transactional read observes the full deferred chain.
+  auto v = node.get(5);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_EQ(v.value().read_u64(0), 3u);
+  node.stop();
+}
+
+TEST_F(RtInstantRecoveryTest, FirstTouchWriteSeesRecoveredValue) {
+  rt::NodeConfig c = instant_config();
+  populate(c);
+
+  rt::Node node(c, "gen2");
+  ASSERT_TRUE(node.recover_from_local_state().is_ok());
+  node.start_primary(LogMode::kDirectDisk);
+  // The very first access to object 7 is a read-modify-write: the engine
+  // must replay its chain before the read phase, or the increment would
+  // start from a stale base and lose the recovered history.
+  txn::TxnProgram p;
+  p.add_to_field(7, 0, 1);
+  p.relative_deadline = 5_s;
+  ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+  auto v = node.get(7);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value().read_u64(0), 4u);  // 3 recovered + 1
+  node.stop();
+}
+
+TEST_F(RtInstantRecoveryTest, ConcurrentFirstTouchesApplyChainExactlyOnce) {
+  rt::NodeConfig c = instant_config();
+  populate(c);
+
+  c.worker_threads = 4;
+  rt::Node node(c, "gen2");
+  ASSERT_TRUE(node.recover_from_local_state().is_ok());
+  node.start_primary(LogMode::kDirectDisk);
+
+  // 40 concurrent increments all first-touch the SAME unrecovered object.
+  // If the watermark failed and two workers replayed the chain twice — or a
+  // parked after-image applied after a live write — increments would be
+  // clobbered and the final value would drift from 3 + 40.
+  std::atomic<int> committed{0};
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 40; ++i) {
+    txn::TxnProgram p;
+    p.add_to_field(3, 0, 1);
+    p.relative_deadline = 5_s;
+    node.submit(std::move(p), [&](const rt::CommitInfo& info) {
+      if (info.outcome == TxnOutcome::kCommitted) ++committed;
+      ++finished;
+    });
+  }
+  for (int waited = 0; waited < 500 && finished.load() < 40; ++waited) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(finished.load(), 40);
+  ASSERT_EQ(committed.load(), 40);
+  auto v = node.get(3);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value().read_u64(0), 43u);
+  node.stop();
+}
+
+TEST_F(RtInstantRecoveryTest, CrashMidSweepThenRestartLosesNothing) {
+  rt::NodeConfig c = instant_config();
+  populate(c);
+
+  {
+    // gen2 restarts instantly, commits one transaction, then dies with most
+    // chains still parked (the sweeper never got a slice). Nothing was
+    // checkpointed, so the segments still hold the full history.
+    rt::Node node(c, "gen2");
+    ASSERT_TRUE(node.recover_from_local_state().is_ok());
+    node.start_primary(LogMode::kDirectDisk);
+    txn::TxnProgram p;
+    p.add_to_field(1, 0, 1);
+    p.relative_deadline = 5_s;
+    ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    node.stop();
+  }
+  {
+    // gen3 replays the log in full (instant off): every pre-crash commit
+    // AND gen2's one commit must be there — the deferred chains gen2 never
+    // applied were log state, not volatile state.
+    rt::NodeConfig full = c;
+    full.instant_recovery = false;
+    rt::Node node(full, "gen3");
+    auto stats = node.recover_from_local_state();
+    ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+    EXPECT_FALSE(stats.value().instant);
+    EXPECT_EQ(stats.value().last_seq, 61u);
+    ASSERT_NE(node.store().find(1), nullptr);
+    EXPECT_EQ(node.store().find(1)->value.read_u64(0), 4u);  // 3 + gen2's 1
+    for (ObjectId oid = 2; oid <= 20; ++oid) {
+      ASSERT_NE(node.store().find(oid), nullptr) << oid;
+      EXPECT_EQ(node.store().find(oid)->value.read_u64(0), 3u) << oid;
+    }
+  }
+}
+
+TEST_F(RtInstantRecoveryTest, InstantRestartContinuesSequenceAfterDrain) {
+  rt::NodeConfig c = instant_config();
+  c.recovery_sweep_interval = 1_ms;
+  c.recovery_sweep_txns = 256;
+  populate(c);
+
+  rt::Node node(c, "gen2");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_TRUE(stats.value().instant);
+  node.start_primary(LogMode::kDirectDisk);
+  // The background sweeper drains the whole index in a few slices; the
+  // lock-free read path reopens once active() turns false.
+  bool drained = false;
+  for (int waited = 0; waited < 500; ++waited) {
+    if (node.read_committed(5).is_ok()) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(node.read_committed(5).value().read_u64(0), 3u);
+  // The validation sequence continues past the recovered history.
+  txn::TxnProgram p;
+  p.add_to_field(5, 0, 1);
+  p.relative_deadline = 5_s;
+  ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(node.get(5).value().read_u64(0), 4u);
   node.stop();
 }
 

@@ -1,0 +1,187 @@
+#include "rodain/log/redo_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rodain/log/record.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::log {
+namespace {
+
+storage::Value counter_val(std::uint64_t v) {
+  storage::Value value{std::string_view{"\0\0\0\0\0\0\0\0", 8}};
+  value.write_u64(0, v);
+  return value;
+}
+
+/// `txns` committed transactions, each one write setting object
+/// (1 + seq % objects) to seq — same shape as the recovery tests.
+std::vector<Record> build_log(std::size_t txns, std::size_t objects,
+                              std::map<ObjectId, std::uint64_t>& expect) {
+  std::vector<Record> records;
+  for (ValidationTs seq = 1; seq <= txns; ++seq) {
+    const ObjectId oid = 1 + (seq % objects);
+    records.push_back(Record::write_image(seq, oid, counter_val(seq)));
+    records.push_back(Record::commit(seq, seq, seq * 1000, 1));
+    expect[oid] = seq;
+  }
+  return records;
+}
+
+TEST(RedoIndex, BuildDefersEverything) {
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(100, 10, expect);
+  storage::ObjectStore store(16);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+  EXPECT_TRUE(redo.active());
+  EXPECT_EQ(redo.deferred_txns(), 100u);
+  EXPECT_EQ(redo.deferred_writes(), 100u);
+  EXPECT_EQ(redo.pending_txns(), 100u);
+  EXPECT_EQ(redo.last_seq(), 100u);
+  // Nothing installed yet: that is the whole point.
+  for (auto& [oid, v] : expect) EXPECT_EQ(store.find(oid), nullptr);
+}
+
+TEST(RedoIndex, EnsureRecoveredAppliesOnlyThatChain) {
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(100, 10, expect);
+  storage::ObjectStore store(16);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+
+  redo.ensure_recovered(5, store, nullptr);
+  ASSERT_NE(store.find(5), nullptr);
+  EXPECT_EQ(store.find(5)->value.read_u64(0), expect[5]);
+  // The chain held every write to object 5 (seqs 4, 14, ..., 94).
+  EXPECT_EQ(redo.ondemand_applied(), 10u);
+  // Untouched objects stay parked, and the index stays active.
+  EXPECT_EQ(store.find(6), nullptr);
+  EXPECT_TRUE(redo.active());
+
+  // Re-touching a recovered object is a no-op (the watermark).
+  redo.ensure_recovered(5, store, nullptr);
+  EXPECT_EQ(redo.ondemand_applied(), 10u);
+}
+
+TEST(RedoIndex, SweepDrainsInSeqOrderWithinBudget) {
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(100, 10, expect);
+  storage::ObjectStore store(16);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+
+  EXPECT_EQ(redo.sweep(30, store, nullptr), 30u);
+  EXPECT_TRUE(redo.active());
+  std::size_t crossed = 30;
+  while (std::size_t n = redo.sweep(30, store, nullptr)) crossed += n;
+  EXPECT_EQ(crossed, 100u);
+  EXPECT_FALSE(redo.active());
+  EXPECT_EQ(redo.background_applied(), 100u);
+  for (auto& [oid, v] : expect) {
+    ASSERT_NE(store.find(oid), nullptr);
+    EXPECT_EQ(store.find(oid)->value.read_u64(0), v);
+  }
+}
+
+TEST(RedoIndex, WatermarkPartitionsOndemandAndBackground) {
+  // On-demand replay of some chains, then a full sweep: every write applies
+  // exactly once, the two counters partition the total, and w-w winners are
+  // the higher-seq image even though on-demand jumped the sweep order.
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(100, 10, expect);
+  storage::ObjectStore store(16);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+
+  redo.ensure_recovered(3, store, nullptr);
+  redo.ensure_recovered(7, store, nullptr);
+  while (redo.sweep(16, store, nullptr) != 0) {
+  }
+  EXPECT_FALSE(redo.active());
+  EXPECT_EQ(redo.ondemand_applied() + redo.background_applied(), 100u);
+  EXPECT_EQ(redo.ondemand_applied(), 20u);
+  EXPECT_EQ(redo.pending_txns(), 0u);
+  for (auto& [oid, v] : expect) {
+    ASSERT_NE(store.find(oid), nullptr);
+    EXPECT_EQ(store.find(oid)->value.read_u64(0), v);
+  }
+}
+
+TEST(RedoIndex, EnsureRecoveredKeyCoversInsertsAndDeletes) {
+  const auto key = storage::IndexKey::from_u64(77);
+  std::vector<Record> records;
+  records.push_back(Record::insert_image(1, 10, counter_val(111), key));
+  records.push_back(Record::commit(1, 1, 1000, 1));
+  records.push_back(Record::tombstone(2, 10, key));
+  records.push_back(Record::commit(2, 2, 2000, 1));
+
+  storage::ObjectStore store(4);
+  storage::BPlusTree index;
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+
+  // A lookup of the key must observe the full chain: the insert AND the
+  // later delete, so the key resolves to "gone", not to the stale insert.
+  redo.ensure_recovered_key(key, store, &index);
+  EXPECT_FALSE(index.find(key).has_value());
+  const storage::ObjectRecord* obj = store.find(10);
+  EXPECT_TRUE(obj == nullptr || obj->deleted);
+  EXPECT_FALSE(redo.active());
+}
+
+TEST(RedoIndex, CheckpointOverlapSkipped) {
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(50, 5, expect);
+  storage::ObjectStore store(8);
+  RedoIndex redo;
+  // Seqs 1..30 are covered by the checkpoint: only 20 txns defer.
+  ASSERT_TRUE(redo.build(records, 30).is_ok());
+  EXPECT_EQ(redo.deferred_txns(), 20u);
+  EXPECT_EQ(redo.last_seq(), 50u);
+}
+
+TEST(RedoIndex, IncompleteTransactionsDropped) {
+  std::vector<Record> records;
+  records.push_back(Record::write_image(1, 10, counter_val(1)));
+  records.push_back(Record::commit(1, 1, 1000, 1));
+  records.push_back(Record::write_image(2, 20, counter_val(2)));  // no commit
+  storage::ObjectStore store(4);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+  EXPECT_EQ(redo.deferred_txns(), 1u);
+  EXPECT_EQ(redo.incomplete_dropped(), 1u);
+  redo.drain(store, nullptr);
+  EXPECT_EQ(store.find(20), nullptr);
+}
+
+TEST(RedoIndex, WriteCountMismatchIsCorruption) {
+  std::vector<Record> records;
+  records.push_back(Record::write_image(1, 10, counter_val(1)));
+  records.push_back(Record::commit(1, 1, 1000, 2));  // claims two writes
+  RedoIndex redo;
+  const Status s = redo.build(records, 0);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorruption);
+}
+
+TEST(RedoIndex, AbandonDiscardsUnapplied) {
+  // A mirror rejoin installs a snapshot that supersedes the local log: the
+  // parked images must never touch the store afterwards.
+  std::map<ObjectId, std::uint64_t> expect;
+  auto records = build_log(40, 4, expect);
+  storage::ObjectStore store(8);
+  RedoIndex redo;
+  ASSERT_TRUE(redo.build(records, 0).is_ok());
+  redo.abandon();
+  EXPECT_FALSE(redo.active());
+  redo.ensure_recovered(1, store, nullptr);
+  EXPECT_EQ(redo.sweep(100, store, nullptr), 0u);
+  for (auto& [oid, v] : expect) EXPECT_EQ(store.find(oid), nullptr);
+}
+
+}  // namespace
+}  // namespace rodain::log

@@ -186,5 +186,72 @@ TEST(SimNode, SubmitWhileDownIsRejected) {
   EXPECT_EQ(result.outcome, TxnOutcome::kSystemAborted);
 }
 
+// ---- restart_from_disk (DESIGN.md §12) -----------------------------------
+
+struct RestartRig {
+  sim::Simulation sim;
+  SimNodeConfig config;
+  std::unique_ptr<SimNode> node;
+
+  explicit RestartRig(bool instant) {
+    config.engine.costs = engine::CostModel::zero();
+    config.instant_recovery = instant;
+    node = std::make_unique<SimNode>(sim, "r", 1, config);
+    for (ObjectId oid = 1; oid <= 32; ++oid) {
+      node->store().upsert(oid, zeros8(), 0);
+    }
+    node->start_as_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 40; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(static_cast<ObjectId>(1 + i % 32), 0, 1);
+      p.with_deadline(500_ms);
+      node->submit(std::move(p), [](const TxnResult&) {});
+    }
+    sim.run();  // every commit hits the simulated disk
+    node->fail();
+  }
+
+  std::uint64_t store_total() {
+    std::uint64_t total = 0;
+    node->store().for_each([&](ObjectId, const storage::ObjectRecord& rec) {
+      total += rec.value.read_u64(0);
+    });
+    return total;
+  }
+};
+
+TEST(SimNode, RestartFromDiskInstantServesAfterActivation) {
+  RestartRig rig(/*instant=*/true);
+  const auto stats = rig.node->restart_from_disk(LogMode::kDirectDisk);
+  EXPECT_TRUE(stats.instant);
+  EXPECT_EQ(stats.replayable_txns, 40u);
+  EXPECT_GT(stats.deferred_txns, 0u);
+  // Serving is gated only on the activation delay — not on the log size.
+  EXPECT_EQ(stats.time_to_serve.us, rig.config.takeover_activation.us);
+  rig.sim.run();  // activation fires, then the sweeper drains the index
+  EXPECT_TRUE(rig.node->serving());
+  EXPECT_FALSE(rig.node->recovering());
+  ASSERT_NE(rig.node->recovery(), nullptr);
+  EXPECT_EQ(rig.node->recovery()->background_applied() +
+                rig.node->recovery()->ondemand_applied(),
+            rig.node->recovery()->deferred_writes());
+  EXPECT_EQ(rig.store_total(), 40u);
+}
+
+TEST(SimNode, RestartFromDiskFullReplayDelaysServing) {
+  RestartRig rig(/*instant=*/false);
+  const auto stats = rig.node->restart_from_disk(LogMode::kDirectDisk);
+  EXPECT_FALSE(stats.instant);
+  EXPECT_EQ(stats.replayable_txns, 40u);
+  // The classical restart pays for every logged transaction before serving.
+  EXPECT_EQ(stats.time_to_serve.us,
+            rig.config.takeover_activation.us +
+                rig.config.replay_cost_per_txn.us * 40);
+  EXPECT_FALSE(rig.node->serving());
+  rig.sim.run();
+  EXPECT_TRUE(rig.node->serving());
+  EXPECT_EQ(rig.store_total(), 40u);
+}
+
 }  // namespace
 }  // namespace rodain::simdb
