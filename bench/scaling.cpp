@@ -1,9 +1,11 @@
-// Multicore scaling of the primary (DESIGN.md §11): sweep the worker count
-// 1 -> 8 over the paper's number-translation workload (read-heavy mix,
-// CostModel::zero, logging off) and report committed throughput, commit
-// latency tails, seqlock retries, reader fences and commit-mutex wait per
-// point. The headline claim: with the lock-free read phase, 4 workers carry
-// at least 2x the committed throughput of 1.
+// Multicore scaling of the primary (DESIGN.md §11, §13): sweep the worker
+// count 1 -> 8 over the paper's number-translation workload and report
+// committed throughput, commit latency tails, seqlock retries, reader
+// fences and commit-mutex wait per point. Two mixes per sweep: the paper's
+// read-heavy service-provision mix (lock-free read phase: 4 workers carry
+// at least 2x the committed throughput of 1) and a write-heavy mix that
+// exercises the parallel commit path — per-worker redo buffers and the
+// epoch sealer keep lock_wait_ms flat where the serial funnel grew it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +24,13 @@ using namespace rodain;
 
 namespace {
 
+struct Mix {
+  const char* name;          // report-label prefix ("" = legacy read-heavy)
+  double write_fraction;
+  std::size_t reads_per_txn;
+  std::size_t updates_per_txn;
+};
+
 struct SweepPoint {
   std::size_t workers{0};
   std::uint64_t committed{0};
@@ -32,20 +41,23 @@ struct SweepPoint {
   std::uint64_t seqlock_retries{0};
   std::uint64_t rehash_fences{0};
   double lock_wait_ms{0};
+  std::uint64_t epoch_seals{0};
+  std::uint64_t intent_conflicts{0};
 };
 
 double timer_total_ms(const LatencyHistogram& h) {
   return h.mean().to_ms() * static_cast<double>(h.count());
 }
 
-SweepPoint run_point(std::size_t workers, const exp::BenchArgs& args) {
+SweepPoint run_point(std::size_t workers, const Mix& mix,
+                     const exp::BenchArgs& args) {
   workload::DatabaseConfig dbc;
   dbc.num_objects = std::min<std::size_t>(30000, std::max<std::size_t>(
                                                      args.txns * 4, 2000));
   workload::WorkloadConfig wlc;
-  wlc.write_fraction = 0.1;  // read-heavy service-provision mix
-  wlc.reads_per_txn = 8;
-  wlc.updates_per_txn = 2;
+  wlc.write_fraction = mix.write_fraction;
+  wlc.reads_per_txn = mix.reads_per_txn;
+  wlc.updates_per_txn = mix.updates_per_txn;
   // Throughput sweep, not a deadline experiment: give every transaction
   // room so the miss path never confounds the scaling signal.
   wlc.read_deadline = Duration::seconds(30);
@@ -62,9 +74,13 @@ SweepPoint run_point(std::size_t workers, const exp::BenchArgs& args) {
   obs::Counter& retries = obs::metrics().counter("engine.read_retries");
   obs::Counter& fences = obs::metrics().counter("store.rehash_fences");
   obs::Timer& mu_wait = obs::metrics().timer("node.commit_mu_wait");
+  obs::Counter& seals = obs::metrics().counter("node.epoch_seals");
+  obs::Counter& conflicts = obs::metrics().counter("engine.intent_conflicts");
   const std::uint64_t retries0 = retries.value();
   const std::uint64_t fences0 = fences.value();
   const double wait0_ms = timer_total_ms(mu_wait.merged());
+  const std::uint64_t seals0 = seals.value();
+  const std::uint64_t conflicts0 = conflicts.value();
 
   // Closed loop: 2 clients per worker keep every worker fed without the
   // open-loop overload machinery entering the picture.
@@ -108,8 +124,34 @@ SweepPoint run_point(std::size_t workers, const exp::BenchArgs& args) {
   point.seqlock_retries = retries.value() - retries0;
   point.rehash_fences = fences.value() - fences0;
   point.lock_wait_ms = timer_total_ms(mu_wait.merged()) - wait0_ms;
+  point.epoch_seals = seals.value() - seals0;
+  point.intent_conflicts = conflicts.value() - conflicts0;
   node.stop();
   return point;
+}
+
+void report_point(exp::BenchReport& rep, const Mix& mix, const SweepPoint& p,
+                  double speedup) {
+  char label[48];
+  if (mix.name[0] == '\0') {
+    std::snprintf(label, sizeof(label), "workers=%zu", p.workers);
+  } else {
+    std::snprintf(label, sizeof(label), "%s workers=%zu", mix.name, p.workers);
+  }
+  rep.begin_result(label);
+  rep.field("workers", static_cast<std::int64_t>(p.workers));
+  rep.field("committed", static_cast<std::int64_t>(p.committed));
+  rep.field("submitted", static_cast<std::int64_t>(p.submitted));
+  rep.field("txns_per_sec", p.tps);
+  rep.field("p99_commit_ms", p.latency.quantile(0.99).to_ms());
+  rep.field("p50_commit_ms", p.latency.quantile(0.5).to_ms());
+  rep.field("seqlock_retries", static_cast<std::int64_t>(p.seqlock_retries));
+  rep.field("rehash_fences", static_cast<std::int64_t>(p.rehash_fences));
+  rep.field("lock_wait_ms", p.lock_wait_ms);
+  rep.field("epoch_seals", static_cast<std::int64_t>(p.epoch_seals));
+  rep.field("intent_conflicts",
+            static_cast<std::int64_t>(p.intent_conflicts));
+  rep.field("speedup_vs_1", speedup);
 }
 
 }  // namespace
@@ -126,52 +168,64 @@ int main(int argc, char** argv) {
   rep.set("txns", static_cast<std::int64_t>(args.txns));
   rep.set("seed", static_cast<std::int64_t>(args.seed));
   rep.set("write_fraction", 0.1);
+  rep.set("write_fraction_heavy", 0.6);
   rep.set("hardware_concurrency", static_cast<std::int64_t>(cores));
 
   std::printf("=== Multicore primary: worker sweep over number translation ===\n");
   std::printf(
-      "    (read-heavy mix, CostModel::zero, logging off, %zu txns, "
-      "%zu cores)\n",
+      "    (CostModel::zero, logging off, %zu txns per point, %zu cores)\n",
       args.txns, cores);
   if (cores < 4) {
     std::printf(
         "    NOTE: fewer than 4 cores — the sweep is oversubscribed and the "
-        "2x speedup target does not apply on this host.\n");
+        "speedup targets do not apply on this host.\n");
   }
 
+  // Legacy read-heavy mix keeps its unprefixed labels; the write-heavy mix
+  // is the parallel-commit-path stressor (DESIGN.md §13).
+  const Mix mixes[] = {
+      {"", 0.1, 8, 2},
+      {"write_heavy", 0.6, 4, 4},
+  };
   const std::size_t sweep[] = {1, 2, 4, 8};
-  double tps_at_1 = 0.0;
   double speedup_at_4 = 0.0;
-  for (std::size_t workers : sweep) {
-    const SweepPoint p = run_point(workers, args);
-    const double speedup = tps_at_1 > 0 ? p.tps / tps_at_1 : 1.0;
-    if (workers == 1) tps_at_1 = p.tps;
-    if (workers == 4) speedup_at_4 = speedup;
-    std::printf(
-        "  workers=%zu  %9.0f txn/s  p99=%7.3fms  speedup=%.2fx  "
-        "retries=%llu  fences=%llu  mu_wait=%.1fms\n",
-        workers, p.tps, p.latency.quantile(0.99).to_ms(), speedup,
-        static_cast<unsigned long long>(p.seqlock_retries),
-        static_cast<unsigned long long>(p.rehash_fences), p.lock_wait_ms);
-
-    char label[32];
-    std::snprintf(label, sizeof(label), "workers=%zu", workers);
-    rep.begin_result(label);
-    rep.field("workers", static_cast<std::int64_t>(workers));
-    rep.field("committed", static_cast<std::int64_t>(p.committed));
-    rep.field("submitted", static_cast<std::int64_t>(p.submitted));
-    rep.field("txns_per_sec", p.tps);
-    rep.field("p99_commit_ms", p.latency.quantile(0.99).to_ms());
-    rep.field("p50_commit_ms", p.latency.quantile(0.5).to_ms());
-    rep.field("seqlock_retries", static_cast<std::int64_t>(p.seqlock_retries));
-    rep.field("rehash_fences", static_cast<std::int64_t>(p.rehash_fences));
-    rep.field("lock_wait_ms", p.lock_wait_ms);
-    rep.field("speedup_vs_1", speedup);
+  double wh_speedup_at_8 = 0.0;
+  double wh_mu_wait_at_8 = 0.0;
+  for (const Mix& mix : mixes) {
+    std::printf("  --- %s mix: write_fraction=%.1f ---\n",
+                mix.name[0] ? mix.name : "read_heavy", mix.write_fraction);
+    double tps_at_1 = 0.0;
+    for (std::size_t workers : sweep) {
+      const SweepPoint p = run_point(workers, mix, args);
+      const double speedup = tps_at_1 > 0 ? p.tps / tps_at_1 : 1.0;
+      if (workers == 1) tps_at_1 = p.tps;
+      if (mix.name[0] == '\0' && workers == 4) speedup_at_4 = speedup;
+      if (mix.name[0] != '\0' && workers == 8) {
+        wh_speedup_at_8 = speedup;
+        wh_mu_wait_at_8 = p.lock_wait_ms;
+      }
+      std::printf(
+          "  workers=%zu  %9.0f txn/s  p99=%7.3fms  speedup=%.2fx  "
+          "retries=%llu  fences=%llu  mu_wait=%.1fms  seals=%llu  "
+          "conflicts=%llu\n",
+          workers, p.tps, p.latency.quantile(0.99).to_ms(), speedup,
+          static_cast<unsigned long long>(p.seqlock_retries),
+          static_cast<unsigned long long>(p.rehash_fences), p.lock_wait_ms,
+          static_cast<unsigned long long>(p.epoch_seals),
+          static_cast<unsigned long long>(p.intent_conflicts));
+      report_point(rep, mix, p, speedup);
+    }
   }
   rep.set("speedup_at_4", speedup_at_4);
+  rep.set("wh_speedup_at_8", wh_speedup_at_8);
+  rep.set("wh_mu_wait_at_8_ms", wh_mu_wait_at_8);
 
-  std::printf("  -> 4-worker speedup over 1 worker: %.2fx (target >= 2x)\n",
+  std::printf("  -> 4-worker speedup over 1 worker (read-heavy): %.2fx "
+              "(target >= 2x)\n",
               speedup_at_4);
+  std::printf("  -> 8-worker speedup over 1 worker (write-heavy): %.2fx "
+              "(target >= 1.5x on 8+ cores)\n",
+              wh_speedup_at_8);
   rep.write_file();
   return 0;
 }

@@ -1,0 +1,129 @@
+// Per-record write intents for the parallel commit path (DESIGN.md §13).
+//
+// A committing worker acquires an intent on every object in its write set
+// before validating, holds it through install, and releases it after its
+// redo entry is appended to the epoch sealer. Intents give the three
+// guarantees the commit mutex used to provide record-by-record:
+//   - two installers never touch the same record concurrently (the store's
+//     in-place seqlock paths assume single-writer per record);
+//   - write-write conflicts on an object serialize fully — the second
+//     writer's validation observes the first writer's installed wts, so
+//     per-record install order always equals validation-sequence order and
+//     mirror replay of the sealed stream is byte-identical;
+//   - validators can probe whether a *foreign* committer currently intends
+//     an object they read optimistically (the reader-vs-installer check).
+//
+// The table is hash-striped: an intent locks the object's stripe, not the
+// object, so two disjoint write sets can still collide on a stripe. That
+// only costs waiting, never correctness. Deadlock freedom comes from
+// deterministic ordered acquisition: stripe indices are sorted and deduped
+// before locking.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <vector>
+
+#include "rodain/common/types.hpp"
+#include "rodain/txn/transaction.hpp"
+
+namespace rodain::cc {
+
+class IntentTable {
+ public:
+  static constexpr std::size_t kStripes = 4096;
+
+  /// RAII over a set of acquired stripes; releases in reverse order.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(IntentTable* table, std::vector<std::uint32_t> stripes)
+        : table_(table), stripes_(std::move(stripes)) {}
+    Guard(Guard&& o) noexcept
+        : table_(o.table_), stripes_(std::move(o.stripes_)) {
+      o.table_ = nullptr;
+      o.stripes_.clear();
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        release();
+        table_ = o.table_;
+        stripes_ = std::move(o.stripes_);
+        o.table_ = nullptr;
+        o.stripes_.clear();
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    void release() {
+      if (table_ == nullptr) return;
+      for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+        table_->mu_[*it].unlock();
+      }
+      table_ = nullptr;
+      stripes_.clear();
+    }
+
+    [[nodiscard]] bool holds_stripe(std::uint32_t stripe) const {
+      return std::binary_search(stripes_.begin(), stripes_.end(), stripe);
+    }
+    [[nodiscard]] bool empty() const { return stripes_.empty(); }
+
+   private:
+    friend class IntentTable;
+    IntentTable* table_{nullptr};
+    std::vector<std::uint32_t> stripes_;  // sorted ascending
+  };
+
+  [[nodiscard]] static std::uint32_t stripe_of(ObjectId id) {
+    // Same mix the object store uses; stripe collisions are benign.
+    std::uint64_t x = id + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>((x ^ (x >> 31)) & (kStripes - 1));
+  }
+
+  /// Blocking ordered acquisition over the write set's stripes.
+  [[nodiscard]] Guard acquire(const std::vector<txn::WriteEntry>& writes) {
+    std::vector<std::uint32_t> stripes;
+    stripes.reserve(writes.size());
+    for (const txn::WriteEntry& w : writes) stripes.push_back(stripe_of(w.oid));
+    return acquire_stripes(std::move(stripes));
+  }
+
+  /// Single-object intent (serial read fallbacks, point lookups).
+  [[nodiscard]] Guard acquire_one(ObjectId oid) {
+    return acquire_stripes({stripe_of(oid)});
+  }
+
+  /// True when another committer currently holds an intent covering `oid`
+  /// and it is not among `held`'s stripes. A try_lock probe: if the stripe
+  /// is free we locked and immediately unlocked it, proving no foreign
+  /// holder existed at that instant. Callers order the probe against
+  /// foreign validations with the engine's validation mutex.
+  [[nodiscard]] bool foreign_intent(ObjectId oid, const Guard& held) {
+    const std::uint32_t stripe = stripe_of(oid);
+    if (held.holds_stripe(stripe)) return false;
+    if (mu_[stripe].try_lock()) {
+      mu_[stripe].unlock();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] Guard acquire_stripes(std::vector<std::uint32_t> stripes) {
+    std::sort(stripes.begin(), stripes.end());
+    stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+    for (std::uint32_t s : stripes) mu_[s].lock();
+    return Guard(this, std::move(stripes));
+  }
+
+  std::array<std::mutex, kStripes> mu_;
+};
+
+}  // namespace rodain::cc

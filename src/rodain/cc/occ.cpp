@@ -13,7 +13,7 @@ void OccController::on_begin(txn::Transaction& t) {
 AccessResult OccController::on_read(txn::Transaction& t, ObjectId oid,
                                     const storage::ObjectRecord* rec,
                                     bool optimistic) {
-  const ValidationTs observed = rec ? rec->wts : 0;
+  const ValidationTs observed = rec ? rec->wts_relaxed() : 0;
   // The owner may be in an unlocked read phase while a validator (holding
   // the commit mutex) scans this transaction's sets in Step 2; the leaf
   // mutex makes scan-vs-append atomic.
@@ -47,8 +47,8 @@ AccessResult OccController::on_write(txn::Transaction& t, ObjectId oid,
   (void)oid;
   if (policy_.eager_self_adjust && rec) {
     std::lock_guard lock(t.access_mu());
-    t.interval().after(rec->rts);
-    t.interval().after(rec->wts);
+    t.interval().after(rec->rts_relaxed());
+    t.interval().after(rec->wts_relaxed());
   }
   return {};
 }
@@ -95,8 +95,8 @@ ValidationResult OccController::validate(txn::Transaction& t,
       // writer installed over the observed version and the read is still
       // the committed state; a changed wts is indistinguishable from a
       // missed adjustment, so restart.
-      const storage::ObjectRecord* rec = store.find(r.oid);
-      if ((rec ? rec->wts : 0) != r.observed_wts) {
+      const auto ts = store.timestamps_of(r.oid);
+      if ((ts ? ts->second : 0) != r.observed_wts) {
         result.ok = false;
         return result;
       }
@@ -104,9 +104,12 @@ ValidationResult OccController::validate(txn::Transaction& t,
     iv.after(r.observed_wts);
   }
   for (const txn::WriteEntry& w : t.write_set()) {
-    if (const storage::ObjectRecord* rec = store.find(w.oid)) {
-      iv.after(rec->rts);
-      iv.after(rec->wts);
+    // timestamps_of is parallel-safe: on the parallel commit path this
+    // committer holds write intents on its write set, so no foreign
+    // installer can be mid-update on these records.
+    if (const auto ts = store.timestamps_of(w.oid)) {
+      iv.after(ts->first);   // committed readers
+      iv.after(ts->second);  // committed writers
     }
   }
 

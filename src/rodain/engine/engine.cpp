@@ -21,6 +21,10 @@ struct EngineMetrics {
   obs::Counter& installs = obs::metrics().counter("engine.installs");
   /// Torn seqlock snapshots discarded by optimistic read-phase fetches.
   obs::Counter& read_retries = obs::metrics().counter("engine.read_retries");
+  /// Parallel commit path: optimistic reads refused at validation because a
+  /// foreign committer held a write intent on the object.
+  obs::Counter& intent_conflicts =
+      obs::metrics().counter("engine.intent_conflicts");
 };
 EngineMetrics& em() {
   static EngineMetrics m;
@@ -44,6 +48,10 @@ Engine::Engine(EngineConfig config, storage::ObjectStore& store,
       log_writer_(log_writer),
       hooks_(std::move(hooks)),
       cc_(cc::make_controller(config.protocol)) {
+  // 2PL opts out: its lock table mutates on every access under the commit
+  // mutex, so there is no lock-free commit to parallelize.
+  parallel_commit_ = config_.parallel_commit && cc_->lock_free_read_phase();
+  sealer_.reset(next_seq_.load(std::memory_order_relaxed));
   cc_->set_wakeup_handler([this](TxnId id) {
     if (txn::Transaction* t = find(id)) {
       if (t->phase() == txn::Phase::kBlocked) {
@@ -69,6 +77,7 @@ Engine::Engine(EngineConfig config, storage::ObjectStore& store,
 }
 
 void Engine::begin(txn::Transaction& t) {
+  auto lock = maybe_validate_lock();
   txns_[t.id()] = &t;
   cc_->on_begin(t);
 }
@@ -98,6 +107,7 @@ void Engine::mark_stage(txn::Transaction& t, obs::Stage s) const {
 void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
   assert(can_abort(t));
   em().aborts.inc();
+  auto lock = maybe_validate_lock();
   cc_->on_abort(t);
   txns_.erase(t.id());
   t.set_phase(txn::Phase::kAborted);
@@ -106,7 +116,12 @@ void Engine::abort(txn::Transaction& t, TxnOutcome reason) {
 }
 
 void Engine::restart(txn::Transaction& t) {
-  ++restarts_;
+  auto lock = maybe_validate_lock();
+  restart_unsynchronized(t);
+}
+
+void Engine::restart_unsynchronized(txn::Transaction& t) {
+  restarts_.fetch_add(1, std::memory_order_relaxed);
   em().restarts.inc();
   cc_->on_abort(t);
   t.prepare_restart();
@@ -116,6 +131,18 @@ void Engine::restart(txn::Transaction& t) {
 }
 
 void Engine::restart_victims(const std::vector<TxnId>& victims) {
+  if (parallel_commit_) {
+    // Always defer on the parallel path: the victim's owner (or the worker
+    // that next picks it off the ready queue) consumes the request at its
+    // next step boundary, and a validation-bound victim fails naturally on
+    // its emptied interval. Restarting here would race the owner.
+    auto lock = maybe_validate_lock();
+    for (TxnId id : victims) {
+      auto it = txns_.find(id);
+      if (it != txns_.end()) it->second->request_restart();
+    }
+    return;
+  }
   for (TxnId id : victims) {
     txn::Transaction* v = find(id);
     if (!v) continue;
@@ -136,6 +163,7 @@ void Engine::restart_victims(const std::vector<TxnId>& victims) {
 }
 
 StepResult Engine::restart_or_abort(txn::Transaction& t, Duration cost) {
+  auto lock = maybe_validate_lock();
   if (config_.max_restarts >= 0 && t.restarts() >= config_.max_restarts) {
     cc_->on_abort(t);
     txns_.erase(t.id());
@@ -143,7 +171,7 @@ StepResult Engine::restart_or_abort(txn::Transaction& t, Duration cost) {
     t.set_outcome(TxnOutcome::kConflictAborted);
     return {StepAction::kAborted, cost};
   }
-  restart(t);
+  restart_unsynchronized(t);
   return {StepAction::kRestarted, cost};
 }
 
@@ -161,6 +189,14 @@ StepResult Engine::step(txn::Transaction& t) {
   switch (t.phase()) {
     case txn::Phase::kReadPhase:
       if (t.program_done()) {
+        if (parallel_commit_) {
+          // Serial entry into the parallel-path locking discipline (the
+          // simulator, or a driver holding its commit mutex during the
+          // recovery window): same intents/validation-mutex protocol as
+          // step_commit_unlocked, plus an inline seal — the caller's
+          // serial context stands in for the commit mutex the seal needs.
+          return commit_transaction(t, /*seal_inline=*/true);
+        }
         // Validation and the write phase form one atomic step
         // (Kung-Robinson critical section; the paper's "transactions are
         // validated atomically"). Splitting them would open a window in
@@ -206,12 +242,29 @@ const storage::ObjectRecord* Engine::fetch(ObjectId oid,
     // Instant recovery: the serial path (under the node's commit mutex) is
     // where first touch replays an object's deferred redo chain before the
     // transaction observes it.
-    if (recovery_ && recovery_->active()) {
-      recovery_->ensure_recovered(oid, store_, index_);
+    log::RedoIndex* rec = recovery_.load(std::memory_order_acquire);
+    if (rec && rec->active()) {
+      rec->ensure_recovered(oid, store_, index_);
     }
-    return store_.find(oid);
+    if (!parallel_commit_) return store_.find(oid);
+    // Parallel commit: installs run outside the commit mutex (intents +
+    // seqlock), so even the serial path must not plain-read a record a
+    // committer may be writing in place. Snapshot it; under persistent
+    // contention briefly take the record's intent — the installer holding
+    // it never waits on the commit mutex while it does, so this cannot
+    // cycle.
+    std::uint32_t retries = 0;
+    storage::OptimisticRead r = store_.read_optimistic(oid, snap, retries);
+    if (retries != 0) em().read_retries.inc(retries);
+    if (r == storage::OptimisticRead::kContended) {
+      const auto intent = intents_.acquire_one(oid);
+      retries = 0;
+      r = store_.read_optimistic(oid, snap, retries);
+    }
+    return r == storage::OptimisticRead::kHit ? &snap : nullptr;
   }
-  if (recovery_ && recovery_->active()) {
+  log::RedoIndex* rec = recovery_.load(std::memory_order_acquire);
+  if (rec && rec->active()) {
     // Unlocked read phases cannot consult the redo index (its chains mutate
     // under commit_mu_); fall back to the serial path for the short
     // recovery window.
@@ -243,14 +296,15 @@ StepResult Engine::step_read_phase(txn::Transaction& t, bool optimistic,
   if (const auto* read_key = std::get_if<txn::ReadKeyOp>(&op)) {
     const Duration cost = first_step_cost + config_.costs.per_index_lookup +
                           config_.costs.per_read;
-    if (recovery_ && recovery_->active()) {
+    log::RedoIndex* rec = recovery_.load(std::memory_order_acquire);
+    if (rec && rec->active()) {
       if (optimistic) {
         *fallback = true;
         return {StepAction::kContinue, cost};
       }
       // A deferred insert/delete may not have reached the index yet: replay
       // whatever this key could observe before the lookup.
-      recovery_->ensure_recovered_key(read_key->key, store_, index_);
+      rec->ensure_recovered_key(read_key->key, store_, index_);
     }
     ObjectId oid = kInvalidObject;
     if (index_) {
@@ -464,15 +518,16 @@ StepResult Engine::step_validate(txn::Transaction& t) {
   mark_stage(t, obs::Stage::kValidate);
   const Duration cost = config_.costs.validate;
   em().validations.inc();
-  cc::ValidationResult result = cc_->validate(t, next_seq_, store_);
+  const ValidationTs seq = next_seq_.load(std::memory_order_relaxed);
+  cc::ValidationResult result = cc_->validate(t, seq, store_);
   if (!result.ok) {
     em().validation_rejects.inc();
     t.set_phase(txn::Phase::kReadPhase);
     return restart_or_abort(t, cost);
   }
   restart_victims(result.victims);
-  t.set_validated(next_seq_, result.serial_ts);
-  ++next_seq_;
+  t.set_validated(seq, result.serial_ts);
+  next_seq_.store(seq + 1, std::memory_order_release);
   t.set_phase(txn::Phase::kWritePhase);
   return {StepAction::kContinue, cost};
 }
@@ -518,6 +573,18 @@ StepResult Engine::step_write_phase(txn::Transaction& t) {
     if (hooks_.on_log_durable) hooks_.on_log_durable(id);
     return {StepAction::kWaitLogAck, cost};
   }
+  log_writer_.submit(
+      t.validation_seq(), marshal_records(t),
+      [this, id] {
+        if (hooks_.on_log_durable) hooks_.on_log_durable(id);
+      },
+      config_.clock ? &t.stages : nullptr);
+  return {StepAction::kWaitLogAck, cost};
+}
+
+std::vector<log::Record> Engine::marshal_records(
+    const txn::Transaction& t) const {
+  const auto& writes = t.write_set();
   std::vector<log::Record> records;
   records.reserve(writes.size() + 1);
   for (const txn::WriteEntry& w : writes) {
@@ -534,23 +601,164 @@ StepResult Engine::step_write_phase(txn::Transaction& t) {
   records.push_back(log::Record::commit(
       t.id(), t.validation_seq(), t.serial_ts(),
       static_cast<std::uint32_t>(writes.size())));
-  log_writer_.submit(
-      t.validation_seq(), std::move(records),
-      [this, id] {
-        if (hooks_.on_log_durable) hooks_.on_log_durable(id);
-      },
-      config_.clock ? &t.stages : nullptr);
+  return records;
+}
+
+StepResult Engine::step_commit_unlocked(txn::Transaction& t) {
+  return commit_transaction(t, /*seal_inline=*/false);
+}
+
+StepResult Engine::commit_transaction(txn::Transaction& t, bool seal_inline) {
+  assert(parallel_commit_);
+  assert(t.phase() == txn::Phase::kReadPhase && t.program_done());
+  // A deferred victimization may land right up to the moment validation
+  // begins; honour it here (same contract as step()'s serial boundary).
+  if (t.consume_restart_request()) {
+    restart(t);
+    return {StepAction::kRestarted, Duration::zero()};
+  }
+  t.set_phase(txn::Phase::kValidating);
+
+  const Duration validate_cost = config_.costs.validate;
+  cc::IntentTable::Guard intents;
+  bool ok = false;
+  ValidationTs serial_ts = 0;
+  {
+    obs::ScopedSpan span(obs::tracer(), obs::Phase::kValidate, t.id());
+    mark_stage(t, obs::Stage::kValidate);
+    em().validations.inc();
+    // Intents before validation: a write-write conflict serializes fully
+    // at the intent stripe, so the later writer's Step-1 floors observe
+    // the earlier writer's *installed* wts and per-record install order
+    // always equals validation-sequence order (mirror replay stays
+    // byte-identical with the serial path).
+    intents = intents_.acquire(t.write_set());
+    auto lock = maybe_validate_lock();
+    // Reader-vs-installer: an optimistic snapshot proves committed state
+    // only if no foreign committer currently intends the object — a
+    // validated-but-not-yet-installed writer has not bumped the wts the
+    // Step-1 re-check compares. A writer acquiring its intent *after* this
+    // probe validates after us (validation mutex) and floors above the
+    // read-set rts bumps published below, so it serializes after our
+    // reads either way.
+    bool intent_conflict = false;
+    for (const txn::ReadEntry& r : t.read_set()) {
+      if (r.optimistic && intents_.foreign_intent(r.oid, intents)) {
+        em().intent_conflicts.inc();
+        intent_conflict = true;
+        break;
+      }
+    }
+    cc::ValidationResult result;
+    const ValidationTs seq = next_seq_.load(std::memory_order_relaxed);
+    if (!intent_conflict) result = cc_->validate(t, seq, store_);
+    ok = !intent_conflict && result.ok;
+    if (ok) {
+      t.set_validated(seq, result.serial_ts);
+      next_seq_.store(seq + 1, std::memory_order_release);
+      serial_ts = result.serial_ts;
+      // Publish committed-reader floors NOW, inside the validation
+      // critical section — not at install. A later writer validating
+      // before our install must already serialize above our reads;
+      // committed-writer floors are published by the installs themselves
+      // inside each record's seqlock.
+      for (const txn::ReadEntry& r : t.read_set()) {
+        store_.bump_rts(r.oid, serial_ts);
+      }
+      // Forward-adjusted victims: defer (txns_ is already locked here;
+      // restart_victims would re-lock).
+      for (TxnId vid : result.victims) {
+        auto it = txns_.find(vid);
+        if (it != txns_.end()) it->second->request_restart();
+      }
+    }
+  }
+  if (!ok) {
+    intents.release();
+    em().validation_rejects.inc();
+    t.set_phase(txn::Phase::kReadPhase);
+    return restart_or_abort(t, validate_cost);
+  }
+
+  const auto& writes = t.write_set();
+  em().installs.inc(writes.size());
+  const bool logging = log_writer_.mode() != LogMode::kOff;
+  Duration cost =
+      validate_cost +
+      config_.costs.per_install * static_cast<std::int64_t>(writes.size());
+  if (logging) {
+    cost += config_.costs.per_log_marshal *
+            static_cast<std::int64_t>(writes.size() + 1);
+  }
+  {
+    obs::ScopedSpan span(obs::tracer(), obs::Phase::kWritePhase, t.id());
+    t.set_phase(txn::Phase::kWritePhase);
+    mark_stage(t, obs::Stage::kWritePhase);
+    // Install under the gate (shared) with the intents still held. The
+    // install bookkeeping and the sealer append stay inside the gate
+    // section so a unique holder (checkpoint, join snapshot) observes
+    // every transaction either fully absent or installed+marked+appended —
+    // a seal under the gate then drains dense through the low-water.
+    std::shared_lock gate(install_gate_);
+    for (const txn::WriteEntry& w : writes) {
+      if (w.is_delete()) {
+        store_.tombstone(w.oid, t.serial_ts());
+        if (w.has_key && index_) index_->erase(w.key);
+      } else {
+        store_.upsert(w.oid, w.after, t.serial_ts());
+        if (w.has_key && index_) {
+          if (!index_->insert(w.key, w.oid)) index_->update(w.key, w.oid);
+        }
+      }
+    }
+    // No cc_->on_installed here: read-set rts floors were published at
+    // validation, write-set wts floors by the installs above.
+    {
+      auto lock = maybe_validate_lock();
+      mark_installed(t.validation_seq());
+    }
+    t.set_phase(txn::Phase::kWaitLogAck);
+    mark_stage(t, obs::Stage::kLogFlush);
+    const TxnId id = t.id();
+    // Marshal unconditionally: the seal — under the driver's commit mutex —
+    // decides against the then-current log mode, so a kOff->kMirror flip
+    // interleaves only at epoch boundaries.
+    log::WorkerRedoEntry entry;
+    entry.seq = t.validation_seq();
+    entry.records = marshal_records(t);
+    entry.on_durable = [this, id] {
+      if (hooks_.on_log_durable) hooks_.on_log_durable(id);
+    };
+    entry.stages = config_.clock ? &t.stages : nullptr;
+    sealer_.append(std::move(entry));
+  }
+  intents.release();
+  if (seal_inline) seal_epoch();
   return {StepAction::kWaitLogAck, cost};
 }
 
-void Engine::mark_installed(ValidationTs seq) {
-  if (seq == installed_low_water_ + 1) {
-    ++installed_low_water_;
-    while (!installed_gap_.empty() &&
-           *installed_gap_.begin() == installed_low_water_ + 1) {
-      installed_gap_.erase(installed_gap_.begin());
-      ++installed_low_water_;
+std::size_t Engine::seal_epoch() {
+  return sealer_.seal([this](log::WorkerRedoEntry&& e) {
+    if (log_writer_.mode() == LogMode::kOff) {
+      // "No logs": durable immediately, nothing shipped — matches the
+      // serial path, which skips submit() entirely in kOff.
+      if (e.on_durable) e.on_durable();
+      return;
     }
+    log_writer_.submit(e.seq, std::move(e.records), std::move(e.on_durable),
+                       e.stages);
+  });
+}
+
+void Engine::mark_installed(ValidationTs seq) {
+  ValidationTs low = installed_low_water_.load(std::memory_order_relaxed);
+  if (seq == low + 1) {
+    ++low;
+    while (!installed_gap_.empty() && *installed_gap_.begin() == low + 1) {
+      installed_gap_.erase(installed_gap_.begin());
+      ++low;
+    }
+    installed_low_water_.store(low, std::memory_order_release);
   } else {
     installed_gap_.insert(seq);
   }
@@ -560,7 +768,10 @@ StepResult Engine::step_finalize(txn::Transaction& t) {
   em().commits.inc();
   t.set_phase(txn::Phase::kCommitted);
   t.set_outcome(TxnOutcome::kCommitted);
-  txns_.erase(t.id());
+  {
+    auto lock = maybe_validate_lock();
+    txns_.erase(t.id());
+  }
   mark_stage(t, obs::Stage::kDone);
   return {StepAction::kCommitted, config_.costs.commit_finalize};
 }

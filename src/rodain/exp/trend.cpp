@@ -63,13 +63,40 @@ struct Parser {
         case 'r': out.push_back('\r'); break;
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
-        case 'u':
-          // Bench reports are ASCII; a \uXXXX escape decodes to '?' rather
-          // than pulling in full UTF-16 handling.
+        case 'u': {
+          // Decode BMP escapes to UTF-8 so a baseline value that round-trips
+          // through an escape compares equal to its literal form. Surrogate
+          // halves have no BMP meaning on their own and are rejected.
           if (pos + 4 > text.size()) return fail("truncated \\u escape");
-          pos += 4;
-          out.push_back('?');
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate in \\u escape");
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
           break;
+        }
         default: return fail("bad escape");
       }
     }

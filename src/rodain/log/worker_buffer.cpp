@@ -1,0 +1,80 @@
+#include "rodain/log/worker_buffer.hpp"
+
+#include <thread>
+
+#include "rodain/obs/obs.hpp"
+
+namespace rodain::log {
+
+namespace {
+struct SealMetrics {
+  /// One inc per seal that shipped at least one transaction; the fill
+  /// counter divided by seals gives the mean epoch size.
+  obs::Counter& seals = obs::metrics().counter("node.epoch_seals");
+  obs::Counter& sealed_txns = obs::metrics().counter("node.epoch_sealed_txns");
+};
+SealMetrics& em() {
+  static SealMetrics m;
+  return m;
+}
+
+std::size_t stripe_index(std::size_t stripes) {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % stripes;
+}
+}  // namespace
+
+WorkerBufferSet::WorkerBufferSet(std::size_t stripes) {
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+void WorkerBufferSet::append(WorkerRedoEntry entry) {
+  Stripe& s = *stripes_[stripe_index(stripes_.size())];
+  {
+    std::lock_guard lock(s.mu);
+    s.entries.push_back(std::move(entry));
+  }
+  // Release so a sealer that observes the count also observes the entry.
+  appended_.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t WorkerBufferSet::drain(std::vector<WorkerRedoEntry>& out) {
+  if (!maybe_nonempty()) return 0;
+  std::size_t n = 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    n += stripe->entries.size();
+    for (WorkerRedoEntry& e : stripe->entries) out.push_back(std::move(e));
+    stripe->entries.clear();
+  }
+  drained_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+void EpochSealer::reset(ValidationTs next) {
+  next_ = next;
+  pending_.clear();
+}
+
+std::size_t EpochSealer::seal(const Dispatch& dispatch) {
+  std::vector<WorkerRedoEntry> drained;
+  buffers_.drain(drained);
+  for (WorkerRedoEntry& e : drained) pending_.emplace(e.seq, std::move(e));
+  std::size_t sealed = 0;
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    auto node = pending_.extract(pending_.begin());
+    ++next_;
+    ++sealed;
+    dispatch(std::move(node.mapped()));
+  }
+  if (sealed > 0) {
+    ++epochs_;
+    em().seals.inc();
+    em().sealed_txns.inc(static_cast<std::uint64_t>(sealed));
+  }
+  return sealed;
+}
+
+}  // namespace rodain::log

@@ -1,0 +1,107 @@
+// Per-worker redo buffers and the epoch sealer (DESIGN.md §13).
+//
+// On the parallel commit path every worker marshals its transaction's redo
+// records *outside* the node's commit mutex and appends them — tagged with
+// the validation sequence — to a striped buffer set. The sealer, always
+// invoked under the commit mutex, drains the stripes and dispatches the
+// *dense prefix* of the sequence space to the LogWriter in one go: an
+// epoch. The epoch boundary is the serialization point — everything the
+// LogWriter (group commit, mirror ship, RedoIndex recovery) sees is still
+// one gap-free, sequence-ordered stream, so nothing downstream of submit()
+// changes on the wire.
+//
+// Sealing is driven by the committers themselves (last-appender-drains):
+// every committer seals right after appending, under the commit mutex it
+// already takes to park for its log ack. A sequence that cannot ship yet
+// because a lower seq is still installing simply waits in the pending map
+// until that seq's owner appends and seals — the gap's owner is always a
+// live committer, so no timer backstop is needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rodain/common/types.hpp"
+#include "rodain/log/record.hpp"
+#include "rodain/obs/lifecycle.hpp"
+
+namespace rodain::log {
+
+/// One transaction's sealed-commit payload: exactly the arguments its
+/// LogWriter::submit call would have carried on the serial path.
+struct WorkerRedoEntry {
+  ValidationTs seq{0};
+  std::vector<Record> records;
+  std::function<void()> on_durable;
+  obs::StageClock* stages{nullptr};
+};
+
+/// Striped append buffers: committers append under a per-stripe mutex
+/// (chosen by thread id), the sealer drains every stripe. Stripes keep two
+/// committers from serializing on one append lock; the relaxed appended_
+/// counter lets the sealer skip the stripe walk entirely when idle.
+class WorkerBufferSet {
+ public:
+  explicit WorkerBufferSet(std::size_t stripes = 16);
+
+  void append(WorkerRedoEntry entry);
+
+  /// Move every buffered entry into `out` (order unspecified across
+  /// stripes). Returns the number drained.
+  std::size_t drain(std::vector<WorkerRedoEntry>& out);
+
+  /// Relaxed hint: false means no appends since the last drain.
+  [[nodiscard]] bool maybe_nonempty() const {
+    return appended_.load(std::memory_order_acquire) !=
+           drained_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::vector<WorkerRedoEntry> entries;
+  };
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> drained_{0};  // sealer-side only
+};
+
+/// Stitches the per-worker buffers into the globally sequence-ordered
+/// stream the LogWriter expects. seal() must run under the node's commit
+/// mutex (it is the single consumer and its dispatches are the same
+/// LogWriter calls the serial path makes under that mutex).
+class EpochSealer {
+ public:
+  using Dispatch = std::function<void(WorkerRedoEntry&&)>;
+
+  /// Restart the dense cursor (engine (re)build, recovery handoff).
+  void reset(ValidationTs next);
+
+  /// Committer-side: append a transaction's redo payload. Thread-safe.
+  void append(WorkerRedoEntry entry) { buffers_.append(std::move(entry)); }
+
+  /// Drain the buffers and dispatch the dense prefix in sequence order.
+  /// Returns the number of transactions sealed into this epoch (0 when the
+  /// head of the sequence space is still being installed). Caller holds
+  /// the node's commit mutex.
+  std::size_t seal(const Dispatch& dispatch);
+
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] ValidationTs next_seq() const { return next_; }
+  /// Entries parked behind a sequence gap (seal-side view).
+  [[nodiscard]] std::size_t parked() const { return pending_.size(); }
+
+ private:
+  WorkerBufferSet buffers_;
+  std::map<ValidationTs, WorkerRedoEntry> pending_;  // seal-side only
+  ValidationTs next_{1};
+  std::uint64_t epochs_{0};
+};
+
+}  // namespace rodain::log

@@ -54,7 +54,7 @@ LogWriter::LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper)
 void LogWriter::set_mode(LogMode mode) {
   assert(mode != LogMode::kDirectDisk || disk_ != nullptr);
   assert(mode != LogMode::kMirror || shipper_ != nullptr);
-  mode_ = mode;
+  mode_.store(mode, std::memory_order_relaxed);
 }
 
 void LogWriter::configure_batching(
@@ -77,7 +77,7 @@ void LogWriter::submit(ValidationTs seq, std::vector<Record> records,
                        obs::StageClock* stages) {
   tail_[seq] = records;
   while (tail_.size() > kTailRetention) tail_.erase(tail_.begin());
-  switch (mode_) {
+  switch (mode()) {
     case LogMode::kOff:
       ++counters_.via_none;
       wm().via_none.inc();
@@ -254,7 +254,7 @@ void LogWriter::configure_ack_timeout(const Clock* clock, Duration timeout,
 }
 
 bool LogWriter::check_ack_timeouts() {
-  if (mode_ != LogMode::kMirror || pending_.empty() || !clock_ ||
+  if (mode() != LogMode::kMirror || pending_.empty() || !clock_ ||
       !ack_timeout_.is_positive()) {
     return false;
   }
@@ -272,7 +272,7 @@ bool LogWriter::check_ack_timeouts() {
 }
 
 std::size_t LogWriter::resend_pending() {
-  if (mode_ != LogMode::kMirror || !shipper_ || pending_.empty()) {
+  if (mode() != LogMode::kMirror || !shipper_ || pending_.empty()) {
     return 0;
   }
   // Everything still buffered is also in pending_; drop the buffer so the
@@ -283,8 +283,11 @@ std::size_t LogWriter::resend_pending() {
   const std::int64_t now_us = obs::enabled() ? obs::now_us() : 0;
   for (auto& [seq, p] : pending_) {
     combined.insert(combined.end(), p.records.begin(), p.records.end());
-    p.shipped_at = now;  // restart the ack-timeout window for this attempt
-    if (p.shipped_at_us != 0) p.shipped_at_us = now_us;
+    // Restart the ack-timeout window and the obs ship stamp together: a
+    // resend is a fresh shipment, so the ship→ack latency must anchor at
+    // this attempt (0 when obs is off, like submit()).
+    p.shipped_at = now;
+    p.shipped_at_us = now_us;
     ++counters_.resent;
     wm().resent.inc();
   }

@@ -20,6 +20,7 @@
 // kOff: logging disabled (the paper's "No logs" optimal comparison).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <optional>
@@ -71,7 +72,12 @@ class LogWriter {
   /// kDirectDisk; `shipper` may be null only if never switched to kMirror.
   LogWriter(LogMode mode, LogStorage* disk, Shipper* shipper);
 
-  [[nodiscard]] LogMode mode() const { return mode_; }
+  [[nodiscard]] LogMode mode() const {
+    // Relaxed: parallel committers read the mode off-mutex for cost
+    // accounting; every dispatch decision happens under the driver's
+    // commit mutex, where set_mode also runs.
+    return mode_.load(std::memory_order_relaxed);
+  }
   void set_mode(LogMode mode);
 
   /// Late wiring for the replication layer (the replicator needs the writer
@@ -202,7 +208,7 @@ class LogWriter {
   void drain_batch(FillCause cause);
   void clear_batch();
 
-  LogMode mode_;
+  std::atomic<LogMode> mode_;
   LogStorage* disk_;
   Shipper* shipper_;
   const Clock* clock_{nullptr};

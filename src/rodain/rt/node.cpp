@@ -54,6 +54,16 @@ void Node::GuardedChannel::set_message_handler(MessageHandler handler) {
       [node, epoch, h = std::move(handler)](std::vector<std::byte> frame) {
         std::unique_lock lock(node->commit_mu_);
         if (node->channel_epoch_ != epoch) return;  // role torn down
+        // Parallel commit path (DESIGN.md §13): frames can serve joins,
+        // whose snapshot boundary is the installed low-water. Seal first so
+        // the log writer's tail covers every installed transaction, and
+        // hold the install gate while the handler walks replication state
+        // so no committer is mid-install under it.
+        std::unique_lock<std::shared_mutex> gate;
+        if (node->engine_ && node->engine_->parallel_commit()) {
+          node->engine_->seal_epoch();
+          gate = std::unique_lock(node->engine_->install_gate());
+        }
         if (h) h(std::move(frame));
         // Frames can complete transactions (commit acks): wake workers.
         // (The resume itself went through push_ready above, under
@@ -286,6 +296,14 @@ void Node::build_primary_locked(LogMode mode) {
   }
   log_writer_->set_mode(mode);
 
+  // Parallel commit (DESIGN.md §13): with more than one worker, OCC
+  // transactions validate and install outside commit_mu_ (per-record write
+  // intents + the engine's validation mutex), and redo records reach the
+  // LogWriter through the epoch sealer. The engine opts back out for
+  // controllers without a lock-free read phase (2PL).
+  config_.engine.parallel_commit =
+      config_.engine.parallel_commit || config_.worker_threads > 1;
+
   // Every engine hook fires with commit_mu_ held (worker serial sections,
   // channel handlers, the timer's flush path), so push_ready's park-resume
   // handshake is race-free by construction.
@@ -364,7 +382,12 @@ void Node::sweeper_loop() {
 }
 
 void Node::finish_recovery_locked(const char* how) {
-  if (!recovery_ || recovery_mode_.load(std::memory_order_relaxed) == 0) {
+  // Acquire pairs with the release store in recover_from_local_state: the
+  // sweeper or a checkpoint drain entering here must observe the fully
+  // initialized redo index the flag published, not just the flag itself
+  // (commit_mu_ orders the common paths, but the pairing keeps the flag
+  // self-contained for every reader — /healthz reads it with no mutex).
+  if (!recovery_ || recovery_mode_.load(std::memory_order_acquire) == 0) {
     return;  // never entered recovery mode, or already finished
   }
   if (engine_) engine_->set_recovery(nullptr);
@@ -413,6 +436,13 @@ bool Node::serving_locked() const {
 }
 
 Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
+  // Parallel committers install outside commit_mu_; the unique gate makes
+  // the store walk see no half-installed transaction. (Mirror-role callers
+  // have no engine — their applies run serially under commit_mu_.)
+  std::unique_lock<std::shared_mutex> gate;
+  if (engine_ && engine_->parallel_commit()) {
+    gate = std::unique_lock(engine_->install_gate());
+  }
   Status s = storage::write_checkpoint_file(store_, boundary,
                                             config_.checkpoint_path, &index_);
   if (s) {
@@ -775,6 +805,24 @@ Result<storage::Value> Node::get(ObjectId oid) {
     return Status::error(ErrorCode::kAborted, "read transaction aborted");
   }
   std::lock_guard lock(commit_mu_);
+  if (engine_ && engine_->parallel_commit()) {
+    // Committers install outside commit_mu_: read through the seqlock; on
+    // contention exclude the installer via its write-intent stripe and
+    // retry once (the stripe holder cannot be mid-install afterwards).
+    storage::ObjectRecord snap;
+    std::uint32_t retries = 0;
+    storage::OptimisticRead r = store_.read_optimistic(oid, snap, retries);
+    if (retries != 0) read_retry_counter().inc(retries);
+    if (r == storage::OptimisticRead::kContended) {
+      const auto intent = engine_->intents().acquire_one(oid);
+      retries = 0;
+      r = store_.read_optimistic(oid, snap, retries);
+    }
+    if (r != storage::OptimisticRead::kHit || snap.deleted) {
+      return Status::error(ErrorCode::kNotFound, "no such object");
+    }
+    return std::move(snap.value);
+  }
   const storage::ObjectRecord* rec = store_.find(oid);
   if (!rec) return Status::error(ErrorCode::kNotFound, "no such object");
   return rec->value;
@@ -892,8 +940,54 @@ void Node::drive(TxnId id, std::unique_lock<std::mutex>& qlock) {
         }
         continue;
       }
-      // The next step must run serially: validation is up, a deferred
-      // victim-restart is pending, or the optimistic read hit contention.
+      if (t->phase() == txn::Phase::kReadPhase && t->program_done() &&
+          engine_->parallel_commit_active()) {
+        // Parallel commit (DESIGN.md §13): validate + install WITHOUT
+        // commit_mu_ — per-record write intents and the engine's validation
+        // mutex serialize what must be serial. Clearing the flag needs no
+        // mutex here: with the parallel path compiled in, victimizers
+        // always defer instead of reading lock_free_executing
+        // (Engine::restart_victims).
+        t->set_lock_free_executing(false);
+        unlocked_reads = false;
+        const engine::StepResult pr = engine_->step_commit_unlocked(*t);
+        if (pr.cost.is_positive() &&
+            config_.engine.costs.per_read.is_positive()) {
+          const TimePoint until = clock_.now() + pr.cost;
+          while (clock_.now() < until) {
+          }
+        }
+        if (pr.action == engine::StepAction::kRestarted) continue;
+        // Seal under commit_mu_: the buffered redo entry (and any peers'
+        // below the dense edge) joins the globally seq-ordered stream the
+        // LogWriter sees; kOff durables fire inside this call.
+        lock_commit(commit);
+        engine_->seal_epoch();
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        if (pr.action == engine::StepAction::kAborted) {
+          finish_locked(id, t->outcome(), callbacks);
+          done = true;
+          continue;
+        }
+        // kWaitLogAck: park unless the durable callback (inline kOff seal,
+        // or a mirror/disk ack raced ahead) already resumed us.
+        {
+          std::lock_guard q(queue_mu_);
+          auto it2 = active_.find(id);
+          if (it2 == active_.end()) {
+            done = true;
+          } else if (it2->second.resume_pending) {
+            it2->second.resume_pending = false;
+          } else {
+            it2->second.owned_by_worker = false;
+            done = true;
+          }
+        }
+        continue;
+      }
+      // The next step must run serially: validation is up (with the
+      // parallel path inactive — recovery drain), a deferred victim-restart
+      // is pending, or the optimistic read hit contention.
       lock_commit(commit);
       t->set_lock_free_executing(false);
       unlocked_reads = false;
@@ -1059,8 +1153,13 @@ void Node::timer_loop() {
         auto it = active_.find(id);
         if (it == active_.end()) continue;
         Active& a = it->second;
-        if (a.txn->criticality() == Criticality::kFirm &&
-            engine_->can_abort(*a.txn) && !a.owned_by_worker) {
+        // Ownership first: a parallel-commit owner mutates the phase with
+        // neither node mutex held, so can_abort (which reads it) may only
+        // run on unowned entries — those quiesced their phase writes before
+        // releasing ownership under queue_mu_.
+        if (!a.owned_by_worker &&
+            a.txn->criticality() == Criticality::kFirm &&
+            engine_->can_abort(*a.txn)) {
           // Not owned: no worker can pick it up once it leaves ready_
           // (push_ready callers hold commit_mu_, which we hold).
           ready_.erase({a.txn->priority(), id});

@@ -36,85 +36,100 @@ std::size_t ObjectStore::hash_of(ObjectId id) {
 }
 
 Status ObjectStore::insert(ObjectId id, Value value) {
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   if (locate(id) != nullptr) {
     return Status::error(ErrorCode::kAlreadyExists, "object id taken");
   }
   ObjectRecord rec;
   rec.value = std::move(value);
-  std::unique_lock fence(table_mu_);
-  sm().rehash_fences.inc();
   insert_internal(id, std::move(rec));
   return Status::ok();
 }
 
 ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
+  // Fast path: overwrite the record in place under its seqlock, holding
+  // only the shared table lock — structural mutators (unique holders)
+  // cannot move the slot underneath us, and installers of the same oid are
+  // excluded by the caller's write intent (or the commit mutex in serial
+  // contexts). Only possible when neither the old nor the new payload owns
+  // heap memory: freeing (or publishing) a heap buffer while a racing
+  // reader may be mid-copy needs the unique fence.
+  {
+    std::shared_lock table(table_mu_);
+    if (Slot* s = locate(id)) {
+      ObjectRecord& rec = s->record;
+      if (rec.value.is_inline() && value.is_inline()) {
+        rec.write_begin();
+        rec.value.store_inline_relaxed(value.view());
+        rec.bump_wts(wts);
+        if (std::atomic_ref<bool>(rec.deleted)
+                .load(std::memory_order_relaxed)) {
+          std::atomic_ref<bool>(rec.deleted).store(false,
+                                                   std::memory_order_relaxed);
+          tombstones_.fetch_sub(1, std::memory_order_relaxed);  // revived
+        }
+        rec.write_end();
+        return rec;
+      }
+    }
+  }
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
+  // Re-locate: the slot found under the shared lock is not pinned across
+  // the lock change.
   if (Slot* s = locate(id)) {
     ObjectRecord& rec = s->record;
-    // The fast path overwrites the record in place under its seqlock so
-    // optimistic readers never fence. Only possible when neither the old
-    // nor the new payload owns heap memory: freeing (or publishing) a heap
-    // buffer while a racing reader may be mid-copy needs the table lock.
-    if (rec.value.is_inline() && value.is_inline()) {
-      rec.write_begin();
-      rec.value.store_inline_relaxed(value.view());
-      rec.bump_wts(wts);
-      if (rec.deleted) {
-        std::atomic_ref<bool>(rec.deleted).store(false,
-                                                 std::memory_order_relaxed);
-        --tombstones_;  // revived
-      }
-      rec.write_end();
-      return rec;
-    }
-    std::unique_lock fence(table_mu_);
-    sm().rehash_fences.inc();
     rec.value = std::move(value);
     if (wts > rec.wts) rec.wts = wts;
     if (rec.deleted) {
       rec.deleted = false;  // revived
-      --tombstones_;
+      tombstones_.fetch_sub(1, std::memory_order_relaxed);
     }
     return rec;
   }
   ObjectRecord rec;
   rec.value = std::move(value);
   rec.wts = wts;
-  std::unique_lock fence(table_mu_);
-  sm().rehash_fences.inc();
   return insert_internal(id, std::move(rec));
 }
 
 ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
+  {
+    std::shared_lock table(table_mu_);
+    if (Slot* s = locate(id)) {
+      ObjectRecord& rec = s->record;
+      if (rec.value.is_inline()) {
+        rec.write_begin();
+        rec.value.store_inline_relaxed({});
+        rec.bump_wts(wts);
+        if (!std::atomic_ref<bool>(rec.deleted)
+                 .load(std::memory_order_relaxed)) {
+          std::atomic_ref<bool>(rec.deleted).store(true,
+                                                   std::memory_order_relaxed);
+          tombstones_.fetch_add(1, std::memory_order_relaxed);
+        }
+        rec.write_end();
+        return rec;
+      }
+    }
+  }
+  std::unique_lock fence(table_mu_);
+  sm().rehash_fences.inc();
   if (Slot* s = locate(id)) {
     ObjectRecord& rec = s->record;
-    if (rec.value.is_inline()) {
-      rec.write_begin();
-      rec.value.store_inline_relaxed({});
-      rec.bump_wts(wts);
-      if (!rec.deleted) {
-        std::atomic_ref<bool>(rec.deleted).store(true,
-                                                 std::memory_order_relaxed);
-        ++tombstones_;
-      }
-      rec.write_end();
-      return rec;
-    }
-    std::unique_lock fence(table_mu_);
-    sm().rehash_fences.inc();
     rec.value.clear();
     if (wts > rec.wts) rec.wts = wts;
     if (!rec.deleted) {
       rec.deleted = true;
-      ++tombstones_;
+      tombstones_.fetch_add(1, std::memory_order_relaxed);
     }
     return rec;
   }
   ObjectRecord rec;
   rec.wts = wts;
   rec.deleted = true;
-  ++tombstones_;
-  std::unique_lock fence(table_mu_);
-  sm().rehash_fences.inc();
+  tombstones_.fetch_add(1, std::memory_order_relaxed);
   return insert_internal(id, std::move(rec));
 }
 
@@ -180,12 +195,36 @@ OptimisticRead ObjectStore::read_optimistic(ObjectId id, ObjectRecord& out,
   }
 }
 
+std::optional<std::pair<ValidationTs, ValidationTs>> ObjectStore::timestamps_of(
+    ObjectId id) const {
+  std::shared_lock table(table_mu_);
+  const Slot* s = locate(id);
+  if (s == nullptr) return std::nullopt;
+  const ObjectRecord& rec = s->record;
+  const ValidationTs rts =
+      std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(rec.rts))
+          .load(std::memory_order_relaxed);
+  const ValidationTs wts =
+      std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(rec.wts))
+          .load(std::memory_order_relaxed);
+  return std::make_pair(rts, wts);
+}
+
+bool ObjectStore::bump_rts(ObjectId id, ValidationTs ts) {
+  std::shared_lock table(table_mu_);
+  if (Slot* s = locate(id)) {
+    s->record.bump_rts(ts);
+    return true;
+  }
+  return false;
+}
+
 bool ObjectStore::erase(ObjectId id) {
-  Slot* s = locate(id);
-  if (!s) return false;
   std::unique_lock fence(table_mu_);
   sm().rehash_fences.inc();
-  if (s->record.deleted) --tombstones_;
+  Slot* s = locate(id);
+  if (!s) return false;
+  if (s->record.deleted) tombstones_.fetch_sub(1, std::memory_order_relaxed);
   // Backward-shift deletion keeps probe sequences contiguous.
   std::size_t i = static_cast<std::size_t>(s - slots_.data());
   while (true) {
@@ -196,7 +235,7 @@ bool ObjectStore::erase(ObjectId id) {
     i = next;
   }
   slots_[i] = Slot{};
-  --size_;
+  size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -211,8 +250,8 @@ void ObjectStore::clear() {
   std::unique_lock fence(table_mu_);
   sm().rehash_fences.inc();
   for (Slot& s : slots_) s = Slot{};
-  size_ = 0;
-  tombstones_ = 0;
+  size_.store(0, std::memory_order_relaxed);
+  tombstones_.store(0, std::memory_order_relaxed);
 }
 
 void ObjectStore::grow() {
@@ -220,7 +259,7 @@ void ObjectStore::grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.clear();
   slots_.resize(old.size() * 2);
-  size_ = 0;
+  size_.store(0, std::memory_order_relaxed);
   for (Slot& s : old) {
     if (s.probe != 0) insert_internal(s.id, std::move(s.record));
   }
@@ -243,7 +282,9 @@ const ObjectStore::Slot* ObjectStore::locate(ObjectId id) const {
 }
 
 ObjectRecord& ObjectStore::insert_internal(ObjectId id, ObjectRecord record) {
-  if ((size_ + 1) * 10 >= slots_.size() * 9) grow();  // keep load < 0.9
+  if ((size_.load(std::memory_order_relaxed) + 1) * 10 >= slots_.size() * 9) {
+    grow();  // keep load < 0.9
+  }
   std::size_t i = hash_of(id) & mask();
   Slot incoming;
   incoming.id = id;
@@ -254,7 +295,7 @@ ObjectRecord& ObjectStore::insert_internal(ObjectId id, ObjectRecord record) {
     Slot& s = slots_[i];
     if (s.probe == 0) {
       s = std::move(incoming);
-      ++size_;
+      size_.fetch_add(1, std::memory_order_relaxed);
       return inserted ? *inserted : s.record;
     }
     if (s.probe < incoming.probe) {

@@ -2,20 +2,24 @@
 // ObjectId to the object's payload plus the OCC timestamps (largest committed
 // reader / writer) the concurrency controllers consult at validation.
 //
-// Concurrency (DESIGN.md §11): mutators must be externally serialized (the
-// engine's commit mutex does this — the write phase, mirror apply, and
-// recovery never overlap), but optimistic readers may race them freely.
-// Structural changes (new slots, robin-hood displacement, growth, erase,
-// anything touching a heap-allocated payload) take the unique table lock;
-// in-place updates of existing records with inline payloads bump only the
-// record's seqlock, so the common telecom-record update never fences the
-// reader side.
+// Concurrency (DESIGN.md §11, §13): mutators of the *same* record must be
+// externally serialized (the engine's commit mutex in serial contexts, or a
+// per-record write intent on the parallel commit path — two installers never
+// target one oid concurrently), but optimistic readers may race them freely
+// and installers of *different* records may race each other. Structural
+// changes (new slots, robin-hood displacement, growth, erase, anything
+// touching a heap-allocated payload) take the unique table lock; in-place
+// updates of existing records with inline payloads run under the shared
+// table lock and bump only the record's seqlock, so the common
+// telecom-record update never fences the reader side.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "rodain/common/status.hpp"
@@ -108,6 +112,17 @@ struct ObjectRecord {
       w.store(ts, std::memory_order_relaxed);
     }
   }
+  /// Loads that race the bumps above (unlocked read phases observing a
+  /// record a committer is installing over). Same tolerance argument as
+  /// the bumps: a stale value is indistinguishable from an earlier read.
+  [[nodiscard]] ValidationTs rts_relaxed() const {
+    return std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(rts))
+        .load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ValidationTs wts_relaxed() const {
+    return std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(wts))
+        .load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint32_t> seq_{0};
@@ -148,8 +163,13 @@ class ObjectStore {
   ObjectRecord& tombstone(ObjectId id, ValidationTs wts);
 
   /// Objects with live (non-tombstoned) content.
-  [[nodiscard]] std::size_t live_size() const { return size_ - tombstones_; }
-  [[nodiscard]] std::size_t tombstone_count() const { return tombstones_; }
+  [[nodiscard]] std::size_t live_size() const {
+    return size_.load(std::memory_order_relaxed) -
+           tombstones_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t tombstone_count() const {
+    return tombstones_.load(std::memory_order_relaxed);
+  }
 
   /// Lookup; nullptr when absent. Serial contexts only (the caller holds
   /// the commit mutex, or no concurrent mutator exists).
@@ -166,10 +186,25 @@ class ObjectStore {
       ObjectId id, ObjectRecord& out, std::uint32_t& retries,
       std::uint32_t max_retries = kDefaultOptimisticRetries) const;
 
+  /// Parallel-safe timestamp snapshot (rts, wts) under the shared table
+  /// lock; nullopt when the object is absent. Used by validators that run
+  /// concurrently with installers of *other* records. The two loads are not
+  /// mutually atomic — callers order themselves with the validation mutex.
+  [[nodiscard]] std::optional<std::pair<ValidationTs, ValidationTs>>
+  timestamps_of(ObjectId id) const;
+
+  /// Parallel-safe monotone read-timestamp bump under the shared table
+  /// lock; false when the object is absent. Concurrent callers must be
+  /// serialized against each other (the engine's validation mutex does
+  /// this) — the bump itself is check-then-store.
+  bool bump_rts(ObjectId id, ValidationTs ts);
+
   bool erase(ObjectId id);
 
-  [[nodiscard]] std::size_t size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
   /// Visit every live object (iteration order is unspecified but stable
   /// between mutations). Used by checkpointing and snapshot shipping.
@@ -196,8 +231,10 @@ class ObjectStore {
   ObjectRecord& insert_internal(ObjectId id, ObjectRecord record);
 
   std::vector<Slot> slots_;
-  std::size_t size_{0};
-  std::size_t tombstones_{0};
+  /// Atomic because the in-place mutator paths (which hold only the shared
+  /// table lock on the parallel commit path) revive and create tombstones.
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> tombstones_{0};
 
   /// Writer-side unique acquisitions fence every optimistic reader out of
   /// the table; shared acquisitions (readers) ride alongside in-place

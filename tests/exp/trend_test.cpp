@@ -31,6 +31,35 @@ TEST(TrendJson, ParsesScalarsArraysObjects) {
   EXPECT_EQ(v.find("nested")->find("k")->string, "v\n");
 }
 
+TEST(TrendJson, DecodesUnicodeEscapesToUtf8) {
+  // Regression: \uXXXX used to decode to '?', so a baseline whose label
+  // round-tripped through an escape ("C5 µs") never compared equal to
+  // the literal UTF-8 form a fresh bench run emits — the gate silently
+  // reported the field as missing instead of comparing it.
+  const JsonValue v = parse_ok(
+      R"({"ascii":"\u0041\u0042","two":"\u00b5s","three":"a\u2192b"})");
+  EXPECT_EQ(v.find("ascii")->string, "AB");
+  EXPECT_EQ(v.find("two")->string, "\xC2\xB5s");       // U+00B5 micro sign
+  EXPECT_EQ(v.find("three")->string, "a\xE2\x86\x92" "b");  // U+2192 arrow
+}
+
+TEST(TrendJson, EscapedBaselineLabelMatchesLiteralCurrentLabel) {
+  const JsonValue baseline = parse_ok(
+      R"({"bench":"b","results":[{"label":"p99 \u00b5s","v":1.0}]})");
+  const JsonValue current = parse_ok(
+      "{\"bench\":\"b\",\"results\":[{\"label\":\"p99 \xC2\xB5s\",\"v\":2.0}]}");
+  const auto base_flat = flatten_report(baseline);
+  const auto cur_flat = flatten_report(current);
+  ASSERT_EQ(base_flat.size(), 1u);
+  ASSERT_EQ(cur_flat.count(base_flat.begin()->first), 1u);
+}
+
+TEST(TrendJson, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(parse_json(R"({"k":"\u12"})").is_ok());    // truncated
+  EXPECT_FALSE(parse_json(R"({"k":"\u12zq"})").is_ok());  // bad hex digit
+  EXPECT_FALSE(parse_json(R"({"k":"\ud800"})").is_ok());  // lone surrogate
+}
+
 TEST(TrendJson, RejectsMalformedDocuments) {
   EXPECT_FALSE(parse_json("{\"a\":").is_ok());
   EXPECT_FALSE(parse_json("[1,2,]").is_ok());

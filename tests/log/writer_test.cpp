@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rodain/obs/obs.hpp"
+
 namespace rodain::log {
 namespace {
 
@@ -150,6 +152,29 @@ TEST(LogWriter, ResendRestampsAckTimeout) {
   clock.advance(Duration::millis(41));  // 101 ms since the resend
   EXPECT_TRUE(writer.check_ack_timeouts());
   EXPECT_EQ(timeouts, 1);
+}
+
+TEST(LogWriter, ResendRestampsObsShipTimeUnconditionally) {
+  // Regression: resend_pending() only restamped Pending::shipped_at_us when
+  // it was already non-zero, so a transaction submitted while obs was off
+  // and resent after obs came up kept its zero stamp — its replication-RTT
+  // sample was skipped forever on ack. The resend anchors both the
+  // ack-timeout clock and the obs stamp at the new attempt.
+  CapturingShipper shipper;
+  ManualClock clock;
+  LogWriter writer(LogMode::kMirror, nullptr, &shipper);
+  writer.configure_ack_timeout(&clock, Duration::seconds(10), {});
+  writer.submit(1, txn_records(1, 1), {});  // obs off: shipped_at_us == 0
+
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs::init(obs_config);
+  const std::size_t rtt_before =
+      obs::metrics().timer("repl.commit_rtt_us").merged().count();
+  EXPECT_EQ(writer.resend_pending(), 1u);
+  writer.on_mirror_ack(1);
+  EXPECT_EQ(obs::metrics().timer("repl.commit_rtt_us").merged().count(),
+            rtt_before + 1);
 }
 
 TEST(LogWriter, ResendPendingReshipsInSeqOrderAsOneBatch) {
