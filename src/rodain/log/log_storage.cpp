@@ -11,6 +11,11 @@ namespace rodain::log {
 void MemoryLogStorage::append(const Record& r) { records_.push_back(r); }
 
 void MemoryLogStorage::flush(std::function<void(Status)> done) {
+  if (inject_errors_ > 0) {
+    --inject_errors_;
+    if (done) done(Status::error(ErrorCode::kIoError, "injected flush error"));
+    return;
+  }
   durable_ = records_.size();
   if (done) done(Status::ok());
 }

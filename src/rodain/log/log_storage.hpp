@@ -57,9 +57,15 @@ class MemoryLogStorage final : public LogStorage {
 
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
 
+  /// Fault-injection hook (tests): the next `n` flushes report failure and
+  /// leave the appended records non-durable — a full device, from the
+  /// caller's point of view.
+  void inject_flush_error(std::size_t n) { inject_errors_ = n; }
+
  private:
   std::vector<Record> records_;
   Lsn durable_{0};
+  std::size_t inject_errors_{0};
 };
 
 /// Append-only log file. Flush is synchronous (write + fflush + optional

@@ -26,6 +26,10 @@ Status Reorderer::add(Record r) {
     return Status::ok();
   }
   if (records.size() != r.write_count) {
+    // Quarantine: the buffered writes were already consumed above, so the
+    // corrupt transaction leaves no open state behind. Its seq stays
+    // un-staged — the commit floor stalls there until the primary's resend
+    // re-delivers the full record set, which then stages normally.
     return Status::error(ErrorCode::kCorruption,
                          "commit record write count mismatch");
   }
@@ -39,6 +43,8 @@ Status Reorderer::add(Record r) {
 
 ValidationTs Reorderer::received_commit_floor() const {
   ValidationTs floor = expected_ == 0 ? 0 : expected_ - 1;
+  // Transactions parked in the un-flushed epoch are already released
+  // (expected_ moved past them), so only the staged map extends the floor.
   for (const auto& entry : staged_) {
     if (entry.first != floor + 1) break;
     ++floor;
@@ -54,7 +60,25 @@ void Reorderer::set_expected_next(ValidationTs seq) {
   // the primary's disk and never shipped. The snapshot already covers them;
   // keeping them would wedge release_ready() on a seq that never matches.
   staged_.erase(staged_.begin(), staged_.lower_bound(seq));
+  // Epoch-batched callers: anything released before the floor moved is
+  // covered by the snapshot about to install — applying it afterwards
+  // would clobber newer state.
+  epoch_.clear();
   release_ready();
+}
+
+void Reorderer::dispatch(ValidationTs seq, Staged staged) {
+  if (!valid_release_set(staged.records)) {
+    // Never hand out an empty (or commit-less) record set: the applier
+    // would stamp the writes with a fabricated serial_ts of 0.
+    ++rejected_release_sets_;
+    return;
+  }
+  if (release_batch_) {
+    epoch_.push_back(ReleasedTxn{seq, staged.txn, std::move(staged.records)});
+    return;
+  }
+  release_(seq, staged.txn, std::move(staged.records));
 }
 
 void Reorderer::release_ready() {
@@ -65,8 +89,17 @@ void Reorderer::release_ready() {
     Staged staged = std::move(it->second);
     staged_.erase(it);
     ++expected_;
-    release_(expected_ - 1, staged.txn, std::move(staged.records));
+    dispatch(expected_ - 1, std::move(staged));
   }
+}
+
+std::size_t Reorderer::flush_epoch() {
+  if (!release_batch_ || epoch_.empty()) return 0;
+  std::vector<ReleasedTxn> epoch = std::move(epoch_);
+  epoch_.clear();
+  const std::size_t n = epoch.size();
+  release_batch_(std::move(epoch));
+  return n;
 }
 
 std::size_t Reorderer::drop_open_txns() {
@@ -84,7 +117,7 @@ std::size_t Reorderer::force_release_staged() {
     const ValidationTs seq = it->first;
     staged_.erase(it);
     expected_ = seq + 1;
-    release_(seq, staged.txn, std::move(staged.records));
+    dispatch(seq, std::move(staged));
     ++released;
   }
   return released;

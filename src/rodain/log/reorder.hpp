@@ -7,6 +7,16 @@
 // log it stores is totally ordered, the database copy is updated only with
 // committed transactions ("it never needs to undo any changes"), and
 // recovery is a single forward pass.
+//
+// Two release disciplines (DESIGN.md §14):
+//   - per-transaction (legacy): `ReleaseFn` fires synchronously inside
+//     add()/set_expected_next() for every transaction, one at a time;
+//   - epoch-batched: `ReleaseBatchFn` — releasable transactions accumulate
+//     in an epoch buffer (still popped in dense seq order) and the owner
+//     drains them with flush_epoch(), typically once per delivered wire
+//     batch. The whole epoch carries the same ordering proof the one-at-a-
+//     time path did, which is what lets the mirror apply non-conflicting
+//     transactions of one epoch concurrently (repl::ApplyPool).
 #pragma once
 
 #include <cstdint>
@@ -20,18 +30,34 @@
 
 namespace rodain::log {
 
+/// One released transaction: the after-images in write order, terminated by
+/// the commit record itself (never empty — see Reorderer::valid_release_set).
+struct ReleasedTxn {
+  ValidationTs seq{0};
+  TxnId txn{kInvalidTxn};
+  std::vector<Record> records;
+};
+
 class Reorderer {
  public:
   /// `release` receives complete transactions in dense seq order:
   /// the after-images followed by the commit record itself.
   using ReleaseFn =
       std::function<void(ValidationTs seq, TxnId txn, std::vector<Record> records)>;
+  /// Epoch-batched alternative: one call per flush_epoch(), carrying every
+  /// transaction released since the previous flush, in seq order.
+  using ReleaseBatchFn = std::function<void(std::vector<ReleasedTxn> epoch)>;
 
   explicit Reorderer(ReleaseFn release, ValidationTs expected_next = 1)
       : release_(std::move(release)), expected_(expected_next) {}
+  explicit Reorderer(ReleaseBatchFn release, ValidationTs expected_next = 1)
+      : release_batch_(std::move(release)), expected_(expected_next) {}
 
   /// Feed one record from the wire. Returns kCorruption if a commit record
-  /// disagrees with the buffered write count (lost or duplicated records).
+  /// disagrees with the buffered write count (lost or duplicated records);
+  /// the corrupt transaction's buffered state is dropped (quarantined) and
+  /// the reorderer stays usable — a later re-delivery of the full record
+  /// set stages it normally.
   Status add(Record r);
 
   /// Mark the start of one delivered wire batch. A transaction's record set
@@ -42,6 +68,28 @@ class Reorderer {
   /// tripping the commit record's write-count check. Callers that never
   /// call this get the legacy accumulate-everything behaviour.
   void begin_batch() { ++batch_epoch_; }
+
+  /// Epoch-batched mode only: hand the accumulated epoch (transactions
+  /// released since the last flush, in seq order) to the batch callback.
+  /// Returns how many transactions the epoch carried; no-op (and 0) when
+  /// nothing released or in per-transaction mode.
+  std::size_t flush_epoch();
+
+  /// Transactions currently buffered in the un-flushed epoch.
+  [[nodiscard]] std::size_t epoch_pending() const { return epoch_.size(); }
+
+  /// A structurally valid release set: non-empty, terminated by the commit
+  /// record whose serial_ts stamps the after-images. The release paths
+  /// enforce this — a violating set is dropped and counted instead of
+  /// being applied with a fabricated wts of 0.
+  [[nodiscard]] static bool valid_release_set(const std::vector<Record>& records) {
+    return !records.empty() && records.back().is_commit();
+  }
+  /// Release sets rejected by valid_release_set (0 unless something
+  /// upstream fabricated an empty or commit-less set).
+  [[nodiscard]] std::uint64_t rejected_release_sets() const {
+    return rejected_release_sets_;
+  }
 
   /// Highest validation seq such that every commit record <= it has been
   /// received (released, or staged in a contiguous run from the floor) —
@@ -75,6 +123,8 @@ class Reorderer {
 
   /// Release staged transactions even if there is a sequence gap (used by
   /// takeover: everything that can apply, applies). Returns released count.
+  /// In epoch-batched mode the run lands in the epoch buffer — follow with
+  /// flush_epoch().
   std::size_t force_release_staged();
 
  private:
@@ -90,13 +140,20 @@ class Reorderer {
   };
 
   void release_ready();
+  /// Dispatch one popped transaction: validate, then either call the
+  /// per-txn callback synchronously or append to the epoch buffer.
+  void dispatch(ValidationTs seq, Staged staged);
 
   ReleaseFn release_;
+  ReleaseBatchFn release_batch_;
   ValidationTs expected_;
   bool holding_{false};
   std::uint64_t batch_epoch_{0};
+  std::uint64_t rejected_release_sets_{0};
   std::unordered_map<TxnId, OpenTxn> open_;
   std::map<ValidationTs, Staged> staged_;
+  /// Epoch-batched mode: released-but-not-yet-flushed transactions.
+  std::vector<ReleasedTxn> epoch_;
 };
 
 }  // namespace rodain::log

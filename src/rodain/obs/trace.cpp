@@ -28,6 +28,7 @@ const char* phase_name(Phase p) {
     case Phase::kMirrorAck: return "mirror_ack";
     case Phase::kReorder: return "reorder";
     case Phase::kApply: return "apply";
+    case Phase::kApplyEpoch: return "apply_epoch";
     case Phase::kSnapshotInstall: return "snapshot_install";
     case Phase::kRoleChange: return "role_change";
     case Phase::kPrimaryFailure: return "primary_failure";

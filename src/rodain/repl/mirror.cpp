@@ -31,6 +31,25 @@ struct MirrorMetrics {
   obs::Gauge& reorder_staged = obs::metrics().gauge("mirror.reorder.staged");
   obs::Gauge& reorder_open = obs::metrics().gauge("mirror.reorder.open");
   obs::Gauge& applied_seq = obs::metrics().gauge("mirror.applied_seq");
+  /// Quarantined transactions (write-count mismatch / invalid release set).
+  obs::Counter& corrupt_txns = obs::metrics().counter("repl.corrupt_txns");
+  /// Stored-log flush failures (first one marks the disk log non-dense).
+  obs::Counter& disk_write_failures =
+      obs::metrics().counter("repl.disk_write_failures");
+  /// Parallel apply (DESIGN.md §14): epochs drained, conflict-free waves
+  /// inside them, transactions that actually overlapped with another apply,
+  /// waves cut by a footprint conflict, and the mean wave width.
+  obs::Counter& apply_epochs = obs::metrics().counter("repl.apply.epochs");
+  obs::Counter& apply_waves = obs::metrics().counter("repl.apply.waves");
+  obs::Counter& apply_parallel_txns =
+      obs::metrics().counter("repl.apply.parallel_txns");
+  obs::Counter& apply_conflict_cuts =
+      obs::metrics().counter("repl.apply.conflict_cuts");
+  obs::Gauge& apply_parallelism =
+      obs::metrics().gauge("repl.apply.parallelism");
+  /// Release backlog visible at the last epoch boundary: staged commits
+  /// still waiting behind a gap when the epoch barrier fired.
+  obs::Gauge& apply_lag = obs::metrics().gauge("repl.apply.lag");
 };
 MirrorMetrics& mm() {
   static MirrorMetrics m;
@@ -72,10 +91,10 @@ MirrorService::MirrorService(storage::ObjectStore& copy, log::LogStorage* disk,
                     .on_reconnected = {},
                     .on_protocol_error = {},
                 }),
-      reorderer_(
-          [this](ValidationTs seq, TxnId txn, std::vector<log::Record> recs) {
-            release(seq, txn, std::move(recs));
-          }) {
+      reorderer_([this](std::vector<log::ReleasedTxn> epoch) {
+        release_epoch(std::move(epoch));
+      }),
+      pool_(options_.apply_workers) {
   serving_last_heard_ = clock_.now();
   if (options_.write_checkpoint && options_.checkpoint_interval.is_positive()) {
     log::Checkpointer::Options ckpt;
@@ -141,6 +160,9 @@ void MirrorService::send_heartbeat() {
 
 void MirrorService::poll(TimePoint now) {
   endpoint_.poll(now);
+  // Flush completions are asynchronous (the sim disk fires them on its own
+  // timeline): fold any failures reported since the last apply into stats.
+  check_disk_health();
   if (!awaiting_snapshot_ && ckpt_.enabled() && ckpt_.tick(now)) {
     stats_.checkpoints = ckpt_.stats().checkpoints;
     stats_.log_truncated = ckpt_.stats().truncated;
@@ -229,6 +251,10 @@ void MirrorService::on_log_batch(std::vector<log::Record> records) {
   // reconnect means the primary may have lost the original ack).
   reorderer_.begin_batch();
   for (log::Record& r : records) feed(std::move(r));
+  // The whole contiguous run this batch unlocked applies as ONE epoch
+  // before the ack goes out, so the floor in the ack only ever names a
+  // fully-installed prefix (the epoch barrier inside release_epoch).
+  reorderer_.flush_epoch();
   if (commits > 0) send_cumulative_ack(commits);
 }
 
@@ -251,13 +277,22 @@ void MirrorService::send_cumulative_ack(std::size_t commits_covered) {
 void MirrorService::feed(log::Record r) {
   const bool was_commit = r.is_commit();
   const std::size_t staged_before = reorderer_.staged_commits();
-  // An in-order commit is released synchronously inside add() (which
-  // advances applied_seq_), so "released" must be detected by applied_seq_
-  // moving, not by comparing expected_next() afterwards.
-  const ValidationTs applied_before = applied_seq_;
+  // Releases are deferred into the reorderer's epoch buffer (applied when
+  // the batch flushes), so "released" is detected by the expected-next
+  // floor moving — not by applied_seq_, which only advances at the epoch
+  // barrier.
+  const ValidationTs expected_before = reorderer_.expected_next();
   {
     obs::ScopedSpan span(obs::tracer(), obs::Phase::kReorder, r.seq);
     if (Status s = reorderer_.add(std::move(r)); !s) {
+      if (s.code() == ErrorCode::kCorruption) {
+        // Quarantine, don't poison the batch: the victim's buffered writes
+        // were consumed, its seq stays un-staged, and the stalled commit
+        // floor makes the primary's resend re-deliver it intact. The rest
+        // of the wire frame still stages normally.
+        ++stats_.corrupt_txns;
+        mm().corrupt_txns.inc();
+      }
       RODAIN_ERROR("mirror reorderer: %s", s.to_string().c_str());
       return;
     }
@@ -265,50 +300,109 @@ void MirrorService::feed(log::Record r) {
   mm().reorder_staged.set(static_cast<double>(reorderer_.staged_commits()));
   mm().reorder_open.set(static_cast<double>(reorderer_.open_txns()));
   if (was_commit && reorderer_.staged_commits() == staged_before &&
-      applied_seq_ == applied_before) {
+      reorderer_.expected_next() == expected_before) {
     // Commit neither staged nor released: stale duplicate.
     ++stats_.stale_duplicates;
     mm().stale_duplicates.inc();
   }
 }
 
-void MirrorService::release(ValidationTs seq, TxnId txn,
-                            std::vector<log::Record> records) {
-  (void)txn;
-  obs::ScopedSpan span(obs::tracer(), obs::Phase::kApply, seq);
-  const std::uint64_t writes_before = stats_.writes_applied;
-  // The commit record is last; its serialization timestamp stamps the
-  // writes (keeps the copy's OCC metadata usable after takeover).
-  const ValidationTs serial_ts =
-      records.empty() ? 0 : records.back().serial_ts;
-  for (const log::Record& r : records) {
+void MirrorService::apply_txn(const log::ReleasedTxn& txn) {
+  // Runs on apply-pool threads: touch only this transaction's footprint
+  // plus internally synchronized structures (store per-record seqlocks,
+  // B+-tree writer lock). No MirrorService members — stats aggregate at
+  // the epoch barrier on the delivering thread.
+  obs::ScopedSpan span(obs::tracer(), obs::Phase::kApply, txn.seq);
+  // The commit record is last (the reorderer validated that); its
+  // serialization timestamp stamps the writes (keeps the copy's OCC
+  // metadata usable after takeover).
+  const ValidationTs serial_ts = txn.records.back().serial_ts;
+  for (const log::Record& r : txn.records) {
     switch (r.type) {
       case log::RecordType::kWriteImage:
         store_.upsert(r.oid, r.after, serial_ts);
         if (r.has_key && index_) {
           if (!index_->insert(r.key, r.oid)) index_->update(r.key, r.oid);
         }
-        ++stats_.writes_applied;
         break;
       case log::RecordType::kDelete:
         store_.tombstone(r.oid, serial_ts);
         if (r.has_key && index_) index_->erase(r.key);
-        ++stats_.writes_applied;
         break;
       case log::RecordType::kCommit:
         break;
     }
   }
-  applied_seq_ = seq;
-  ++stats_.txns_applied;
-  mm().txns_applied.inc();
-  mm().writes_applied.inc(stats_.writes_applied - writes_before);
-  mm().applied_seq.set(static_cast<double>(seq));
+}
+
+void MirrorService::release_epoch(std::vector<log::ReleasedTxn> epoch) {
+  if (epoch.empty()) return;
+  // The reorderer already rejected empty / commit-less sets; a defensive
+  // re-check here keeps a fabricated serial_ts of 0 out of the store even
+  // if a future caller hands epochs in by another path.
+  std::erase_if(epoch, [this](const log::ReleasedTxn& t) {
+    if (log::Reorderer::valid_release_set(t.records)) return false;
+    ++stats_.corrupt_txns;
+    mm().corrupt_txns.inc();
+    return true;
+  });
+  if (epoch.empty()) return;
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kApplyEpoch, epoch.back().seq);
+  }
+  const ApplyPool::Stats before = pool_.stats();
+  // Parallel apply with the epoch-boundary barrier: returns only when every
+  // transaction is installed, so the floor below never lies.
+  pool_.apply(epoch, [this](const log::ReleasedTxn& t) { apply_txn(t); });
+  applied_seq_ = epoch.back().seq;
+  std::uint64_t writes = 0;
+  for (const log::ReleasedTxn& t : epoch) {
+    writes += t.records.size() - 1;  // all but the commit record
+  }
+  stats_.txns_applied += epoch.size();
+  stats_.writes_applied += writes;
+  mm().txns_applied.inc(epoch.size());
+  mm().writes_applied.inc(writes);
+  mm().applied_seq.set(static_cast<double>(applied_seq_));
+  const ApplyPool::Stats& ps = pool_.stats();
+  mm().apply_epochs.inc(ps.epochs - before.epochs);
+  mm().apply_waves.inc(ps.waves - before.waves);
+  mm().apply_parallel_txns.inc(ps.parallel_txns - before.parallel_txns);
+  mm().apply_conflict_cuts.inc(ps.conflict_cuts - before.conflict_cuts);
+  mm().apply_parallelism.set(pool_.mean_wave_width());
+  mm().apply_lag.set(static_cast<double>(reorderer_.staged_commits()));
   if (options_.store_to_disk && disk_) {
-    for (const log::Record& r : records) disk_->append(r);
+    // Re-serialized in seq order AFTER the barrier: the stored log stays
+    // totally ordered no matter how the waves interleaved, so recovery and
+    // disk-served rejoins read the same stream a serial mirror would have
+    // written.
+    for (const log::ReleasedTxn& t : epoch) {
+      for (const log::Record& r : t.records) disk_->append(r);
+    }
     // Asynchronous, off the commit path; SimDiskLogStorage coalesces
-    // concurrent requests into group flushes.
-    disk_->flush({});
+    // concurrent requests into group flushes. The completion can fire after
+    // this service is torn down (takeover), so it only touches the shared
+    // health block — poll()/take_over() fold failures into stats.
+    disk_->flush([health = disk_health_](Status s) {
+      if (!s) health->failures.fetch_add(1, std::memory_order_relaxed);
+    });
+    check_disk_health();
+  }
+}
+
+void MirrorService::check_disk_health() {
+  const std::uint64_t failures =
+      disk_health_->failures.load(std::memory_order_relaxed);
+  if (failures == disk_failures_seen_) return;
+  const std::uint64_t fresh = failures - disk_failures_seen_;
+  disk_failures_seen_ = failures;
+  stats_.disk_write_failures += fresh;
+  mm().disk_write_failures.inc(fresh);
+  if (disk_dense_) {
+    disk_dense_ = false;
+    RODAIN_ERROR("mirror: stored-log flush failed (%llu total) — disk log "
+                 "marked non-dense; rejoins must be served by live encode",
+                 static_cast<unsigned long long>(failures));
   }
 }
 
@@ -409,14 +503,16 @@ void MirrorService::on_snapshot_done(ValidationTs boundary,
               static_cast<unsigned long long>(boundary));
   awaiting_snapshot_ = false;
   synced_at_ = clock_.now();
-  // applied_seq_ first: set_expected_next releases the staged run above the
-  // boundary synchronously (it also clears the hold and purges what the
-  // snapshot covers), and release() advances applied_seq_ — assigning
-  // afterwards would roll it back.
+  // applied_seq_ first: set_expected_next stages the run above the boundary
+  // into the epoch buffer (it also clears the hold, purges what the
+  // snapshot covers, and discards pre-floor releases), and the flush below
+  // applies it — advancing applied_seq_; assigning afterwards would roll
+  // it back.
   applied_seq_ = boundary;
   const std::size_t held = held_commits_;
   held_commits_ = 0;
   reorderer_.set_expected_next(boundary + 1);
+  reorderer_.flush_epoch();
   mm().reorder_staged.set(static_cast<double>(reorderer_.staged_commits()));
   mm().reorder_open.set(static_cast<double>(reorderer_.open_txns()));
   // The join sent no acks (the floor was unknown): one cumulative ack now
@@ -431,12 +527,20 @@ MirrorService::TakeoverResult MirrorService::take_over() {
   result.dropped_open = reorderer_.drop_open_txns();
   result.applied_staged = reorderer_.force_release_staged();
   result.next_seq = reorderer_.expected_next();
+  // The forced releases went into the epoch buffer: apply them (with the
+  // barrier) before the node starts serving from this copy.
+  reorderer_.flush_epoch();
   mm().reorder_staged.set(0.0);
   mm().reorder_open.set(0.0);
   if (obs::tracing_enabled()) {
     obs::tracer().record_instant(obs::Phase::kMirrorTakeover, result.next_seq);
   }
-  if (disk_) disk_->flush({});
+  if (disk_) {
+    disk_->flush([health = disk_health_](Status s) {
+      if (!s) health->failures.fetch_add(1, std::memory_order_relaxed);
+    });
+    check_disk_health();
+  }
   RODAIN_INFO("mirror takeover: %zu staged applied, %zu open txns dropped, "
               "continuing at seq %llu",
               result.applied_staged, result.dropped_open,

@@ -9,6 +9,15 @@
 // copy — never undoing anything — and stores the ordered log to disk
 // asynchronously, off the commit path.
 //
+// Apply runs epoch-at-a-time (DESIGN.md §14): the reorderer batches each
+// contiguous released run into one epoch and ApplyPool applies its
+// non-conflicting transactions concurrently, barriering at the epoch
+// boundary, so a multi-worker primary cannot outrun its own mirror while
+// the copy stays byte-identical to serial apply. Disk appends are
+// re-serialized in seq order after the barrier, and a failed disk write
+// marks the stored log non-dense — a rejoin must then be served by live
+// encode, never from a log with holes.
+//
 // The join path is hardened against a faulty link: snapshot chunks are
 // assembled by index under a per-serve snapshot id (so chunks from an
 // abandoned serve can never leak into a later one), missing chunks are
@@ -17,12 +26,15 @@
 // while we believe we are its synced mirror) triggers an automatic rejoin.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 
 #include "rodain/common/clock.hpp"
 #include "rodain/log/checkpointer.hpp"
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/reorder.hpp"
+#include "rodain/repl/apply_pool.hpp"
 #include "rodain/repl/endpoint.hpp"
 #include "rodain/storage/checkpoint.hpp"
 #include "rodain/storage/object_store.hpp"
@@ -35,6 +47,12 @@ class MirrorService {
     /// Store the ordered log to `disk` (false reproduces the paper's
     /// Fig. 3 no-disk configurations).
     bool store_to_disk{true};
+    /// Apply width for released epochs: non-conflicting transactions of one
+    /// epoch apply concurrently on `apply_workers` threads (the delivering
+    /// thread included). <= 1 keeps the historical serial apply; the rt
+    /// node passes its worker count so the mirror keeps pace with a
+    /// parallel-commit primary (DESIGN.md §14).
+    std::size_t apply_workers{1};
     /// Invoked when a requested join finishes (snapshot installed and the
     /// stashed live stream replayed) — the node is now a proper Mirror.
     std::function<void()> on_synced;
@@ -77,6 +95,14 @@ class MirrorService {
     std::uint64_t checkpoints{0};
     /// Log units truncated after checkpoints (LogStorage::truncate_upto).
     std::uint64_t log_truncated{0};
+    /// Transactions quarantined on a write-count mismatch (kCorruption from
+    /// the reorderer) or a structurally invalid release set: dropped and
+    /// counted, the rest of the wire frame still stages, and the stalled
+    /// commit floor makes the primary's resend re-deliver the victim.
+    std::uint64_t corrupt_txns{0};
+    /// Stored-log flush failures. One is enough to mark the disk log
+    /// non-dense (see disk_log_dense()).
+    std::uint64_t disk_write_failures{0};
   };
 
   /// `disk` may be null when store_to_disk is false; `index` (optional)
@@ -127,6 +153,18 @@ class MirrorService {
   [[nodiscard]] const Endpoint::Stats& endpoint_stats() const {
     return endpoint_.stats();
   }
+  /// Apply-pool telemetry (epochs, waves, conflict cuts, mean width).
+  [[nodiscard]] const ApplyPool::Stats& apply_stats() const {
+    return pool_.stats();
+  }
+  [[nodiscard]] double apply_parallelism() const {
+    return pool_.mean_wave_width();
+  }
+  /// False after any stored-log write failure: the on-disk log may have
+  /// holes, so it must never vouch for dense coverage when a rejoin is
+  /// served from disk (the node that takes over consults this before
+  /// handing out join artifacts; the fallback is the live snapshot encode).
+  [[nodiscard]] bool disk_log_dense() const { return disk_dense_; }
 
  private:
   void on_log_batch(std::vector<log::Record> records);
@@ -135,13 +173,28 @@ class MirrorService {
   /// answers (telemetry only). Skipped while the floor is still 0.
   void send_cumulative_ack(std::size_t commits_covered);
   void feed(log::Record r);
-  void release(ValidationTs seq, TxnId txn, std::vector<log::Record> records);
+  /// Drain the reorderer's released epoch through the apply pool, then
+  /// re-serialize it to disk. The barrier inside makes applied_seq_ honest:
+  /// it only ever names a fully-installed prefix.
+  void release_epoch(std::vector<log::ReleasedTxn> epoch);
+  /// Apply one transaction's records to the copy (store + index). Runs on
+  /// apply-pool threads; must only touch this transaction's footprint.
+  void apply_txn(const log::ReleasedTxn& txn);
+  /// Fold asynchronous disk-flush failures into stats/disk_dense_.
+  void check_disk_health();
   void on_snapshot_chunk(std::uint64_t snapshot_id, std::uint32_t index,
                          std::uint32_t total, std::vector<std::byte> blob);
   void on_snapshot_done(ValidationTs boundary, std::uint64_t snapshot_id);
   void on_heartbeat(NodeRole role, ValidationTs applied);
   void reset_assembly();
   [[nodiscard]] std::vector<std::uint32_t> missing_chunks() const;
+
+  /// Flush completions can outlive the service (the sim disk fires them on
+  /// the virtual timeline after a takeover tears the mirror down), so the
+  /// failure count lives behind a shared_ptr the callback co-owns.
+  struct DiskHealth {
+    std::atomic<std::uint64_t> failures{0};
+  };
 
   storage::ObjectStore& store_;
   log::LogStorage* disk_;
@@ -150,6 +203,11 @@ class MirrorService {
   const Clock& clock_;
   Endpoint endpoint_;
   log::Reorderer reorderer_;
+  ApplyPool pool_;
+  std::shared_ptr<DiskHealth> disk_health_{std::make_shared<DiskHealth>()};
+  /// Prefix of disk_health_->failures already folded into stats_.
+  std::uint64_t disk_failures_seen_{0};
+  bool disk_dense_{true};
   ValidationTs applied_seq_{0};
   /// See serving_last_heard(); starts at construction time so a fresh
   /// mirror grants the primary one full watchdog window to speak.

@@ -484,6 +484,16 @@ std::optional<repl::JoinArtifacts> Node::join_artifacts_locked() {
   if (config_.log_segment_bytes == 0 || config_.checkpoint_path.empty()) {
     return std::nullopt;
   }
+  if (!mirror_disk_dense_) {
+    // A stored-log flush failed while this node was the mirror: the disk
+    // log may have holes the collector below cannot detect (an entire
+    // flushed batch can be missing, not just a torn tail). Serve the join
+    // by live encode instead.
+    RODAIN_INFO("%s: disk log marked non-dense by the mirror epoch; "
+                "falling back to live encode",
+                name_.c_str());
+    return std::nullopt;
+  }
   auto ckpt = storage::read_checkpoint_bytes(config_.checkpoint_path);
   if (!ckpt.is_ok()) return std::nullopt;
   const ValidationTs boundary = ckpt.value().meta.last_applied;
@@ -605,6 +615,9 @@ void Node::start_mirror(net::Channel& peer, ValidationTs expected_next) {
   guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
   repl::MirrorService::Options options;
   options.store_to_disk = true;
+  // Match the primary's commit width: a parallel-commit primary must not
+  // outrun its own mirror's apply path (DESIGN.md §14).
+  options.apply_workers = config_.worker_threads;
   options.on_synced = [this] { become_locked(NodeRole::kMirror); };
   options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
   if (!config_.checkpoint_path.empty() &&
@@ -641,6 +654,7 @@ void Node::start_rejoin(net::Channel& peer) {
   guarded_channel_ = std::make_unique<GuardedChannel>(*this, peer);
   repl::MirrorService::Options options;
   options.store_to_disk = true;
+  options.apply_workers = config_.worker_threads;
   options.on_synced = [this] { become_locked(NodeRole::kMirror); };
   options.on_abandoned = [this] { become_locked(NodeRole::kRecovering); };
   if (!config_.checkpoint_path.empty() &&
@@ -673,6 +687,10 @@ void Node::take_over_locked() {
     return;
   }
   auto takeover = mirror_->take_over();
+  // Sticky until restart: a stored-log write failure during the mirror
+  // epoch means the disk may have holes, so join_artifacts_locked must
+  // never vouch for dense catch-up coverage from it.
+  mirror_disk_dense_ = mirror_->disk_log_dense();
   ++channel_epoch_;
   link_down_since_.reset();
   mirror_.reset();

@@ -268,6 +268,11 @@ class Node {
   std::unique_ptr<GuardedChannel> guarded_channel_;
   std::unique_ptr<repl::PrimaryReplicator> replicator_;
   std::unique_ptr<repl::MirrorService> mirror_;
+  /// Captured from MirrorService::disk_log_dense() at takeover, sticky for
+  /// this process lifetime: false means a stored-log write failed while we
+  /// were the mirror, so join_artifacts_locked must not serve catch-up from
+  /// the disk log (it may have holes) — live encode takes over.
+  bool mirror_disk_dense_{true};
   net::Channel* peer_{nullptr};
 
   sched::OverloadManager overload_;

@@ -3,6 +3,8 @@
 // reorder+apply, snapshot install, takeover).
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "rodain/net/sim_link.hpp"
 #include "rodain/repl/mirror.hpp"
 #include "rodain/repl/primary.hpp"
@@ -182,6 +184,158 @@ TEST(Replication, TakeoverAppliesStagedAndDropsOpen) {
   // Staged txn applied; incomplete txn's write discarded (paper §3).
   ASSERT_NE(rig.mirror_store.find(30), nullptr);
   EXPECT_EQ(rig.mirror_store.find(40), nullptr);
+}
+
+TEST(Replication, CorruptTxnMidFrameIsQuarantinedNotFatal) {
+  // Regression: a commit record whose write count disagrees with the
+  // buffered images (bit rot / a shipper bug) used to poison nothing but
+  // also count nothing — the batch kept going silently. The victim must be
+  // quarantined (counted, open state dropped), the REST of the frame must
+  // still stage, and the stalled floor must let the resend heal the gap.
+  Rig rig;
+  rig.mirror->attach_synced(1);
+  rig.writer.set_mode(LogMode::kMirror);
+  rig.submit_txn(1, 10, "good");
+  rig.sim.run();
+  EXPECT_EQ(rig.mirror->applied_seq(), 1u);
+
+  // Hand-built frame: seq 2's commit claims 2 writes but ships 1 (corrupt),
+  // seq 3 is intact and must survive the frame.
+  std::vector<log::Record> batch;
+  batch.push_back(log::Record::write_image(22, 20, val("torn")));
+  batch.push_back(log::Record::commit(22, 2, 2000, 2));  // claims 2 writes
+  batch.push_back(log::Record::write_image(33, 30, val("fine")));
+  batch.push_back(log::Record::commit(33, 3, 3000, 1));
+  (void)rig.link.end_a().send(
+      encode_framed(1ULL << 40, 1, Message::log_batch(std::move(batch))));
+  rig.sim.run();
+
+  EXPECT_EQ(rig.mirror->stats().corrupt_txns, 1u);
+  EXPECT_EQ(rig.mirror->reorder_open(), 0u);    // quarantine left no state
+  EXPECT_EQ(rig.mirror->reorder_staged(), 1u);  // seq 3 staged behind the gap
+  EXPECT_EQ(rig.mirror->applied_seq(), 1u);     // floor stalls at the victim
+  EXPECT_EQ(rig.mirror_store.find(20), nullptr);
+  EXPECT_EQ(rig.mirror_store.find(30), nullptr);
+
+  // The primary's resend re-delivers seq 2 intact: the gap closes and the
+  // staged seq 3 cascades in the same epoch.
+  std::vector<log::Record> resend;
+  resend.push_back(log::Record::write_image(22, 20, val("healed")));
+  resend.push_back(log::Record::write_image(22, 21, val("second")));
+  resend.push_back(log::Record::commit(22, 2, 2000, 2));
+  (void)rig.link.end_a().send(
+      encode_framed((1ULL << 40) + 1, 2, Message::log_batch(std::move(resend))));
+  rig.sim.run();
+
+  EXPECT_EQ(rig.mirror->applied_seq(), 3u);
+  ASSERT_NE(rig.mirror_store.find(20), nullptr);
+  EXPECT_EQ(rig.mirror_store.find(20)->value, val("healed"));
+  ASSERT_NE(rig.mirror_store.find(30), nullptr);
+  EXPECT_EQ(rig.mirror->stats().corrupt_txns, 1u);  // counted exactly once
+}
+
+TEST(Replication, DiskFlushFailureMarksLogNonDense) {
+  // Regression: release() used to discard the disk flush result entirely —
+  // a mirror whose stored log silently lost a batch would later vouch for
+  // dense catch-up coverage when serving a rejoin. A failed flush must be
+  // counted and flip disk_log_dense() off, permanently.
+  Rig rig;
+  rig.mirror->attach_synced(1);
+  rig.writer.set_mode(LogMode::kMirror);
+  EXPECT_TRUE(rig.mirror->disk_log_dense());
+
+  rig.submit_txn(1, 10, "a");
+  rig.sim.run();
+  EXPECT_TRUE(rig.mirror->disk_log_dense());  // healthy disk, still dense
+
+  rig.mirror_disk.inject_flush_error(1);
+  rig.submit_txn(2, 11, "b");
+  rig.sim.run();
+  EXPECT_FALSE(rig.mirror->disk_log_dense());
+  EXPECT_EQ(rig.mirror->stats().disk_write_failures, 1u);
+  // The copy itself is fine — only the stored log's coverage is suspect.
+  ASSERT_NE(rig.mirror_store.find(11), nullptr);
+  EXPECT_EQ(rig.mirror->applied_seq(), 2u);
+
+  // Sticky: a healthy flush afterwards must not resurrect density (the
+  // hole is already in the log).
+  rig.submit_txn(3, 12, "c");
+  rig.sim.run();
+  EXPECT_FALSE(rig.mirror->disk_log_dense());
+  EXPECT_EQ(rig.mirror->stats().disk_write_failures, 1u);
+}
+
+TEST(Replication, ParallelApplyKeepsAckAndStateSemantics) {
+  // The width-4 mirror behaves exactly like the serial one on the wire:
+  // same cumulative acks, same applied floor, same store bytes.
+  Rig serial_rig;
+  serial_rig.mirror->attach_synced(1);
+  serial_rig.writer.set_mode(LogMode::kMirror);
+
+  sim::Simulation sim2;
+  net::SimLink link2{sim2, {}};
+  storage::ObjectStore pstore{64}, mstore{64};
+  log::MemoryLogStorage pdisk, mdisk;
+  log::LogWriter writer2{LogMode::kOff, &pdisk, nullptr};
+  PrimaryReplicator::Hooks hooks;
+  auto primary2 = std::make_unique<PrimaryReplicator>(link2.end_a(), sim2,
+                                                      pstore, writer2, hooks);
+  writer2.set_shipper(primary2.get());
+  MirrorService::Options options;
+  options.store_to_disk = true;
+  options.apply_workers = 4;
+  auto mirror2 = std::make_unique<MirrorService>(mstore, &mdisk, link2.end_b(),
+                                                 sim2, options);
+  mirror2->attach_synced(1);
+  writer2.set_mode(LogMode::kMirror);
+
+  auto submit2 = [&](ValidationTs seq, ObjectId oid, std::string_view value) {
+    std::vector<log::Record> records;
+    records.push_back(log::Record::write_image(seq, oid, val(value)));
+    records.push_back(log::Record::commit(seq, seq, seq * 1000, 1));
+    pstore.upsert(oid, val(value), seq * 1000);
+    writer2.submit(seq, std::move(records), {});
+  };
+
+  for (ValidationTs seq = 1; seq <= 20; ++seq) {
+    // Half the stream collides on oid 7 (conflict cuts), half spreads out.
+    const ObjectId oid = seq % 2 == 0 ? 7 : 100 + seq;
+    serial_rig.submit_txn(seq, oid, "v" + std::to_string(seq));
+    submit2(seq, oid, "v" + std::to_string(seq));
+  }
+  serial_rig.sim.run();
+  sim2.run();
+
+  EXPECT_EQ(mirror2->applied_seq(), serial_rig.mirror->applied_seq());
+  EXPECT_EQ(mirror2->stats().acks_sent, serial_rig.mirror->stats().acks_sent);
+  EXPECT_EQ(mirror2->stats().txns_applied,
+            serial_rig.mirror->stats().txns_applied);
+  // Wave accounting is width-independent (the partition is computed either
+  // way); only execution concurrency differs.
+  EXPECT_EQ(mirror2->apply_stats().waves,
+            serial_rig.mirror->apply_stats().waves);
+  EXPECT_EQ(mirror2->apply_stats().conflict_cuts,
+            serial_rig.mirror->apply_stats().conflict_cuts);
+  // Byte-identical copies, including the ordered log the disk stores.
+  ASSERT_EQ(mdisk.records().size(), serial_rig.mirror_disk.records().size());
+  for (std::size_t i = 0; i < mdisk.records().size(); ++i) {
+    EXPECT_TRUE(mdisk.records()[i] == serial_rig.mirror_disk.records()[i])
+        << "disk record " << i;
+  }
+  std::map<ObjectId, std::pair<storage::Value, ValidationTs>> a, b;
+  serial_rig.mirror_store.for_each(
+      [&](ObjectId oid, const storage::ObjectRecord& r) {
+        a[oid] = {r.value, r.wts};
+      });
+  mstore.for_each([&](ObjectId oid, const storage::ObjectRecord& r) {
+    b[oid] = {r.value, r.wts};
+  });
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [oid, state] : a) {
+    ASSERT_EQ(b.count(oid), 1u) << oid;
+    EXPECT_TRUE(b[oid].first == state.first) << oid;
+    EXPECT_EQ(b[oid].second, state.second) << oid;
+  }
 }
 
 TEST(Replication, SeveredLinkDropsFramesAndWriterReroutes) {
