@@ -12,18 +12,30 @@ bool Checkpointer::tick(TimePoint now) {
   return true;
 }
 
-Status Checkpointer::run(TimePoint now) {
+Status Checkpointer::run(TimePoint now, bool force) {
   if (!options_.boundary || !options_.write) {
     return Status::error(ErrorCode::kFailedPrecondition,
                          "checkpointer not configured");
   }
+  if (running_) {
+    // Another run is between boundary selection and truncation (the fuzzy
+    // write path releases the commit mutex mid-encode). Letting this call
+    // proceed would let an older boundary rename over the newer artifact.
+    return Status::error(ErrorCode::kUnavailable, "checkpoint already running");
+  }
   last_run_ = now;
   const ValidationTs boundary = options_.boundary();
-  if (boundary == 0 ||
-      (stats_.checkpoints > 0 && boundary <= stats_.last_boundary)) {
+  if (boundary < stats_.last_boundary) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "checkpoint boundary went backwards");
+  }
+  if (!force && (boundary == 0 || (stats_.checkpoints > 0 &&
+                                   boundary <= stats_.last_boundary))) {
     return Status::ok();  // nothing new to cover
   }
+  running_ = true;
   Status status = options_.write(boundary);
+  running_ = false;
   if (!status) {
     ++stats_.failures;
     obs::metrics().counter("log.checkpoint_failures").inc();

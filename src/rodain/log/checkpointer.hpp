@@ -53,15 +53,25 @@ class Checkpointer {
   /// Run a checkpoint when the interval elapsed; returns whether one ran.
   bool tick(TimePoint now);
 
-  /// Run a checkpoint now (explicit request). Skips the write when the
-  /// boundary has not advanced since the last successful checkpoint.
-  Status run(TimePoint now);
+  /// Run a checkpoint now. By default skips the write when the boundary has
+  /// not advanced since the last successful checkpoint; `force` writes even
+  /// then (explicit write_checkpoint() requests, which historically always
+  /// produced a file). Boundary selection, the write, and the truncation
+  /// are a single-flight critical section: a second caller arriving while
+  /// one is in flight gets kUnavailable instead of racing an older boundary
+  /// over a newer artifact — callers serialize on the owner's commit mutex,
+  /// but the fuzzy path drops it mid-write, so the guard is what keeps the
+  /// covered boundary monotone.
+  Status run(TimePoint now, bool force = false);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   Options options_;
   std::optional<TimePoint> last_run_;
+  /// Set while a run() is between boundary selection and truncation. Guarded
+  /// by the owner's external serialization (commit mutex) at entry/exit.
+  bool running_{false};
   Stats stats_;
 };
 

@@ -11,6 +11,7 @@
 #include "rodain/log/segment.hpp"
 #include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/fuzzy_checkpoint.hpp"
 
 namespace rodain::log {
 namespace {
@@ -43,7 +44,7 @@ Result<std::pair<ValidationTs, bool>> load_checkpoint_or_fallback(
     const std::string& checkpoint_path, bool log_exists,
     storage::ObjectStore& store, storage::BPlusTree* index) {
   if (checkpoint_path.empty()) return std::pair<ValidationTs, bool>{0, false};
-  auto meta = storage::read_checkpoint_file(checkpoint_path, store, index);
+  auto meta = storage::load_checkpoint_artifacts(checkpoint_path, store, index);
   if (meta.is_ok()) {
     return std::pair<ValidationTs, bool>{meta.value().last_applied, false};
   }

@@ -4,6 +4,7 @@
 
 #include "rodain/common/diag.hpp"
 #include "rodain/obs/obs.hpp"
+#include "rodain/storage/fuzzy_checkpoint.hpp"
 
 namespace rodain::repl {
 
@@ -490,7 +491,9 @@ void MirrorService::on_snapshot_done(ValidationTs boundary,
     bytes.insert(bytes.end(), c->begin(), c->end());
   }
   reset_assembly();
-  auto meta = storage::decode_checkpoint(bytes, store_, index_);
+  // A rejoin snapshot can be a legacy full encode (live path) or a fuzzy
+  // base+delta chain served straight off the primary's disk artifacts.
+  auto meta = storage::decode_checkpoint_any(bytes, store_, index_);
   if (!meta.is_ok()) {
     RODAIN_ERROR("snapshot decode failed: %s",
                  meta.status().to_string().c_str());

@@ -1,12 +1,16 @@
 #include "rodain/rt/node.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <filesystem>
 
 #include "rodain/common/diag.hpp"
 #include "rodain/log/reorder.hpp"
 #include "rodain/log/segment.hpp"
 #include "rodain/obs/obs.hpp"
 #include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/fuzzy_checkpoint.hpp"
 
 namespace rodain::rt {
 
@@ -27,6 +31,15 @@ struct NodeMetrics {
   obs::Gauge& role = obs::metrics().gauge("node.role");
   obs::Gauge& active_txns = obs::metrics().gauge("node.active_txns");
   obs::Gauge& miss_ratio = obs::metrics().gauge("node.miss_ratio");
+  /// Checkpoint observability (DESIGN.md §7, §15): gate-held stall time,
+  /// failed writes, and the fuzzy chain's byte/dirtiness breakdown.
+  obs::Timer& checkpoint_stall =
+      obs::metrics().timer("node.checkpoint_stall_us");
+  obs::Counter& checkpoint_failures =
+      obs::metrics().counter("node.checkpoint_failures");
+  obs::Counter& ckpt_bytes_full = obs::metrics().counter("ckpt.bytes_full");
+  obs::Counter& ckpt_bytes_delta = obs::metrics().counter("ckpt.bytes_delta");
+  obs::Gauge& ckpt_dirty_ratio = obs::metrics().gauge("ckpt.dirty_ratio");
 };
 NodeMetrics& nm() {
   static NodeMetrics m;
@@ -121,7 +134,15 @@ Node::Node(NodeConfig config, std::string name)
   ckpt.boundary = [this] {
     return engine_ ? engine_->installed_low_water() : ValidationTs{0};
   };
-  ckpt.write = [this](ValidationTs b) { return write_checkpoint_at_locked(b); };
+  ckpt.write = [this](ValidationTs b) {
+    // Fuzzy needs a primary-side engine (the flip runs under its install
+    // gate; mirror applies are not excludable that way) — anything else
+    // keeps the legacy stop-the-world encode.
+    if (config_.fuzzy_checkpoint && engine_) {
+      return write_checkpoint_fuzzy_locked(b);
+    }
+    return write_checkpoint_at_locked(b);
+  };
   ckpt.log = disk_.get();
   ckpt_.configure(std::move(ckpt));
   // Lifecycle stage clocks read this node's steady clock; the engine stamps
@@ -439,6 +460,10 @@ Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
   // Parallel committers install outside commit_mu_; the unique gate makes
   // the store walk see no half-installed transaction. (Mirror-role callers
   // have no engine — their applies run serially under commit_mu_.)
+  // The whole encode counts as stall: commit_mu_ is held throughout, so
+  // every committer waits for the full store walk (the cost the fuzzy
+  // path exists to avoid).
+  obs::ScopedTimer stall(nm().checkpoint_stall);
   std::unique_lock<std::shared_mutex> gate;
   if (engine_ && engine_->parallel_commit()) {
     gate = std::unique_lock(engine_->install_gate());
@@ -452,8 +477,133 @@ Status Node::write_checkpoint_at_locked(ValidationTs boundary) {
     if (obs::tracing_enabled()) {
       obs::tracer().record_instant(obs::Phase::kCheckpoint, boundary);
     }
+  } else {
+    nm().checkpoint_failures.inc();
   }
   return s;
+}
+
+Status Node::write_checkpoint_fuzzy_locked(ValidationTs boundary) {
+  // Phase 1 — the only part committers ever wait for: flip the store into
+  // snapshot mode and start (or cut) the index journal under writer
+  // exclusion. O(retain stripes), independent of store size.
+  std::uint64_t capture = 0;
+  bool base = false;
+  std::vector<storage::IndexOp> journal;
+  {
+    obs::ScopedTimer stall(nm().checkpoint_stall);
+    std::unique_lock<std::shared_mutex> gate;
+    if (engine_->parallel_commit()) {
+      engine_->seal_epoch();
+      gate = std::unique_lock(engine_->install_gate());
+    }
+    // A base is forced when there is no chain to extend, when the chain is
+    // long enough that replaying deltas would dominate recovery, or when
+    // the journal was lost (e.g. a failed base write disabled it).
+    base = !ckpt_have_base_ ||
+           ckpt_deltas_since_base_ >= config_.checkpoint_delta_limit ||
+           !index_.journal_enabled();
+    capture = store_.snapshot_begin();
+    if (base) {
+      index_.set_journal(true);
+    } else {
+      journal = index_.cut_journal();
+    }
+  }
+
+  // Phase 2 — encode and persist off-lock. Committers keep running; any
+  // record they would overwrite before the walker reaches it is retained
+  // as a pre-image by the store. Dropping commit_mu_ here is safe: ckpt_
+  // is single-flight (running_ guard), and stop() joins the checkpointer
+  // thread before tearing down engine_/store_/index_.
+  commit_mu_.unlock();
+  const std::uint64_t floor = base ? 0 : ckpt_floor_epoch_;
+  ByteWriter w(store_.size() * 80 + 64);
+  storage::FuzzyEncodeStats stats;
+  if (base) {
+    stats = storage::encode_fuzzy_base(store_, index_, boundary, w);
+  } else {
+    stats = storage::encode_fuzzy_delta(store_, journal, boundary, floor, w);
+  }
+  const std::string suffix =
+      (base ? ".b" : ".d") + std::to_string(capture);
+  const std::string path = config_.checkpoint_path + suffix;
+  Status s = storage::write_file_atomic(path, w.view());
+  storage::CkptManifest next;
+  if (s) {
+    if (!base) next = ckpt_chain_;
+    storage::ManifestEntry entry;
+    entry.kind = base ? storage::ManifestEntry::Kind::kBase
+                      : storage::ManifestEntry::Kind::kDelta;
+    entry.boundary = boundary;
+    entry.capture_epoch = capture;
+    entry.bytes = stats.bytes;
+    entry.file =
+        std::filesystem::path(config_.checkpoint_path).filename().string() +
+        suffix;
+    next.entries.push_back(std::move(entry));
+    s = storage::write_manifest_file(
+        next, storage::manifest_path_for(config_.checkpoint_path));
+    if (!s) std::remove(path.c_str());  // unreferenced artifact: delete it
+  }
+  commit_mu_.lock();
+  store_.snapshot_end();
+
+  if (!s) {
+    nm().checkpoint_failures.inc();
+    if (base) {
+      // The journal started in phase 1 only covers ops since this failed
+      // base; keeping it would let a later delta chain onto a chain whose
+      // base never landed. Force the next attempt to be a base.
+      index_.set_journal(false);
+      ckpt_have_base_ = false;
+    } else {
+      // Put the cut ops back so the next delta still covers them.
+      index_.restore_journal(std::move(journal));
+    }
+    return s;
+  }
+
+  // Prune artifacts the new manifest no longer references (a replaced
+  // chain after a base, or nothing after a delta).
+  for (const storage::ManifestEntry& old : ckpt_chain_.entries) {
+    const bool kept =
+        std::any_of(next.entries.begin(), next.entries.end(),
+                    [&](const storage::ManifestEntry& e) {
+                      return e.file == old.file;
+                    });
+    if (!kept) {
+      std::remove(
+          storage::sibling_path(config_.checkpoint_path, old.file).c_str());
+    }
+  }
+  ckpt_chain_ = std::move(next);
+  ckpt_have_base_ = true;
+  ckpt_deltas_since_base_ = base ? 0 : ckpt_deltas_since_base_ + 1;
+  ckpt_floor_epoch_ = capture;
+  if (base) {
+    nm().ckpt_bytes_full.inc(stats.bytes);
+    nm().ckpt_dirty_ratio.set(1.0);
+  } else {
+    nm().ckpt_bytes_delta.inc(stats.bytes);
+    const std::size_t live = store_.size();
+    nm().ckpt_dirty_ratio.set(
+        live == 0 ? 0.0
+                  : static_cast<double>(stats.records) /
+                        static_cast<double>(live));
+  }
+  RODAIN_INFO("%s: fuzzy %s checkpoint at boundary %llu (epoch %llu, "
+              "%llu records, %llu bytes)",
+              name_.c_str(), base ? "base" : "delta",
+              static_cast<unsigned long long>(boundary),
+              static_cast<unsigned long long>(capture),
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.bytes));
+  obs::metrics().counter("node.checkpoints").inc();
+  if (obs::tracing_enabled()) {
+    obs::tracer().record_instant(obs::Phase::kCheckpoint, boundary);
+  }
+  return Status::ok();
 }
 
 Status Node::write_checkpoint_locked() {
@@ -464,12 +614,11 @@ Status Node::write_checkpoint_locked() {
     recovery_->drain(store_, &index_);
     finish_recovery_locked("drained for checkpoint");
   }
-  // Consistent boundary: every transaction up to the installed low-water
-  // mark has its after-images in the store (validation+install is atomic).
-  const ValidationTs boundary = engine_ ? engine_->installed_low_water() : 0;
-  Status s = write_checkpoint_at_locked(boundary);
-  if (s && disk_) disk_->truncate_upto(boundary);
-  return s;
+  // The Checkpointer is the single boundary authority: routing the explicit
+  // request through run() serializes it with the cadenced timer (single
+  // flight), so the covered boundary stays monotone even when the fuzzy
+  // path drops commit_mu_ mid-write.
+  return ckpt_.run(clock_.now(), /*force=*/true);
 }
 
 Status Node::write_checkpoint() {
@@ -494,7 +643,7 @@ std::optional<repl::JoinArtifacts> Node::join_artifacts_locked() {
                 name_.c_str());
     return std::nullopt;
   }
-  auto ckpt = storage::read_checkpoint_bytes(config_.checkpoint_path);
+  auto ckpt = storage::read_artifact_chain_bytes(config_.checkpoint_path);
   if (!ckpt.is_ok()) return std::nullopt;
   const ValidationTs boundary = ckpt.value().meta.last_applied;
   const ValidationTs low_water = engine_ ? engine_->installed_low_water() : 0;
@@ -553,15 +702,24 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
   // downtime the flight recorder reports.
   availability_.set_serving(false, clock_.now().us);
   const bool instant = config_.instant_recovery && config_.log_segment_bytes > 0;
-  Result<log::RecoveryStats> stats = Status::ok();
+  Result<log::RecoveryStats> stats = [&]() -> Result<log::RecoveryStats> {
+    if (instant) {
+      // Instant recovery (DESIGN.md §12): load the checkpoint, index the
+      // surviving segments, and let start_primary serve immediately — first
+      // touch replays on demand, the sweeper thread drains the rest.
+      recovery_ = std::make_unique<log::RedoIndex>();
+      return log::recover_instant_segments(config_.checkpoint_path,
+                                           config_.log_path, store_, *recovery_,
+                                           &index_);
+    }
+    return config_.log_segment_bytes > 0
+               ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
+                                                      config_.log_path, store_,
+                                                      &index_)
+               : log::recover_checkpoint_and_log(
+                     config_.checkpoint_path, config_.log_path, store_, &index_);
+  }();
   if (instant) {
-    // Instant recovery (DESIGN.md §12): load the checkpoint, index the
-    // surviving segments, and let start_primary serve immediately — first
-    // touch replays on demand, the sweeper thread drains the rest.
-    recovery_ = std::make_unique<log::RedoIndex>();
-    stats = log::recover_instant_segments(config_.checkpoint_path,
-                                          config_.log_path, store_, *recovery_,
-                                          &index_);
     if (!stats.is_ok() || !recovery_->active()) {
       // Error, or nothing to defer (empty log / checkpoint covers it all):
       // no recovery phase to run.
@@ -570,13 +728,6 @@ Result<log::RecoveryStats> Node::recover_from_local_state() {
       recovery_mode_.store(1, std::memory_order_release);
       obs::metrics().gauge("recovery.mode").set(1.0);
     }
-  } else {
-    stats = config_.log_segment_bytes > 0
-                ? log::recover_checkpoint_and_segments(config_.checkpoint_path,
-                                                       config_.log_path, store_,
-                                                       &index_)
-                : log::recover_checkpoint_and_log(
-                      config_.checkpoint_path, config_.log_path, store_, &index_);
   }
   if (stats.is_ok()) {
     // Opening the segmented log (in the constructor) already trimmed any

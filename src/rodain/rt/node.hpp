@@ -43,6 +43,7 @@
 #include "rodain/repl/primary.hpp"
 #include "rodain/log/recovery.hpp"
 #include "rodain/sched/overload.hpp"
+#include "rodain/storage/ckpt_manifest.hpp"
 
 namespace rodain::rt {
 
@@ -61,6 +62,16 @@ struct NodeConfig {
   /// path or zero interval disables the daemon.
   std::string checkpoint_path{};
   Duration checkpoint_interval{Duration::zero()};
+  /// Fuzzy checkpoints (DESIGN.md §15): a primary writes checkpoints without
+  /// stalling committers — an O(1) snapshot-epoch flip under the install
+  /// gate, then the encoder walks the store off-lock while writes proceed,
+  /// alternating full base files with incremental delta files chained by
+  /// `<checkpoint_path>.manifest`. Off (or no engine: mirror-side
+  /// checkpoints) falls back to the legacy stop-the-world full encode.
+  bool fuzzy_checkpoint{true};
+  /// Deltas written between full bases in fuzzy mode; the next checkpoint
+  /// after this many deltas re-bases the chain.
+  std::size_t checkpoint_delta_limit{4};
   /// Instant recovery (DESIGN.md §12, segmented log only):
   /// recover_from_local_state loads the checkpoint and *indexes* the
   /// surviving segments instead of replaying them, so start_primary serves
@@ -218,6 +229,13 @@ class Node {
   bool serving_locked() const;
   Status write_checkpoint_locked();
   Status write_checkpoint_at_locked(ValidationTs boundary);
+  /// Fuzzy checkpoint write (DESIGN.md §15): flips the snapshot epoch under
+  /// the install gate (the only stall, O(1)), then RELEASES commit_mu_ for
+  /// the encode and file write, re-acquiring it before returning. Safe
+  /// because the Checkpointer's single-flight guard rejects concurrent
+  /// runs and stop() joins the checkpointer thread before tearing the
+  /// engine down. Entered and exited with commit_mu_ held.
+  Status write_checkpoint_fuzzy_locked(ValidationTs boundary);
   /// Disk-served join (DESIGN.md §12): checkpoint bytes + the log records
   /// covering (boundary, installed_low_water], or nullopt when the on-disk
   /// artifacts cannot vouch for dense coverage (then the replicator falls
@@ -332,6 +350,14 @@ class Node {
   /// Cadence + truncation driver behind the checkpointer thread (under
   /// commit_mu_).
   log::Checkpointer ckpt_;
+  /// Fuzzy checkpoint chain state (under commit_mu_ at mutation points; the
+  /// encode itself runs off-lock behind ckpt_'s single-flight guard). A
+  /// fresh process always starts the chain with a new base: the previous
+  /// chain's floor epoch is meaningless against a restarted store.
+  bool ckpt_have_base_{false};
+  std::size_t ckpt_deltas_since_base_{0};
+  std::uint64_t ckpt_floor_epoch_{0};
+  storage::CkptManifest ckpt_chain_;
 };
 
 }  // namespace rodain::rt

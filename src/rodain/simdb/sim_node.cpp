@@ -31,10 +31,23 @@ SimNode::SimNode(sim::Simulation& sim, std::string name, NodeId id,
     ckpt.boundary = [this] {
       return engine_ ? engine_->installed_low_water() : ValidationTs{0};
     };
-    // The simulator has no checkpoint file: the write is modelled as
-    // instantaneous, and the cadence exists for its side effect — the
-    // Checkpointer truncates the modelled log below each boundary.
-    ckpt.write = [](ValidationTs) { return Status::ok(); };
+    // The simulator has no checkpoint file: the cadence exists for its
+    // side effect — the Checkpointer truncates the modelled log below
+    // each boundary. The write's commit-path cost is modelled as a
+    // top-priority CPU burst: the constant flip for a fuzzy checkpoint,
+    // the whole store walk for a stop-the-world encode.
+    ckpt.write = [this](ValidationTs) {
+      const Duration stall =
+          config_.fuzzy_checkpoint
+              ? config_.checkpoint_flip_cost
+              : config_.checkpoint_cost_per_record *
+                    static_cast<std::int64_t>(store_.live_size());
+      if (stall.is_positive()) {
+        cpu_.submit(PriorityKey{Criticality::kFirm, TimePoint{}, 0}, stall,
+                    [] {});
+      }
+      return Status::ok();
+    };
     ckpt.log = disk_.get();
     ckpt_.configure(std::move(ckpt));
   }

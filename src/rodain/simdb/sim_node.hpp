@@ -76,6 +76,15 @@ struct SimNodeConfig {
   /// backlog and log-size behaviour match a node with real checkpoints.
   /// Zero disables the cadence (historical behaviour).
   Duration checkpoint_interval{Duration::zero()};
+  /// Model the commit-path cost of the checkpoint write. A fuzzy
+  /// checkpoint (default, matching rt::Node) charges only the constant
+  /// snapshot-flip cost at top priority; a stop-the-world encode charges
+  /// checkpoint_cost_per_record for every live record, so queued
+  /// transaction steps stall behind the whole store walk. Zero costs keep
+  /// the historical instantaneous write.
+  bool fuzzy_checkpoint{true};
+  Duration checkpoint_flip_cost{Duration::zero()};
+  Duration checkpoint_cost_per_record{Duration::zero()};
   /// Instant restart (DESIGN.md §12): restart_from_disk() indexes the
   /// stored log and serves after takeover_activation, replaying deferred
   /// chains on first touch plus background sweep events. False models the

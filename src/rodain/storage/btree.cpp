@@ -136,6 +136,9 @@ bool BPlusTree::insert(const IndexKey& key, ObjectId value) {
     root_ = new_root;
   }
   ++size_;
+  if (journal_enabled_) {
+    journal_.push_back({IndexOp::Kind::kUpsert, key, value});
+  }
   return true;
 }
 
@@ -191,6 +194,9 @@ bool BPlusTree::update(const IndexKey& key, ObjectId value) {
   const std::size_t i = lower_bound_in(n->keys, key);
   if (i < n->count() && n->keys[i] == key) {
     n->values[i] = value;
+    if (journal_enabled_) {
+      journal_.push_back({IndexOp::Kind::kUpsert, key, value});
+    }
     return true;
   }
   return false;
@@ -206,6 +212,9 @@ bool BPlusTree::erase(const IndexKey& key) {
     delete old;
   }
   --size_;
+  if (journal_enabled_) {
+    journal_.push_back({IndexOp::Kind::kErase, key, kInvalidObject});
+  }
   return true;
 }
 
@@ -318,6 +327,75 @@ std::size_t BPlusTree::height_unlocked() const {
     ++h;
   }
   return h;
+}
+
+void BPlusTree::set_journal(bool enabled) {
+  std::unique_lock lock(mu_);
+  journal_.clear();
+  journal_enabled_ = enabled;
+}
+
+std::vector<IndexOp> BPlusTree::cut_journal() {
+  std::unique_lock lock(mu_);
+  std::vector<IndexOp> out = std::move(journal_);
+  journal_.clear();
+  return out;
+}
+
+void BPlusTree::restore_journal(std::vector<IndexOp> ops) {
+  std::unique_lock lock(mu_);
+  ops.insert(ops.end(), std::make_move_iterator(journal_.begin()),
+             std::make_move_iterator(journal_.end()));
+  journal_ = std::move(ops);
+}
+
+bool BPlusTree::journal_enabled() const {
+  std::shared_lock lock(mu_);
+  return journal_enabled_;
+}
+
+namespace {
+/// Advance `k` to the smallest key strictly greater than it; false when `k`
+/// is already the maximum key.
+bool key_successor(IndexKey& k) {
+  for (std::size_t i = k.bytes.size(); i-- > 0;) {
+    if (k.bytes[i] != 0xff) {
+      ++k.bytes[i];
+      std::fill(k.bytes.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                k.bytes.end(), std::uint8_t{0});
+      return true;
+    }
+    k.bytes[i] = 0;
+  }
+  return false;
+}
+}  // namespace
+
+void BPlusTree::chunked_scan(
+    std::size_t chunk,
+    const std::function<void(const IndexKey&, ObjectId)>& fn) const {
+  if (chunk == 0) chunk = 1;
+  IndexKey cursor = IndexKey::min();
+  while (true) {
+    std::shared_lock lock(mu_);
+    const Node* n = leaf_for(cursor);
+    std::size_t i = lower_bound_in(n->keys, cursor);
+    std::size_t emitted = 0;
+    IndexKey last{};
+    while (n && emitted < chunk) {
+      for (; i < n->count() && emitted < chunk; ++i) {
+        fn(n->keys[i], n->values[i]);
+        last = n->keys[i];
+        ++emitted;
+      }
+      if (emitted >= chunk) break;
+      n = n->next;
+      i = 0;
+    }
+    if (emitted < chunk) return;  // tail (or empty) chunk — done
+    cursor = last;
+    if (!key_successor(cursor)) return;  // resumed past the maximum key
+  }
 }
 
 Status BPlusTree::validate() const {

@@ -14,6 +14,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rodain/common/status.hpp"
 #include "rodain/common/types.hpp"
@@ -32,6 +33,17 @@ struct IndexKey {
   [[nodiscard]] std::string to_string() const;  ///< printable prefix
 
   auto operator<=>(const IndexKey&) const = default;
+};
+
+/// One index mutation, as recorded by the change journal and replayed from
+/// checkpoint delta files (DESIGN.md §15). kUpsert covers both insert and
+/// value update (applied as insert-or-update); kErase removes the key if
+/// present. Both are idempotent under re-application.
+struct IndexOp {
+  enum class Kind : std::uint8_t { kUpsert = 0, kErase = 1 };
+  Kind kind{Kind::kUpsert};
+  IndexKey key{};
+  ObjectId oid{kInvalidObject};
 };
 
 class BPlusTree {
@@ -74,6 +86,26 @@ class BPlusTree {
   /// separator correctness). Test/debug aid; O(n).
   [[nodiscard]] Status validate() const;
 
+  // ---- change journal (fuzzy checkpoint deltas, DESIGN.md §15) ----------
+  /// Enable (clear + start recording) or disable the journal. While enabled,
+  /// every successful insert/update/erase appends an op under the unique
+  /// lock it already holds.
+  void set_journal(bool enabled);
+  /// Take the ops recorded since the last cut; the journal stays enabled.
+  [[nodiscard]] std::vector<IndexOp> cut_journal();
+  /// Put back ops from a failed checkpoint so the next cut re-covers them
+  /// (prepended: they happened before anything recorded since the cut).
+  void restore_journal(std::vector<IndexOp> ops);
+  [[nodiscard]] bool journal_enabled() const;
+
+  /// Resumable full scan in key order: emits every stable entry in chunks of
+  /// `chunk`, dropping and re-taking the shared lock between chunks so
+  /// mutators wait at most one chunk. Entries inserted or erased mid-scan may
+  /// or may not be seen — callers pair the scan with the change journal
+  /// (fuzzy base encode) or exclude writers.
+  void chunked_scan(std::size_t chunk,
+                    const std::function<void(const IndexKey&, ObjectId)>& fn) const;
+
  private:
   struct Node;
   struct InsertResult;
@@ -89,6 +121,8 @@ class BPlusTree {
 
   Node* root_{nullptr};
   std::size_t size_{0};
+  bool journal_enabled_{false};
+  std::vector<IndexOp> journal_;
   mutable std::shared_mutex mu_;
 };
 

@@ -9,7 +9,7 @@
 namespace rodain::storage {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x31544b4344'4f52ULL;  // "ROD CKT1"-ish tag
+constexpr std::uint64_t kMagic = kCheckpointMagic;  // "ROD CKT1"-ish tag
 constexpr std::uint32_t kVersion = 2;  // v2 adds the optional index section
 }  // namespace
 
@@ -114,20 +114,17 @@ Status fsync_parent_dir(const std::string& path) {
 }
 }  // namespace
 
-Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,
-                             const std::string& path, const BPlusTree* index) {
-  ByteWriter w(store.size() * 80 + 64);
-  encode_checkpoint(store, last_applied, w, index);
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::byte> bytes) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::error(ErrorCode::kIoError, "cannot open " + tmp);
-  const auto view = w.view();
   // The tmp file must be on stable storage BEFORE the rename: rename is
   // atomic for the directory entry only, so without the fsync a crash can
   // expose `path` pointing at an empty or torn file — corruption where the
   // old checkpoint used to be.
   const bool ok =
-      std::fwrite(view.data(), 1, view.size(), f) == view.size() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
       std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
   if (!ok) {
@@ -136,12 +133,23 @@ Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  if (ec) return Status::error(ErrorCode::kIoError, "rename: " + ec.message());
+  if (ec) {
+    // Don't leave the orphaned tmp behind: nothing ever retries this exact
+    // temp name, and a stale `.tmp` shadows the next attempt's error state.
+    std::remove(tmp.c_str());
+    return Status::error(ErrorCode::kIoError, "rename: " + ec.message());
+  }
   return fsync_parent_dir(path);
 }
 
-namespace {
-Result<std::vector<std::byte>> read_whole_file(const std::string& path) {
+Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,
+                             const std::string& path, const BPlusTree* index) {
+  ByteWriter w(store.size() * 80 + 64);
+  encode_checkpoint(store, last_applied, w, index);
+  return write_file_atomic(path, w.view());
+}
+
+Result<std::vector<std::byte>> read_file_bytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::error(ErrorCode::kNotFound, "cannot open " + path);
   std::fseek(f, 0, SEEK_END);
@@ -163,12 +171,11 @@ Result<std::vector<std::byte>> read_whole_file(const std::string& path) {
   if (!ok) return Status::error(ErrorCode::kIoError, "short checkpoint read");
   return buf;
 }
-}  // namespace
 
 Result<CheckpointMeta> read_checkpoint_file(const std::string& path,
                                             ObjectStore& store,
                                             BPlusTree* index) {
-  auto buf = read_whole_file(path);
+  auto buf = read_file_bytes(path);
   if (!buf.is_ok()) return buf.status();
   return decode_checkpoint(buf.value(), store, index);
 }
@@ -203,7 +210,7 @@ Result<CheckpointMeta> peek_checkpoint(std::span<const std::byte> data) {
 }
 
 Result<CheckpointBytes> read_checkpoint_bytes(const std::string& path) {
-  auto buf = read_whole_file(path);
+  auto buf = read_file_bytes(path);
   if (!buf.is_ok()) return buf.status();
   CheckpointBytes out;
   out.bytes = std::move(buf).value();

@@ -20,6 +20,10 @@
 
 namespace rodain::storage {
 
+/// Shared on-disk magic for every checkpoint artifact (legacy full files and
+/// fuzzy base/delta files alike); the version field distinguishes layouts.
+inline constexpr std::uint64_t kCheckpointMagic = 0x31544b4344'4f52ULL;
+
 struct CheckpointMeta {
   ValidationTs last_applied{0};  ///< every txn with ts <= this is included
   std::uint64_t object_count{0};
@@ -36,6 +40,16 @@ void encode_checkpoint(const ObjectStore& store, ValidationTs last_applied,
 Result<CheckpointMeta> decode_checkpoint(std::span<const std::byte> data,
                                          ObjectStore& store,
                                          BPlusTree* index = nullptr);
+
+/// Durably write `bytes` to `path` via write-to-temp + fsync + rename +
+/// parent-dir fsync. The temp file (`path + ".tmp"`) is unlinked on every
+/// error path, including a failed rename.
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::byte> bytes);
+
+/// Read a whole file. kNotFound for a missing or zero-length file (the
+/// latter is what a crash between create and first write leaves behind).
+Result<std::vector<std::byte>> read_file_bytes(const std::string& path);
 
 /// File convenience wrappers (atomic via write-to-temp + rename).
 Status write_checkpoint_file(const ObjectStore& store, ValidationTs last_applied,

@@ -1,0 +1,117 @@
+#include "rodain/storage/ckpt_manifest.hpp"
+
+#include <filesystem>
+
+#include "rodain/storage/checkpoint.hpp"
+
+namespace rodain::storage {
+
+namespace {
+constexpr std::uint64_t kManifestMagic = 0x31464e4d444f52ULL;  // "RODMNF1"
+constexpr std::uint32_t kManifestVersion = 1;
+}  // namespace
+
+std::string manifest_path_for(const std::string& checkpoint_path) {
+  return checkpoint_path + ".manifest";
+}
+
+std::string sibling_path(const std::string& manifest_path,
+                         const std::string& file) {
+  return (std::filesystem::path(manifest_path).parent_path() / file).string();
+}
+
+void encode_manifest(const CkptManifest& m, ByteWriter& out) {
+  const std::size_t body_start = out.size();
+  out.put_u64(kManifestMagic);
+  out.put_u32(kManifestVersion);
+  out.put_u64(m.covered_boundary());
+  out.put_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const ManifestEntry& e : m.entries) {
+    out.put_u8(static_cast<std::uint8_t>(e.kind));
+    out.put_u64(e.boundary);
+    out.put_u64(e.capture_epoch);
+    out.put_u64(e.bytes);
+    out.put_string(e.file);
+  }
+  out.put_u32(crc32c(out.view().subspan(body_start)));
+}
+
+Result<CkptManifest> decode_manifest(std::span<const std::byte> data) {
+  if (data.size() < 4) {
+    return Status::error(ErrorCode::kCorruption, "manifest too short");
+  }
+  const auto body = data.subspan(0, data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(body) != expect) {
+    return Status::error(ErrorCode::kCorruption, "manifest CRC mismatch");
+  }
+
+  ByteReader r(body);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t covered = 0;
+  std::uint32_t count = 0;
+  if (auto s = r.get_u64(magic); !s) return s;
+  if (magic != kManifestMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad manifest magic");
+  }
+  if (auto s = r.get_u32(version); !s) return s;
+  if (version != kManifestVersion) {
+    return Status::error(ErrorCode::kCorruption, "unsupported manifest version");
+  }
+  if (auto s = r.get_u64(covered); !s) return s;
+  if (auto s = r.get_u32(count); !s) return s;
+
+  CkptManifest m;
+  m.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    std::uint8_t kind = 0;
+    if (auto s = r.get_u8(kind); !s) return s;
+    if (kind > 1) {
+      return Status::error(ErrorCode::kCorruption, "bad manifest entry kind");
+    }
+    e.kind = static_cast<ManifestEntry::Kind>(kind);
+    if (auto s = r.get_u64(e.boundary); !s) return s;
+    if (auto s = r.get_u64(e.capture_epoch); !s) return s;
+    if (auto s = r.get_u64(e.bytes); !s) return s;
+    if (auto s = r.get_string(e.file); !s) return s;
+    m.entries.push_back(std::move(e));
+  }
+  if (!r.at_end()) {
+    return Status::error(ErrorCode::kCorruption, "trailing manifest bytes");
+  }
+
+  // Structural checks: exactly one base, first; boundaries and capture
+  // epochs non-decreasing along the chain.
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    const bool is_base = m.entries[i].kind == ManifestEntry::Kind::kBase;
+    if (is_base != (i == 0)) {
+      return Status::error(ErrorCode::kCorruption, "manifest chain misordered");
+    }
+    if (i > 0 && (m.entries[i].boundary < m.entries[i - 1].boundary ||
+                  m.entries[i].capture_epoch <= m.entries[i - 1].capture_epoch)) {
+      return Status::error(ErrorCode::kCorruption, "manifest chain non-monotone");
+    }
+  }
+  if (covered != m.covered_boundary()) {
+    return Status::error(ErrorCode::kCorruption, "manifest boundary mismatch");
+  }
+  return m;
+}
+
+Status write_manifest_file(const CkptManifest& m, const std::string& path) {
+  ByteWriter w(64 + m.entries.size() * 64);
+  encode_manifest(m, w);
+  return write_file_atomic(path, w.view());
+}
+
+Result<CkptManifest> read_manifest_file(const std::string& path) {
+  auto buf = read_file_bytes(path);
+  if (!buf.is_ok()) return buf.status();
+  return decode_manifest(buf.value());
+}
+
+}  // namespace rodain::storage

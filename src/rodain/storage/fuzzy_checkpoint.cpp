@@ -1,0 +1,446 @@
+#include "rodain/storage/fuzzy_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rodain::storage {
+
+namespace {
+
+constexpr std::uint8_t kKindBase = 0;
+constexpr std::uint8_t kKindDelta = 1;
+constexpr std::uint8_t kFlagTombstone = 0x1;
+constexpr std::uint32_t kChainVersion = 1;
+constexpr std::size_t kIndexScanChunk = 512;
+
+/// Strip + verify the trailing CRC; returns the body span.
+Result<std::span<const std::byte>> checked_body(
+    std::span<const std::byte> data) {
+  if (data.size() < 4) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint too short");
+  }
+  const auto body = data.subspan(0, data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t expect = 0;
+  if (auto s = crc_reader.get_u32(expect); !s) return s;
+  if (crc32c(body) != expect) {
+    return Status::error(ErrorCode::kCorruption, "checkpoint CRC mismatch");
+  }
+  return body;
+}
+
+/// Parse the fixed v3 header; leaves `r` positioned at the record count.
+Status parse_fuzzy_header(ByteReader& r, FuzzyMeta& meta) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint8_t kind = 0;
+  if (auto s = r.get_u64(magic); !s) return s;
+  if (magic != kCheckpointMagic) {
+    return Status::error(ErrorCode::kCorruption, "bad checkpoint magic");
+  }
+  if (auto s = r.get_u32(version); !s) return s;
+  if (version != kFuzzyVersion) {
+    return Status::error(ErrorCode::kCorruption,
+                         "unsupported fuzzy checkpoint version");
+  }
+  if (auto s = r.get_u8(kind); !s) return s;
+  if (kind > kKindDelta) {
+    return Status::error(ErrorCode::kCorruption, "bad fuzzy checkpoint kind");
+  }
+  meta.delta = kind == kKindDelta;
+  if (auto s = r.get_u64(meta.boundary); !s) return s;
+  if (auto s = r.get_u64(meta.capture_epoch); !s) return s;
+  if (auto s = r.get_u64(meta.floor_epoch); !s) return s;
+  return Status::ok();
+}
+
+Status apply_records(ByteReader& r, std::uint32_t count, ObjectStore& store) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    std::uint64_t wts = 0;
+    std::uint8_t flags = 0;
+    std::uint64_t len = 0;
+    std::span<const std::byte> value;
+    if (auto s = r.get_u64(id); !s) return s;
+    if (auto s = r.get_u64(wts); !s) return s;
+    if (auto s = r.get_u8(flags); !s) return s;
+    if (auto s = r.get_varint(len); !s) return s;
+    if (auto s = r.get_raw(static_cast<std::size_t>(len), value); !s) return s;
+    if (flags & kFlagTombstone) {
+      store.tombstone(id, wts);
+    } else {
+      store.upsert(id, Value{value}, wts);
+    }
+  }
+  return Status::ok();
+}
+
+Status apply_index_ops(ByteReader& r, std::uint32_t count, BPlusTree* index) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t kind = 0;
+    std::span<const std::byte> raw;
+    std::uint64_t oid = 0;
+    if (auto s = r.get_u8(kind); !s) return s;
+    if (kind > static_cast<std::uint8_t>(IndexOp::Kind::kErase)) {
+      return Status::error(ErrorCode::kCorruption, "bad index op kind");
+    }
+    IndexKey key;
+    if (auto s = r.get_raw(key.bytes.size(), raw); !s) return s;
+    std::memcpy(key.bytes.data(), raw.data(), raw.size());
+    if (auto s = r.get_varint(oid); !s) return s;
+    if (!index) continue;
+    if (kind == static_cast<std::uint8_t>(IndexOp::Kind::kUpsert)) {
+      if (!index->insert(key, oid)) index->update(key, oid);
+    } else {
+      index->erase(key);  // idempotent: the key may already be gone
+    }
+  }
+  return Status::ok();
+}
+
+void put_fuzzy_header(ByteWriter& out, std::uint8_t kind,
+                      ValidationTs boundary, std::uint64_t capture_epoch,
+                      std::uint64_t floor_epoch) {
+  out.put_u64(kCheckpointMagic);
+  out.put_u32(kFuzzyVersion);
+  out.put_u8(kind);
+  out.put_u64(boundary);
+  out.put_u64(capture_epoch);
+  out.put_u64(floor_epoch);
+}
+
+}  // namespace
+
+FuzzyEncodeStats encode_fuzzy_base(ObjectStore& store, const BPlusTree& index,
+                                   ValidationTs boundary, ByteWriter& out) {
+  FuzzyEncodeStats stats;
+  const std::size_t body_start = out.size();
+  put_fuzzy_header(out, kKindBase, boundary, store.snapshot_epoch(), 0);
+  const std::size_t record_count_at = out.size();
+  out.put_u32(0);
+  std::uint32_t records = 0;
+  stats.scan = store.snapshot_scan(
+      0, [&](ObjectId id, const Value& value, ValidationTs wts, bool deleted) {
+        if (deleted) return;  // bases compact tombstones away
+        out.put_u64(id);
+        out.put_u64(wts);
+        out.put_u8(0);
+        out.put_bytes(value.view());
+        ++records;
+      });
+  out.patch_u32(record_count_at, records);
+
+  // Full index dump as upsert ops: entries inserted or erased mid-scan are
+  // reconciled by the change journal (next delta) and log replay past the
+  // boundary — both idempotent.
+  const std::size_t op_count_at = out.size();
+  out.put_u32(0);
+  std::uint32_t ops = 0;
+  index.chunked_scan(kIndexScanChunk, [&](const IndexKey& key, ObjectId oid) {
+    out.put_u8(static_cast<std::uint8_t>(IndexOp::Kind::kUpsert));
+    out.put_raw(std::as_bytes(std::span{key.bytes}));
+    out.put_varint(oid);
+    ++ops;
+  });
+  out.patch_u32(op_count_at, ops);
+  out.put_u32(crc32c(out.view().subspan(body_start)));
+  stats.records = records;
+  stats.index_ops = ops;
+  stats.bytes = out.size() - body_start;
+  return stats;
+}
+
+FuzzyEncodeStats encode_fuzzy_delta(ObjectStore& store,
+                                    std::span<const IndexOp> index_ops,
+                                    ValidationTs boundary,
+                                    std::uint64_t floor_epoch,
+                                    ByteWriter& out) {
+  FuzzyEncodeStats stats;
+  const std::size_t body_start = out.size();
+  put_fuzzy_header(out, kKindDelta, boundary, store.snapshot_epoch(),
+                   floor_epoch);
+  const std::size_t record_count_at = out.size();
+  out.put_u32(0);
+  std::uint32_t records = 0;
+  stats.scan = store.snapshot_scan(
+      floor_epoch,
+      [&](ObjectId id, const Value& value, ValidationTs wts, bool deleted) {
+        out.put_u64(id);
+        out.put_u64(wts);
+        out.put_u8(deleted ? kFlagTombstone : 0);
+        out.put_bytes(value.view());
+        ++records;
+      });
+  out.patch_u32(record_count_at, records);
+
+  out.put_u32(static_cast<std::uint32_t>(index_ops.size()));
+  for (const IndexOp& op : index_ops) {
+    out.put_u8(static_cast<std::uint8_t>(op.kind));
+    out.put_raw(std::as_bytes(std::span{op.key.bytes}));
+    out.put_varint(op.oid);
+  }
+  out.put_u32(crc32c(out.view().subspan(body_start)));
+  stats.records = records;
+  stats.index_ops = index_ops.size();
+  stats.bytes = out.size() - body_start;
+  return stats;
+}
+
+Result<FuzzyMeta> peek_fuzzy(std::span<const std::byte> data) {
+  auto body = checked_body(data);
+  if (!body.is_ok()) return body.status();
+  ByteReader r(body.value());
+  FuzzyMeta meta;
+  if (auto s = parse_fuzzy_header(r, meta); !s) return s;
+  std::uint32_t record_count = 0;
+  if (auto s = r.get_u32(record_count); !s) return s;
+  meta.record_count = record_count;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    std::uint64_t skip_u64 = 0;
+    std::uint8_t skip_u8 = 0;
+    std::uint64_t len = 0;
+    std::span<const std::byte> raw;
+    if (auto s = r.get_u64(skip_u64); !s) return s;
+    if (auto s = r.get_u64(skip_u64); !s) return s;
+    if (auto s = r.get_u8(skip_u8); !s) return s;
+    if (auto s = r.get_varint(len); !s) return s;
+    if (auto s = r.get_raw(static_cast<std::size_t>(len), raw); !s) return s;
+  }
+  std::uint32_t op_count = 0;
+  if (auto s = r.get_u32(op_count); !s) return s;
+  meta.index_op_count = op_count;
+  return meta;
+}
+
+namespace {
+
+Result<CheckpointMeta> decode_fuzzy_body(std::span<const std::byte> data,
+                                         ObjectStore& store, BPlusTree* index,
+                                         bool expect_delta) {
+  auto body = checked_body(data);
+  if (!body.is_ok()) return body.status();
+  ByteReader r(body.value());
+  FuzzyMeta meta;
+  if (auto s = parse_fuzzy_header(r, meta); !s) return s;
+  if (meta.delta != expect_delta) {
+    return Status::error(ErrorCode::kCorruption,
+                         expect_delta ? "expected delta, found base"
+                                      : "expected base, found delta");
+  }
+  if (!expect_delta) {
+    store.clear();
+    if (index) *index = BPlusTree{};
+  }
+  std::uint32_t record_count = 0;
+  if (auto s = r.get_u32(record_count); !s) return s;
+  if (auto s = apply_records(r, record_count, store); !s) return s;
+  std::uint32_t op_count = 0;
+  if (auto s = r.get_u32(op_count); !s) return s;
+  if (auto s = apply_index_ops(r, op_count, index); !s) return s;
+  if (!r.at_end()) {
+    return Status::error(ErrorCode::kCorruption, "trailing checkpoint bytes");
+  }
+  CheckpointMeta out;
+  out.last_applied = meta.boundary;
+  out.object_count = record_count;
+  return out;
+}
+
+/// A chain's first part may be a v3 base or (defensively) a legacy full
+/// checkpoint; dispatch on the version field.
+Result<CheckpointMeta> decode_part_base(std::span<const std::byte> part,
+                                        ObjectStore& store, BPlusTree* index) {
+  ByteReader r(part);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  if (r.get_u64(magic) && r.get_u32(version) && magic == kCheckpointMagic &&
+      version == kFuzzyVersion) {
+    return decode_fuzzy_body(part, store, index, /*expect_delta=*/false);
+  }
+  return decode_checkpoint(part, store, index);
+}
+
+}  // namespace
+
+Result<CheckpointMeta> decode_fuzzy_base(std::span<const std::byte> data,
+                                         ObjectStore& store,
+                                         BPlusTree* index) {
+  return decode_fuzzy_body(data, store, index, /*expect_delta=*/false);
+}
+
+Result<CheckpointMeta> apply_fuzzy_delta(std::span<const std::byte> data,
+                                         ObjectStore& store,
+                                         BPlusTree* index) {
+  return decode_fuzzy_body(data, store, index, /*expect_delta=*/true);
+}
+
+void encode_chain(std::span<const std::vector<std::byte>> parts,
+                  ByteWriter& out) {
+  out.put_u64(kChainMagic);
+  out.put_u32(kChainVersion);
+  out.put_u32(static_cast<std::uint32_t>(parts.size()));
+  for (const auto& part : parts) {
+    out.put_u64(part.size());
+    out.put_raw(part);
+  }
+}
+
+Result<CheckpointMeta> decode_checkpoint_any(std::span<const std::byte> data,
+                                             ObjectStore& store,
+                                             BPlusTree* index) {
+  ByteReader probe(data);
+  std::uint64_t magic = 0;
+  if (data.size() >= 8) (void)probe.get_u64(magic);
+
+  if (magic == kChainMagic) {
+    std::uint32_t version = 0;
+    std::uint32_t count = 0;
+    if (auto s = probe.get_u32(version); !s) return s;
+    if (version != kChainVersion) {
+      return Status::error(ErrorCode::kCorruption, "unsupported chain version");
+    }
+    if (auto s = probe.get_u32(count); !s) return s;
+    if (count == 0) {
+      return Status::error(ErrorCode::kCorruption, "empty checkpoint chain");
+    }
+    CheckpointMeta meta;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t len = 0;
+      std::span<const std::byte> part;
+      if (auto s = probe.get_u64(len); !s) return s;
+      if (auto s = probe.get_raw(static_cast<std::size_t>(len), part); !s) {
+        return s;
+      }
+      auto m = i == 0 ? decode_part_base(part, store, index)
+                      : apply_fuzzy_delta(part, store, index);
+      if (!m.is_ok()) return m.status();
+      meta.last_applied = m.value().last_applied;
+    }
+    if (!probe.at_end()) {
+      return Status::error(ErrorCode::kCorruption, "trailing chain bytes");
+    }
+    meta.object_count = store.live_size();
+    return meta;
+  }
+
+  if (magic == kCheckpointMagic) {
+    std::uint32_t version = 0;
+    if (probe.get_u32(version) && version == kFuzzyVersion) {
+      return decode_fuzzy_base(data, store, index);
+    }
+  }
+  return decode_checkpoint(data, store, index);
+}
+
+namespace {
+
+Result<CheckpointMeta> load_chain(const std::string& manifest_path,
+                                  const CkptManifest& m, ObjectStore& store,
+                                  BPlusTree* index) {
+  if (m.entries.empty()) {
+    return Status::error(ErrorCode::kCorruption, "empty checkpoint chain");
+  }
+  CheckpointMeta meta;
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    auto buf = read_file_bytes(sibling_path(manifest_path, m.entries[i].file));
+    if (!buf.is_ok()) return buf.status();
+    auto r = i == 0 ? decode_part_base(buf.value(), store, index)
+                    : apply_fuzzy_delta(buf.value(), store, index);
+    if (!r.is_ok()) return r.status();
+    meta.last_applied = r.value().last_applied;
+  }
+  meta.object_count = store.live_size();
+  return meta;
+}
+
+}  // namespace
+
+Result<CheckpointMeta> load_checkpoint_artifacts(
+    const std::string& checkpoint_path, ObjectStore& store, BPlusTree* index) {
+  const std::string manifest_path = manifest_path_for(checkpoint_path);
+  auto manifest = read_manifest_file(manifest_path);
+  auto legacy = read_file_bytes(checkpoint_path);
+
+  std::uint64_t legacy_boundary = 0;
+  bool legacy_ok = false;
+  if (legacy.is_ok()) {
+    if (auto pm = peek_checkpoint(legacy.value()); pm.is_ok()) {
+      legacy_ok = true;
+      legacy_boundary = pm.value().last_applied;
+    }
+  }
+
+  // Both sources can exist (a mirror-era legacy file next to a stale fuzzy
+  // manifest, or vice versa); the freshest — highest covered boundary — wins,
+  // and a corrupt winner falls back to the other.
+  const bool chain_first =
+      manifest.is_ok() &&
+      (!legacy_ok || manifest.value().covered_boundary() >= legacy_boundary);
+
+  Status last_err = Status::ok();
+  bool tried = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool use_chain = attempt == 0 ? chain_first : !chain_first;
+    if (use_chain) {
+      if (!manifest.is_ok()) continue;
+      tried = true;
+      auto r = load_chain(manifest_path, manifest.value(), store, index);
+      if (r.is_ok()) return r;
+      last_err = r.status();
+    } else {
+      if (!legacy.is_ok()) continue;
+      tried = true;
+      auto r = decode_checkpoint_any(legacy.value(), store, index);
+      if (r.is_ok()) return r;
+      last_err = r.status();
+    }
+  }
+  if (tried) return last_err;
+  if (manifest.status().code() == ErrorCode::kCorruption) {
+    return manifest.status();
+  }
+  // Neither source exists (or both were unreadable as files).
+  return legacy.is_ok() ? manifest.status() : legacy.status();
+}
+
+Result<CheckpointBytes> read_artifact_chain_bytes(
+    const std::string& checkpoint_path) {
+  const std::string manifest_path = manifest_path_for(checkpoint_path);
+  auto manifest = read_manifest_file(manifest_path);
+  auto legacy = read_checkpoint_bytes(checkpoint_path);
+
+  const std::uint64_t legacy_boundary =
+      legacy.is_ok() ? legacy.value().meta.last_applied : 0;
+  const bool chain_first =
+      manifest.is_ok() &&
+      (!legacy.is_ok() || manifest.value().covered_boundary() >= legacy_boundary);
+
+  if (chain_first) {
+    const CkptManifest& m = manifest.value();
+    std::vector<std::vector<std::byte>> parts;
+    parts.reserve(m.entries.size());
+    CheckpointBytes out;
+    bool complete = !m.entries.empty();
+    for (const ManifestEntry& e : m.entries) {
+      auto buf = read_file_bytes(sibling_path(manifest_path, e.file));
+      if (!buf.is_ok()) {
+        complete = false;
+        break;
+      }
+      if (auto pm = peek_fuzzy(buf.value()); pm.is_ok()) {
+        out.meta.object_count += pm.value().record_count;
+      }
+      parts.push_back(std::move(buf).value());
+    }
+    if (complete) {
+      ByteWriter w;
+      encode_chain(parts, w);
+      out.bytes = w.take();
+      out.meta.last_applied = m.covered_boundary();
+      return out;
+    }
+  }
+  return legacy;
+}
+
+}  // namespace rodain::storage

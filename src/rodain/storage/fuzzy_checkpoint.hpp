@@ -1,0 +1,108 @@
+// Fuzzy checkpoint artifacts (DESIGN.md §15).
+//
+// A fuzzy checkpoint is written while committers keep running: the store's
+// snapshot mode (ObjectStore::snapshot_begin/snapshot_scan) supplies a
+// point-in-time view at the flipped boundary, and per-record dirty epochs
+// let the encoder alternate full *base* files with incremental *delta*
+// files containing only records dirtied since the previous capture. The
+// artifacts form a chain named by the CRC'd manifest (ckpt_manifest.hpp);
+// recovery loads base + deltas in order, and joins ship the whole chain in
+// a container frame so the wire protocol stays a single opaque blob.
+//
+// v3 file layout (little-endian, CRC-32C over everything before the CRC):
+//   u64 magic (kCheckpointMagic) | u32 version=3 | u8 kind (0 base, 1 delta)
+//   u64 boundary | u64 capture_epoch | u64 floor_epoch
+//   u32 record_count | records { u64 id, u64 wts, u8 flags, bytes value }
+//   u32 index_op_count | ops { u8 kind, 16B key, varint oid }
+//   u32 crc
+// Record flags bit0 = tombstone (deltas only; bases are compacted). A base's
+// index section is the full index dumped as upsert ops, so one op-applier
+// decodes both kinds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rodain/common/serialization.hpp"
+#include "rodain/common/status.hpp"
+#include "rodain/common/types.hpp"
+#include "rodain/storage/btree.hpp"
+#include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/ckpt_manifest.hpp"
+#include "rodain/storage/object_store.hpp"
+
+namespace rodain::storage {
+
+inline constexpr std::uint32_t kFuzzyVersion = 3;
+/// Container frame carrying a whole base+delta chain (join shipping).
+inline constexpr std::uint64_t kChainMagic = 0x314e4843444f52ULL;  // "RODCHN1"
+
+struct FuzzyMeta {
+  bool delta{false};
+  ValidationTs boundary{0};
+  std::uint64_t capture_epoch{0};
+  std::uint64_t floor_epoch{0};
+  std::uint64_t record_count{0};
+  std::uint64_t index_op_count{0};
+};
+
+struct FuzzyEncodeStats {
+  std::uint64_t records{0};
+  std::uint64_t index_ops{0};
+  std::uint64_t bytes{0};
+  ObjectStore::SnapshotScanStats scan;
+};
+
+/// Encode a base from the active snapshot (snapshot_begin must have been
+/// called; the caller owns snapshot_end). Walks every record via
+/// snapshot_scan(floor=0) — tombstones compacted away — and dumps the full
+/// index via chunked_scan as upsert ops.
+FuzzyEncodeStats encode_fuzzy_base(ObjectStore& store, const BPlusTree& index,
+                                   ValidationTs boundary, ByteWriter& out);
+
+/// Encode a delta from the active snapshot: records with dirty epoch >
+/// `floor_epoch` (tombstones included, flagged) plus the index change
+/// journal cut at the flip.
+FuzzyEncodeStats encode_fuzzy_delta(ObjectStore& store,
+                                    std::span<const IndexOp> index_ops,
+                                    ValidationTs boundary,
+                                    std::uint64_t floor_epoch, ByteWriter& out);
+
+/// CRC + header check, metadata only (no store rebuild).
+Result<FuzzyMeta> peek_fuzzy(std::span<const std::byte> data);
+
+/// Decode a v3 base into `store` (cleared first) and `index` (reset).
+Result<CheckpointMeta> decode_fuzzy_base(std::span<const std::byte> data,
+                                         ObjectStore& store, BPlusTree* index);
+
+/// Apply a v3 delta on top of an already-loaded chain prefix.
+Result<CheckpointMeta> apply_fuzzy_delta(std::span<const std::byte> data,
+                                         ObjectStore& store, BPlusTree* index);
+
+/// Wrap already-encoded artifacts (base first) into one chain blob.
+void encode_chain(std::span<const std::vector<std::byte>> parts,
+                  ByteWriter& out);
+
+/// Decode any checkpoint payload a peer or the disk may hand us: a chain
+/// container, a bare v3 base, or a legacy v1/v2 full checkpoint.
+Result<CheckpointMeta> decode_checkpoint_any(std::span<const std::byte> data,
+                                             ObjectStore& store,
+                                             BPlusTree* index = nullptr);
+
+/// Load the freshest complete artifact set under `checkpoint_path`: the
+/// manifest chain and the legacy single file are both considered and the
+/// higher covered boundary wins (a corrupt winner falls back to the other).
+/// kNotFound when neither exists.
+Result<CheckpointMeta> load_checkpoint_artifacts(
+    const std::string& checkpoint_path, ObjectStore& store,
+    BPlusTree* index = nullptr);
+
+/// Same freshest-artifact-set selection, but returning the raw bytes (chain
+/// container or legacy blob) plus peeked metadata, for serving a join from
+/// the on-disk artifacts without decoding them.
+Result<CheckpointBytes> read_artifact_chain_bytes(
+    const std::string& checkpoint_path);
+
+}  // namespace rodain::storage

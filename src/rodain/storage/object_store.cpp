@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "rodain/obs/obs.hpp"
@@ -16,6 +17,8 @@ std::size_t next_pow2(std::size_t n) {
 
 struct StoreMetrics {
   obs::Counter& rehash_fences = obs::metrics().counter("store.rehash_fences");
+  obs::Counter& records_retained =
+      obs::metrics().counter("ckpt.records_retained");
 };
 StoreMetrics& sm() {
   static StoreMetrics m;
@@ -43,6 +46,7 @@ Status ObjectStore::insert(ObjectId id, Value value) {
   }
   ObjectRecord rec;
   rec.value = std::move(value);
+  rec.dirty_epoch = epoch_.load(std::memory_order_relaxed);
   insert_internal(id, std::move(rec));
   return Status::ok();
 }
@@ -60,6 +64,10 @@ ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
     if (Slot* s = locate(id)) {
       ObjectRecord& rec = s->record;
       if (rec.value.is_inline() && value.is_inline()) {
+        // CoW for the active snapshot BEFORE the seqlock write: a walker
+        // that observes the new version (via the seqlock's release edge)
+        // is guaranteed to find the retained old one.
+        maybe_retain(id, rec);
         rec.write_begin();
         rec.value.store_inline_relaxed(value.view());
         rec.bump_wts(wts);
@@ -69,6 +77,7 @@ ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
                                                    std::memory_order_relaxed);
           tombstones_.fetch_sub(1, std::memory_order_relaxed);  // revived
         }
+        rec.set_dirty_epoch(epoch_.load(std::memory_order_relaxed));
         rec.write_end();
         return rec;
       }
@@ -80,17 +89,20 @@ ObjectRecord& ObjectStore::upsert(ObjectId id, Value value, ValidationTs wts) {
   // the lock change.
   if (Slot* s = locate(id)) {
     ObjectRecord& rec = s->record;
+    maybe_retain(id, rec);
     rec.value = std::move(value);
     if (wts > rec.wts) rec.wts = wts;
     if (rec.deleted) {
       rec.deleted = false;  // revived
       tombstones_.fetch_sub(1, std::memory_order_relaxed);
     }
+    rec.dirty_epoch = epoch_.load(std::memory_order_relaxed);
     return rec;
   }
   ObjectRecord rec;
   rec.value = std::move(value);
   rec.wts = wts;
+  rec.dirty_epoch = epoch_.load(std::memory_order_relaxed);
   return insert_internal(id, std::move(rec));
 }
 
@@ -100,6 +112,7 @@ ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
     if (Slot* s = locate(id)) {
       ObjectRecord& rec = s->record;
       if (rec.value.is_inline()) {
+        maybe_retain(id, rec);
         rec.write_begin();
         rec.value.store_inline_relaxed({});
         rec.bump_wts(wts);
@@ -109,6 +122,7 @@ ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
                                                    std::memory_order_relaxed);
           tombstones_.fetch_add(1, std::memory_order_relaxed);
         }
+        rec.set_dirty_epoch(epoch_.load(std::memory_order_relaxed));
         rec.write_end();
         return rec;
       }
@@ -118,17 +132,20 @@ ObjectRecord& ObjectStore::tombstone(ObjectId id, ValidationTs wts) {
   sm().rehash_fences.inc();
   if (Slot* s = locate(id)) {
     ObjectRecord& rec = s->record;
+    maybe_retain(id, rec);
     rec.value.clear();
     if (wts > rec.wts) rec.wts = wts;
     if (!rec.deleted) {
       rec.deleted = true;
       tombstones_.fetch_add(1, std::memory_order_relaxed);
     }
+    rec.dirty_epoch = epoch_.load(std::memory_order_relaxed);
     return rec;
   }
   ObjectRecord rec;
   rec.wts = wts;
   rec.deleted = true;
+  rec.dirty_epoch = epoch_.load(std::memory_order_relaxed);
   tombstones_.fetch_add(1, std::memory_order_relaxed);
   return insert_internal(id, std::move(rec));
 }
@@ -224,6 +241,10 @@ bool ObjectStore::erase(ObjectId id) {
   sm().rehash_fences.inc();
   Slot* s = locate(id);
   if (!s) return false;
+  // The retained copy is the only way an erased record still reaches the
+  // snapshot walker (the final retain sweep emits it).
+  maybe_retain(id, s->record);
+  table_gen_.fetch_add(1, std::memory_order_release);
   if (s->record.deleted) tombstones_.fetch_sub(1, std::memory_order_relaxed);
   // Backward-shift deletion keeps probe sequences contiguous.
   std::size_t i = static_cast<std::size_t>(s - slots_.data());
@@ -249,6 +270,7 @@ void ObjectStore::for_each(
 void ObjectStore::clear() {
   std::unique_lock fence(table_mu_);
   sm().rehash_fences.inc();
+  table_gen_.fetch_add(1, std::memory_order_release);
   for (Slot& s : slots_) s = Slot{};
   size_.store(0, std::memory_order_relaxed);
   tombstones_.store(0, std::memory_order_relaxed);
@@ -256,6 +278,7 @@ void ObjectStore::clear() {
 
 void ObjectStore::grow() {
   // Callers already hold table_mu_ exclusively (every insert path fences).
+  table_gen_.fetch_add(1, std::memory_order_release);
   std::vector<Slot> old = std::move(slots_);
   slots_.clear();
   slots_.resize(old.size() * 2);
@@ -282,6 +305,7 @@ const ObjectStore::Slot* ObjectStore::locate(ObjectId id) const {
 }
 
 ObjectRecord& ObjectStore::insert_internal(ObjectId id, ObjectRecord record) {
+  table_gen_.fetch_add(1, std::memory_order_release);
   if ((size_.load(std::memory_order_relaxed) + 1) * 10 >= slots_.size() * 9) {
     grow();  // keep load < 0.9
   }
@@ -305,6 +329,199 @@ ObjectRecord& ObjectStore::insert_internal(ObjectId id, ObjectRecord record) {
     i = (i + 1) & mask();
     ++incoming.probe;
   }
+}
+
+// ---- fuzzy snapshot mode (DESIGN.md §15) ----------------------------------
+
+std::uint64_t ObjectStore::snapshot_begin() {
+  // Purge stragglers from the previous snapshot: a writer that raced
+  // snapshot_end's deactivation may have inserted an entry after the stripes
+  // were cleared. Writers are externally excluded here, so the purge is the
+  // last word.
+  for (RetainStripe& st : retain_) {
+    std::lock_guard lk(st.mu);
+    st.map.clear();
+  }
+  retained_count_.store(0, std::memory_order_relaxed);
+  const std::uint64_t capture = epoch_.fetch_add(1, std::memory_order_relaxed);
+  capture_epoch_.store(capture, std::memory_order_relaxed);
+  snapshot_active_.store(true, std::memory_order_release);
+  return capture;
+}
+
+void ObjectStore::snapshot_end() {
+  snapshot_active_.store(false, std::memory_order_release);
+  for (RetainStripe& st : retain_) {
+    std::lock_guard lk(st.mu);
+    st.map.clear();
+  }
+  retained_count_.store(0, std::memory_order_relaxed);
+}
+
+void ObjectStore::maybe_retain(ObjectId id, ObjectRecord& rec) {
+  if (!snapshot_active_.load(std::memory_order_acquire)) return;
+  const std::uint64_t capture = capture_epoch_.load(std::memory_order_relaxed);
+  // dirty > capture: a post-flip writer already overwrote the record, so the
+  // snapshot version was retained (or emitted) when *it* went first.
+  if (rec.dirty_epoch_relaxed() > capture) return;
+  RetainStripe& st = stripe_for(id);
+  std::lock_guard lk(st.mu);
+  // Re-check under the stripe mutex: the walker stamps captured_epoch before
+  // taking this mutex, so observing the stamp here proves the record was
+  // already emitted and the pre-image is not needed.
+  if (rec.captured_epoch_relaxed() == capture) return;
+  auto [it, inserted] = st.map.try_emplace(id);
+  if (!inserted) return;  // an earlier writer already kept the pre-image
+  it->second.value = rec.value;
+  it->second.wts = rec.wts_relaxed();
+  it->second.deleted =
+      std::atomic_ref<bool>(rec.deleted).load(std::memory_order_relaxed);
+  it->second.dirty_epoch = rec.dirty_epoch_relaxed();
+  retained_count_.fetch_add(1, std::memory_order_relaxed);
+  sm().records_retained.inc();
+}
+
+void ObjectStore::scan_slot(Slot& s, std::uint64_t capture,
+                            std::uint64_t floor_epoch,
+                            SnapshotScanStats& stats,
+                            const std::function<void(ObjectId, const Value&,
+                                                     ValidationTs, bool)>& fn) {
+  ObjectRecord& rec = s.record;
+  if (rec.captured_epoch_relaxed() == capture) return;  // already handled
+  const ObjectId id = s.id;
+  // Seqlock-consistent copy of (value, wts, deleted, dirty_epoch) — the same
+  // idiom as read_optimistic, but spinning: writer sections are a few dozen
+  // instructions and there is exactly one walker.
+  Value value;
+  ValidationTs wts = 0;
+  bool deleted = false;
+  std::uint64_t dirty = 0;
+  for (;;) {
+    const std::uint32_t s1 = rec.seq_acquire();
+    if (s1 & 1u) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::uint64_t words[Value::kInlineWords];
+    std::size_t value_size = 0;
+    const bool inline_payload = rec.value.load_inline_relaxed(words, value_size);
+    Value heap_copy;
+    if (!inline_payload) heap_copy = rec.value;  // stable under shared lock
+    wts = rec.wts_relaxed();
+    deleted = std::atomic_ref<bool>(const_cast<bool&>(rec.deleted))
+                  .load(std::memory_order_relaxed);
+    dirty = rec.dirty_epoch_relaxed();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rec.seq_relaxed() != s1) continue;
+    if (inline_payload) {
+      value.assign(std::as_bytes(std::span{words}).first(value_size));
+    } else {
+      value = std::move(heap_copy);
+    }
+    break;
+  }
+  // Stamp BEFORE touching the stripe: any writer that takes the stripe mutex
+  // after us observes the stamp (mutex ordering) and skips retaining; any
+  // writer that retained before us leaves an entry we consume right here.
+  // Either way the id is emitted exactly once.
+  rec.set_captured_epoch(capture);
+  std::optional<RetainEntry> retained;
+  {
+    RetainStripe& st = stripe_for(id);
+    std::lock_guard lk(st.mu);
+    auto it = st.map.find(id);
+    if (it != st.map.end()) {
+      retained.emplace(std::move(it->second));
+      st.map.erase(it);
+      retained_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (dirty <= capture) {
+    // The live version is still the snapshot version. A retain entry, if one
+    // raced in, holds the same bytes (same-record mutators are serialized)
+    // and is simply dropped.
+    if (dirty > floor_epoch) {
+      fn(id, value, wts, deleted);
+      ++stats.emitted;
+    }
+  } else if (retained) {
+    // A post-flip writer got there first; its pre-image is the snapshot
+    // version.
+    if (retained->dirty_epoch > floor_epoch) {
+      fn(id, retained->value, retained->wts, retained->deleted);
+      ++stats.emitted;
+      ++stats.retained_emitted;
+    }
+  }
+  // dirty > capture with no retain entry: the record was born after the flip
+  // — not part of the snapshot.
+}
+
+ObjectStore::SnapshotScanStats ObjectStore::snapshot_scan(
+    std::uint64_t floor_epoch,
+    const std::function<void(ObjectId, const Value&, ValidationTs wts,
+                             bool deleted)>& fn) {
+  SnapshotScanStats stats;
+  const std::uint64_t capture = capture_epoch_.load(std::memory_order_relaxed);
+  constexpr std::size_t kChunk = 512;
+  constexpr std::uint64_t kMaxRestarts = 4;
+  std::uint64_t restarts = 0;
+  for (;;) {
+    ++stats.passes;
+    if (restarts >= kMaxRestarts) {
+      // Structural churn keeps invalidating the chunked walk — degrade to
+      // one pass under the shared lock held throughout. In-place committers
+      // still run (they only need the shared lock); only structural writers
+      // (inserts of new ids, erases) wait, and captured stamps from earlier
+      // passes keep this pass short.
+      ++stats.locked_passes;
+      std::shared_lock table(table_mu_);
+      for (Slot& s : slots_) {
+        if (s.probe != 0) scan_slot(s, capture, floor_epoch, stats, fn);
+      }
+      break;
+    }
+    const std::uint64_t gen = table_gen_.load(std::memory_order_acquire);
+    std::size_t pos = 0;
+    bool complete = true;
+    while (true) {
+      std::shared_lock table(table_mu_);
+      if (table_gen_.load(std::memory_order_relaxed) != gen) {
+        // A structural writer moved slots between chunks; restart the pass.
+        // Already-captured records short-circuit, so the restart re-scans
+        // only what the previous pass missed.
+        complete = false;
+        break;
+      }
+      const std::size_t end = std::min(pos + kChunk, slots_.size());
+      for (; pos < end; ++pos) {
+        Slot& s = slots_[pos];
+        if (s.probe != 0) scan_slot(s, capture, floor_epoch, stats, fn);
+      }
+      if (pos >= slots_.size()) break;
+    }
+    if (complete) break;
+    ++restarts;
+  }
+  // Drain pre-images of records erased before the walk reached them — the
+  // only entries a completed pass can leave behind (every surviving slot was
+  // stamped, so writers stopped retaining).
+  for (RetainStripe& st : retain_) {
+    std::unordered_map<ObjectId, RetainEntry> taken;
+    {
+      std::lock_guard lk(st.mu);
+      taken.swap(st.map);
+      retained_count_.fetch_sub(taken.size(), std::memory_order_relaxed);
+    }
+    for (auto& [id, entry] : taken) {
+      if (entry.dirty_epoch > floor_epoch) {
+        fn(id, entry.value, entry.wts, entry.deleted);
+        ++stats.emitted;
+        ++stats.retained_emitted;
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace rodain::storage

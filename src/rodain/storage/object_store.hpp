@@ -14,11 +14,14 @@
 // telecom-record update never fences the reader side.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -39,6 +42,18 @@ struct ObjectRecord {
   ValidationTs rts{0};
   ValidationTs wts{0};
   bool deleted{false};
+  /// Fuzzy-checkpoint bookkeeping (DESIGN.md §15). `dirty_epoch` is the
+  /// store's mutation epoch at the record's last write: the delta encoder
+  /// includes exactly the records dirtied after the previous capture.
+  /// `captured_epoch` is the snapshot walker's dedup stamp — set to the
+  /// active capture epoch once the record was emitted (or proven
+  /// post-snapshot), so restarted walk passes and the CoW retain path never
+  /// emit a record twice. Both are accessed through atomic_ref: writers
+  /// stamp dirty under the record seqlock while the walker reads it, and
+  /// the walker stamps captured under the shared table lock while in-place
+  /// writers consult it.
+  std::uint64_t dirty_epoch{0};
+  std::uint64_t captured_epoch{0};
 
   [[nodiscard]] bool live() const { return !deleted; }
 
@@ -48,6 +63,7 @@ struct ObjectRecord {
   // under the unique table lock, or on private engine-side snapshots.
   ObjectRecord(const ObjectRecord& o)
       : value(o.value), rts(o.rts), wts(o.wts), deleted(o.deleted),
+        dirty_epoch(o.dirty_epoch), captured_epoch(o.captured_epoch),
         seq_(o.seq_.load(std::memory_order_relaxed)) {}
   ObjectRecord& operator=(const ObjectRecord& o) {
     if (this != &o) {
@@ -55,6 +71,8 @@ struct ObjectRecord {
       rts = o.rts;
       wts = o.wts;
       deleted = o.deleted;
+      dirty_epoch = o.dirty_epoch;
+      captured_epoch = o.captured_epoch;
       seq_.store(o.seq_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     }
@@ -62,6 +80,7 @@ struct ObjectRecord {
   }
   ObjectRecord(ObjectRecord&& o) noexcept
       : value(std::move(o.value)), rts(o.rts), wts(o.wts), deleted(o.deleted),
+        dirty_epoch(o.dirty_epoch), captured_epoch(o.captured_epoch),
         seq_(o.seq_.load(std::memory_order_relaxed)) {}
   ObjectRecord& operator=(ObjectRecord&& o) noexcept {
     if (this != &o) {
@@ -69,6 +88,8 @@ struct ObjectRecord {
       rts = o.rts;
       wts = o.wts;
       deleted = o.deleted;
+      dirty_epoch = o.dirty_epoch;
+      captured_epoch = o.captured_epoch;
       seq_.store(o.seq_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     }
@@ -122,6 +143,27 @@ struct ObjectRecord {
   [[nodiscard]] ValidationTs wts_relaxed() const {
     return std::atomic_ref<ValidationTs>(const_cast<ValidationTs&>(wts))
         .load(std::memory_order_relaxed);
+  }
+
+  // Epoch accesses race the snapshot walker: relaxed atomic_refs, ordered
+  // by the record seqlock (dirty) or the retain-stripe mutex (captured).
+  [[nodiscard]] std::uint64_t dirty_epoch_relaxed() const {
+    return std::atomic_ref<std::uint64_t>(
+               const_cast<std::uint64_t&>(dirty_epoch))
+        .load(std::memory_order_relaxed);
+  }
+  void set_dirty_epoch(std::uint64_t e) {
+    std::atomic_ref<std::uint64_t>(dirty_epoch)
+        .store(e, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t captured_epoch_relaxed() const {
+    return std::atomic_ref<std::uint64_t>(
+               const_cast<std::uint64_t&>(captured_epoch))
+        .load(std::memory_order_relaxed);
+  }
+  void set_captured_epoch(std::uint64_t e) {
+    std::atomic_ref<std::uint64_t>(captured_epoch)
+        .store(e, std::memory_order_relaxed);
   }
 
  private:
@@ -216,6 +258,52 @@ class ObjectStore {
   /// Table load factor diagnostics.
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  // ---- fuzzy snapshot mode (DESIGN.md §15) ------------------------------
+  // snapshot_begin() flips the snapshot epoch in O(1); the caller must
+  // exclude every writer for the flip (the engine's install gate held
+  // exclusively). Afterwards writers run freely: the first post-flip write
+  // to a not-yet-captured record copies the old version into a per-stripe
+  // retain list (CoW on first write), and snapshot_scan walks the table
+  // off-lock, reading live records through their seqlocks and retained
+  // versions where a writer got there first. The result is equivalent to a
+  // point-in-time snapshot at the flip.
+
+  struct SnapshotScanStats {
+    std::uint64_t emitted{0};           ///< rows handed to the callback
+    std::uint64_t retained_emitted{0};  ///< of those, from the retain list
+    std::uint64_t passes{0};            ///< table walks (restarts included)
+    std::uint64_t locked_passes{0};     ///< degraded full-lock passes
+  };
+
+  /// Flip the snapshot epoch; returns the capture epoch E. Records with
+  /// dirty_epoch <= E belong to the snapshot; post-flip writers stamp E+1.
+  /// Requires external writer exclusion for the duration of the call.
+  std::uint64_t snapshot_begin();
+  /// Release the retain lists. Safe with writers running (stragglers that
+  /// raced the deactivation are purged by the next snapshot_begin).
+  void snapshot_end();
+  [[nodiscard]] bool snapshot_active() const {
+    return snapshot_active_.load(std::memory_order_acquire);
+  }
+  /// Capture epoch of the active snapshot (valid between begin and end).
+  [[nodiscard]] std::uint64_t snapshot_epoch() const {
+    return capture_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Current mutation epoch (what the next write will stamp).
+  [[nodiscard]] std::uint64_t mutation_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Walk the active snapshot, emitting every record (tombstones included)
+  /// whose snapshot-time dirty_epoch is > `floor_epoch` — 0 for a full
+  /// base, the previous capture epoch for a delta. Single encoder thread;
+  /// holds the shared table lock only in short chunks, so in-place writers
+  /// are never blocked and structural writers only per-chunk.
+  SnapshotScanStats snapshot_scan(
+      std::uint64_t floor_epoch,
+      const std::function<void(ObjectId, const Value&, ValidationTs wts,
+                               bool deleted)>& fn);
+
  private:
   struct Slot {
     ObjectId id{kInvalidObject};
@@ -229,6 +317,49 @@ class ObjectStore {
   Slot* locate(ObjectId id);
   [[nodiscard]] const Slot* locate(ObjectId id) const;
   ObjectRecord& insert_internal(ObjectId id, ObjectRecord record);
+
+  // ---- fuzzy snapshot internals -----------------------------------------
+  /// Pre-flip version kept aside by the first post-flip writer.
+  struct RetainEntry {
+    Value value;
+    ValidationTs wts{0};
+    bool deleted{false};
+    std::uint64_t dirty_epoch{0};
+  };
+  struct RetainStripe {
+    std::mutex mu;
+    std::unordered_map<ObjectId, RetainEntry> map;
+  };
+  static constexpr std::size_t kRetainStripes = 64;
+
+  [[nodiscard]] RetainStripe& stripe_for(ObjectId id) {
+    return retain_[hash_of(id) & (kRetainStripes - 1)];
+  }
+  /// CoW hook: called by every mutator BEFORE it overwrites a record (the
+  /// insert-before-write ordering is what makes the walker's seqlock
+  /// fallback race-free). No-op when no snapshot is active or the record
+  /// was already captured/retained.
+  void maybe_retain(ObjectId id, ObjectRecord& rec);
+  /// Walk one slot for snapshot_scan: seqlock-read the record, emit the
+  /// pre-flip version (directly or from the retain list) and stamp it
+  /// captured. Requires the shared table lock.
+  void scan_slot(Slot& s, std::uint64_t capture, std::uint64_t floor_epoch,
+                 SnapshotScanStats& stats,
+                 const std::function<void(ObjectId, const Value&, ValidationTs,
+                                          bool)>& fn);
+
+  std::array<RetainStripe, kRetainStripes> retain_;
+  std::atomic<bool> snapshot_active_{false};
+  /// Mutation epoch: every write stamps the current value into the record;
+  /// snapshot_begin() bumps it so post-flip writes are distinguishable.
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> capture_epoch_{0};
+  /// Diagnostic: live retain entries across all stripes.
+  std::atomic<std::uint64_t> retained_count_{0};
+  /// Bumped by every structural slot movement (insert displacement, grow,
+  /// erase back-shift, clear): an off-lock walk whose generation changed
+  /// restarts, relying on captured_epoch stamps to stay O(missed).
+  std::atomic<std::uint64_t> table_gen_{0};
 
   std::vector<Slot> slots_;
   /// Atomic because the in-place mutator paths (which hold only the shared

@@ -10,6 +10,8 @@
 #include "rodain/log/segment.hpp"
 #include "rodain/rt/node.hpp"
 #include "rodain/storage/checkpoint.hpp"
+#include "rodain/storage/ckpt_manifest.hpp"
+#include "rodain/storage/fuzzy_checkpoint.hpp"
 
 namespace rodain {
 namespace {
@@ -135,18 +137,111 @@ TEST_F(RtRecoveryTest, PeriodicCheckpointDaemonWrites) {
   p.relative_deadline = 5_s;
   ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
 
-  for (int waited = 0; waited < 100 && !std::filesystem::exists(c.checkpoint_path);
+  // The fuzzy path writes a chained artifact set (manifest + base/delta
+  // files) instead of the single legacy file.
+  const std::string manifest = storage::manifest_path_for(c.checkpoint_path);
+  for (int waited = 0; waited < 100 && !std::filesystem::exists(manifest);
        ++waited) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  ASSERT_TRUE(std::filesystem::exists(c.checkpoint_path));
+  ASSERT_TRUE(std::filesystem::exists(manifest));
   node.stop();
 
   storage::ObjectStore from_ckpt;
-  auto meta = storage::read_checkpoint_file(c.checkpoint_path, from_ckpt);
-  ASSERT_TRUE(meta.is_ok());
+  auto meta = storage::load_checkpoint_artifacts(c.checkpoint_path, from_ckpt);
+  ASSERT_TRUE(meta.is_ok()) << meta.status().to_string();
   EXPECT_EQ(meta.value().last_applied, 1u);
   EXPECT_EQ(from_ckpt.find(1)->value.read_u64(0), 7u);
+}
+
+TEST_F(RtRecoveryTest, CrashBetweenDeltaWriteAndManifestUpdateIsIgnored) {
+  // kill -9 window 1: a delta artifact hit the disk but the manifest rename
+  // never happened. The stray file must be ignored — the manifest is the
+  // only source of truth — and every acked txn still recovers (the log
+  // covers everything past the manifest's covered boundary).
+  rt::NodeConfig c = config();
+  c.log_path = (dir_ / "segments").string();
+  c.log_segment_bytes = 512;
+  {
+    rt::Node node(c, "gen1");
+    node.store().upsert(1, zeros8(), 0);
+    node.start_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 8; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    ASSERT_TRUE(node.write_checkpoint());  // base, covers 1..8
+    for (int i = 0; i < 4; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    node.stop();
+  }
+  // Plant the "delta written, manifest not yet renamed" leftover: a stray
+  // artifact with a huge epoch and garbage content.
+  {
+    std::FILE* f = std::fopen((c.checkpoint_path + ".d999").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn half-written delta", f);
+    std::fclose(f);
+  }
+  rt::Node node(c, "gen2");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(node.store().find(1)->value.read_u64(0), 12u);
+  EXPECT_EQ(stats.value().last_seq, 12u);
+  EXPECT_FALSE(stats.value().checkpoint_fallback);
+}
+
+TEST_F(RtRecoveryTest, CrashBetweenManifestUpdateAndTruncationIsIdempotent) {
+  // kill -9 window 2: the manifest covers boundary B but the crash hit
+  // before the segments below B were deleted. Recovery must skip (or
+  // idempotently re-apply) the stale segments and lose nothing.
+  rt::NodeConfig c = config();
+  c.log_path = (dir_ / "segments").string();
+  c.log_segment_bytes = 512;
+  const auto stash = dir_ / "segments_stash";
+  {
+    rt::Node node(c, "gen1");
+    node.store().upsert(1, zeros8(), 0);
+    node.start_primary(LogMode::kDirectDisk);
+    for (int i = 0; i < 20; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    // Keep a copy of the pre-checkpoint segments, then checkpoint (which
+    // truncates them).
+    std::filesystem::copy(c.log_path, stash,
+                          std::filesystem::copy_options::recursive);
+    ASSERT_TRUE(node.write_checkpoint());  // covers 1..20, truncates
+    for (int i = 0; i < 5; ++i) {
+      txn::TxnProgram p;
+      p.add_to_field(1, 0, 1);
+      p.relative_deadline = 5_s;
+      ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
+    }
+    node.stop();
+  }
+  // Undo the truncation: restore every stashed segment that was deleted,
+  // modelling the crash landing between manifest rename and unlink.
+  for (const auto& entry : std::filesystem::directory_iterator(stash)) {
+    const auto dest =
+        std::filesystem::path(c.log_path) / entry.path().filename();
+    if (!std::filesystem::exists(dest)) {
+      std::filesystem::copy(entry.path(), dest);
+    }
+  }
+  rt::Node node(c, "gen2");
+  auto stats = node.recover_from_local_state();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(node.store().find(1)->value.read_u64(0), 25u);
+  EXPECT_EQ(stats.value().last_seq, 25u);
 }
 
 TEST_F(RtRecoveryTest, SegmentedRestartRecoversEveryAckedTxn) {
@@ -163,8 +258,12 @@ TEST_F(RtRecoveryTest, SegmentedRestartRecoversEveryAckedTxn) {
       p.relative_deadline = 5_s;
       ASSERT_EQ(node.execute(std::move(p)).outcome, TxnOutcome::kCommitted);
     }
-    // Checkpoint mid-run: covered segments are deleted on the spot.
+    // Checkpoint mid-run: covered segments are deleted on the spot. With
+    // fuzzy checkpoints (the default) the artifact is a manifest-described
+    // chain, not a bare file — recovery below restarts from that chain.
     ASSERT_TRUE(node.write_checkpoint());
+    ASSERT_TRUE(std::filesystem::exists(
+        storage::manifest_path_for(c.checkpoint_path)));
     for (int i = 0; i < 10; ++i) {
       txn::TxnProgram p;
       p.add_to_field(1, 0, 1);
@@ -197,6 +296,7 @@ TEST_F(RtRecoveryTest, SegmentedRestartRecoversEveryAckedTxn) {
     auto stats = node.recover_from_local_state();
     ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
     EXPECT_TRUE(stats.value().torn_tail);
+    EXPECT_FALSE(stats.value().checkpoint_fallback);  // chain loaded clean
     EXPECT_EQ(stats.value().last_seq, 40u);
     EXPECT_GE(stats.value().committed_applied, 10u);
     EXPECT_EQ(node.store().find(1)->value.read_u64(0), 40u);

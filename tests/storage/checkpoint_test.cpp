@@ -180,5 +180,19 @@ TEST_F(CheckpointTest, OverwriteIsAtomicStyle) {
   EXPECT_FALSE(std::filesystem::exists(path("db.ckpt.tmp")));
 }
 
+TEST_F(CheckpointTest, FailedRenameUnlinksTempFile) {
+  // Make the final rename fail by pointing the checkpoint at an existing
+  // non-empty directory. The write must fail AND clean up its `.tmp` —
+  // nothing ever retries that exact temp name, so a leaked temp would
+  // accumulate forever under a persistently failing path.
+  ObjectStore src;
+  src.upsert(1, Value{std::string_view{"x"}}, 1);
+  const std::string target = path("occupied");
+  std::filesystem::create_directories(target + "/sub");
+  auto s = write_checkpoint_file(src, 1, target);
+  ASSERT_FALSE(s);
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
 }  // namespace
 }  // namespace rodain::storage

@@ -7,7 +7,10 @@
 // directory argument is treated as a segmented log: the per-segment
 // inventory is printed first, then the concatenated records. With
 // --stats it prints only the aggregate: record counts, committed vs open
-// transactions, seq range, torn-tail status.
+// transactions, seq range, torn-tail status. With --ckpt <path> the
+// checkpoint chain covering this log (manifest + base/delta artifacts)
+// is inventoried first, so the truncation boundary the segments key off
+// is visible next to the segments themselves.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -17,15 +20,63 @@
 
 #include "rodain/log/log_storage.hpp"
 #include "rodain/log/segment.hpp"
+#include "rodain/storage/ckpt_manifest.hpp"
+#include "rodain/storage/fuzzy_checkpoint.hpp"
 
 using namespace rodain;
 
+namespace {
+
+void print_checkpoint_chain(const std::string& ckpt_path) {
+  const std::string manifest_path = storage::manifest_path_for(ckpt_path);
+  auto m = storage::read_manifest_file(manifest_path);
+  if (!m.is_ok()) {
+    if (std::filesystem::exists(ckpt_path)) {
+      std::printf("checkpoint: legacy single file %s (no manifest)\n\n",
+                  ckpt_path.c_str());
+    } else {
+      std::printf("checkpoint: none (%s)\n\n",
+                  m.status().to_string().c_str());
+    }
+    return;
+  }
+  std::printf("checkpoint chain (%s): %zu artifacts, covered through seq %"
+              PRIu64 "\n",
+              manifest_path.c_str(), m.value().entries.size(),
+              m.value().covered_boundary());
+  for (const auto& e : m.value().entries) {
+    std::printf("  %-5s %-32s  boundary=%-8" PRIu64 " epoch=%-6" PRIu64
+                " %" PRIu64 " bytes%s\n",
+                e.kind == storage::ManifestEntry::Kind::kBase ? "base"
+                                                              : "delta",
+                e.file.c_str(), e.boundary, e.capture_epoch, e.bytes,
+                std::filesystem::exists(storage::sibling_path(ckpt_path,
+                                                              e.file))
+                    ? ""
+                    : "  [MISSING]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <log-file> [--stats]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <log-file> [--stats] [--ckpt <checkpoint>]\n",
+                 argv[0]);
     return 2;
   }
-  const bool stats_only = argc > 2 && std::strcmp(argv[2], "--stats") == 0;
+  bool stats_only = false;
+  std::string ckpt_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats_only = true;
+    } else if (std::strcmp(argv[i], "--ckpt") == 0 && i + 1 < argc) {
+      ckpt_path = argv[++i];
+    }
+  }
+  if (!ckpt_path.empty()) print_checkpoint_chain(ckpt_path);
 
   bool torn = false;
   const bool is_dir = std::filesystem::is_directory(argv[1]);

@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
     cv.wait_for(lock, std::chrono::seconds(2), [&] { return server_end != nullptr; });
   }
 
+  const auto seg_dir =
+      std::filesystem::temp_directory_path() / "rodain_metrics_dump";
+  std::filesystem::remove_all(seg_dir);
+  std::filesystem::create_directories(seg_dir);
   rt::NodeConfig config;
   config.metrics_snapshot_interval = 50_ms;
   // Enable group commit so the log.batch.* metrics show up in the dump.
@@ -54,13 +58,15 @@ int main(int argc, char** argv) {
   config.log_batch.max_txns = 4;
   config.log_batch.max_delay = 1_ms;
   config.log_batch.adaptive_delay = true;
+  // A fast fuzzy-checkpoint cadence on the primary so the checkpoint
+  // families (node.checkpoint_stall_us, ckpt.bytes_full/bytes_delta,
+  // ckpt.dirty_ratio, ckpt.records_retained) show up populated.
+  config.checkpoint_path = (seg_dir / "primary.ckpt").string();
+  config.checkpoint_interval = 25_ms;
   rt::Node primary(config, "primary");
   // The mirror stores the ordered log to a segmented store with a tiny
   // rotation threshold and a fast checkpoint cadence, so the log lifecycle
   // metrics (log_segments_*, log_disk_bytes) show up in the dump.
-  const auto seg_dir =
-      std::filesystem::temp_directory_path() / "rodain_metrics_dump";
-  std::filesystem::remove_all(seg_dir);
   rt::NodeConfig mirror_config = config;
   mirror_config.log_path = (seg_dir / "log").string();
   mirror_config.log_segment_bytes = 16 * 1024;
